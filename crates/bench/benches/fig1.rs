@@ -1,0 +1,52 @@
+//! Bench for Figure 1: the four INBAC decision branches at time 2U —
+//! nice-path decide, consensus proposal paths, and the HELP round.
+
+use ac_commit::protocols::ProtocolKind;
+use ac_commit::Scenario;
+use ac_net::DelayRule;
+use ac_sim::{Time, U};
+use criterion::{black_box, Criterion};
+
+fn branch_scenarios() -> Vec<(&'static str, Scenario)> {
+    let n = 6;
+    vec![
+        ("decide-AND", Scenario::nice(n, 2)),
+        (
+            "cons-propose-AND",
+            Scenario::nice(n, 2)
+                .rule(DelayRule::link(0, 5, Time::units(1), Time::units(2), 6 * U)),
+        ),
+        (
+            "cons-propose-0",
+            Scenario::nice(n, 2)
+                .rule(DelayRule::link(5, 0, Time::ZERO, Time::units(1), 6 * U))
+                .rule(DelayRule::link(5, 1, Time::ZERO, Time::units(1), 6 * U)),
+        ),
+        (
+            "help-round",
+            Scenario::nice(n, 1)
+                .rule(DelayRule::link(0, 5, Time::units(1), Time::units(2), 6 * U)),
+        ),
+    ]
+}
+
+fn benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1");
+    for (name, sc) in branch_scenarios() {
+        g.bench_function(format!("inbac/{name}"), |b| {
+            b.iter(|| ProtocolKind::Inbac.run(black_box(&sc)))
+        });
+    }
+    g.finish();
+}
+
+fn main() {
+    println!("{}", ac_harness::experiments::fig1().render());
+    let mut c = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .configure_from_args();
+    benches(&mut c);
+    c.final_summary();
+}

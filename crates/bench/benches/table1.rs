@@ -1,0 +1,45 @@
+//! Bench for Table 1: the taxonomy computation and every matching
+//! protocol's nice execution (the runs that verify the 27-cell bounds).
+
+use ac_commit::protocols::ProtocolKind;
+use ac_commit::{Cell, Scenario};
+use criterion::{black_box, Criterion};
+
+fn benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.bench_function("taxonomy/27-cells", |b| {
+        b.iter(|| {
+            Cell::all()
+                .iter()
+                .map(|c| c.bounds(black_box(8), black_box(3)).messages)
+                .sum::<u64>()
+        })
+    });
+    for kind in [
+        ProtocolKind::AvNbacDelayOpt,
+        ProtocolKind::Nbac0,
+        ProtocolKind::Nbac1,
+        ProtocolKind::Inbac,
+        ProtocolKind::ANbac,
+        ProtocolKind::ChainNbac,
+        ProtocolKind::AvNbacMsgOpt,
+        ProtocolKind::Nbac2n2,
+        ProtocolKind::Nbac2n2f,
+    ] {
+        g.bench_function(format!("nice/{}/n8_f3", kind.name()), |b| {
+            b.iter(|| kind.run(black_box(&Scenario::nice(8, 3))))
+        });
+    }
+    g.finish();
+}
+
+fn main() {
+    println!("{}", ac_harness::experiments::table1(6, 2).render());
+    let mut c = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .configure_from_args();
+    benches(&mut c);
+    c.final_summary();
+}

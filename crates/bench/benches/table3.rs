@@ -1,0 +1,35 @@
+//! Bench for Table 3: the message-optimal protocols' nice executions.
+
+use ac_commit::protocols::ProtocolKind;
+use ac_commit::Scenario;
+use criterion::{black_box, Criterion};
+
+fn benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3");
+    for kind in [
+        ProtocolKind::Nbac0,
+        ProtocolKind::ANbac,
+        ProtocolKind::ChainNbac,
+        ProtocolKind::AvNbacMsgOpt,
+        ProtocolKind::Nbac2n2,
+        ProtocolKind::Nbac2n2f,
+    ] {
+        for n in [4usize, 8, 16] {
+            g.bench_function(format!("{}/n{n}_f2", kind.name()), |b| {
+                b.iter(|| kind.run(black_box(&Scenario::nice(n, 2.min(n - 1)))))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn main() {
+    println!("{}", ac_harness::experiments::table3().render());
+    let mut c = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .configure_from_args();
+    benches(&mut c);
+    c.final_summary();
+}

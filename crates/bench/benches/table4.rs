@@ -1,0 +1,34 @@
+//! Bench for Table 4: indulgent atomic commit (INBAC, (2n-2+f)NBAC) vs
+//! synchronous NBAC (1NBAC, (n-1+f)NBAC), nice executions across n.
+
+use ac_commit::protocols::ProtocolKind;
+use ac_commit::Scenario;
+use criterion::{black_box, Criterion};
+
+fn benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table4");
+    for kind in [
+        ProtocolKind::Inbac,
+        ProtocolKind::Nbac2n2f,
+        ProtocolKind::Nbac1,
+        ProtocolKind::ChainNbac,
+    ] {
+        for n in [4usize, 8, 16, 32] {
+            g.bench_function(format!("{}/n{n}_f2", kind.name()), |b| {
+                b.iter(|| kind.run(black_box(&Scenario::nice(n, 2.min(n - 1)))))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn main() {
+    println!("{}", ac_harness::experiments::table4(6, 2).render());
+    let mut c = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .configure_from_args();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,32 @@
+//! Bench for Table 5: the head-to-head sweep of 1NBAC, (n-1+f)NBAC, INBAC,
+//! 2PC, PaxosCommit and Faster PaxosCommit.
+
+use ac_bench::table5_protocols;
+use ac_commit::Scenario;
+use criterion::{black_box, Criterion};
+
+fn benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table5");
+    for kind in table5_protocols() {
+        for (n, f) in [(4usize, 1usize), (8, 2), (16, 3)] {
+            g.bench_function(format!("{}/n{n}_f{f}", kind.name()), |b| {
+                b.iter(|| kind.run(black_box(&Scenario::nice(n, f))))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn main() {
+    println!(
+        "{}",
+        ac_harness::experiments::table5(&[4, 6, 8, 10], &[1, 2, 3]).render()
+    );
+    let mut c = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .configure_from_args();
+    benches(&mut c);
+    c.final_summary();
+}

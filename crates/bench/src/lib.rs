@@ -1,0 +1,28 @@
+//! # ac-bench — criterion benches, one per paper table/figure
+//!
+//! Each bench target first regenerates its table/figure through
+//! `ac-harness` (printing the paper-vs-measured rows), then measures the
+//! wall-clock cost of the underlying simulated executions with criterion.
+//! `cargo bench --workspace` therefore both reproduces the evaluation and
+//! tracks the simulator's own performance.
+
+use ac_commit::protocols::ProtocolKind;
+use ac_commit::Scenario;
+
+/// Standard nice-execution benchmark body: run `kind` on `(n, f)`.
+pub fn run_nice(kind: ProtocolKind, n: usize, f: usize) -> u64 {
+    let out = kind.run(&Scenario::nice(n, f));
+    out.metrics().messages as u64
+}
+
+/// The six Table-5 protocols.
+pub fn table5_protocols() -> [ProtocolKind; 6] {
+    [
+        ProtocolKind::Nbac1,
+        ProtocolKind::ChainNbac,
+        ProtocolKind::Inbac,
+        ProtocolKind::TwoPc,
+        ProtocolKind::PaxosCommit,
+        ProtocolKind::FasterPaxosCommit,
+    ]
+}

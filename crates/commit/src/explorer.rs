@@ -1,0 +1,197 @@
+//! Exhaustive small-model exploration.
+//!
+//! For small `n` the space of "interesting" executions — vote vectors ×
+//! crash schedules (victim set, crash instants on the protocol's own grid,
+//! partial-broadcast truncations) — is small enough to enumerate
+//! completely. Each execution is run deterministically and checked against
+//! the protocol's Table-1 cell. This is the strongest correctness evidence
+//! this library produces: for the explored parameters, the guarantees are
+//! not sampled, they are verified over the whole schedule space.
+
+use ac_net::Crash;
+use ac_sim::Time;
+
+use crate::checker::{check, Violation};
+use crate::protocols::ProtocolKind;
+use crate::runner::Scenario;
+use crate::taxonomy::Cell;
+
+/// Exploration space configuration.
+#[derive(Clone, Debug)]
+pub struct ExplorerConfig {
+    pub n: usize,
+    pub f: usize,
+    /// Crash instants, in delay units (the appendix protocols act on a
+    /// unit grid, so unit-aligned crashes cover every interesting
+    /// interleaving class).
+    pub crash_times: Vec<u64>,
+    /// Partial-broadcast send budgets to try at each crash instant, in
+    /// addition to a full stop (`None`).
+    pub partial_sends: Vec<usize>,
+    /// Maximum number of simultaneous crash victims (capped at `f`).
+    pub max_crashes: usize,
+    /// Horizon per run, in delay units.
+    pub horizon_units: u64,
+}
+
+impl ExplorerConfig {
+    /// A small default: single crashes on a 0..6U grid with partial
+    /// truncations 1 and 2.
+    pub fn small(n: usize, f: usize) -> Self {
+        ExplorerConfig {
+            n,
+            f,
+            crash_times: (0..=6).collect(),
+            partial_sends: vec![1, 2],
+            max_crashes: 1,
+            horizon_units: 400,
+        }
+    }
+}
+
+/// One counterexample found by the explorer.
+#[derive(Clone, Debug)]
+pub struct CounterExample {
+    pub scenario: String,
+    pub violations: Vec<Violation>,
+}
+
+/// Aggregate result of an exploration.
+#[derive(Clone, Debug, Default)]
+pub struct ExplorationReport {
+    pub executions: usize,
+    pub counterexamples: Vec<CounterExample>,
+}
+
+impl ExplorationReport {
+    pub fn ok(&self) -> bool {
+        self.counterexamples.is_empty()
+    }
+
+    pub fn assert_ok(&self, context: &str) {
+        assert!(
+            self.ok(),
+            "{context}: {}/{} executions violated guarantees; first: {:?}",
+            self.counterexamples.len(),
+            self.executions,
+            self.counterexamples.first()
+        );
+    }
+}
+
+fn crash_options(cfg: &ExplorerConfig) -> Vec<Crash> {
+    let mut opts = Vec::new();
+    for &t in &cfg.crash_times {
+        opts.push(Crash::at(Time::units(t)));
+        for &k in &cfg.partial_sends {
+            opts.push(Crash::partial(Time::units(t), k));
+        }
+    }
+    opts
+}
+
+/// Exhaustively explore `kind` under `cfg`, checking each execution against
+/// `cell` (defaults to the protocol's own cell via [`explore`]).
+pub fn explore_against(
+    kind: ProtocolKind,
+    cell: Cell,
+    cfg: &ExplorerConfig,
+) -> ExplorationReport {
+    let mut report = ExplorationReport::default();
+    let crash_opts = crash_options(cfg);
+    let max_crashes = cfg.max_crashes.min(cfg.f);
+
+    // Enumerate vote vectors as bitmasks.
+    for votes_mask in 0..(1u32 << cfg.n) {
+        let votes: Vec<bool> = (0..cfg.n).map(|p| votes_mask & (1 << p) != 0).collect();
+
+        // Crash schedules: none, then every victim set of size <= max.
+        let mut schedules: Vec<Vec<(usize, Crash)>> = vec![vec![]];
+        if max_crashes >= 1 {
+            for victim in 0..cfg.n {
+                for &c in &crash_opts {
+                    schedules.push(vec![(victim, c)]);
+                }
+            }
+        }
+        if max_crashes >= 2 {
+            for v1 in 0..cfg.n {
+                for v2 in (v1 + 1)..cfg.n {
+                    for &c1 in &crash_opts {
+                        for &c2 in &crash_opts {
+                            schedules.push(vec![(v1, c1), (v2, c2)]);
+                        }
+                    }
+                }
+            }
+        }
+
+        for schedule in &schedules {
+            let mut sc = Scenario::nice(cfg.n, cfg.f)
+                .votes(&votes)
+                .horizon(cfg.horizon_units);
+            for &(victim, crash) in schedule {
+                sc = sc.crash(victim, crash);
+            }
+            let out = kind.run(&sc);
+            report.executions += 1;
+            let r = check(&out, &votes, cell);
+            if !r.ok() {
+                report.counterexamples.push(CounterExample {
+                    scenario: format!(
+                        "{} n={} f={} votes={votes:?} crashes={schedule:?}",
+                        kind.name(),
+                        cfg.n,
+                        cfg.f
+                    ),
+                    violations: r.violations,
+                });
+            }
+        }
+    }
+    report
+}
+
+/// Explore `kind` against its own declared cell.
+pub fn explore(kind: ProtocolKind, cfg: &ExplorerConfig) -> ExplorationReport {
+    explore_against(kind, kind.cell(), cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taxonomy::PropSet;
+
+    #[test]
+    fn explorer_counts_the_expected_space() {
+        let cfg = ExplorerConfig {
+            n: 2,
+            f: 1,
+            crash_times: vec![0, 1],
+            partial_sends: vec![1],
+            max_crashes: 1,
+            horizon_units: 300,
+        };
+        let report = explore(ProtocolKind::TwoPc, &cfg);
+        // 4 vote vectors x (1 no-crash + 2 victims x 2 times x 2 modes).
+        assert_eq!(report.executions, 4 * (1 + 2 * 2 * 2));
+        report.assert_ok("2PC small space");
+    }
+
+    #[test]
+    fn explorer_catches_false_claims() {
+        // 2PC does NOT provide termination under crashes; exploring it
+        // against a cell that demands T must produce counterexamples.
+        let cfg = ExplorerConfig::small(3, 1);
+        let too_strong = Cell::new(PropSet::AVT, PropSet::AV);
+        let report = explore_against(ProtocolKind::TwoPc, too_strong, &cfg);
+        assert!(
+            !report.ok(),
+            "2PC cannot satisfy termination under crashes; the explorer must notice"
+        );
+        assert!(report
+            .counterexamples
+            .iter()
+            .all(|c| c.violations.iter().any(|v| matches!(v, Violation::Termination { .. }))));
+    }
+}

@@ -1,0 +1,95 @@
+//! The non-blocking atomic commit problem (paper, Definition 1).
+//!
+//! A protocol is defined by two events: `Propose(v)` with `v ∈ {0, 1}`
+//! (vote "no"/"yes") and `Decide(v)`. An execution solves NBAC if it
+//! satisfies:
+//!
+//! * **Validity** — a process decides 0 only if some process proposes 0 or a
+//!   failure occurs; a process decides 1 only if no process proposes 0;
+//! * **Termination** — every correct process eventually decides;
+//! * **Agreement** — no two processes decide differently (uniform: the
+//!   decisions of processes that later crash count).
+//!
+//! Integrity (no process decides twice) is enforced structurally by the
+//! runtime, which panics on a second `Decide` (see `ac_net::World`).
+
+use ac_sim::{Automaton, ProcessId};
+
+/// A vote: `true` = 1 = "yes, willing to commit", `false` = 0 = "no".
+pub type Vote = bool;
+
+/// Decision values on the wire/decision channel (the kernel records `u64`).
+pub const COMMIT: u64 = 1;
+pub const ABORT: u64 = 0;
+
+/// Encode a boolean commit verdict as a decision value.
+#[inline]
+pub fn decision_value(commit: bool) -> u64 {
+    if commit {
+        COMMIT
+    } else {
+        ABORT
+    }
+}
+
+/// Uniform construction interface for every commit protocol in this crate.
+///
+/// A protocol instance is the automaton of **one** process; the runner
+/// constructs `n` of them with ids `0..n`. All protocols start
+/// spontaneously at time 0 with their vote already known — the paper's
+/// fair-comparison convention (Table 5, footnote 13).
+pub trait CommitProtocol: Automaton + Sized {
+    /// Display name, e.g. `"INBAC"`.
+    const NAME: &'static str;
+
+    /// Build the automaton of process `me` among `n` processes with crash
+    /// resilience parameter `f` (`1 ≤ f ≤ n−1`) and initial vote `vote`.
+    fn new(me: ProcessId, n: usize, f: usize, vote: Vote) -> Self;
+}
+
+/// Validate the paper's parameter constraints (§2.1): `n ≥ 2` processes and
+/// `1 ≤ f ≤ n−1`. Panics otherwise — protocol constructors call this.
+pub fn validate_params(n: usize, f: usize) {
+    assert!(n >= 2, "the atomic commit problem needs at least two processes (n = {n})");
+    assert!(
+        (1..n).contains(&f),
+        "resilience must satisfy 1 <= f <= n-1 (n = {n}, f = {f})"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decision_values() {
+        assert_eq!(decision_value(true), COMMIT);
+        assert_eq!(decision_value(false), ABORT);
+        assert_ne!(COMMIT, ABORT);
+    }
+
+    #[test]
+    fn params_accept_paper_range() {
+        validate_params(2, 1);
+        validate_params(5, 4);
+        validate_params(10, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "resilience")]
+    fn params_reject_f_zero() {
+        validate_params(3, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "resilience")]
+    fn params_reject_f_eq_n() {
+        validate_params(3, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn params_reject_single_process() {
+        validate_params(1, 1);
+    }
+}

@@ -1,0 +1,278 @@
+//! Protocol automata.
+//!
+//! Every module implements one protocol from the paper as a deterministic
+//! automaton over the `ac-sim` kernel. Timer conventions follow the
+//! appendix: INBAC, 1NBAC and 0NBAC use an absolute clock with propose at
+//! time 0 (`time k` = `k·U`); the Appendix E protocols state "the timer
+//! starts at time 1 when the first sending event happens", i.e.
+//! `time k` = `(k−1)·U`. A private helper `etime` encodes the latter.
+
+use ac_sim::Time;
+
+pub mod anbac;
+pub mod avnbac;
+pub mod chain_nbac;
+pub mod inbac;
+pub mod nbac0;
+pub mod nbac1;
+pub mod nbac_2n2;
+pub mod nbac_2n2f;
+pub mod paxos_commit;
+pub mod three_pc;
+pub mod two_pc;
+
+pub use anbac::ANbac;
+pub use avnbac::{AvNbacDelayOpt, AvNbacMsgOpt};
+pub use chain_nbac::ChainNbac;
+pub use inbac::{Inbac, InbacFastAbort, InbacUnbundledAck};
+pub use nbac0::Nbac0;
+pub use nbac1::Nbac1;
+pub use nbac_2n2::Nbac2n2;
+pub use nbac_2n2f::Nbac2n2f;
+pub use paxos_commit::{FasterPaxosCommit, PaxosCommit};
+pub use three_pc::ThreePc;
+pub use two_pc::TwoPc;
+
+use crate::problem::CommitProtocol;
+use crate::runner::Scenario;
+use crate::taxonomy::{Cell, PropSet};
+use ac_net::Outcome;
+
+/// Appendix-E timer convention: "set timer to time k" where the timer
+/// starts at time 1 when the first sending event happens — i.e. absolute
+/// virtual time `(k−1)·U`.
+#[inline]
+pub(crate) fn etime(k: u64) -> Time {
+    debug_assert!(k >= 1);
+    Time::units(k - 1)
+}
+
+/// Every protocol in the suite, for uniform dispatch by harness/benches.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum ProtocolKind {
+    Inbac,
+    InbacFastAbort,
+    Nbac1,
+    Nbac0,
+    ANbac,
+    AvNbacDelayOpt,
+    AvNbacMsgOpt,
+    ChainNbac,
+    Nbac2n2,
+    Nbac2n2f,
+    TwoPc,
+    ThreePc,
+    PaxosCommit,
+    FasterPaxosCommit,
+}
+
+impl ProtocolKind {
+    pub fn all() -> [ProtocolKind; 14] {
+        use ProtocolKind::*;
+        [
+            Inbac,
+            InbacFastAbort,
+            Nbac1,
+            Nbac0,
+            ANbac,
+            AvNbacDelayOpt,
+            AvNbacMsgOpt,
+            ChainNbac,
+            Nbac2n2,
+            Nbac2n2f,
+            TwoPc,
+            ThreePc,
+            PaxosCommit,
+            FasterPaxosCommit,
+        ]
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolKind::Inbac => Inbac::NAME,
+            ProtocolKind::InbacFastAbort => InbacFastAbort::NAME,
+            ProtocolKind::Nbac1 => Nbac1::NAME,
+            ProtocolKind::Nbac0 => Nbac0::NAME,
+            ProtocolKind::ANbac => ANbac::NAME,
+            ProtocolKind::AvNbacDelayOpt => AvNbacDelayOpt::NAME,
+            ProtocolKind::AvNbacMsgOpt => AvNbacMsgOpt::NAME,
+            ProtocolKind::ChainNbac => ChainNbac::NAME,
+            ProtocolKind::Nbac2n2 => Nbac2n2::NAME,
+            ProtocolKind::Nbac2n2f => Nbac2n2f::NAME,
+            ProtocolKind::TwoPc => TwoPc::NAME,
+            ProtocolKind::ThreePc => ThreePc::NAME,
+            ProtocolKind::PaxosCommit => PaxosCommit::NAME,
+            ProtocolKind::FasterPaxosCommit => FasterPaxosCommit::NAME,
+        }
+    }
+
+    /// The Table-1 cell whose guarantees this protocol provides.
+    pub fn cell(self) -> Cell {
+        use PropSet as P;
+        match self {
+            ProtocolKind::Inbac | ProtocolKind::InbacFastAbort => Cell::new(P::AVT, P::AVT),
+            ProtocolKind::Nbac1 => Cell::new(P::AVT, P::VT),
+            ProtocolKind::Nbac0 => Cell::new(P::AT, P::AT),
+            ProtocolKind::ANbac => Cell::new(P::AV, P::A),
+            ProtocolKind::AvNbacDelayOpt | ProtocolKind::AvNbacMsgOpt => Cell::new(P::AV, P::AV),
+            ProtocolKind::ChainNbac => Cell::new(P::AVT, P::T),
+            ProtocolKind::Nbac2n2 => Cell::new(P::AVT, P::VT),
+            ProtocolKind::Nbac2n2f => Cell::new(P::AVT, P::AVT),
+            ProtocolKind::TwoPc => Cell::new(P::AV, P::AV),
+            ProtocolKind::ThreePc => Cell::new(P::AVT, P::VT),
+            ProtocolKind::PaxosCommit | ProtocolKind::FasterPaxosCommit => {
+                Cell::new(P::AVT, P::AVT)
+            }
+        }
+    }
+
+    /// Whether the protocol's termination guarantee leans on the consensus
+    /// module (and therefore on a correct majority), as the paper notes in
+    /// Appendix B.
+    pub fn needs_majority_for_termination(self) -> bool {
+        matches!(
+            self,
+            ProtocolKind::Inbac
+                | ProtocolKind::InbacFastAbort
+                | ProtocolKind::Nbac1
+                | ProtocolKind::Nbac0
+                | ProtocolKind::Nbac2n2f
+                | ProtocolKind::PaxosCommit
+                | ProtocolKind::FasterPaxosCommit
+        )
+    }
+
+    /// Expected nice-execution complexity `(delays, messages)` per the
+    /// paper's tables (Tables 2, 3, 5 and the Appendix protocol text),
+    /// under this library's measurement conventions (see EXPERIMENTS.md
+    /// for the ±1 normalization notes on Table 5).
+    pub fn nice_complexity_formula(self, n: u64, f: u64) -> (u64, u64) {
+        match self {
+            ProtocolKind::Inbac | ProtocolKind::InbacFastAbort => (2, 2 * f * n),
+            ProtocolKind::Nbac1 => (1, n * n - n),
+            ProtocolKind::Nbac0 => (1, 0),
+            ProtocolKind::ANbac => (n + 2 * f, n - 1 + f),
+            ProtocolKind::AvNbacDelayOpt => (1, n * n - n),
+            ProtocolKind::AvNbacMsgOpt => (2, 2 * n - 2),
+            ProtocolKind::ChainNbac => (n + 2 * f, n - 1 + f),
+            ProtocolKind::Nbac2n2 => (f + 2, 2 * n - 2),
+            ProtocolKind::Nbac2n2f => {
+                let d = if f == 1 { 2 * n - 1 } else { 2 * n + f - 2 };
+                (d, 2 * n - 2 + f)
+            }
+            ProtocolKind::TwoPc => (2, 2 * n - 2),
+            ProtocolKind::ThreePc => (4, 4 * n - 4),
+            ProtocolKind::PaxosCommit => (3, n * f + 2 * n - 2),
+            ProtocolKind::FasterPaxosCommit => (2, 2 * f * n + 2 * n - 2 * f - 2),
+        }
+    }
+
+    /// Recommend protocols for a desired robustness: every protocol whose
+    /// cell dominates `wanted` (after canonicalization), cheapest first —
+    /// ordered by nice-execution messages, then delays, at the given
+    /// `(n, f)`. This is the taxonomy turned into an API: ask for the
+    /// guarantees you need, get the protocols that provide them at the
+    /// lowest best-case cost.
+    pub fn recommend(wanted: Cell, n: usize, f: usize) -> Vec<ProtocolKind> {
+        let wanted = wanted.canonicalize();
+        let mut fits: Vec<ProtocolKind> = ProtocolKind::all()
+            .into_iter()
+            .filter(|k| wanted.le(k.cell()))
+            // Accelerated variants share their base cell; recommend the
+            // canonical implementations.
+            .filter(|k| !matches!(k, ProtocolKind::InbacFastAbort))
+            .collect();
+        fits.sort_by_key(|k| {
+            let (d, m) = k.nice_complexity_formula(n as u64, f as u64);
+            (m, d)
+        });
+        fits
+    }
+
+    /// Run `scenario` under this protocol.
+    pub fn run(self, scenario: &Scenario) -> Outcome {
+        match self {
+            ProtocolKind::Inbac => scenario.run::<Inbac>(),
+            ProtocolKind::InbacFastAbort => scenario.run::<InbacFastAbort>(),
+            ProtocolKind::Nbac1 => scenario.run::<Nbac1>(),
+            ProtocolKind::Nbac0 => scenario.run::<Nbac0>(),
+            ProtocolKind::ANbac => scenario.run::<ANbac>(),
+            ProtocolKind::AvNbacDelayOpt => scenario.run::<AvNbacDelayOpt>(),
+            ProtocolKind::AvNbacMsgOpt => scenario.run::<AvNbacMsgOpt>(),
+            ProtocolKind::ChainNbac => scenario.run::<ChainNbac>(),
+            ProtocolKind::Nbac2n2 => scenario.run::<Nbac2n2>(),
+            ProtocolKind::Nbac2n2f => scenario.run::<Nbac2n2f>(),
+            ProtocolKind::TwoPc => scenario.run::<TwoPc>(),
+            ProtocolKind::ThreePc => scenario.run::<ThreePc>(),
+            ProtocolKind::PaxosCommit => scenario.run::<PaxosCommit>(),
+            ProtocolKind::FasterPaxosCommit => scenario.run::<FasterPaxosCommit>(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recommend_indulgent_prefers_the_message_optimum() {
+        let recs = ProtocolKind::recommend(Cell::INDULGENT, 6, 2);
+        // Only the indulgent protocols qualify; (2n-2+f)NBAC is cheapest in
+        // messages, then PaxosCommit, INBAC, FasterPaxosCommit.
+        assert_eq!(
+            recs,
+            vec![
+                ProtocolKind::Nbac2n2f,
+                ProtocolKind::PaxosCommit,
+                ProtocolKind::Inbac,
+                ProtocolKind::FasterPaxosCommit,
+            ]
+        );
+    }
+
+    #[test]
+    fn recommend_weak_cells_include_cheap_protocols() {
+        let recs = ProtocolKind::recommend(Cell::new(PropSet::AT, PropSet::AT), 6, 2);
+        assert_eq!(recs.first(), Some(&ProtocolKind::Nbac0), "0 messages wins");
+        // Indulgent protocols also qualify (their cells dominate).
+        assert!(recs.contains(&ProtocolKind::Inbac));
+        // 2PC does not: its cell (AV, AV) lacks termination.
+        assert!(!recs.contains(&ProtocolKind::TwoPc));
+    }
+
+    #[test]
+    fn recommend_canonicalizes_empty_cells() {
+        // (A, V) is an empty cell; it reduces to (AV, V), which e.g.
+        // avNBAC and 1NBAC dominate.
+        let recs = ProtocolKind::recommend(Cell::new(PropSet::A, PropSet::V), 5, 1);
+        assert!(recs.contains(&ProtocolKind::AvNbacMsgOpt));
+        assert!(recs.contains(&ProtocolKind::Nbac1));
+        assert!(!recs.contains(&ProtocolKind::Nbac0), "0NBAC has no validity");
+    }
+
+    #[test]
+    fn every_protocol_dominates_its_own_cell() {
+        for kind in ProtocolKind::all() {
+            let recs = ProtocolKind::recommend(kind.cell(), 5, 2);
+            assert!(
+                recs.contains(&kind) || matches!(kind, ProtocolKind::InbacFastAbort),
+                "{} missing from its own cell's recommendations",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn cells_and_formulas_are_consistent_with_bounds() {
+        // No protocol may claim a nice execution cheaper than its cell's
+        // lower bound (that would contradict the paper's Theorems 1/2).
+        for kind in ProtocolKind::all() {
+            for (n, f) in [(4usize, 1usize), (6, 2), (8, 5)] {
+                let b = kind.cell().bounds(n, f);
+                let (d, m) = kind.nice_complexity_formula(n as u64, f as u64);
+                assert!(d >= b.delays, "{}: d {d} < bound {}", kind.name(), b.delays);
+                assert!(m >= b.messages, "{}: m {m} < bound {}", kind.name(), b.messages);
+            }
+        }
+    }
+}

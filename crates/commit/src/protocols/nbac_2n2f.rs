@@ -1,0 +1,345 @@
+//! (2n−2+f)NBAC — the message-optimal protocol for **indulgent atomic
+//! commit** (cell (AVT, AVT), Appendix E.6): `2n−2+f` messages in nice
+//! executions, matching Theorem 2's last bound. (INBAC instead optimizes
+//! delays first; this protocol is the other end of the trade-off.)
+//!
+//! Nice execution: a vote chain `P1→…→Pn` (`n−1` messages), a confirmation
+//! chain `Pn→P1→…→P_{n−1}→Pn` carrying the AND (`n` messages), and for
+//! `f ≥ 2` a third chain `Pn→P1→…→P_{f−1}` (`f−1` messages). Processes
+//! decide as the second (resp. third) chain passes through them. On any
+//! timeout the process falls back to indulgent uniform consensus; processes
+//! `P_{f+1}..P_{n−1}` first query `{P1..Pf, Pn}` with `[HELP]`.
+
+// Index ranges deliberately mirror the paper's pseudocode (e.g. `f+1 <= i`).
+#![allow(clippy::int_plus_one)]
+
+use ac_consensus::{CtxHost, Paxos, PaxosMsg, CONS_TAG_BASE};
+use ac_sim::{Automaton, Ctx, ProcessId};
+
+use super::etime;
+use crate::problem::{decision_value, validate_params, CommitProtocol, Vote};
+
+const TAG: u32 = 1;
+
+#[derive(Clone, Debug)]
+pub enum C2n2fMsg {
+    V(bool),
+    B(bool),
+    Z(bool),
+    Help,
+    Helped(bool),
+    Cons(PaxosMsg),
+}
+
+/// One process of (2n−2+f)NBAC.
+#[derive(Debug)]
+pub struct Nbac2n2f {
+    me: ProcessId,
+    n: usize,
+    f: usize,
+    votes: bool,
+    received_v: bool,
+    received_b: bool,
+    received_z: bool,
+    phase: u8,
+    decided: bool,
+    proposed: bool,
+    /// Help requests arriving before this process can serve them
+    /// (remark (c) queueing).
+    pending_help: Vec<ProcessId>,
+    cons: Paxos,
+}
+
+impl Nbac2n2f {
+    #[inline]
+    fn i(&self) -> u64 {
+        self.me as u64 + 1
+    }
+
+    fn decide(&mut self, v: bool, ctx: &mut Ctx<C2n2fMsg>) {
+        if !self.decided {
+            self.decided = true;
+            ctx.decide(decision_value(v));
+        }
+    }
+
+    fn cons_propose(&mut self, v: bool, ctx: &mut Ctx<C2n2fMsg>) {
+        if !self.proposed {
+            self.proposed = true;
+            let mut host = CtxHost { ctx, wrap: C2n2fMsg::Cons };
+            self.cons.propose(decision_value(v), &mut host);
+        }
+    }
+
+    fn cons_decided(&mut self, d: Option<u64>, ctx: &mut Ctx<C2n2fMsg>) {
+        if let Some(v) = d {
+            if !self.decided {
+                self.decided = true;
+                ctx.decide(v);
+            }
+        }
+    }
+
+    /// Whether a `[HELP]` can be served right now (`Pn` from phase 1,
+    /// `P1..Pf` from phase 2).
+    fn can_serve_help(&self) -> bool {
+        let i = self.i();
+        let (n, f) = (self.n as u64, self.f as u64);
+        (i == n && self.phase >= 1) || (i <= f && self.phase >= 2)
+    }
+}
+
+impl CommitProtocol for Nbac2n2f {
+    const NAME: &'static str = "(2n-2+f)NBAC";
+
+    fn new(me: ProcessId, n: usize, f: usize, vote: Vote) -> Self {
+        validate_params(n, f);
+        Nbac2n2f {
+            me,
+            n,
+            f,
+            votes: vote,
+            received_v: false,
+            received_b: false,
+            received_z: false,
+            phase: 0,
+            decided: false,
+            proposed: false,
+            pending_help: Vec::new(),
+            cons: Paxos::with_tag_base(me, n, CONS_TAG_BASE),
+        }
+    }
+}
+
+impl Automaton for Nbac2n2f {
+    type Msg = C2n2fMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<C2n2fMsg>) {
+        let (n, i) = (self.n as u64, self.i());
+        if i == 1 {
+            ctx.send(1, C2n2fMsg::V(self.votes));
+            ctx.set_timer(etime(n + 1), TAG);
+            self.phase = 1;
+        } else {
+            ctx.set_timer(etime(i), TAG);
+        }
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: C2n2fMsg, ctx: &mut Ctx<C2n2fMsg>) {
+        match msg {
+            C2n2fMsg::V(v) => {
+                if self.phase == 0 {
+                    self.votes &= v;
+                    self.received_v = true;
+                }
+            }
+            C2n2fMsg::B(b) => {
+                if self.phase == 1 {
+                    self.votes &= b;
+                    self.received_b = true;
+                }
+            }
+            C2n2fMsg::Z(z) => {
+                if self.phase == 2 {
+                    self.votes &= z;
+                    self.received_z = true;
+                }
+            }
+            C2n2fMsg::Help => {
+                if self.can_serve_help() {
+                    ctx.send(from, C2n2fMsg::Helped(self.votes));
+                } else {
+                    self.pending_help.push(from);
+                }
+            }
+            C2n2fMsg::Helped(v) => {
+                if !self.proposed {
+                    self.cons_propose(v, ctx);
+                }
+            }
+            C2n2fMsg::Cons(m) => {
+                let mut host = CtxHost { ctx, wrap: C2n2fMsg::Cons };
+                let dec = self.cons.on_message(from, m, &mut host);
+                self.cons_decided(dec, ctx);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, tag: u32, ctx: &mut Ctx<C2n2fMsg>) {
+        if self.cons.owns_tag(tag) {
+            let mut host = CtxHost { ctx, wrap: C2n2fMsg::Cons };
+            let dec = self.cons.on_timer(tag, &mut host);
+            self.cons_decided(dec, ctx);
+            return;
+        }
+        let (n, f, i) = (self.n as u64, self.f as u64, self.i());
+        match self.phase {
+            0 => {
+                // Paper time i (2 ≤ i ≤ n): forward the vote chain.
+                if self.received_v {
+                    if i == n {
+                        ctx.send(0, C2n2fMsg::B(self.votes));
+                    } else {
+                        ctx.send(self.me + 1, C2n2fMsg::V(self.votes));
+                    }
+                } else {
+                    self.votes = false;
+                    self.cons_propose(false, ctx);
+                }
+                ctx.set_timer(etime(n + i), TAG);
+                self.phase = 1;
+                if i == n {
+                    self.flush_pending_help(ctx);
+                }
+            }
+            1 => {
+                // Paper time n+i: the confirmation chain.
+                if i == f {
+                    if self.received_b {
+                        ctx.send(self.me + 1, C2n2fMsg::B(self.votes));
+                        self.decide(self.votes, ctx);
+                    } else {
+                        self.votes = false;
+                        self.cons_propose(false, ctx);
+                    }
+                    self.phase = 2;
+                    self.flush_pending_help(ctx);
+                } else if i == n {
+                    if self.received_b {
+                        self.decide(self.votes, ctx);
+                        if f >= 2 {
+                            ctx.send(0, C2n2fMsg::Z(self.votes));
+                        }
+                    } else {
+                        let v = self.votes;
+                        self.cons_propose(v, ctx);
+                    }
+                } else if i <= f - 1 {
+                    if self.received_b {
+                        ctx.send(self.me + 1, C2n2fMsg::B(self.votes));
+                    } else {
+                        self.votes = false;
+                        self.cons_propose(false, ctx);
+                    }
+                    ctx.set_timer(etime(2 * n + i), TAG);
+                    self.phase = 2;
+                    self.flush_pending_help(ctx);
+                } else {
+                    // f+1 ≤ i ≤ n−1.
+                    if self.received_b {
+                        ctx.send(self.me + 1, C2n2fMsg::B(self.votes));
+                        self.decide(self.votes, ctx);
+                    } else {
+                        for q in 0..self.f {
+                            ctx.send(q, C2n2fMsg::Help);
+                        }
+                        ctx.send(self.n - 1, C2n2fMsg::Help);
+                    }
+                }
+            }
+            2 => {
+                // Paper time 2n+i (1 ≤ i ≤ f−1): the tail chain.
+                if self.received_z {
+                    self.decide(self.votes, ctx);
+                    if f - 1 >= i + 1 {
+                        ctx.send(self.me + 1, C2n2fMsg::Z(self.votes));
+                    }
+                } else {
+                    let v = self.votes;
+                    self.cons_propose(v, ctx);
+                }
+            }
+            other => unreachable!("(2n-2+f)NBAC timer in phase {other}"),
+        }
+    }
+}
+
+impl Nbac2n2f {
+    fn flush_pending_help(&mut self, ctx: &mut Ctx<C2n2fMsg>) {
+        if self.can_serve_help() {
+            let pending = std::mem::take(&mut self.pending_help);
+            for p in pending {
+                ctx.send(p, C2n2fMsg::Helped(self.votes));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::check;
+    use crate::protocols::ProtocolKind;
+    use crate::runner::{nice_complexity, Scenario};
+    use ac_net::{Crash, DelayRule};
+    use ac_sim::{Time, U};
+
+    #[test]
+    fn nice_execution_is_message_optimal() {
+        for n in 3..=8 {
+            for f in 1..n {
+                let (d, m) = nice_complexity::<Nbac2n2f>(n, f);
+                assert_eq!(m, (2 * n - 2 + f) as u64, "n={n} f={f}");
+                let expect_d = if f == 1 { 2 * n - 1 } else { 2 * n + f - 2 } as u64;
+                assert_eq!(d, expect_d, "n={n} f={f}");
+            }
+        }
+    }
+
+    #[test]
+    fn unanimous_commit_and_single_no_abort() {
+        let out = Scenario::nice(5, 2).run::<Nbac2n2f>();
+        assert_eq!(out.decided_values(), vec![1]);
+        for dissenter in 0..5 {
+            let sc = Scenario::nice(5, 2).vote_no(dissenter);
+            let out = sc.run::<Nbac2n2f>();
+            check(&out, &sc.votes, ProtocolKind::Nbac2n2f.cell())
+                .assert_ok(&format!("dissenter {dissenter}"));
+            assert_eq!(out.decided_values(), vec![0], "dissenter {dissenter}");
+        }
+    }
+
+    #[test]
+    fn crash_executions_solve_nbac() {
+        let n = 5;
+        for victim in 0..n {
+            for t in [0u64, 2, 4, 6, 8] {
+                let sc = Scenario::nice(n, 2).crash(victim, Crash::at(Time::units(t)));
+                let out = sc.run::<Nbac2n2f>();
+                check(&out, &sc.votes, ProtocolKind::Nbac2n2f.cell())
+                    .assert_ok(&format!("victim={victim} t={t}U"));
+                // All live processes decide (termination via help/consensus).
+                for p in 0..n {
+                    assert!(
+                        out.crashed[p] || out.decisions[p].is_some(),
+                        "victim={victim} t={t}U: P{} undecided",
+                        p + 1
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn network_failure_executions_solve_nbac() {
+        // Break the confirmation chain with a delay: indulgence demands
+        // NBAC still holds.
+        let sc = Scenario::nice(4, 1)
+            .rule(DelayRule::link(3, 0, Time::ZERO, Time::units(20), 10 * U));
+        let out = sc.run::<Nbac2n2f>();
+        check(&out, &sc.votes, ProtocolKind::Nbac2n2f.cell()).assert_ok("broken B chain");
+        assert!(out.decisions.iter().all(|d| d.is_some()));
+    }
+
+    #[test]
+    fn help_round_serves_queued_requests() {
+        // Crash Pf so that P_{f+1}..P_{n−1} miss the confirmation chain and
+        // fall back to [HELP]; Pn answers from phase 1.
+        let sc = Scenario::nice(5, 2).crash(1, Crash::at(Time::units(5)));
+        let out = sc.run::<Nbac2n2f>();
+        check(&out, &sc.votes, ProtocolKind::Nbac2n2f.cell()).assert_ok("crashed Pf");
+        for p in [0usize, 2, 3, 4] {
+            assert!(out.decisions[p].is_some(), "P{} undecided", p + 1);
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Scenario construction and execution.
+//!
+//! A [`Scenario`] is a declarative, cloneable description of one execution:
+//! votes, crash schedule, targeted delay rules and optional pre-GST chaos.
+//! `Scenario::run::<P>()` instantiates protocol `P` for every process and
+//! runs it in an `ac_net::World`.
+
+use ac_net::{
+    Crash, DelayRule, FaultPlan, FixedDelay, GstDelay, Outcome, RuleDelay, World, WorldConfig,
+};
+use ac_sim::{ProcessId, Time, U};
+
+use crate::problem::{CommitProtocol, Vote};
+
+/// Randomized pre-GST chaos (network-failure executions with no targeted
+/// structure): delays uniform in `[U, max_units*U]` before `gst_units*U`,
+/// exactly `U` afterwards.
+#[derive(Copy, Clone, Debug)]
+pub struct Chaos {
+    pub gst_units: u64,
+    pub max_units: u64,
+    pub seed: u64,
+}
+
+/// A declarative execution scenario.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    pub n: usize,
+    pub f: usize,
+    pub votes: Vec<Vote>,
+    pub crashes: Vec<(ProcessId, Crash)>,
+    pub rules: Vec<DelayRule>,
+    pub chaos: Option<Chaos>,
+    /// Run horizon in delay units. The default (600) dwarfs every protocol's
+    /// own schedule plus several consensus coordinator rotations.
+    pub horizon_units: u64,
+    pub trace: bool,
+}
+
+impl Scenario {
+    /// The nice execution: failure-free, every process votes 1, unit delays.
+    pub fn nice(n: usize, f: usize) -> Scenario {
+        Scenario {
+            n,
+            f,
+            votes: vec![true; n],
+            crashes: Vec::new(),
+            rules: Vec::new(),
+            chaos: None,
+            horizon_units: 600,
+            trace: false,
+        }
+    }
+
+    /// Replace the vote vector.
+    pub fn votes(mut self, votes: &[Vote]) -> Scenario {
+        assert_eq!(votes.len(), self.n);
+        self.votes = votes.to_vec();
+        self
+    }
+
+    /// Make process `p` vote 0.
+    pub fn vote_no(mut self, p: ProcessId) -> Scenario {
+        self.votes[p] = false;
+        self
+    }
+
+    /// Crash process `p` per `crash`.
+    pub fn crash(mut self, p: ProcessId, crash: Crash) -> Scenario {
+        self.crashes.push((p, crash));
+        self
+    }
+
+    /// Add a targeted delay rule (makes the execution a network-failure one
+    /// if the delay exceeds `U` and a matching message exists).
+    pub fn rule(mut self, rule: DelayRule) -> Scenario {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Enable randomized pre-GST chaos.
+    pub fn chaos(mut self, chaos: Chaos) -> Scenario {
+        self.chaos = Some(chaos);
+        self
+    }
+
+    /// Enable trace recording.
+    pub fn traced(mut self) -> Scenario {
+        self.trace = true;
+        self
+    }
+
+    pub fn horizon(mut self, units: u64) -> Scenario {
+        self.horizon_units = units;
+        self
+    }
+
+    fn fault_plan(&self) -> FaultPlan {
+        let mut plan = FaultPlan::none(self.n);
+        for &(p, c) in &self.crashes {
+            plan = plan.with_crash(p, c);
+        }
+        plan
+    }
+
+    fn world_config(&self) -> WorldConfig {
+        WorldConfig { horizon: Time::units(self.horizon_units), trace: self.trace }
+    }
+
+    /// Run protocol `P` on this scenario.
+    pub fn run<P: CommitProtocol>(&self) -> Outcome {
+        assert_eq!(self.votes.len(), self.n);
+        let procs: Vec<P> =
+            (0..self.n).map(|me| P::new(me, self.n, self.f, self.votes[me])).collect();
+        let delay: Box<dyn ac_net::DelayModel> = match self.chaos {
+            None => Box::new(RuleDelay::over_unit(self.rules.clone())),
+            Some(c) => Box::new(RuleDelay::new(
+                self.rules.clone(),
+                GstDelay::new(Time::units(c.gst_units), c.max_units * U, c.seed),
+            )),
+        };
+        World::new(procs, delay, self.fault_plan(), self.world_config()).run()
+    }
+
+    /// Whether the schedule itself injects any failure (crash or delayed
+    /// message rule/chaos). Note a delay rule of exactly `U` is not a
+    /// failure.
+    pub fn injects_failure(&self) -> bool {
+        !self.crashes.is_empty()
+            || self.chaos.is_some()
+            || self.rules.iter().any(|r| r.delay > U)
+    }
+}
+
+/// Run the nice execution of `P` and return its outcome.
+pub fn run_nice<P: CommitProtocol>(n: usize, f: usize) -> Outcome {
+    Scenario::nice(n, f).run::<P>()
+}
+
+/// Run `P` on explicit votes with unit delays and no failures.
+pub fn run<P: CommitProtocol>(votes: &[Vote], f: usize) -> Outcome {
+    Scenario::nice(votes.len(), f).votes(votes).run::<P>()
+}
+
+/// Convenience: the `(delays, messages)` pair of a nice execution of `P` —
+/// the paper's headline per-protocol numbers.
+pub fn nice_complexity<P: CommitProtocol>(n: usize, f: usize) -> (u64, u64) {
+    let out = run_nice::<P>(n, f);
+    let m = out.metrics();
+    let delays = m.delays.unwrap_or_else(|| {
+        panic!("{}: nice execution did not complete: {:?}", P::NAME, out.decisions)
+    });
+    (delays, m.messages as u64)
+}
+
+// Re-exported for scenario construction ergonomics.
+pub use ac_net::Crash as CrashSpec;
+
+/// The delay model used by `Scenario` when no chaos is configured. Exposed
+/// for documentation: rules over exact-unit delays.
+pub type ScenarioDelay = RuleDelay<FixedDelay>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocols::TwoPc;
+
+    #[test]
+    fn nice_scenario_is_failure_free() {
+        let sc = Scenario::nice(4, 1);
+        assert!(!sc.injects_failure());
+        assert_eq!(sc.votes, vec![true; 4]);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let sc = Scenario::nice(4, 2)
+            .vote_no(1)
+            .crash(0, Crash::initially())
+            .rule(DelayRule::from_process(2, 3 * U))
+            .horizon(50)
+            .traced();
+        assert_eq!(sc.votes, vec![true, false, true, true]);
+        assert!(sc.injects_failure());
+        assert!(sc.trace);
+        assert_eq!(sc.horizon_units, 50);
+    }
+
+    #[test]
+    fn exact_unit_rules_are_not_failures() {
+        // A rule with delay == U keeps the execution synchronous.
+        let sc = Scenario::nice(3, 1).rule(DelayRule::from_process(0, U));
+        assert!(!sc.injects_failure());
+        let out = sc.run::<TwoPc>();
+        assert_eq!(out.metrics().class, ac_net::ExecutionClass::FailureFree);
+    }
+
+    #[test]
+    fn chaos_marks_failure_injection() {
+        let sc = Scenario::nice(3, 1).chaos(Chaos { gst_units: 4, max_units: 3, seed: 1 });
+        assert!(sc.injects_failure());
+    }
+
+    #[test]
+    #[should_panic(expected = "nice execution did not complete")]
+    fn nice_complexity_panics_on_blocking_outcomes() {
+        // A scenario that blocks (coordinator crash in 2PC) has no
+        // completion time; nice_complexity must fail loudly, not return
+        // garbage. We fake it by running the helper against a hand-built
+        // scenario through the same code path.
+        struct Stuck;
+        impl ac_sim::Automaton for Stuck {
+            type Msg = ();
+            fn on_start(&mut self, _: &mut ac_sim::Ctx<()>) {}
+            fn on_message(&mut self, _: usize, _: (), _: &mut ac_sim::Ctx<()>) {}
+            fn on_timer(&mut self, _: u32, _: &mut ac_sim::Ctx<()>) {}
+        }
+        impl crate::problem::CommitProtocol for Stuck {
+            const NAME: &'static str = "stuck";
+            fn new(_: usize, n: usize, f: usize, _: bool) -> Self {
+                crate::problem::validate_params(n, f);
+                Stuck
+            }
+        }
+        let _ = nice_complexity::<Stuck>(3, 1);
+    }
+
+    #[test]
+    fn run_helper_respects_votes() {
+        let out = run::<TwoPc>(&[true, false, true], 1);
+        assert_eq!(out.decided_values(), vec![0]);
+    }
+}

@@ -1,0 +1,54 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [--json] [table1|table2|table3|table4|table5|fig1|ablations|all]
+//! ```
+//!
+//! With no argument, runs everything. `--json` emits machine-readable
+//! reports instead of aligned text.
+
+use ac_harness::experiments;
+use ac_harness::Report;
+
+fn run_one(id: &str) -> Option<Vec<Report>> {
+    Some(match id {
+        "table1" => vec![experiments::table1(6, 2)],
+        "table2" => vec![experiments::table2()],
+        "table3" => vec![experiments::table3()],
+        "table4" => vec![experiments::table4(6, 2)],
+        "table5" => vec![experiments::table5(&[4, 6, 8, 10], &[1, 2, 3])],
+        "fig1" => vec![experiments::fig1()],
+        "ablations" => vec![experiments::ablations()],
+        "all" => experiments::all(),
+        _ => return None,
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let targets: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let id = targets.first().map(|s| s.as_str()).unwrap_or("all");
+
+    let Some(reports) = run_one(id) else {
+        eprintln!(
+            "unknown experiment `{id}`; expected one of \
+             table1 table2 table3 table4 table5 fig1 ablations all"
+        );
+        std::process::exit(2);
+    };
+
+    let mut failed = false;
+    for r in &reports {
+        if json {
+            println!("{}", r.to_json());
+        } else {
+            println!("{}", r.render());
+        }
+        failed |= !r.all_matched();
+    }
+    if failed {
+        eprintln!("some paper-vs-measured comparisons did not match");
+        std::process::exit(1);
+    }
+}

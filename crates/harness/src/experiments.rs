@@ -1,0 +1,599 @@
+//! The experiments: one function per paper table/figure.
+
+use ac_commit::protocols::{InbacUnbundledAck, ProtocolKind};
+use ac_commit::taxonomy::{Cell, PropSet};
+use ac_commit::{check, Scenario};
+use ac_net::DelayRule;
+use ac_sim::{Time, TraceKind, U};
+
+use crate::report::{Report, Table};
+
+/// Symbolic message bound of a Table-1 cell (mirrors
+/// `Cell::bounds`, in formula form).
+fn msg_symbol(cell: Cell) -> &'static str {
+    if cell.cf == PropSet::AVT && cell.nf.has_agreement() {
+        "2n-2+f"
+    } else if cell.nf.has_validity() {
+        "2n-2"
+    } else if cell.cf.has_validity() {
+        "n-1+f"
+    } else {
+        "0"
+    }
+}
+
+fn delay_symbol(cell: Cell) -> &'static str {
+    if cell.cf == PropSet::AVT && cell.nf.has_agreement() {
+        "2"
+    } else {
+        "1"
+    }
+}
+
+/// Measured `(delays, messages)` of a nice execution.
+fn measure(kind: ProtocolKind, n: usize, f: usize) -> (u64, u64) {
+    let out = kind.run(&Scenario::nice(n, f));
+    let m = out.metrics();
+    let d = m.delays.unwrap_or_else(|| {
+        panic!("{}: nice execution did not complete (n={n}, f={f})", kind.name())
+    });
+    (d, m.messages as u64)
+}
+
+/// The seven locally-maximal cells and their matching protocols, as listed
+/// in Tables 2 and 3 (0NBAC and avNBAC appear on both axes).
+fn matching_protocols() -> Vec<(ProtocolKind, &'static str)> {
+    vec![
+        (ProtocolKind::AvNbacDelayOpt, "delay"),
+        (ProtocolKind::Nbac0, "both"),
+        (ProtocolKind::Nbac1, "delay"),
+        (ProtocolKind::Inbac, "delay"),
+        (ProtocolKind::ANbac, "message"),
+        (ProtocolKind::ChainNbac, "message"),
+        (ProtocolKind::AvNbacMsgOpt, "message"),
+        (ProtocolKind::Nbac2n2, "message"),
+        (ProtocolKind::Nbac2n2f, "message"),
+    ]
+}
+
+/// **Table 1** — the 27-cell complexity taxonomy, with each locally-maximal
+/// cell's matching protocol measured against its bound.
+pub fn table1(n: usize, f: usize) -> Report {
+    let mut r = Report::new("table1");
+
+    // The grid exactly as laid out in the paper: rows = NF, columns = CF.
+    let mut grid = Table::new(
+        "Table 1: tight d/m bounds per robustness cell (rows: NF guarantees, cols: CF guarantees)",
+        &["NF\\CF", "∅", "A", "V", "T", "AV", "AT", "VT", "AVT"],
+    );
+    for nf in PropSet::all() {
+        let mut row = vec![nf.to_string()];
+        for cf in PropSet::all() {
+            let cell = Cell::new(cf, nf);
+            if cell.is_canonical() {
+                row.push(format!("{}/{}", delay_symbol(cell), msg_symbol(cell)));
+            } else {
+                row.push(String::new());
+            }
+        }
+        grid.row(row);
+    }
+    r.table(grid);
+
+    // Instantiated bounds and trade-off classification.
+    let mut inst = Table::new(
+        format!("Table 1 instantiated at n={n}, f={f} (+ Theorem 5's 2fn for delay-optimal protocols)"),
+        &["cell", "d", "m", "m@d-opt", "trade-off?"],
+    );
+    let mut tradeoffs = 0;
+    for cell in Cell::all() {
+        let b = cell.bounds(n, f);
+        let t = cell.has_tradeoff(n, f);
+        tradeoffs += t as usize;
+        inst.row(vec![
+            format!("{cell:?}"),
+            b.delays.to_string(),
+            b.messages.to_string(),
+            b.messages_at_optimal_delay.to_string(),
+            if t { "yes" } else { "no" }.into(),
+        ]);
+    }
+    r.table(inst);
+    r.note(format!("{tradeoffs}/27 cells cannot achieve both optima at once (paper: 18)"));
+    let _ = r.compare(tradeoffs == 18);
+
+    // Matching protocols vs their bounds.
+    let mut verify = Table::new(
+        format!("matching protocols, nice executions at n={n}, f={f}"),
+        &["protocol", "cell", "optimal in", "bound", "measured", "match"],
+    );
+    for (kind, axis) in matching_protocols() {
+        let cell = kind.cell();
+        let b = cell.bounds(n, f);
+        let (d, m) = measure(kind, n, f);
+        let (bound_s, meas_s, ok) = match axis {
+            "delay" => {
+                // Delay-optimal protocols also meet the message optimum
+                // *given* that delay (Theorem 5 for the 2-delay group).
+                let ok = d == b.delays && m == b.messages_at_optimal_delay;
+                (
+                    format!("d={}, m@d={}", b.delays, b.messages_at_optimal_delay),
+                    format!("d={d}, m={m}"),
+                    ok,
+                )
+            }
+            "message" => {
+                let ok = m == b.messages;
+                (format!("m={}", b.messages), format!("d={d}, m={m}"), ok)
+            }
+            _ => {
+                let ok = d == b.delays && m == b.messages;
+                (
+                    format!("d={}, m={}", b.delays, b.messages),
+                    format!("d={d}, m={m}"),
+                    ok,
+                )
+            }
+        };
+        let verdict = r.compare(ok).to_string();
+        verify.row(vec![
+            kind.name().into(),
+            format!("{cell:?}"),
+            axis.into(),
+            bound_s,
+            meas_s,
+            verdict,
+        ]);
+    }
+    r.table(verify);
+    r
+}
+
+/// **Table 2** — delay-optimal protocols.
+pub fn table2() -> Report {
+    let mut r = Report::new("table2");
+    let mut t = Table::new(
+        "Table 2: delay-optimal protocols (bound / measured delays in nice executions)",
+        &["cell", "protocol", "n", "f", "bound d", "measured d", "match"],
+    );
+    let protos = [
+        ProtocolKind::AvNbacDelayOpt,
+        ProtocolKind::Nbac0,
+        ProtocolKind::Nbac1,
+        ProtocolKind::Inbac,
+    ];
+    for kind in protos {
+        for (n, f) in [(3, 1), (5, 2), (7, 3), (8, 7)] {
+            let bound = kind.cell().bounds(n, f).delays;
+            let (d, _) = measure(kind, n, f);
+            let verdict = r.compare(d == bound).to_string();
+            t.row(vec![
+                format!("{:?}", kind.cell()),
+                kind.name().into(),
+                n.to_string(),
+                f.to_string(),
+                bound.to_string(),
+                d.to_string(),
+                verdict,
+            ]);
+        }
+    }
+    r.table(t);
+    r
+}
+
+/// **Table 3** — message-optimal protocols.
+pub fn table3() -> Report {
+    let mut r = Report::new("table3");
+    let mut t = Table::new(
+        "Table 3: message-optimal protocols (bound / measured messages in nice executions)",
+        &["cell", "protocol", "n", "f", "bound m", "measured m", "match"],
+    );
+    let protos = [
+        ProtocolKind::Nbac0,
+        ProtocolKind::ANbac,
+        ProtocolKind::ChainNbac,
+        ProtocolKind::AvNbacMsgOpt,
+        ProtocolKind::Nbac2n2,
+        ProtocolKind::Nbac2n2f,
+    ];
+    for kind in protos {
+        for (n, f) in [(3, 1), (5, 2), (7, 3), (8, 7)] {
+            let bound = kind.cell().bounds(n, f).messages;
+            let (_, m) = measure(kind, n, f);
+            let verdict = r.compare(m == bound).to_string();
+            t.row(vec![
+                format!("{:?}", kind.cell()),
+                kind.name().into(),
+                n.to_string(),
+                f.to_string(),
+                bound.to_string(),
+                m.to_string(),
+                verdict,
+            ]);
+        }
+    }
+    r.table(t);
+    r
+}
+
+/// **Table 4** — complexity of indulgent atomic commit and synchronous NBAC
+/// with `f` crashes.
+pub fn table4(n: usize, f: usize) -> Report {
+    let mut r = Report::new("table4");
+    let mut t = Table::new(
+        format!("Table 4 at n={n}, f={f}: indulgent atomic commit vs synchronous NBAC"),
+        &["problem", "metric", "paper", "measured (protocol)", "match"],
+    );
+
+    let (d_inbac, m_inbac) = measure(ProtocolKind::Inbac, n, f);
+    let verdict = r.compare(d_inbac == 2).to_string();
+    t.row(vec![
+        "indulgent AC".into(),
+        "#delays".into(),
+        "2".into(),
+        format!("{d_inbac} (INBAC)"),
+        verdict,
+    ]);
+    // The 2n−2+f messages bound is met by (2n−2+f)NBAC; INBAC trades
+    // messages (2fn) for optimal delay.
+    let (_, m_2n2f) = measure(ProtocolKind::Nbac2n2f, n, f);
+    let bound = (2 * n - 2 + f) as u64;
+    let verdict = r.compare(m_2n2f == bound).to_string();
+    t.row(vec![
+        "indulgent AC".into(),
+        "#messages".into(),
+        format!("2n-2+f = {bound} (f>=2)"),
+        format!("{m_2n2f} ((2n-2+f)NBAC)"),
+        verdict,
+    ]);
+    let verdict = r.compare(m_inbac == (2 * f * n) as u64).to_string();
+    t.row(vec![
+        "indulgent AC".into(),
+        "#messages @ 2 delays".into(),
+        format!("2fn = {}", 2 * f * n),
+        format!("{m_inbac} (INBAC)"),
+        verdict,
+    ]);
+
+    let (d_1nbac, _) = measure(ProtocolKind::Nbac1, n, f);
+    let verdict = r.compare(d_1nbac == 1).to_string();
+    t.row(vec![
+        "sync NBAC".into(),
+        "#delays".into(),
+        "1".into(),
+        format!("{d_1nbac} (1NBAC)"),
+        verdict,
+    ]);
+    let (_, m_chain) = measure(ProtocolKind::ChainNbac, n, f);
+    let bound = (n - 1 + f) as u64;
+    let verdict = r.compare(m_chain == bound).to_string();
+    t.row(vec![
+        "sync NBAC".into(),
+        "#messages".into(),
+        format!("n-1+f = {bound}"),
+        format!("{m_chain} ((n-1+f)NBAC)"),
+        verdict,
+    ]);
+    // Dwork–Skeen's classic 2n−2 is the f = n−1 specialization.
+    let (_, m_ds) = measure(ProtocolKind::ChainNbac, n, n - 1);
+    let verdict = r.compare(m_ds == (2 * n - 2) as u64).to_string();
+    t.row(vec![
+        "sync NBAC (f=n-1)".into(),
+        "#messages".into(),
+        format!("2n-2 = {} [Dwork-Skeen]", 2 * n - 2),
+        format!("{m_ds} ((n-1+f)NBAC)"),
+        verdict,
+    ]);
+    r.table(t);
+    r
+}
+
+/// **Table 5** — the protocol comparison sweep.
+pub fn table5(ns: &[usize], fs: &[usize]) -> Report {
+    let mut r = Report::new("table5");
+    let protos = [
+        ProtocolKind::Nbac1,
+        ProtocolKind::ChainNbac,
+        ProtocolKind::Inbac,
+        ProtocolKind::TwoPc,
+        ProtocolKind::PaxosCommit,
+        ProtocolKind::FasterPaxosCommit,
+    ];
+    let mut t = Table::new(
+        "Table 5: measured nice-execution complexity (d = delays, m = messages)",
+        &["n", "f", "protocol", "formula (d, m)", "measured (d, m)", "match"],
+    );
+    for &n in ns {
+        for &f in fs {
+            if f >= n {
+                continue;
+            }
+            for kind in protos {
+                let (fd, fm) = kind.nice_complexity_formula(n as u64, f as u64);
+                let (d, m) = measure(kind, n, f);
+                let verdict = r.compare((d, m) == (fd, fm)).to_string();
+                t.row(vec![
+                    n.to_string(),
+                    f.to_string(),
+                    kind.name().into(),
+                    format!("({fd}, {fm})"),
+                    format!("({d}, {m})"),
+                    verdict,
+                ]);
+            }
+        }
+    }
+    r.table(t);
+    r.note(
+        "(n-1+f)NBAC delays: the paper's Table 5 reports 2f+n-1 under its \
+         spontaneous-start normalization; end-to-end from propose the protocol \
+         takes n+2f delays (chain n-1+f plus nooping f+1). 3PC (not in Table 5) \
+         measures 4 delays / 4n-4 messages.",
+    );
+    // Crossover analysis the paper highlights in §1.3 / §6.2.
+    if let (Some(&n), true) = (ns.iter().find(|&&n| n >= 3), fs.contains(&1)) {
+        let (_, m_inbac) = measure(ProtocolKind::Inbac, n, 1);
+        let (_, m_2pc) = measure(ProtocolKind::TwoPc, n, 1);
+        let ok = m_inbac == 2 * n as u64 && m_2pc == 2 * n as u64 - 2;
+        let _ = r.compare(ok);
+        r.note(format!(
+            "f=1, n={n}: INBAC uses {m_inbac} (=2n) messages vs 2PC's {m_2pc} (=2n-2) \
+             while also being non-blocking — the paper's \"almost as efficient as 2PC\"."
+        ));
+    }
+    for &n in ns {
+        for &f in fs.iter().filter(|&&f| f >= 2 && f < n && n >= 3) {
+            let (d_pc, m_pc) = measure(ProtocolKind::PaxosCommit, n, f);
+            let (d_in, m_in) = measure(ProtocolKind::Inbac, n, f);
+            let ok = m_pc < m_in && d_in < d_pc;
+            let _ = r.compare(ok);
+            r.note(format!(
+                "f={f}, n={n}: PaxosCommit wins messages ({m_pc} < {m_in}) while INBAC \
+                 wins delays ({d_in} < {d_pc}) — the time/message trade-off of §6.2."
+            ));
+        }
+    }
+    r
+}
+
+/// **Figure 1** — drive INBAC through each branch of its state transition
+/// at time 2U and report the branch taken (observed via protocol traces).
+pub fn fig1() -> Report {
+    let mut r = Report::new("fig1");
+    let mut t = Table::new(
+        "Figure 1: INBAC state transition at 2U — branch per scenario",
+        &["scenario", "watched", "branch observed", "decision", "NBAC"],
+    );
+
+    struct Case {
+        name: &'static str,
+        scenario: Scenario,
+        watched: usize,
+        expect: &'static str,
+    }
+    let n = 4;
+    let cases = vec![
+        Case {
+            name: "nice execution",
+            scenario: Scenario::nice(n, 2).traced(),
+            watched: 3,
+            expect: "decide AND",
+        },
+        Case {
+            name: "failure-free abort (P2 votes 0)",
+            scenario: Scenario::nice(n, 2).vote_no(1).traced(),
+            watched: 3,
+            expect: "decide AND",
+        },
+        Case {
+            name: "one ack delayed -> cons-propose AND",
+            // f=2: P4 misses P1's ack but has P2's complete one.
+            scenario: Scenario::nice(n, 2)
+                .traced()
+                .rule(DelayRule::link(0, 3, Time::units(1), Time::units(2), 6 * U)),
+            watched: 3,
+            expect: "cons-propose 1",
+        },
+        Case {
+            name: "vote missing in acks -> cons-propose 0",
+            // Delay P4's vote to both primaries: their acks are incomplete,
+            // so P3 sees acks but not all votes.
+            scenario: Scenario::nice(n, 2)
+                .traced()
+                .rule(DelayRule::link(3, 0, Time::ZERO, Time::units(1), 6 * U))
+                .rule(DelayRule::link(3, 1, Time::ZERO, Time::units(1), 6 * U)),
+            watched: 2,
+            expect: "cons-propose 0",
+        },
+        Case {
+            name: "no ack at all -> HELP",
+            // f=1: the only primary's ack to P4 is delayed.
+            scenario: Scenario::nice(n, 1)
+                .traced()
+                .rule(DelayRule::link(0, 3, Time::units(1), Time::units(2), 6 * U)),
+            watched: 3,
+            expect: "HELP",
+        },
+    ];
+
+    for case in cases {
+        let out = case.scenario.run::<ac_commit::protocols::Inbac>();
+        let notes: Vec<&str> = out
+            .trace
+            .iter()
+            .filter_map(|e| match &e.kind {
+                TraceKind::Note { at, text } if *at == case.watched => Some(text.as_str()),
+                _ => None,
+            })
+            .collect();
+        let branch = if notes.iter().any(|s| s.contains("decide")) {
+            "decide AND"
+        } else if notes.iter().any(|s| s.contains("HELP")) {
+            "HELP"
+        } else if notes.iter().any(|s| s.contains("cons-propose 1")) {
+            "cons-propose 1"
+        } else if notes.iter().any(|s| s.contains("cons-propose 0")) {
+            "cons-propose 0"
+        } else {
+            "?"
+        };
+        let decision = out
+            .decision_of(case.watched)
+            .map(|v| v.to_string())
+            .unwrap_or_else(|| "-".into());
+        let nbac_ok = check(&out, &case.scenario.votes, ProtocolKind::Inbac.cell()).ok();
+        let _ = r.compare(branch == case.expect && nbac_ok);
+        t.row(vec![
+            case.name.into(),
+            format!("P{}", case.watched + 1),
+            branch.into(),
+            decision,
+            if nbac_ok { "ok" } else { "VIOLATED" }.into(),
+        ]);
+    }
+    r.table(t);
+    r.note("branches correspond to Figure 1's four exits after 2U: decide AND(n votes); cons-propose AND; cons-propose 0; ask for more acks (HELP).");
+    r
+}
+
+/// **Ablations** — design choices the paper calls out.
+pub fn ablations() -> Report {
+    let mut r = Report::new("ablations");
+
+    // A. §5.2 vote-0 fast path.
+    let mut a = Table::new(
+        "ablation A: vote-0 fast path (failure-free execution, one 0-vote, n=5 f=2)",
+        &["variant", "last decision", "0-voter decision"],
+    );
+    for kind in [ProtocolKind::Inbac, ProtocolKind::InbacFastAbort] {
+        let sc = Scenario::nice(5, 2).vote_no(3);
+        let out = kind.run(&sc);
+        let last = out.metrics().delays.unwrap();
+        let zero_at = out.decisions[3].unwrap().0;
+        a.row(vec![kind.name().into(), format!("{last} delays"), format!("{zero_at}")]);
+    }
+    r.table(a);
+    let _ = r.compare(true);
+
+    // B. Lemma 6's bundled acknowledgements.
+    let mut b = Table::new(
+        "ablation B: bundled vs per-vote acknowledgements (nice executions)",
+        &["n", "f", "INBAC (2fn)", "unbundled", "blow-up"],
+    );
+    for (n, f) in [(4usize, 1usize), (5, 2), (8, 3)] {
+        let (_, bundled) = measure(ProtocolKind::Inbac, n, f);
+        let out = Scenario::nice(n, f).run::<InbacUnbundledAck>();
+        let unbundled = out.metrics().messages as u64;
+        b.row(vec![
+            n.to_string(),
+            f.to_string(),
+            bundled.to_string(),
+            unbundled.to_string(),
+            format!("{:.1}x", unbundled as f64 / bundled as f64),
+        ]);
+        let _ = r.compare(unbundled > bundled);
+    }
+    r.table(b);
+
+    // C. Consensus engagement: INBAC only pays for consensus when the
+    // network misbehaves.
+    let mut c = Table::new(
+        "ablation C: consensus engagement under pre-GST chaos (n=5, f=2, 30 seeds)",
+        &["protocol", "runs engaging consensus", "NBAC violations"],
+    );
+    for kind in [ProtocolKind::Inbac, ProtocolKind::FasterPaxosCommit] {
+        let mut engaged = 0;
+        let mut violations = 0;
+        let seeds = 30u64;
+        for seed in 0..seeds {
+            let sc = Scenario::nice(5, 2)
+                .chaos(ac_commit::runner::Chaos { gst_units: 6, max_units: 4, seed })
+                .horizon(1200);
+            let out = kind.run(&sc);
+            let (_, nice_m) = kind.nice_complexity_formula(5, 2);
+            if out.metrics().messages_total as u64 > nice_m {
+                engaged += 1;
+            }
+            if !check(&out, &sc.votes, kind.cell()).ok() {
+                violations += 1;
+            }
+        }
+        let _ = r.compare(violations == 0);
+        c.row(vec![
+            kind.name().into(),
+            format!("{engaged}/{seeds}"),
+            violations.to_string(),
+        ]);
+    }
+    r.table(c);
+    r.note(
+        "INBAC's 2U deadline is tight, so any pre-GST delay pushes it into its \
+         consensus fallback (extra messages, NBAC still intact). Faster \
+         PaxosCommit absorbs the same chaos without extra traffic until its \
+         ~8U recovery timeout because its fast path already is a consensus \
+         ballot — the message premium (2fn+2n-2f-2 vs 2fn) is paid upfront in \
+         every execution instead.",
+    );
+    r
+}
+
+/// All experiments with default parameters.
+pub fn all() -> Vec<Report> {
+    vec![
+        table1(6, 2),
+        table2(),
+        table3(),
+        table4(6, 2),
+        table5(&[4, 6, 8, 10], &[1, 2, 3]),
+        fig1(),
+        ablations(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper() {
+        let r = table1(6, 2);
+        assert!(r.all_matched(), "{}", r.render());
+    }
+
+    #[test]
+    fn table2_matches_paper() {
+        let r = table2();
+        assert!(r.all_matched(), "{}", r.render());
+    }
+
+    #[test]
+    fn table3_matches_paper() {
+        let r = table3();
+        assert!(r.all_matched(), "{}", r.render());
+    }
+
+    #[test]
+    fn table4_matches_paper() {
+        let r = table4(6, 2);
+        assert!(r.all_matched(), "{}", r.render());
+    }
+
+    #[test]
+    fn table5_matches_formulas() {
+        let r = table5(&[4, 6], &[1, 2]);
+        assert!(r.all_matched(), "{}", r.render());
+    }
+
+    #[test]
+    fn fig1_branches_all_reachable() {
+        let r = fig1();
+        assert!(r.all_matched(), "{}", r.render());
+    }
+
+    #[test]
+    fn ablations_hold() {
+        let r = ablations();
+        assert!(r.all_matched(), "{}", r.render());
+    }
+}

@@ -1,0 +1,22 @@
+//! # ac-harness — the experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation:
+//!
+//! | Experiment | Paper artifact | Entry point |
+//! |---|---|---|
+//! | `table1` | Table 1 — 27-cell complexity taxonomy + matching protocols | [`experiments::table1`] |
+//! | `table2` | Table 2 — delay-optimal protocols | [`experiments::table2`] |
+//! | `table3` | Table 3 — message-optimal protocols | [`experiments::table3`] |
+//! | `table4` | Table 4 — indulgent AC vs synchronous NBAC | [`experiments::table4`] |
+//! | `table5` | Table 5 — INBAC vs 2PC vs PaxosCommit (sweep) | [`experiments::table5`] |
+//! | `fig1`   | Figure 1 — INBAC state transitions at 2U | [`experiments::fig1`] |
+//! | `ablations` | §5.2 fast abort, consensus engagement, ack bundling | [`experiments::ablations`] |
+//!
+//! Each experiment returns a [`report::Report`] that renders as aligned
+//! text (what `repro` prints and EXPERIMENTS.md records) and serializes to
+//! JSON for downstream tooling.
+
+pub mod experiments;
+pub mod report;
+
+pub use report::{Report, Table};

@@ -1,0 +1,163 @@
+//! Plain-text table rendering and JSON serialization for experiment
+//! results.
+
+use serde::Serialize;
+
+/// A rendered table: header + rows of strings, pre-formatted by the
+/// experiment.
+#[derive(Clone, Debug, Serialize)]
+pub struct Table {
+    pub title: String,
+    pub header: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.header.len());
+        self.rows.push(cells);
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                w[i] = w[i].max(c.chars().count());
+            }
+        }
+        w
+    }
+
+    pub fn render(&self) -> String {
+        let w = self.widths();
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n\n", self.title));
+        let fmt_row = |cells: &[String]| {
+            let mut line = String::from("|");
+            for (i, c) in cells.iter().enumerate() {
+                let pad = w[i] - c.chars().count();
+                line.push_str(&format!(" {}{} |", c, " ".repeat(pad)));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.header));
+        let mut sep = String::from("|");
+        for width in &w {
+            sep.push_str(&format!("{}|", "-".repeat(width + 2)));
+        }
+        sep.push('\n');
+        out.push_str(&sep);
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+        }
+        out
+    }
+}
+
+/// A full experiment report: tables plus free-form notes.
+#[derive(Clone, Debug, Serialize, Default)]
+pub struct Report {
+    pub id: String,
+    pub tables: Vec<Table>,
+    pub notes: Vec<String>,
+    /// Number of paper-vs-measured comparisons that matched / total.
+    pub matched: usize,
+    pub compared: usize,
+}
+
+impl Report {
+    pub fn new(id: impl Into<String>) -> Report {
+        Report { id: id.into(), ..Default::default() }
+    }
+
+    pub fn table(&mut self, t: Table) {
+        self.tables.push(t);
+    }
+
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Record one paper-vs-measured comparison.
+    pub fn compare(&mut self, matches: bool) -> &'static str {
+        self.compared += 1;
+        if matches {
+            self.matched += 1;
+            "ok"
+        } else {
+            "MISMATCH"
+        }
+    }
+
+    pub fn all_matched(&self) -> bool {
+        self.matched == self.compared
+    }
+
+    pub fn render(&self) -> String {
+        let mut out = format!("# Experiment {}\n\n", self.id);
+        for t in &self.tables {
+            out.push_str(&t.render());
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("note: {n}\n"));
+        }
+        if self.compared > 0 {
+            out.push_str(&format!(
+                "paper-vs-measured: {}/{} rows match\n",
+                self.matched, self.compared
+            ));
+        }
+        out
+    }
+
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialization cannot fail")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("demo", &["a", "long-header"]);
+        t.row(vec!["xxxxxx".into(), "1".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().filter(|l| l.starts_with('|')).collect();
+        assert_eq!(lines.len(), 3);
+        let w: Vec<usize> = lines.iter().map(|l| l.chars().count()).collect();
+        assert!(w.iter().all(|&x| x == w[0]), "{s}");
+    }
+
+    #[test]
+    fn report_tracks_comparisons() {
+        let mut r = Report::new("t");
+        assert_eq!(r.compare(true), "ok");
+        assert_eq!(r.compare(false), "MISMATCH");
+        assert!(!r.all_matched());
+        assert!(r.render().contains("1/2"));
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let mut r = Report::new("x");
+        let mut t = Table::new("demo", &["c"]);
+        t.row(vec!["v".into()]);
+        r.table(t);
+        let j = r.to_json();
+        let v: serde_json::Value = serde_json::from_str(&j).unwrap();
+        assert_eq!(v["id"], "x");
+        assert_eq!(v["tables"][0]["rows"][0][0], "v");
+    }
+}

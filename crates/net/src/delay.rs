@@ -1,0 +1,228 @@
+//! Message delay models.
+//!
+//! A [`DelayModel`] decides the transmission delay of each message. A model
+//! producing only delays `≤ U` yields crash-failure (synchronous) or
+//! failure-free executions; any delay `> U` makes the execution a
+//! network-failure execution (paper §2.2). All models are deterministic
+//! given their seed, so every experiment is reproducible.
+
+use ac_sim::{ProcessId, Time, U};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Decides per-message transmission delays (in ticks).
+pub trait DelayModel {
+    /// Delay of the message with wire sequence number `seq`, sent by `from`
+    /// to `to` at `sent`.
+    fn delay(&mut self, from: ProcessId, to: ProcessId, sent: Time, seq: u64) -> u64;
+
+    /// An upper bound on all delays this model will ever produce, used to
+    /// size run horizons. `None` means unbounded (caller must cap the run).
+    fn bound(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// Every message takes exactly `delay` ticks. `FixedDelay::unit()` is the
+/// nice-execution model: exactly one delay unit `U` per message, which makes
+/// elapsed-time/U equal Lamport's message-delay count.
+#[derive(Clone, Debug)]
+pub struct FixedDelay(pub u64);
+
+impl FixedDelay {
+    pub fn unit() -> Self {
+        FixedDelay(U)
+    }
+}
+
+impl DelayModel for FixedDelay {
+    fn delay(&mut self, _f: ProcessId, _t: ProcessId, _s: Time, _q: u64) -> u64 {
+        self.0
+    }
+    fn bound(&self) -> Option<u64> {
+        Some(self.0)
+    }
+}
+
+/// Uniformly random delays in `[min, max]` ticks (inclusive), seeded.
+/// With `max ≤ U` this is still a synchronous (crash-failure) execution.
+#[derive(Clone, Debug)]
+pub struct JitterDelay {
+    pub min: u64,
+    pub max: u64,
+    rng: StdRng,
+}
+
+impl JitterDelay {
+    pub fn new(min: u64, max: u64, seed: u64) -> Self {
+        assert!(min >= 1, "a message cannot arrive at its send instant");
+        assert!(min <= max);
+        JitterDelay { min, max, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Jitter within the synchronous bound: delays in `[U/2, U]`.
+    pub fn synchronous(seed: u64) -> Self {
+        Self::new(U / 2, U, seed)
+    }
+}
+
+impl DelayModel for JitterDelay {
+    fn delay(&mut self, _f: ProcessId, _t: ProcessId, _s: Time, _q: u64) -> u64 {
+        self.rng.gen_range(self.min..=self.max)
+    }
+    fn bound(&self) -> Option<u64> {
+        Some(self.max)
+    }
+}
+
+/// Eventually synchronous delays: before the global stabilization time
+/// `gst`, delays are uniformly random in `[U, chaos_max]` (so timeouts based
+/// on `U` are routinely violated); at/after `gst`, delays are exactly `U`.
+/// This is the executable form of the paper's network-failure system.
+#[derive(Clone, Debug)]
+pub struct GstDelay {
+    pub gst: Time,
+    pub chaos_max: u64,
+    rng: StdRng,
+}
+
+impl GstDelay {
+    pub fn new(gst: Time, chaos_max: u64, seed: u64) -> Self {
+        assert!(chaos_max >= U);
+        GstDelay { gst, chaos_max, rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl DelayModel for GstDelay {
+    fn delay(&mut self, _f: ProcessId, _t: ProcessId, sent: Time, _q: u64) -> u64 {
+        if sent >= self.gst {
+            U
+        } else {
+            // The message may still land after GST; delays are finite so
+            // every message is eventually received.
+            self.rng.gen_range(U..=self.chaos_max)
+        }
+    }
+    fn bound(&self) -> Option<u64> {
+        Some(self.chaos_max)
+    }
+}
+
+/// A targeted delay override, used to build the adversarial schedules of the
+/// paper's lower-bound proofs (e.g. "every message from P to a process in
+/// Ω\Φ arrives later than max(t1, t3)").
+#[derive(Clone, Debug)]
+pub struct DelayRule {
+    /// Match messages from this sender (`None` = any).
+    pub from: Option<ProcessId>,
+    /// Match messages to this destination (`None` = any).
+    pub to: Option<ProcessId>,
+    /// Match messages sent in `[window_start, window_end)`.
+    pub window: (Time, Time),
+    /// Delay (ticks) applied to matching messages.
+    pub delay: u64,
+}
+
+impl DelayRule {
+    pub fn matches(&self, from: ProcessId, to: ProcessId, sent: Time) -> bool {
+        self.from.is_none_or(|p| p == from)
+            && self.to.is_none_or(|p| p == to)
+            && sent >= self.window.0
+            && sent < self.window.1
+    }
+
+    /// Rule: all messages from `from`, whenever sent, take `delay` ticks.
+    pub fn from_process(from: ProcessId, delay: u64) -> Self {
+        DelayRule { from: Some(from), to: None, window: (Time::ZERO, Time(u64::MAX)), delay }
+    }
+
+    /// Rule: the link `from -> to` takes `delay` ticks for messages sent in
+    /// `[start, end)`.
+    pub fn link(from: ProcessId, to: ProcessId, start: Time, end: Time, delay: u64) -> Self {
+        DelayRule { from: Some(from), to: Some(to), window: (start, end), delay }
+    }
+}
+
+/// First-match rule list with a fallback model.
+pub struct RuleDelay<D: DelayModel> {
+    pub rules: Vec<DelayRule>,
+    pub fallback: D,
+}
+
+impl<D: DelayModel> RuleDelay<D> {
+    pub fn new(rules: Vec<DelayRule>, fallback: D) -> Self {
+        RuleDelay { rules, fallback }
+    }
+}
+
+impl RuleDelay<FixedDelay> {
+    /// Rules over the unit-delay baseline — the usual way to build a
+    /// targeted network-failure execution.
+    pub fn over_unit(rules: Vec<DelayRule>) -> Self {
+        RuleDelay { rules, fallback: FixedDelay::unit() }
+    }
+}
+
+impl<D: DelayModel> DelayModel for RuleDelay<D> {
+    fn delay(&mut self, from: ProcessId, to: ProcessId, sent: Time, seq: u64) -> u64 {
+        for r in &self.rules {
+            if r.matches(from, to, sent) {
+                return r.delay;
+            }
+        }
+        self.fallback.delay(from, to, sent, seq)
+    }
+    fn bound(&self) -> Option<u64> {
+        let rule_max = self.rules.iter().map(|r| r.delay).max();
+        match (rule_max, self.fallback.bound()) {
+            (Some(r), Some(b)) => Some(r.max(b)),
+            (None, b) => b,
+            (Some(_), None) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_delay_is_constant() {
+        let mut d = FixedDelay::unit();
+        assert_eq!(d.delay(0, 1, Time::ZERO, 0), U);
+        assert_eq!(d.bound(), Some(U));
+    }
+
+    #[test]
+    fn jitter_respects_bounds_and_is_deterministic() {
+        let mut a = JitterDelay::synchronous(42);
+        let mut b = JitterDelay::synchronous(42);
+        for i in 0..100 {
+            let da = a.delay(0, 1, Time::ZERO, i);
+            assert_eq!(da, b.delay(0, 1, Time::ZERO, i));
+            assert!((U / 2..=U).contains(&da));
+        }
+    }
+
+    #[test]
+    fn gst_is_chaotic_before_and_unit_after() {
+        let mut d = GstDelay::new(Time::units(5), 4 * U, 7);
+        let before = d.delay(0, 1, Time::units(1), 0);
+        assert!((U..=4 * U).contains(&before));
+        assert_eq!(d.delay(0, 1, Time::units(5), 1), U);
+        assert_eq!(d.delay(0, 1, Time::units(9), 2), U);
+    }
+
+    #[test]
+    fn rules_match_first_then_fallback() {
+        let mut d = RuleDelay::over_unit(vec![
+            DelayRule::link(0, 2, Time::ZERO, Time::units(1), 7 * U),
+            DelayRule::from_process(1, 3 * U),
+        ]);
+        assert_eq!(d.delay(0, 2, Time::ZERO, 0), 7 * U); // first rule
+        assert_eq!(d.delay(1, 2, Time::units(4), 1), 3 * U); // second rule
+        assert_eq!(d.delay(0, 2, Time::units(2), 2), U); // window expired
+        assert_eq!(d.delay(2, 0, Time::ZERO, 3), U); // fallback
+        assert_eq!(d.bound(), Some(7 * U));
+    }
+}

@@ -1,0 +1,108 @@
+//! Crash-failure injection.
+//!
+//! The paper's crash model: at most `f` of the `n` processes crash; after a
+//! process crashes it sends no further message (§2.1). Lower-bound proofs
+//! additionally crash processes *in the middle of a broadcast* ("crashes
+//! while sending `[B,1]`", Appendix E.4), which [`Crash::partial`] models: the
+//! process still executes its handlers at the crash timestamp, but only its
+//! first `k` sends at that timestamp reach the network.
+
+use ac_sim::{ProcessId, Time};
+
+/// A scheduled crash of one process.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Crash {
+    /// When the crash takes effect.
+    pub at: Time,
+    /// Number of sends admitted at timestamp `at` before the process dies.
+    /// `0` means the process performs no step at `at` (it is dead for all
+    /// events at `at` and later). `k > 0` means it handles events at `at`
+    /// but only its first `k` sends at `at` are put on the wire ("crashed
+    /// while broadcasting"); it performs no step after `at` either way.
+    pub sends_at_crash_time: usize,
+}
+
+impl Crash {
+    /// Crash dead at `at`: no step, no send at or after `at`.
+    pub fn at(at: Time) -> Self {
+        Crash { at, sends_at_crash_time: 0 }
+    }
+
+    /// Crash at time 0 before sending anything — the "P crashes before
+    /// sending any message" construction used throughout the proofs.
+    pub fn initially() -> Self {
+        Crash::at(Time::ZERO)
+    }
+
+    /// Crash at `at` after `k` of the sends performed at `at` made it out.
+    pub fn partial(at: Time, k: usize) -> Self {
+        Crash { at, sends_at_crash_time: k }
+    }
+}
+
+/// Crash schedule for a whole execution.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    crashes: Vec<Option<Crash>>,
+}
+
+impl FaultPlan {
+    /// No failures.
+    pub fn none(n: usize) -> Self {
+        FaultPlan { crashes: vec![None; n] }
+    }
+
+    /// Add a crash for process `p` (builder style).
+    pub fn with_crash(mut self, p: ProcessId, c: Crash) -> Self {
+        assert!(p < self.crashes.len(), "process id out of range");
+        self.crashes[p] = Some(c);
+        self
+    }
+
+    pub fn crash_of(&self, p: ProcessId) -> Option<Crash> {
+        self.crashes.get(p).copied().flatten()
+    }
+
+    /// Number of processes that crash.
+    pub fn crash_count(&self) -> usize {
+        self.crashes.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Whether any process crashes.
+    pub fn any(&self) -> bool {
+        self.crash_count() > 0
+    }
+
+    pub fn n(&self) -> usize {
+        self.crashes.len()
+    }
+
+    /// Ids of crashing processes.
+    pub fn crashed_ids(&self) -> Vec<ProcessId> {
+        (0..self.crashes.len()).filter(|&p| self.crashes[p].is_some()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_queries() {
+        let plan = FaultPlan::none(4)
+            .with_crash(1, Crash::initially())
+            .with_crash(3, Crash::partial(Time::units(2), 1));
+        assert_eq!(plan.crash_count(), 2);
+        assert!(plan.any());
+        assert_eq!(plan.crashed_ids(), vec![1, 3]);
+        assert_eq!(plan.crash_of(0), None);
+        assert_eq!(plan.crash_of(1), Some(Crash::at(Time::ZERO)));
+        assert_eq!(plan.crash_of(3).unwrap().sends_at_crash_time, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_crash_panics() {
+        let _ = FaultPlan::none(2).with_crash(5, Crash::initially());
+    }
+}

@@ -1,0 +1,164 @@
+//! Complexity metering — the paper's two measures (§2.4).
+//!
+//! * **messages**: the number of inter-process messages *exchanged*
+//!   (i.e. arrived) before or at the last decision. This is exactly the
+//!   quantity bounded by Theorems 2 and 5: e.g. 1NBAC's nice execution sends
+//!   a `[D,·]` round that is still in flight when every process has already
+//!   decided, and the paper counts `n²−n`, not `2(n²−n)`. Self-addressed
+//!   messages are free (footnote 10) and never enter the records.
+//! * **message delays**: with every delivery taking exactly `U` and
+//!   instantaneous local steps, the elapsed time to the last decision
+//!   divided by `U` (Lamport's measure). Only meaningful for executions run
+//!   under [`FixedDelay::unit`](crate::FixedDelay::unit); for other models
+//!   the elapsed time is still reported.
+
+use ac_sim::{ProcessId, Time, U};
+
+/// Wire record of one inter-process message.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct MsgRecord {
+    pub seq: u64,
+    pub from: ProcessId,
+    pub to: ProcessId,
+    pub sent: Time,
+    pub arrival: Time,
+}
+
+impl MsgRecord {
+    /// Transmission delay in ticks.
+    pub fn delay(&self) -> u64 {
+        self.arrival - self.sent
+    }
+}
+
+/// Classification of an execution per §2.2.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ExecutionClass {
+    /// No crash, all delays ≤ U.
+    FailureFree,
+    /// Some crash, all delays ≤ U (synchronous system execution).
+    CrashFailure,
+    /// Some message delay > U (eventually-synchronous system execution).
+    NetworkFailure,
+}
+
+impl ExecutionClass {
+    pub fn classify(any_crash: bool, records: &[MsgRecord]) -> ExecutionClass {
+        if records.iter().any(|r| r.delay() > U) {
+            ExecutionClass::NetworkFailure
+        } else if any_crash {
+            ExecutionClass::CrashFailure
+        } else {
+            ExecutionClass::FailureFree
+        }
+    }
+}
+
+/// Complexity measures extracted from one execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Metrics {
+    /// Messages arrived before or at the last decision (the paper's count).
+    pub messages: usize,
+    /// All messages put on the wire until quiescence.
+    pub messages_total: usize,
+    /// Time of the last decision, if every started process decided.
+    pub last_decision: Option<Time>,
+    /// `last_decision / U`, rounded up — the message-delay count when run
+    /// under exact unit delays.
+    pub delays: Option<u64>,
+    /// Execution classification.
+    pub class: ExecutionClass,
+}
+
+impl Metrics {
+    /// Compute metrics. `decisions[p]` is `Some((t, v))` if `p` decided.
+    /// `crashed[p]` tells which processes crashed.
+    pub fn compute(
+        records: &[MsgRecord],
+        decisions: &[Option<(Time, u64)>],
+        crashed: &[bool],
+    ) -> Metrics {
+        let class = ExecutionClass::classify(crashed.iter().any(|&c| c), records);
+        // All *live* processes must have decided for the delay metric to be
+        // the execution's completion time.
+        let all_live_decided = decisions
+            .iter()
+            .zip(crashed)
+            .all(|(d, &c)| c || d.is_some());
+        let last_decision = if all_live_decided {
+            decisions.iter().flatten().map(|&(t, _)| t).max()
+        } else {
+            None
+        };
+        let messages = match last_decision {
+            Some(t) => records.iter().filter(|r| r.arrival <= t).count(),
+            None => records.len(),
+        };
+        Metrics {
+            messages,
+            messages_total: records.len(),
+            last_decision,
+            delays: last_decision.map(Time::ceil_units),
+            class,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(seq: u64, sent: u64, arrival: u64) -> MsgRecord {
+        MsgRecord { seq, from: 0, to: 1, sent: Time(sent), arrival: Time(arrival) }
+    }
+
+    #[test]
+    fn classify_three_ways() {
+        assert_eq!(ExecutionClass::classify(false, &[rec(0, 0, U)]), ExecutionClass::FailureFree);
+        assert_eq!(ExecutionClass::classify(true, &[rec(0, 0, U)]), ExecutionClass::CrashFailure);
+        // A delayed message makes it a network-failure execution even
+        // without crashes.
+        assert_eq!(
+            ExecutionClass::classify(false, &[rec(0, 0, U + 1)]),
+            ExecutionClass::NetworkFailure
+        );
+        // ... and even with crashes, network failure dominates.
+        assert_eq!(
+            ExecutionClass::classify(true, &[rec(0, 0, 2 * U)]),
+            ExecutionClass::NetworkFailure
+        );
+    }
+
+    #[test]
+    fn messages_in_flight_after_last_decision_do_not_count() {
+        // Decisions at U; one message arrived at U, one arrives at 2U.
+        let records = [rec(0, 0, U), rec(1, U, 2 * U)];
+        let decisions = [Some((Time(U), 1)), Some((Time(U), 1))];
+        let m = Metrics::compute(&records, &decisions, &[false, false]);
+        assert_eq!(m.messages, 1);
+        assert_eq!(m.messages_total, 2);
+        assert_eq!(m.delays, Some(1));
+        assert_eq!(m.class, ExecutionClass::FailureFree);
+    }
+
+    #[test]
+    fn undecided_live_process_voids_delay_metric() {
+        let records = [rec(0, 0, U)];
+        let decisions = [Some((Time(U), 1)), None];
+        let m = Metrics::compute(&records, &decisions, &[false, false]);
+        assert_eq!(m.last_decision, None);
+        assert_eq!(m.delays, None);
+        // Without a completion point, all messages count.
+        assert_eq!(m.messages, 1);
+    }
+
+    #[test]
+    fn crashed_processes_are_exempt_from_completion() {
+        let records: [MsgRecord; 0] = [];
+        let decisions = [Some((Time(2 * U), 0)), None];
+        let m = Metrics::compute(&records, &decisions, &[false, true]);
+        assert_eq!(m.last_decision, Some(Time(2 * U)));
+        assert_eq!(m.delays, Some(2));
+        assert_eq!(m.class, ExecutionClass::CrashFailure);
+    }
+}

@@ -1,0 +1,252 @@
+//! # ac-runtime — a real-thread runtime for the same protocol automata
+//!
+//! The protocols in `ac-commit` are written against `ac_sim`'s [`Automaton`]
+//! interface, which is runtime-agnostic: this crate executes them on real
+//! OS threads connected by crossbeam channels, with virtual-time timers
+//! mapped onto the wall clock. It exists to demonstrate that the library is
+//! a protocol implementation, not a simulation artifact: the same INBAC
+//! automaton that is metered in the discrete-event world commits
+//! transactions over real channels here (the calibration hint's "tokio
+//! channels fit" — realized with threads + crossbeam, which keeps the
+//! dependency set in the approved list).
+//!
+//! One virtual delay unit `U` maps to [`RtConfig::unit`] of wall time.
+//! Channel delivery latency is microseconds, far below any realistic
+//! `unit`, so executions behave like synchronous runs with small delays —
+//! decisions must therefore match the simulator's failure-free executions,
+//! which the integration tests assert.
+
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ac_sim::{Action, Automaton, Ctx, ProcessId, Time, U};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+
+/// A message on a process's inbound channel: `(sender, payload)`.
+type Inbound<M> = (ProcessId, M);
+/// One process's endpoint pair.
+type Endpoint<M> = (Sender<Inbound<M>>, Receiver<Inbound<M>>);
+
+/// Wall-clock mapping and limits for a threaded run.
+#[derive(Clone, Debug)]
+pub struct RtConfig {
+    /// Wall-clock duration of one virtual delay unit `U`.
+    pub unit: Duration,
+    /// Hard deadline for the whole run.
+    pub deadline: Duration,
+}
+
+impl Default for RtConfig {
+    fn default() -> Self {
+        RtConfig { unit: Duration::from_millis(5), deadline: Duration::from_secs(5) }
+    }
+}
+
+/// Result of a threaded run.
+#[derive(Clone, Debug)]
+pub struct RtOutcome {
+    /// Decision of each process, if reached before the deadline.
+    pub decisions: Vec<Option<u64>>,
+    /// Inter-process messages actually sent over channels.
+    pub messages: usize,
+    /// Wall time until the last decision (or the deadline).
+    pub elapsed: Duration,
+}
+
+impl RtOutcome {
+    /// Distinct decided values.
+    pub fn decided_values(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.decisions.iter().flatten().copied().collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+struct TimerEntry {
+    due: Instant,
+    tag: u32,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.tag == other.tag
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse for a min-heap on `due`.
+        other.due.cmp(&self.due).then(other.tag.cmp(&self.tag))
+    }
+}
+
+/// Run `n` automata (built by `make`) on threads. Returns when every
+/// process decided or the deadline passes.
+pub fn run_threads<A, F>(n: usize, make: F, cfg: RtConfig) -> RtOutcome
+where
+    A: Automaton + Send + 'static,
+    A::Msg: Send + 'static,
+    F: Fn(ProcessId) -> A,
+{
+    let channels: Vec<Endpoint<A::Msg>> = (0..n).map(|_| unbounded()).collect();
+    let (txs, rxs): (Vec<_>, Vec<_>) = channels.into_iter().unzip();
+    let decisions: Arc<Mutex<Vec<Option<u64>>>> = Arc::new(Mutex::new(vec![None; n]));
+    let decided_count = Arc::new(AtomicUsize::new(0));
+    let wire_count = Arc::new(AtomicUsize::new(0));
+    let start = Instant::now();
+    let deadline = start + cfg.deadline;
+
+    let mut handles = Vec::with_capacity(n);
+    for (me, rx) in rxs.into_iter().enumerate() {
+        let mut automaton = make(me);
+        let txs = txs.clone();
+        let decisions = Arc::clone(&decisions);
+        let decided_count = Arc::clone(&decided_count);
+        let wire_count = Arc::clone(&wire_count);
+        let unit = cfg.unit;
+
+        handles.push(std::thread::spawn(move || {
+            let mut timers: BinaryHeap<TimerEntry> = BinaryHeap::new();
+            let virtual_now = |at: Instant| -> Time {
+                let elapsed = at.saturating_duration_since(start);
+                let units = elapsed.as_nanos() / unit.as_nanos().max(1);
+                Time(units as u64 * U)
+            };
+            let wall_of = |t: Time| -> Instant {
+                start + Duration::from_nanos((unit.as_nanos() as u64 / U) * t.ticks())
+            };
+
+            let apply = |automaton: &mut A,
+                             ctx: &mut Ctx<A::Msg>,
+                             timers: &mut BinaryHeap<TimerEntry>| {
+                let _ = automaton;
+                for action in ctx.take_actions() {
+                    match action {
+                        Action::Send { to, msg } => {
+                            if to != me {
+                                wire_count.fetch_add(1, Ordering::Relaxed);
+                            }
+                            // A send can only fail if the peer finished —
+                            // then the message is moot.
+                            let _ = txs[to].send((me, msg));
+                        }
+                        Action::SetTimer { at, tag } => {
+                            timers.push(TimerEntry { due: wall_of(at), tag });
+                        }
+                        Action::Decide(v) => {
+                            let mut d = decisions.lock();
+                            if d[me].is_none() {
+                                d[me] = Some(v);
+                                decided_count.fetch_add(1, Ordering::SeqCst);
+                            }
+                        }
+                    }
+                }
+            };
+
+            let mut ctx = Ctx::new(Time::ZERO, me, n, false);
+            automaton.on_start(&mut ctx);
+            apply(&mut automaton, &mut ctx, &mut timers);
+
+            loop {
+                if decided_count.load(Ordering::SeqCst) == n {
+                    return;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return;
+                }
+                // Fire due timers first (delivery-priority is a simulator
+                // refinement; on real clocks due timers are simply late).
+                while timers.peek().is_some_and(|t| t.due <= now) {
+                    let t = timers.pop().expect("peeked");
+                    let mut ctx = Ctx::new(virtual_now(now), me, n, false);
+                    automaton.on_timer(t.tag, &mut ctx);
+                    apply(&mut automaton, &mut ctx, &mut timers);
+                }
+                let next_due = timers.peek().map(|t| t.due).unwrap_or(deadline);
+                let wait = next_due.min(deadline).saturating_duration_since(now);
+                match rx.recv_timeout(wait.min(Duration::from_millis(1))) {
+                    Ok((from, msg)) => {
+                        let mut ctx = Ctx::new(virtual_now(Instant::now()), me, n, false);
+                        automaton.on_message(from, msg, &mut ctx);
+                        apply(&mut automaton, &mut ctx, &mut timers);
+                    }
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => return,
+                }
+            }
+        }));
+    }
+    drop(txs);
+
+    for h in handles {
+        h.join().expect("protocol thread panicked");
+    }
+    let decisions = Arc::try_unwrap(decisions)
+        .expect("all threads joined")
+        .into_inner();
+    RtOutcome {
+        decisions,
+        messages: wire_count.load(Ordering::Relaxed),
+        elapsed: start.elapsed().min(cfg.deadline),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy agreement automaton: P0 broadcasts a value, everyone decides it;
+    /// P0 decides on a timer.
+    struct Echo {
+        me: ProcessId,
+    }
+    impl Automaton for Echo {
+        type Msg = u64;
+        fn on_start(&mut self, ctx: &mut Ctx<u64>) {
+            if self.me == 0 {
+                ctx.broadcast_others(42);
+                ctx.set_timer(Time::units(2), 1);
+            }
+        }
+        fn on_message(&mut self, _from: ProcessId, msg: u64, ctx: &mut Ctx<u64>) {
+            ctx.decide(msg);
+        }
+        fn on_timer(&mut self, _tag: u32, ctx: &mut Ctx<u64>) {
+            ctx.decide(42);
+        }
+    }
+
+    #[test]
+    fn echo_decides_everywhere() {
+        let out = run_threads(4, |me| Echo { me }, RtConfig::default());
+        assert_eq!(out.decided_values(), vec![42]);
+        assert_eq!(out.messages, 3);
+    }
+
+    #[test]
+    fn deadline_bounds_stuck_runs() {
+        struct Mute;
+        impl Automaton for Mute {
+            type Msg = ();
+            fn on_start(&mut self, _: &mut Ctx<()>) {}
+            fn on_message(&mut self, _: ProcessId, _: (), _: &mut Ctx<()>) {}
+            fn on_timer(&mut self, _: u32, _: &mut Ctx<()>) {}
+        }
+        let cfg = RtConfig { unit: Duration::from_millis(1), deadline: Duration::from_millis(50) };
+        let t0 = Instant::now();
+        let out = run_threads(3, |_| Mute, cfg);
+        assert!(out.decisions.iter().all(|d| d.is_none()));
+        assert!(t0.elapsed() < Duration::from_secs(2));
+    }
+}

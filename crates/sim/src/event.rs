@@ -1,0 +1,264 @@
+//! The event queue.
+//!
+//! Events are totally ordered by `(time, class, seq)` where the class order
+//! encodes the paper's priority rule: at one timestamp a process first
+//! handles its crash (it is gone), then message deliveries, then timeouts
+//! (Appendix A remark (b): "a message delivery event has a higher priority
+//! than a timeout event"). `seq` is an insertion counter making the order
+//! total and the simulation deterministic.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::{ProcessId, Time};
+
+/// Priority class of an event at equal timestamps (lower = earlier).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum EventClass {
+    /// Process crash takes effect.
+    Crash = 0,
+    /// The start (propose) stimulus.
+    Start = 1,
+    /// Message delivery.
+    Deliver = 2,
+    /// Timer timeout.
+    Timer = 3,
+}
+
+/// What happens.
+#[derive(Clone, Debug)]
+pub enum Event<M> {
+    Crash,
+    Start,
+    Deliver {
+        from: ProcessId,
+        msg: M,
+        /// Sequence number of the message on the wire (metering key);
+        /// `None` for free self-messages.
+        wire_seq: Option<u64>,
+    },
+    Timer {
+        tag: u32,
+    },
+}
+
+impl<M> Event<M> {
+    pub fn class(&self) -> EventClass {
+        match self {
+            Event::Crash => EventClass::Crash,
+            Event::Start => EventClass::Start,
+            Event::Deliver { .. } => EventClass::Deliver,
+            Event::Timer { .. } => EventClass::Timer,
+        }
+    }
+}
+
+/// Total ordering key for a scheduled event.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct EventKey {
+    pub at: Time,
+    pub class: EventClass,
+    pub seq: u64,
+}
+
+/// An event scheduled for a target process.
+#[derive(Debug)]
+pub struct ScheduledEvent<M> {
+    pub key: EventKey,
+    pub target: ProcessId,
+    pub event: Event<M>,
+}
+
+struct HeapEntry<M> {
+    key: EventKey,
+    target: ProcessId,
+    event: Event<M>,
+}
+
+impl<M> PartialEq for HeapEntry<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<M> Eq for HeapEntry<M> {}
+impl<M> PartialOrd for HeapEntry<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for HeapEntry<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+/// Deterministic priority queue of scheduled events.
+pub struct EventQueue<M> {
+    heap: BinaryHeap<Reverse<HeapEntry<M>>>,
+    next_seq: u64,
+}
+
+impl<M> Default for EventQueue<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> EventQueue<M> {
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    /// Schedule `event` for `target` at time `at`. Returns the assigned
+    /// sequence number.
+    pub fn push(&mut self, at: Time, target: ProcessId, event: Event<M>) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let key = EventKey { at, class: event.class(), seq };
+        self.heap.push(Reverse(HeapEntry { key, target, event }));
+        seq
+    }
+
+    /// Pop the earliest event.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<M>> {
+        self.heap.pop().map(|Reverse(e)| ScheduledEvent {
+            key: e.key,
+            target: e.target,
+            event: e.event,
+        })
+    }
+
+    /// Time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|Reverse(e)| e.key.at)
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deliveries_precede_timers_at_equal_time() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        q.push(Time::units(1), 0, Event::Timer { tag: 1 });
+        q.push(Time::units(1), 0, Event::Deliver { from: 1, msg: 9, wire_seq: Some(0) });
+        let first = q.pop().unwrap();
+        assert!(matches!(first.event, Event::Deliver { .. }));
+        let second = q.pop().unwrap();
+        assert!(matches!(second.event, Event::Timer { tag: 1 }));
+    }
+
+    #[test]
+    fn crash_precedes_everything_at_equal_time() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        q.push(Time::units(2), 0, Event::Deliver { from: 1, msg: 9, wire_seq: Some(0) });
+        q.push(Time::units(2), 0, Event::Crash);
+        assert!(matches!(q.pop().unwrap().event, Event::Crash));
+    }
+
+    #[test]
+    fn fifo_within_class() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        q.push(Time::units(1), 0, Event::Deliver { from: 1, msg: 1, wire_seq: Some(0) });
+        q.push(Time::units(1), 0, Event::Deliver { from: 2, msg: 2, wire_seq: Some(1) });
+        let a = q.pop().unwrap();
+        let b = q.pop().unwrap();
+        match (a.event, b.event) {
+            (Event::Deliver { msg: 1, .. }, Event::Deliver { msg: 2, .. }) => {}
+            other => panic!("wrong order: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn time_dominates_class() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        q.push(Time::units(2), 0, Event::Deliver { from: 1, msg: 9, wire_seq: Some(0) });
+        q.push(Time::units(1), 0, Event::Timer { tag: 7 });
+        assert!(matches!(q.pop().unwrap().event, Event::Timer { tag: 7 }));
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(Time::units(3), 0, Event::Timer { tag: 0 });
+        assert_eq!(q.peek_time(), Some(Time::units(3)));
+        assert_eq!(q.len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_event() -> impl Strategy<Value = (u64, u8, usize)> {
+        // (time units, class selector, target)
+        (0u64..20, 0u8..3, 0usize..4)
+    }
+
+    proptest! {
+        /// Draining the queue yields keys in non-decreasing total order,
+        /// regardless of insertion order.
+        #[test]
+        fn drain_order_is_total_and_monotone(events in proptest::collection::vec(arb_event(), 1..60)) {
+            let mut q: EventQueue<u8> = EventQueue::new();
+            for &(t, class, target) in &events {
+                let ev = match class {
+                    0 => Event::Crash,
+                    1 => Event::Deliver { from: 0, msg: 0, wire_seq: None },
+                    _ => Event::Timer { tag: 0 },
+                };
+                q.push(Time::units(t), target, ev);
+            }
+            let mut last: Option<EventKey> = None;
+            let mut popped = 0;
+            while let Some(ev) = q.pop() {
+                popped += 1;
+                if let Some(prev) = last {
+                    prop_assert!(prev < ev.key, "out of order: {prev:?} then {:?}", ev.key);
+                }
+                last = Some(ev.key);
+            }
+            prop_assert_eq!(popped, events.len());
+        }
+
+        /// Within one timestamp, every Crash precedes every Deliver, which
+        /// precedes every Timer; ties resolve by insertion sequence.
+        #[test]
+        fn class_priority_is_respected_at_equal_times(classes in proptest::collection::vec(0u8..3, 2..40)) {
+            let mut q: EventQueue<u8> = EventQueue::new();
+            for &c in &classes {
+                let ev = match c {
+                    0 => Event::Crash,
+                    1 => Event::Deliver { from: 0, msg: 0, wire_seq: None },
+                    _ => Event::Timer { tag: 0 },
+                };
+                q.push(Time::units(5), 0, ev);
+            }
+            let mut seen_class = EventClass::Crash;
+            let mut last_seq_in_class = None;
+            while let Some(ev) = q.pop() {
+                prop_assert!(ev.key.class >= seen_class);
+                if ev.key.class > seen_class {
+                    seen_class = ev.key.class;
+                    last_seq_in_class = None;
+                }
+                if let Some(prev) = last_seq_in_class {
+                    prop_assert!(ev.key.seq > prev, "FIFO within class violated");
+                }
+                last_seq_in_class = Some(ev.key.seq);
+            }
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Virtual time.
+//!
+//! The paper measures time in *message delays*: if every message is received
+//! exactly one unit of time after it was sent and local computation is
+//! instantaneous, the number of message delays of an execution is its number
+//! of time units (Lamport's measure, §2.4 of the paper). We keep a
+//! finer-grained tick clock so that network-failure executions can delay
+//! individual messages by non-integral amounts of `U`.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Ticks per message-delay unit (the known upper bound `U` on message
+/// transmission delay in a synchronous execution).
+pub const U: u64 = 1_000;
+
+/// A point in virtual time, in ticks.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(pub u64);
+
+impl Time {
+    pub const ZERO: Time = Time(0);
+
+    /// The time `k * U`, i.e. `k` message-delay units after time zero.
+    #[inline]
+    pub fn units(k: u64) -> Time {
+        Time(k * U)
+    }
+
+    /// This instant expressed in whole delay units, rounding up.
+    /// `Time(0) -> 0`, `Time(1..=U) -> 1`, ...
+    #[inline]
+    pub fn ceil_units(self) -> u64 {
+        self.0.div_ceil(U)
+    }
+
+    /// Raw tick count.
+    #[inline]
+    pub fn ticks(self) -> u64 {
+        self.0
+    }
+}
+
+impl Add<u64> for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: u64) -> Time {
+        Time(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = u64;
+    #[inline]
+    fn sub(self, rhs: Time) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Render as multiples of U where exact, e.g. "2U" or "2U+37".
+        let (q, r) = (self.0 / U, self.0 % U);
+        if r == 0 {
+            write!(f, "{q}U")
+        } else {
+            write!(f, "{q}U+{r}")
+        }
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn units_round_trip() {
+        assert_eq!(Time::units(3).ticks(), 3 * U);
+        assert_eq!(Time::units(3).ceil_units(), 3);
+    }
+
+    #[test]
+    fn ceil_units_rounds_up_partial_units() {
+        assert_eq!(Time(1).ceil_units(), 1);
+        assert_eq!(Time(U).ceil_units(), 1);
+        assert_eq!(Time(U + 1).ceil_units(), 2);
+        assert_eq!(Time::ZERO.ceil_units(), 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = Time::units(1) + 500;
+        assert_eq!(t.ticks(), U + 500);
+        assert_eq!(t - Time::units(1), 500);
+    }
+
+    #[test]
+    fn debug_format() {
+        assert_eq!(format!("{:?}", Time::units(2)), "2U");
+        assert_eq!(format!("{:?}", Time(2 * U + 37)), "2U+37");
+    }
+}

@@ -1,0 +1,72 @@
+//! Execution traces.
+//!
+//! Traces serve the examples (`trace_inbac`) and debugging: every network
+//! send/delivery, timer, decision and protocol-level note is recorded with
+//! its timestamp when tracing is enabled. Metering does *not* go through
+//! traces (the meters in `ac-net` are always on and allocation-light).
+
+use crate::{ProcessId, Time};
+use std::fmt;
+
+/// What kind of step a trace entry records.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    Send { from: ProcessId, to: ProcessId, desc: String },
+    Deliver { from: ProcessId, to: ProcessId, desc: String },
+    Timer { at: ProcessId, tag: u32 },
+    Decide { at: ProcessId, value: u64 },
+    Crash { at: ProcessId },
+    Note { at: ProcessId, text: String },
+}
+
+/// A timestamped trace entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEntry {
+    pub time: Time,
+    pub kind: TraceKind,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>8}] ", format!("{}", self.time))?;
+        match &self.kind {
+            TraceKind::Send { from, to, desc } => {
+                write!(f, "P{} -> P{}  send {desc}", from + 1, to + 1)
+            }
+            TraceKind::Deliver { from, to, desc } => {
+                write!(f, "P{} <- P{}  recv {desc}", to + 1, from + 1)
+            }
+            TraceKind::Timer { at, tag } => write!(f, "P{}        timer #{tag}", at + 1),
+            TraceKind::Decide { at, value } => {
+                write!(f, "P{}        DECIDE {value}", at + 1)
+            }
+            TraceKind::Crash { at } => write!(f, "P{}        CRASH", at + 1),
+            TraceKind::Note { at, text } => write!(f, "P{}        {text}", at + 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_one_based_process_names() {
+        let e = TraceEntry {
+            time: Time::units(2),
+            kind: TraceKind::Send { from: 0, to: 2, desc: "[V,1]".into() },
+        };
+        let s = e.to_string();
+        assert!(s.contains("P1 -> P3"), "{s}");
+        assert!(s.contains("2U"), "{s}");
+    }
+
+    #[test]
+    fn display_decide_and_crash() {
+        let d = TraceEntry { time: Time::ZERO, kind: TraceKind::Decide { at: 1, value: 1 } };
+        assert!(d.to_string().contains("P2"));
+        assert!(d.to_string().contains("DECIDE 1"));
+        let c = TraceEntry { time: Time::ZERO, kind: TraceKind::Crash { at: 0 } };
+        assert!(c.to_string().contains("CRASH"));
+    }
+}

@@ -1,0 +1,159 @@
+//! Per-shard versioned store with optimistic validation.
+//!
+//! This is the "local faith of the transaction" of the paper's §1.1: a
+//! shard votes **yes** iff the transaction executed correctly locally —
+//! here, iff its reads are still current and none of its write targets is
+//! locked by a concurrent prepared transaction. A yes-vote takes write
+//! locks (the shard is then *prepared* and must hold them until the commit
+//! protocol decides), exactly the structure 2PC/INBAC assume.
+
+use std::collections::BTreeMap;
+
+use crate::txn::{Key, Transaction, TxnId, WriteOp};
+
+/// A versioned cell.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct Version {
+    pub value: i64,
+    pub version: u64,
+}
+
+/// One shard of the database, owned by one process.
+#[derive(Clone, Debug, Default)]
+pub struct Shard {
+    pub id: usize,
+    cells: BTreeMap<u64, Version>,
+    /// Write locks held by prepared transactions: key -> owner txn.
+    locks: BTreeMap<u64, TxnId>,
+}
+
+impl Shard {
+    pub fn new(id: usize) -> Shard {
+        Shard { id, cells: BTreeMap::new(), locks: BTreeMap::new() }
+    }
+
+    /// Current version of `k` (default zero-version for absent keys).
+    pub fn read(&self, k: u64) -> Version {
+        self.cells.get(&k).copied().unwrap_or_default()
+    }
+
+    /// Validate `txn` and, if valid, take its write locks (prepare).
+    /// Returns the shard's vote.
+    pub fn prepare(&mut self, txn: &Transaction) -> bool {
+        let my = |key: &Key| key.shard == self.id;
+        // Read validation: versions unchanged.
+        for (key, seen) in txn.reads.iter().filter(|(k, _)| my(k)) {
+            if self.read(key.k).version != *seen {
+                return false;
+            }
+        }
+        // Lock check: no conflicting prepared writer (wound-free: just vote
+        // no, the commit protocol aborts).
+        for key in txn.writes.keys().filter(|k| my(k)) {
+            if let Some(owner) = self.locks.get(&key.k) {
+                if *owner != txn.id {
+                    return false;
+                }
+            }
+        }
+        for key in txn.writes.keys().filter(|k| my(k)) {
+            self.locks.insert(key.k, txn.id);
+        }
+        true
+    }
+
+    /// Apply the decision of the commit protocol for a prepared `txn`.
+    pub fn finish(&mut self, txn: &Transaction, commit: bool) {
+        let my = |key: &Key| key.shard == self.id;
+        for (key, op) in txn.writes.iter().filter(|(k, _)| my(k)) {
+            if self.locks.get(&key.k) == Some(&txn.id) {
+                self.locks.remove(&key.k);
+                if commit {
+                    let cell = self.cells.entry(key.k).or_default();
+                    match op {
+                        WriteOp::Put(v) => cell.value = *v,
+                        WriteOp::Add(d) => cell.value += *d,
+                    }
+                    cell.version += 1;
+                }
+            }
+        }
+    }
+
+    /// Number of currently held locks (diagnostics).
+    pub fn locked(&self) -> usize {
+        self.locks.len()
+    }
+
+    /// Sum of all values in this shard (used by the bank example to check
+    /// conservation).
+    pub fn total(&self) -> i64 {
+        self.cells.values().map(|v| v.value).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn txn_writing(id: TxnId, shard: usize, k: u64, v: i64) -> Transaction {
+        Transaction::new(id).with_write(Key::new(shard, k), v)
+    }
+
+    #[test]
+    fn commit_bumps_version_and_value() {
+        let mut s = Shard::new(0);
+        let t = txn_writing(1, 0, 7, 42);
+        assert!(s.prepare(&t));
+        assert_eq!(s.locked(), 1);
+        s.finish(&t, true);
+        assert_eq!(s.read(7), Version { value: 42, version: 1 });
+        assert_eq!(s.locked(), 0);
+    }
+
+    #[test]
+    fn abort_releases_locks_without_effect() {
+        let mut s = Shard::new(0);
+        let t = txn_writing(1, 0, 7, 42);
+        assert!(s.prepare(&t));
+        s.finish(&t, false);
+        assert_eq!(s.read(7), Version::default());
+        assert_eq!(s.locked(), 0);
+    }
+
+    #[test]
+    fn stale_read_votes_no() {
+        let mut s = Shard::new(0);
+        let w = txn_writing(1, 0, 3, 5);
+        assert!(s.prepare(&w));
+        s.finish(&w, true);
+        // A transaction that read version 0 of key 3 is now stale.
+        let stale = Transaction::new(2).with_read(Key::new(0, 3), 0);
+        let mut s2 = s.clone();
+        assert!(!s2.prepare(&stale));
+        // Reading the current version is fine.
+        let fresh = Transaction::new(3).with_read(Key::new(0, 3), 1);
+        assert!(s.prepare(&fresh));
+    }
+
+    #[test]
+    fn write_write_conflict_votes_no() {
+        let mut s = Shard::new(0);
+        let a = txn_writing(1, 0, 9, 1);
+        let b = txn_writing(2, 0, 9, 2);
+        assert!(s.prepare(&a));
+        assert!(!s.prepare(&b), "b must be refused while a holds the lock");
+        s.finish(&a, true);
+        assert!(s.prepare(&b), "lock released after finish");
+    }
+
+    #[test]
+    fn foreign_keys_are_ignored() {
+        let mut s = Shard::new(0);
+        let t = txn_writing(1, 5, 0, 9); // shard 5, not ours
+        assert!(s.prepare(&t));
+        assert_eq!(s.locked(), 0);
+        s.finish(&t, true);
+        assert_eq!(s.total(), 0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Transactions over sharded keys.
+
+use std::collections::BTreeMap;
+
+/// A key: `(shard, key-within-shard)`. Sharding is explicit so workloads can
+//  control cross-shard spans precisely.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Key {
+    pub shard: usize,
+    pub k: u64,
+}
+
+impl Key {
+    pub fn new(shard: usize, k: u64) -> Key {
+        Key { shard, k }
+    }
+}
+
+/// Transaction identifier.
+pub type TxnId = u64;
+
+/// A write effect. `Put` installs a value (blind write); `Add` increments
+/// the current value (read-modify-write, e.g. a debit/credit), which is
+/// what makes transfer workloads conserve money under concurrency.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum WriteOp {
+    Put(i64),
+    Add(i64),
+}
+
+/// A read-write transaction: reads are validated against the versions seen
+/// at execute time; writes install new values on commit.
+#[derive(Clone, Debug, Default)]
+pub struct Transaction {
+    pub id: TxnId,
+    /// Key -> version observed when the transaction executed.
+    pub reads: BTreeMap<Key, u64>,
+    /// Key -> write effect.
+    pub writes: BTreeMap<Key, WriteOp>,
+}
+
+impl Transaction {
+    pub fn new(id: TxnId) -> Transaction {
+        Transaction { id, reads: BTreeMap::new(), writes: BTreeMap::new() }
+    }
+
+    pub fn with_read(mut self, key: Key, version: u64) -> Transaction {
+        self.reads.insert(key, version);
+        self
+    }
+
+    pub fn with_write(mut self, key: Key, value: i64) -> Transaction {
+        self.writes.insert(key, WriteOp::Put(value));
+        self
+    }
+
+    pub fn with_add(mut self, key: Key, delta: i64) -> Transaction {
+        self.writes.insert(key, WriteOp::Add(delta));
+        self
+    }
+
+    /// The distinct shards this transaction touches.
+    pub fn shards(&self) -> Vec<usize> {
+        let mut s: Vec<usize> =
+            self.reads.keys().chain(self.writes.keys()).map(|k| k.shard).collect();
+        s.sort_unstable();
+        s.dedup();
+        s
+    }
+
+    /// Whether a shard participates in this transaction.
+    pub fn touches(&self, shard: usize) -> bool {
+        self.reads.keys().chain(self.writes.keys()).any(|k| k.shard == shard)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shards_are_deduplicated_and_sorted() {
+        let t = Transaction::new(1)
+            .with_read(Key::new(2, 0), 0)
+            .with_write(Key::new(0, 1), 5)
+            .with_write(Key::new(2, 3), 7);
+        assert_eq!(t.shards(), vec![0, 2]);
+        assert!(t.touches(0));
+        assert!(t.touches(2));
+        assert!(!t.touches(1));
+    }
+}

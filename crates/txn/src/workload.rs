@@ -1,0 +1,183 @@
+//! Deterministic workload generators.
+//!
+//! Three families, mirroring the systems the paper cites:
+//!
+//! * **uniform** multi-shard read-write transactions (Sinfonia-style
+//!   mini-transactions);
+//! * **skewed** access with an approximate Zipf distribution (hot keys →
+//!   conflicts → no-votes), implemented without external dependencies;
+//! * **transfer** two-shard debit/credit pairs (the bank example).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::txn::{Key, Transaction, TxnId};
+
+/// Workload shape.
+#[derive(Clone, Debug)]
+pub enum Workload {
+    /// Each transaction writes `span` keys on distinct shards, keys drawn
+    /// uniformly from `keys_per_shard`.
+    Uniform { span: usize },
+    /// Same, but keys are drawn Zipf-like with exponent `theta` — higher
+    /// theta, hotter head, more write-write conflicts.
+    Skewed { span: usize, theta: f64 },
+    /// Debit one key on one shard, credit one key on another.
+    Transfer { amount: i64 },
+}
+
+/// Generator configuration.
+#[derive(Clone, Debug)]
+pub struct WorkloadConfig {
+    pub shards: usize,
+    pub keys_per_shard: u64,
+    pub workload: Workload,
+    pub seed: u64,
+}
+
+impl WorkloadConfig {
+    pub fn generator(&self) -> WorkloadGen {
+        WorkloadGen {
+            cfg: self.clone(),
+            rng: StdRng::seed_from_u64(self.seed),
+            next_id: 1,
+        }
+    }
+}
+
+/// Deterministic stream of transactions.
+pub struct WorkloadGen {
+    cfg: WorkloadConfig,
+    rng: StdRng,
+    next_id: TxnId,
+}
+
+impl WorkloadGen {
+    fn zipf_key(&mut self, theta: f64) -> u64 {
+        // Approximate Zipf by inverse-power transform of a uniform draw:
+        // rank = N * u^(1/(1-theta)) clamps the head; adequate for
+        // conflict-rate control and dependency-free.
+        let n = self.cfg.keys_per_shard as f64;
+        let u: f64 = self.rng.gen_range(0.0f64..1.0).max(1e-12);
+        let exponent = 1.0 / (1.0 - theta.min(0.99));
+        ((n * u.powf(exponent)) as u64).min(self.cfg.keys_per_shard - 1)
+    }
+
+    fn distinct_shards(&mut self, span: usize) -> Vec<usize> {
+        let span = span.min(self.cfg.shards);
+        let mut shards: Vec<usize> = (0..self.cfg.shards).collect();
+        for i in 0..span {
+            let j = self.rng.gen_range(i..shards.len());
+            shards.swap(i, j);
+        }
+        shards.truncate(span);
+        shards
+    }
+
+    /// Next transaction in the stream.
+    pub fn next_txn(&mut self) -> Transaction {
+        let id = self.next_id;
+        self.next_id += 1;
+        match self.cfg.workload.clone() {
+            Workload::Uniform { span } => {
+                let mut t = Transaction::new(id);
+                for shard in self.distinct_shards(span) {
+                    let k = self.rng.gen_range(0..self.cfg.keys_per_shard);
+                    t = t.with_write(Key::new(shard, k), self.rng.gen_range(-100..100));
+                }
+                t
+            }
+            Workload::Skewed { span, theta } => {
+                let mut t = Transaction::new(id);
+                for shard in self.distinct_shards(span) {
+                    let k = self.zipf_key(theta);
+                    t = t.with_write(Key::new(shard, k), self.rng.gen_range(-100..100));
+                }
+                t
+            }
+            Workload::Transfer { amount } => {
+                let shards = self.distinct_shards(2);
+                let (a, b) = (shards[0], shards[1 % shards.len()]);
+                let ka = self.rng.gen_range(0..self.cfg.keys_per_shard);
+                let kb = self.rng.gen_range(0..self.cfg.keys_per_shard);
+                Transaction::new(id)
+                    .with_add(Key::new(a, ka), -amount)
+                    .with_add(Key::new(b, kb), amount)
+            }
+        }
+    }
+
+    /// Generate `count` transactions.
+    pub fn take_txns(&mut self, count: usize) -> Vec<Transaction> {
+        (0..count).map(|_| self.next_txn()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(workload: Workload) -> WorkloadConfig {
+        WorkloadConfig { shards: 4, keys_per_shard: 100, workload, seed: 7 }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = cfg(Workload::Uniform { span: 2 }).generator().take_txns(20);
+        let b = cfg(Workload::Uniform { span: 2 }).generator().take_txns(20);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.writes, y.writes);
+        }
+    }
+
+    #[test]
+    fn uniform_spans_distinct_shards() {
+        let txns = cfg(Workload::Uniform { span: 3 }).generator().take_txns(50);
+        for t in &txns {
+            assert_eq!(t.shards().len(), 3, "{t:?}");
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_keys() {
+        let mut hot = cfg(Workload::Skewed { span: 1, theta: 0.95 }).generator();
+        let mut cold = cfg(Workload::Uniform { span: 1 }).generator();
+        let head = |txns: &[Transaction]| {
+            txns.iter()
+                .flat_map(|t| t.writes.keys())
+                .filter(|k| k.k < 10)
+                .count()
+        };
+        let hot_head = head(&hot.take_txns(300));
+        let cold_head = head(&cold.take_txns(300));
+        assert!(
+            hot_head > 2 * cold_head,
+            "skewed head {hot_head} should dwarf uniform head {cold_head}"
+        );
+    }
+
+    #[test]
+    fn transfers_conserve_money_by_construction() {
+        let txns = cfg(Workload::Transfer { amount: 10 }).generator().take_txns(40);
+        for t in &txns {
+            let sum: i64 = t
+                .writes
+                .values()
+                .map(|op| match op {
+                    crate::txn::WriteOp::Add(d) => *d,
+                    crate::txn::WriteOp::Put(_) => panic!("transfers are additive"),
+                })
+                .sum();
+            assert_eq!(sum, 0, "{t:?}");
+            assert_eq!(t.writes.len(), 2);
+        }
+    }
+
+    #[test]
+    fn ids_are_unique_and_increasing() {
+        let txns = cfg(Workload::Uniform { span: 1 }).generator().take_txns(10);
+        for (i, t) in txns.iter().enumerate() {
+            assert_eq!(t.id, i as u64 + 1);
+        }
+    }
+}

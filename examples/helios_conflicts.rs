@@ -1,0 +1,56 @@
+//! Helios-style cross-datacenter conflict detection (§1: "each datacenter D
+//! votes to abort every transaction tx that causes a conflict at D").
+//!
+//! ```sh
+//! cargo run --example helios_conflicts
+//! ```
+//!
+//! Four datacenters run a skewed write workload; hotter skew means more
+//! write-write conflicts, more abort votes, and (with INBAC's §5.2 fast
+//! path) *faster* aborts: a failure-free abort terminates after one message
+//! delay instead of two.
+
+use ac_commit::protocols::ProtocolKind;
+use ac_txn::{Cluster, Workload, WorkloadConfig};
+
+fn run(theta: f64, kind: ProtocolKind) -> (f64, f64) {
+    let (n, f) = (4, 1);
+    let cfg = WorkloadConfig {
+        shards: n,
+        keys_per_shard: 16,
+        workload: Workload::Skewed { span: 2, theta },
+        seed: 99,
+    };
+    let mut cluster = Cluster::new(n, f, kind);
+    let txns = cfg.generator().take_txns(200);
+    // Pipelined batches of 10: transactions inside a batch race for locks,
+    // so hot keys produce abort votes.
+    let stats = cluster.execute_batched(&txns, 10);
+    (stats.commit_ratio(), stats.avg_delays())
+}
+
+fn main() {
+    println!("datacenters vote abort on conflict; commit protocol settles each transaction\n");
+    println!(
+        "{:>6}  {:>22}  {:>22}",
+        "skew", "INBAC (commit%, delay)", "INBAC+fast-abort"
+    );
+    for theta in [0.0, 0.5, 0.8, 0.95] {
+        let (cr_a, d_a) = run(theta, ProtocolKind::Inbac);
+        let (cr_b, d_b) = run(theta, ProtocolKind::InbacFastAbort);
+        assert!((cr_a - cr_b).abs() < f64::EPSILON, "same votes, same outcomes");
+        println!(
+            "{:>6.2}  {:>13.1}% {:>7.2}  {:>13.1}% {:>7.2}",
+            theta,
+            cr_a * 100.0,
+            d_a,
+            cr_b * 100.0,
+            d_b
+        );
+    }
+    println!(
+        "\nWith heavier skew more transactions abort; the fast-abort path (paper §5.2)\n\
+         turns those aborts into 1-delay decisions, lowering the average latency —\n\
+         exactly the Helios adaptation the paper suggests in §6.3."
+    );
+}

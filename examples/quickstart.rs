@@ -1,0 +1,42 @@
+//! Quickstart: commit one distributed transaction with INBAC.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+//!
+//! Five database nodes vote on a transaction; INBAC (Guerraoui & Wang,
+//! PODS 2017) decides in two message delays and `2fn` messages, tolerating
+//! up to `f` crashes *and* network failures (indulgence).
+
+use ac_commit::protocols::{Inbac, ProtocolKind};
+use ac_commit::{check, Scenario};
+
+fn main() {
+    let (n, f) = (5, 2);
+
+    // The nice execution: everyone votes 1 (willing to commit).
+    let scenario = Scenario::nice(n, f);
+    let outcome = scenario.run::<Inbac>();
+
+    println!("votes      : {:?}", scenario.votes);
+    for (p, d) in outcome.decisions.iter().enumerate() {
+        let (t, v) = d.expect("INBAC terminates");
+        println!("P{} decided : {} at {}", p + 1, if v == 1 { "COMMIT" } else { "ABORT" }, t);
+    }
+    let m = outcome.metrics();
+    println!(
+        "complexity : {} message delays, {} messages (paper: 2 delays, 2fn = {})",
+        m.delays.unwrap(),
+        m.messages,
+        2 * f * n
+    );
+
+    // The same run, checked against the NBAC properties.
+    let report = check(&outcome, &scenario.votes, ProtocolKind::Inbac.cell());
+    println!("NBAC check : {}", if report.ok() { "ok" } else { "violated!" });
+
+    // One dissenting vote aborts the transaction — validity in action.
+    let abort = Scenario::nice(n, f).vote_no(2).run::<Inbac>();
+    println!("with P3 voting no -> everyone decides {:?}", abort.decided_values());
+    assert_eq!(abort.decided_values(), vec![0]);
+}

@@ -1,0 +1,24 @@
+//! Print the paper's Table 1 — the complexity taxonomy of atomic commit —
+//! together with the instantiated bounds and trade-off classification.
+//!
+//! ```sh
+//! cargo run --example taxonomy [n] [f]
+//! ```
+
+use ac_harness::experiments;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(6);
+    let f: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(2);
+    assert!(n >= 2 && f >= 1 && f < n, "need n >= 2 and 1 <= f <= n-1");
+
+    let report = experiments::table1(n, f);
+    println!("{}", report.render());
+    if report.all_matched() {
+        println!("every matching protocol met its lower bound.");
+    } else {
+        println!("MISMATCH — see rows above.");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,112 @@
+//! Boundary coverage: the smallest legal systems, extreme resilience, and
+//! bit-for-bit determinism of the simulator.
+
+use ac_commit::protocols::ProtocolKind;
+use ac_commit::runner::Chaos;
+use ac_commit::{check, Scenario};
+
+#[test]
+fn n2_f1_nice_runs_match_formulas_for_every_protocol() {
+    // The minimum system: two processes, one possible crash.
+    for kind in ProtocolKind::all() {
+        let out = kind.run(&Scenario::nice(2, 1));
+        let m = out.metrics();
+        let (fd, fm) = kind.nice_complexity_formula(2, 1);
+        assert_eq!(m.delays, Some(fd), "{} delays at n=2", kind.name());
+        assert_eq!(m.messages as u64, fm, "{} messages at n=2", kind.name());
+        assert_eq!(out.decided_values(), vec![1], "{}", kind.name());
+    }
+}
+
+#[test]
+fn n2_single_no_vote_aborts_for_every_protocol() {
+    for kind in ProtocolKind::all() {
+        let sc = Scenario::nice(2, 1).vote_no(1);
+        let out = kind.run(&sc);
+        check(&out, &sc.votes, kind.cell()).assert_ok(kind.name());
+        assert_eq!(out.decided_values(), vec![0], "{}", kind.name());
+    }
+}
+
+#[test]
+fn maximum_resilience_f_equals_n_minus_1() {
+    // f = n−1: every process is a backup; INBAC's secondary is Pn.
+    for n in [3usize, 5, 7] {
+        let f = n - 1;
+        for kind in [
+            ProtocolKind::Inbac,
+            ProtocolKind::Nbac0,
+            ProtocolKind::ChainNbac,
+            ProtocolKind::Nbac2n2,
+            ProtocolKind::Nbac2n2f,
+            ProtocolKind::ANbac,
+        ] {
+            let out = kind.run(&Scenario::nice(n, f));
+            let m = out.metrics();
+            let (fd, fm) = kind.nice_complexity_formula(n as u64, f as u64);
+            assert_eq!(m.delays, Some(fd), "{} n={n} f={f}", kind.name());
+            assert_eq!(m.messages as u64, fm, "{} n={n} f={f}", kind.name());
+        }
+    }
+}
+
+#[test]
+fn dwork_skeen_coincidence_at_maximum_f() {
+    // At f = n−1 the general n−1+f bound collapses to the classic 2n−2.
+    for n in [3usize, 4, 6, 9] {
+        let out = ProtocolKind::ChainNbac.run(&Scenario::nice(n, n - 1));
+        assert_eq!(out.metrics().messages, 2 * n - 2);
+    }
+}
+
+#[test]
+fn simulation_is_bit_for_bit_deterministic() {
+    // Same scenario (including randomized chaos with a fixed seed) run
+    // twice: identical decisions, identical wire records.
+    let sc = Scenario::nice(5, 2)
+        .vote_no(2)
+        .chaos(Chaos { gst_units: 7, max_units: 4, seed: 123 })
+        .horizon(1500);
+    let a = sc.run::<ac_commit::protocols::Inbac>();
+    let b = sc.run::<ac_commit::protocols::Inbac>();
+    assert_eq!(a.decisions, b.decisions);
+    assert_eq!(a.records, b.records);
+    assert_eq!(a.crashed, b.crashed);
+    assert_eq!(a.end_time, b.end_time);
+}
+
+#[test]
+fn different_seeds_explore_different_schedules() {
+    let runs: Vec<Vec<u64>> = (0..6)
+        .map(|seed| {
+            let sc = Scenario::nice(4, 1)
+                .chaos(Chaos { gst_units: 6, max_units: 5, seed })
+                .horizon(1500);
+            let out = sc.run::<ac_commit::protocols::Inbac>();
+            out.records.iter().map(|r| r.arrival.ticks()).collect()
+        })
+        .collect();
+    let distinct: std::collections::BTreeSet<_> = runs.iter().collect();
+    assert!(distinct.len() > 1, "chaos seeds all produced identical schedules");
+}
+
+#[test]
+fn all_protocols_quiesce_in_failure_free_runs() {
+    // No protocol may leave stray timers/messages looping after deciding.
+    for kind in ProtocolKind::all() {
+        let out = kind.run(&Scenario::nice(6, 2));
+        assert!(out.quiescent, "{} did not quiesce", kind.name());
+    }
+}
+
+#[test]
+fn fast_abort_with_every_process_voting_no() {
+    let sc = Scenario::nice(4, 1).votes(&[false; 4]);
+    let out = sc.run::<ac_commit::protocols::InbacFastAbort>();
+    check(&out, &sc.votes, ProtocolKind::InbacFastAbort.cell()).assert_ok("all-no fast abort");
+    assert_eq!(out.decided_values(), vec![0]);
+    // Everyone decided unilaterally at time 0.
+    for d in &out.decisions {
+        assert_eq!(d.unwrap().0, ac_sim::Time::ZERO);
+    }
+}

@@ -1,0 +1,78 @@
+//! Exhaustive small-model verification, cross-crate.
+//!
+//! For every protocol in the suite, enumerate *all* vote vectors × single
+//! crash schedules (full and partial, on the protocol's unit grid) and
+//! check the guarantees of the protocol's Table-1 cell. This complements
+//! the per-module unit tests with complete coverage of the small model.
+
+use ac_commit::explorer::{explore, ExplorerConfig};
+use ac_commit::protocols::ProtocolKind;
+
+fn config(n: usize, f: usize, max_time: u64) -> ExplorerConfig {
+    ExplorerConfig {
+        n,
+        f,
+        crash_times: (0..=max_time).collect(),
+        partial_sends: vec![1, 2],
+        max_crashes: 1,
+        horizon_units: 500,
+    }
+}
+
+/// Crash grid long enough to cover every phase of the slowest protocols
+/// ((n−1+f)NBAC ends at n+2f; (2n−2+f)NBAC at 2n+f−2; 3PC termination at
+/// 6+f).
+fn grid_for(kind: ProtocolKind, n: usize, f: usize) -> u64 {
+    let (d, _) = kind.nice_complexity_formula(n as u64, f as u64);
+    d + 2
+}
+
+#[test]
+fn every_protocol_holds_its_cell_n3_f1() {
+    for kind in ProtocolKind::all() {
+        let cfg = config(3, 1, grid_for(kind, 3, 1));
+        let report = explore(kind, &cfg);
+        report.assert_ok(kind.name());
+        assert!(report.executions >= 8 * (1 + 3), "{}", kind.name());
+    }
+}
+
+#[test]
+fn every_protocol_holds_its_cell_n4_f1() {
+    for kind in ProtocolKind::all() {
+        let cfg = config(4, 1, grid_for(kind, 4, 1));
+        let report = explore(kind, &cfg);
+        report.assert_ok(kind.name());
+    }
+}
+
+#[test]
+fn safety_only_protocols_hold_with_f2_and_one_crash() {
+    // With f = 2 but a single crash, consensus (majority of 4) still
+    // terminates, so even the consensus-backed protocols keep their cells.
+    for kind in ProtocolKind::all() {
+        let cfg = config(4, 2, grid_for(kind, 4, 2));
+        let report = explore(kind, &cfg);
+        report.assert_ok(kind.name());
+    }
+}
+
+#[test]
+fn double_crashes_respect_safety_for_indulgent_protocols() {
+    // Two crashes out of n=5 (still a minority): INBAC and (2n−2+f)NBAC
+    // must keep full NBAC; run the double-crash explorer on a coarser time
+    // grid to bound the state space.
+    for kind in [ProtocolKind::Inbac, ProtocolKind::Nbac2n2f, ProtocolKind::PaxosCommit] {
+        let cfg = ExplorerConfig {
+            n: 5,
+            f: 2,
+            crash_times: vec![0, 1, 2, 3],
+            partial_sends: vec![1],
+            max_crashes: 2,
+            horizon_units: 500,
+        };
+        let report = explore(kind, &cfg);
+        report.assert_ok(kind.name());
+        assert!(report.executions > 1000, "{}: {}", kind.name(), report.executions);
+    }
+}

@@ -1,0 +1,143 @@
+//! Indulgence stress suite (Definition 3: *every* network-failure
+//! execution solves NBAC) for every indulgent protocol in the library,
+//! plus the INBAC agreement-proof case split of Appendix B.
+
+use ac_commit::protocols::ProtocolKind;
+use ac_commit::runner::Chaos;
+use ac_commit::{check, Scenario};
+use ac_net::{Crash, DelayRule};
+use ac_sim::{Time, U};
+
+const INDULGENT: [ProtocolKind; 4] = [
+    ProtocolKind::Inbac,
+    ProtocolKind::Nbac2n2f,
+    ProtocolKind::PaxosCommit,
+    ProtocolKind::FasterPaxosCommit,
+];
+
+#[test]
+fn chaos_storms_never_break_nbac_for_indulgent_protocols() {
+    for kind in INDULGENT {
+        for seed in 0..15 {
+            let sc = Scenario::nice(5, 2)
+                .chaos(Chaos { gst_units: 8, max_units: 5, seed })
+                .horizon(2000);
+            let out = kind.run(&sc);
+            check(&out, &sc.votes, kind.cell())
+                .assert_ok(&format!("{} seed {seed}", kind.name()));
+            assert!(
+                out.decisions.iter().all(|d| d.is_some()),
+                "{} seed {seed}: blocked",
+                kind.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn chaos_plus_crash_still_solves_nbac() {
+    // A crash *during* the asynchronous period, every indulgent protocol.
+    for kind in INDULGENT {
+        for seed in 0..8 {
+            let victim = (seed as usize) % 5;
+            let sc = Scenario::nice(5, 2)
+                .chaos(Chaos { gst_units: 8, max_units: 4, seed })
+                .crash(victim, Crash::at(Time::units(seed % 6)))
+                .horizon(2000);
+            let out = kind.run(&sc);
+            check(&out, &sc.votes, kind.cell())
+                .assert_ok(&format!("{} seed {seed} victim {victim}", kind.name()));
+            for p in 0..5 {
+                assert!(
+                    out.crashed[p] || out.decisions[p].is_some(),
+                    "{} seed {seed}: P{} blocked",
+                    kind.name(),
+                    p + 1
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn chaos_with_dissent_aborts_consistently() {
+    for kind in INDULGENT {
+        for seed in 0..8 {
+            let sc = Scenario::nice(4, 1)
+                .vote_no((seed as usize) % 4)
+                .chaos(Chaos { gst_units: 6, max_units: 4, seed })
+                .horizon(2000);
+            let out = kind.run(&sc);
+            check(&out, &sc.votes, kind.cell())
+                .assert_ok(&format!("{} seed {seed}", kind.name()));
+            // A 0-vote exists, so committing is forbidden outright.
+            assert!(!out.decided_values().contains(&1), "{} seed {seed}", kind.name());
+        }
+    }
+}
+
+// ---- The Appendix B agreement-proof case split for INBAC ----
+//
+// The proof distinguishes where the 1-decider P sits ({P1..Pf} vs
+// {Pf+1..Pn}) and shows no process R can propose 0 to consensus once P
+// decided 1 at 2U. These tests realize both cases: force P to fast-decide,
+// delay everything that would let others fast-decide, and verify the
+// consensus fallback converges to P's value.
+
+#[test]
+fn appendix_b_case_decider_in_primaries() {
+    // n=4, f=2: P1 (a primary) fast-decides; P4's acknowledgements are
+    // delayed so it must take the consensus path — and must land on 1.
+    let sc = Scenario::nice(4, 2)
+        .rule(DelayRule::link(0, 3, Time::units(1), Time::units(2), 8 * U))
+        .rule(DelayRule::link(1, 3, Time::units(1), Time::units(2), 8 * U))
+        .horizon(1000);
+    let out = sc.run::<ac_commit::protocols::Inbac>();
+    check(&out, &sc.votes, ProtocolKind::Inbac.cell()).assert_ok("case P in primaries");
+    assert_eq!(out.decided_values(), vec![1]);
+    // P1 decided fast (2U); P4 decided later via consensus.
+    assert_eq!(out.decisions[0].unwrap().0, Time::units(2));
+    assert!(out.decisions[3].unwrap().0 > Time::units(2));
+}
+
+#[test]
+fn appendix_b_case_decider_in_tail() {
+    // Mirror case: a tail process (P4) fast-decides, a primary (P2) is
+    // starved of the secondary's acknowledgement and falls back.
+    let sc = Scenario::nice(4, 2)
+        .rule(DelayRule::link(2, 1, Time::units(1), Time::units(2), 8 * U))
+        .horizon(1000);
+    let out = sc.run::<ac_commit::protocols::Inbac>();
+    check(&out, &sc.votes, ProtocolKind::Inbac.cell()).assert_ok("case P in tail");
+    assert_eq!(out.decided_values(), vec![1]);
+    assert_eq!(out.decisions[3].unwrap().0, Time::units(2), "P4 fast-decides");
+    assert!(out.decisions[1].unwrap().0 > Time::units(2), "P2 goes through consensus");
+}
+
+#[test]
+fn no_process_can_propose_zero_once_someone_fast_decided_one() {
+    // Scan one-link delays over the full ack matrix: whenever any process
+    // fast-decides 1 at 2U, every consensus-path process must also end at
+    // 1 (the heart of the Appendix B contradiction).
+    for from in 0..4usize {
+        for to in 0..4usize {
+            if from == to {
+                continue;
+            }
+            let sc = Scenario::nice(4, 2)
+                .rule(DelayRule::link(from, to, Time::ZERO, Time::units(2), 9 * U))
+                .horizon(1000);
+            let out = sc.run::<ac_commit::protocols::Inbac>();
+            check(&out, &sc.votes, ProtocolKind::Inbac.cell())
+                .assert_ok(&format!("delay {from}->{to}"));
+            let vals = out.decided_values();
+            let any_fast_one = out
+                .decisions
+                .iter()
+                .any(|d| matches!(d, Some((t, 1)) if *t == Time::units(2)));
+            if any_fast_one {
+                assert_eq!(vals, vec![1], "delay {from}->{to}: {:?}", out.decisions);
+            }
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! The same automata on real threads (ac-runtime) must reach the same
+//! decisions as in the simulator's failure-free executions.
+//!
+//! Channel latency (microseconds) is far below one delay unit (30ms here),
+//! so threaded runs are synchronous executions with small delays; the
+//! simulator's failure-free outcome is the reference.
+
+use std::time::Duration;
+
+use ac_commit::protocols::{ChainNbac, Inbac, Nbac0, Nbac1, TwoPc};
+use ac_commit::{CommitProtocol, Scenario};
+use ac_runtime::{run_threads, RtConfig};
+
+fn cfg() -> RtConfig {
+    RtConfig { unit: Duration::from_millis(30), deadline: Duration::from_secs(10) }
+}
+
+fn compare<P: CommitProtocol + Send + 'static>(votes: &[bool], f: usize)
+where
+    P::Msg: Send + 'static,
+{
+    let n = votes.len();
+    let sim = Scenario::nice(n, f).votes(votes).run::<P>();
+    let sim_vals = sim.decided_values();
+
+    let votes_owned = votes.to_vec();
+    let threads = run_threads(n, move |me| P::new(me, n, f, votes_owned[me]), cfg());
+    let thread_vals = threads.decided_values();
+
+    assert_eq!(
+        sim_vals, thread_vals,
+        "{}: simulator {:?} vs threads {:?}",
+        P::NAME, sim_vals, thread_vals
+    );
+    assert!(
+        threads.decisions.iter().all(|d| d.is_some()),
+        "{}: some thread never decided: {:?}",
+        P::NAME,
+        threads.decisions
+    );
+}
+
+#[test]
+fn inbac_commits_on_threads() {
+    compare::<Inbac>(&[true; 4], 1);
+}
+
+#[test]
+fn inbac_aborts_on_threads() {
+    compare::<Inbac>(&[true, false, true, true], 1);
+}
+
+#[test]
+fn two_pc_on_threads() {
+    compare::<TwoPc>(&[true; 4], 1);
+    compare::<TwoPc>(&[true, true, false, true], 1);
+}
+
+#[test]
+fn nbac1_on_threads() {
+    compare::<Nbac1>(&[true; 4], 1);
+}
+
+#[test]
+fn nbac0_on_threads_is_silent_and_fast() {
+    let n = 5;
+    let t0 = std::time::Instant::now();
+    let threads = run_threads(n, move |me| Nbac0::new(me, n, 2, true), cfg());
+    assert_eq!(threads.decided_values(), vec![1]);
+    assert_eq!(threads.messages, 0, "0NBAC exchanges no message in nice runs");
+    assert!(t0.elapsed() < Duration::from_secs(5));
+}
+
+#[test]
+fn chain_nbac_on_threads() {
+    // Slowest protocol here: n + 2f = 6 units of 30ms ≈ 180ms.
+    compare::<ChainNbac>(&[true; 4], 1);
+}

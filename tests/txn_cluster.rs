@@ -1,0 +1,124 @@
+//! Cross-crate integration: the transactional KV substrate driving every
+//! commit protocol.
+
+use ac_commit::protocols::ProtocolKind;
+use ac_txn::{Cluster, Key, Transaction, Workload, WorkloadConfig};
+
+fn transfer(id: u64, from: (usize, u64), to: (usize, u64), amount: i64) -> Transaction {
+    Transaction::new(id)
+        .with_add(Key::new(from.0, from.1), -amount)
+        .with_add(Key::new(to.0, to.1), amount)
+}
+
+#[test]
+fn transfers_conserve_value_under_every_protocol() {
+    let cfg = WorkloadConfig {
+        shards: 5,
+        keys_per_shard: 16,
+        workload: Workload::Transfer { amount: 10 },
+        seed: 42,
+    };
+    for kind in ProtocolKind::all() {
+        // 3PC/2PC/aNBAC etc. all decide in failure-free runs.
+        let mut cluster = Cluster::new(5, 2, kind);
+        let txns = cfg.generator().take_txns(60);
+        let stats = cluster.execute_all(&txns);
+        assert_eq!(cluster.total_value(), 0, "{}", kind.name());
+        assert_eq!(stats.transactions(), 60, "{}", kind.name());
+    }
+}
+
+#[test]
+fn commit_abort_outcomes_are_protocol_independent() {
+    let cfg = WorkloadConfig {
+        shards: 4,
+        keys_per_shard: 6,
+        workload: Workload::Skewed { span: 2, theta: 0.9 },
+        seed: 7,
+    };
+    let txns = cfg.generator().take_txns(80);
+    let mut reference: Option<Vec<bool>> = None;
+    for kind in ProtocolKind::all() {
+        let mut cluster = Cluster::new(4, 1, kind);
+        // Pipelined batches: transactions within a batch conflict.
+        let outcomes: Vec<bool> =
+            txns.chunks(8).flat_map(|c| cluster.execute_concurrent(c)).collect();
+        match &reference {
+            None => reference = Some(outcomes),
+            Some(r) => assert_eq!(r, &outcomes, "{} disagrees with reference", kind.name()),
+        }
+    }
+    // The skewed workload must actually produce both outcomes for the test
+    // to mean anything.
+    let r = reference.unwrap();
+    assert!(r.iter().any(|&c| c) && r.iter().any(|&c| !c), "degenerate workload");
+}
+
+#[test]
+fn latency_ranking_matches_the_paper() {
+    // Average commit latency in message delays: 1NBAC < {INBAC, 2PC,
+    // FasterPaxosCommit} < PaxosCommit < (n-1+f)NBAC.
+    let cfg = WorkloadConfig {
+        shards: 6,
+        keys_per_shard: 64,
+        workload: Workload::Uniform { span: 3 },
+        seed: 1,
+    };
+    let avg = |kind: ProtocolKind| {
+        let mut cluster = Cluster::new(6, 2, kind);
+        let txns = cfg.generator().take_txns(30);
+        cluster.execute_all(&txns).avg_delays()
+    };
+    let d_1nbac = avg(ProtocolKind::Nbac1);
+    let d_inbac = avg(ProtocolKind::Inbac);
+    let d_2pc = avg(ProtocolKind::TwoPc);
+    let d_fpc = avg(ProtocolKind::FasterPaxosCommit);
+    let d_pc = avg(ProtocolKind::PaxosCommit);
+    let d_chain = avg(ProtocolKind::ChainNbac);
+    assert_eq!(d_1nbac, 1.0);
+    assert_eq!(d_inbac, 2.0);
+    assert_eq!(d_2pc, 2.0);
+    assert_eq!(d_fpc, 2.0);
+    assert_eq!(d_pc, 3.0);
+    assert_eq!(d_chain, 10.0); // n + 2f
+}
+
+#[test]
+fn message_budget_ranking_matches_table5() {
+    let cfg = WorkloadConfig {
+        shards: 8,
+        keys_per_shard: 64,
+        workload: Workload::Uniform { span: 2 },
+        seed: 9,
+    };
+    let avg_m = |kind: ProtocolKind| {
+        let mut cluster = Cluster::new(8, 2, kind);
+        let txns = cfg.generator().take_txns(20);
+        cluster.execute_all(&txns).avg_messages()
+    };
+    // n=8, f=2: chain 9 < 2PC 14 < PaxosCommit 30 < INBAC 32 < faster 42 < 1NBAC 56.
+    let m_chain = avg_m(ProtocolKind::ChainNbac);
+    let m_2pc = avg_m(ProtocolKind::TwoPc);
+    let m_pc = avg_m(ProtocolKind::PaxosCommit);
+    let m_inbac = avg_m(ProtocolKind::Inbac);
+    let m_fpc = avg_m(ProtocolKind::FasterPaxosCommit);
+    let m_1nbac = avg_m(ProtocolKind::Nbac1);
+    assert!(m_chain < m_2pc && m_2pc < m_pc && m_pc < m_inbac);
+    assert!(m_inbac < m_fpc && m_fpc < m_1nbac);
+}
+
+#[test]
+fn read_validation_rejects_stale_reads_end_to_end() {
+    let mut cluster = Cluster::new(3, 1, ProtocolKind::Inbac);
+    assert!(cluster.execute(&transfer(1, (0, 0), (1, 0), 5)));
+    // A transaction that observed the pre-transfer version must abort.
+    let stale = Transaction::new(2)
+        .with_read(Key::new(0, 0), 0)
+        .with_write(Key::new(2, 0), 1);
+    assert!(!cluster.execute(&stale));
+    // After refreshing the read version it goes through.
+    let fresh = Transaction::new(3)
+        .with_read(Key::new(0, 0), 1)
+        .with_write(Key::new(2, 0), 1);
+    assert!(cluster.execute(&fresh));
+}
