@@ -13,8 +13,7 @@ fn branch_scenarios() -> Vec<(&'static str, Scenario)> {
         ("decide-AND", Scenario::nice(n, 2)),
         (
             "cons-propose-AND",
-            Scenario::nice(n, 2)
-                .rule(DelayRule::link(0, 5, Time::units(1), Time::units(2), 6 * U)),
+            Scenario::nice(n, 2).rule(DelayRule::link(0, 5, Time::units(1), Time::units(2), 6 * U)),
         ),
         (
             "cons-propose-0",
@@ -24,8 +23,7 @@ fn branch_scenarios() -> Vec<(&'static str, Scenario)> {
         ),
         (
             "help-round",
-            Scenario::nice(n, 1)
-                .rule(DelayRule::link(0, 5, Time::units(1), Time::units(2), 6 * U)),
+            Scenario::nice(n, 1).rule(DelayRule::link(0, 5, Time::units(1), Time::units(2), 6 * U)),
         ),
     ]
 }

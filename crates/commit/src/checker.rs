@@ -22,25 +22,40 @@ use crate::taxonomy::{Cell, PropSet};
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Violation {
     /// Two processes decided differently.
-    Agreement { values: Vec<u64> },
+    Agreement {
+        /// The distinct decision values observed.
+        values: Vec<u64>,
+    },
     /// Someone decided 1 although a process voted 0.
-    CommitValidity { decider: usize },
+    CommitValidity {
+        /// The process that decided 1.
+        decider: usize,
+    },
     /// Someone decided 0 although all voted 1 and no failure occurred.
-    AbortValidity { decider: usize },
+    AbortValidity {
+        /// The process that decided 0.
+        decider: usize,
+    },
     /// A correct process did not decide.
-    Termination { undecided: Vec<usize> },
+    Termination {
+        /// The correct processes left undecided.
+        undecided: Vec<usize>,
+    },
 }
 
 /// Result of checking one execution.
 #[derive(Clone, Debug)]
 pub struct CheckReport {
+    /// How the execution was classified (failure-free / crash / network).
     pub class: ExecutionClass,
     /// The property set that was actually required and checked.
     pub required: PropSet,
+    /// All violations found (empty = the execution satisfies its cell).
     pub violations: Vec<Violation>,
 }
 
 impl CheckReport {
+    /// Whether no violation was found.
     pub fn ok(&self) -> bool {
         self.violations.is_empty()
     }
@@ -50,7 +65,9 @@ impl CheckReport {
         assert!(
             self.ok(),
             "{context}: {:?} execution violates {:?}: {:?}",
-            self.class, self.required, self.violations
+            self.class,
+            self.required,
+            self.violations
         );
     }
 }
@@ -64,7 +81,11 @@ pub fn check(outcome: &Outcome, votes: &[Vote], cell: Cell) -> CheckReport {
         ExecutionClass::NetworkFailure => cell.nf,
     };
     let violations = check_props(outcome, votes, required, class);
-    CheckReport { class, required, violations }
+    CheckReport {
+        class,
+        required,
+        violations,
+    }
 }
 
 /// Check an explicit property set (used by the explorer for fine-grained
@@ -120,11 +141,24 @@ mod tests {
         crashed: Vec<bool>,
         records: Vec<MsgRecord>,
     ) -> Outcome {
-        Outcome { decisions, records, crashed, quiescent: true, end_time: Time::ZERO, trace: vec![] }
+        Outcome {
+            decisions,
+            records,
+            crashed,
+            quiescent: true,
+            end_time: Time::ZERO,
+            trace: vec![],
+        }
     }
 
     fn rec(delay_ticks: u64) -> MsgRecord {
-        MsgRecord { seq: 0, from: 0, to: 1, sent: Time::ZERO, arrival: Time(delay_ticks) }
+        MsgRecord {
+            seq: 0,
+            from: 0,
+            to: 1,
+            sent: Time::ZERO,
+            arrival: Time(delay_ticks),
+        }
     }
 
     #[test]
@@ -156,7 +190,9 @@ mod tests {
     fn commit_despite_no_vote_is_a_validity_violation() {
         let o = outcome(vec![Some((Time(U), 1)), None], vec![false, true], vec![]);
         let r = check(&o, &[true, false], Cell::INDULGENT);
-        assert!(r.violations.contains(&Violation::CommitValidity { decider: 0 }));
+        assert!(r
+            .violations
+            .contains(&Violation::CommitValidity { decider: 0 }));
     }
 
     #[test]
@@ -167,8 +203,15 @@ mod tests {
             vec![],
         );
         let r = check(&o, &[true, true], Cell::INDULGENT);
-        assert_eq!(r.violations.len(), 2, "one violation per illegitimate aborter");
-        assert!(r.violations.iter().all(|v| matches!(v, Violation::AbortValidity { .. })));
+        assert_eq!(
+            r.violations.len(),
+            2,
+            "one violation per illegitimate aborter"
+        );
+        assert!(r
+            .violations
+            .iter()
+            .all(|v| matches!(v, Violation::AbortValidity { .. })));
     }
 
     #[test]
@@ -192,7 +235,11 @@ mod tests {
 
     #[test]
     fn missing_decision_of_live_process_violates_termination() {
-        let o = outcome(vec![Some((Time(U), 0)), None], vec![false, false], vec![rec(U)]);
+        let o = outcome(
+            vec![Some((Time(U), 0)), None],
+            vec![false, false],
+            vec![rec(U)],
+        );
         // Make it a crash-failure class so AVT applies via the cell... use a
         // crash flag on P1 instead: here no crash, failure-free => NBAC.
         let r = check(&o, &[true, true], Cell::INDULGENT);

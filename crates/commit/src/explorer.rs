@@ -19,7 +19,9 @@ use crate::taxonomy::Cell;
 /// Exploration space configuration.
 #[derive(Clone, Debug)]
 pub struct ExplorerConfig {
+    /// Number of processes.
     pub n: usize,
+    /// Resilience bound (maximum tolerated crashes).
     pub f: usize,
     /// Crash instants, in delay units (the appendix protocols act on a
     /// unit grid, so unit-aligned crashes cover every interesting
@@ -52,22 +54,28 @@ impl ExplorerConfig {
 /// One counterexample found by the explorer.
 #[derive(Clone, Debug)]
 pub struct CounterExample {
+    /// Human-readable description of the failing schedule.
     pub scenario: String,
+    /// The guarantees the execution violated.
     pub violations: Vec<Violation>,
 }
 
 /// Aggregate result of an exploration.
 #[derive(Clone, Debug, Default)]
 pub struct ExplorationReport {
+    /// Total executions explored.
     pub executions: usize,
+    /// Executions that violated the protocol's cell.
     pub counterexamples: Vec<CounterExample>,
 }
 
 impl ExplorationReport {
+    /// Whether every explored execution satisfied its guarantees.
     pub fn ok(&self) -> bool {
         self.counterexamples.is_empty()
     }
 
+    /// Panic with a readable message if any counterexample was found.
     pub fn assert_ok(&self, context: &str) {
         assert!(
             self.ok(),
@@ -92,11 +100,7 @@ fn crash_options(cfg: &ExplorerConfig) -> Vec<Crash> {
 
 /// Exhaustively explore `kind` under `cfg`, checking each execution against
 /// `cell` (defaults to the protocol's own cell via [`explore`]).
-pub fn explore_against(
-    kind: ProtocolKind,
-    cell: Cell,
-    cfg: &ExplorerConfig,
-) -> ExplorationReport {
+pub fn explore_against(kind: ProtocolKind, cell: Cell, cfg: &ExplorerConfig) -> ExplorationReport {
     let mut report = ExplorationReport::default();
     let crash_opts = crash_options(cfg);
     let max_crashes = cfg.max_crashes.min(cfg.f);
@@ -189,9 +193,9 @@ mod tests {
             !report.ok(),
             "2PC cannot satisfy termination under crashes; the explorer must notice"
         );
-        assert!(report
-            .counterexamples
+        assert!(report.counterexamples.iter().all(|c| c
+            .violations
             .iter()
-            .all(|c| c.violations.iter().any(|v| matches!(v, Violation::Termination { .. }))));
+            .any(|v| matches!(v, Violation::Termination { .. }))));
     }
 }

@@ -20,6 +20,8 @@
 //! * [`runner`] — convenience entry points building a simulated world for a
 //!   protocol and scenario.
 
+#![deny(missing_docs)]
+
 pub mod checker;
 pub mod explorer;
 pub mod lower_bounds;

@@ -101,6 +101,7 @@ pub enum NoBackupMsg {
     V(bool),
     /// A collector's decision announcement.
     D(bool),
+    /// Consensus sub-protocol traffic.
     Cons(PaxosMsg),
 }
 
@@ -187,7 +188,10 @@ impl Automaton for NoBackupNbac {
                 }
             }
             NoBackupMsg::Cons(m) => {
-                let mut host = CtxHost { ctx, wrap: NoBackupMsg::Cons };
+                let mut host = CtxHost {
+                    ctx,
+                    wrap: NoBackupMsg::Cons,
+                };
                 let dec = self.cons.on_message(from, m, &mut host);
                 self.cons_decided(dec, ctx);
             }
@@ -196,7 +200,10 @@ impl Automaton for NoBackupNbac {
 
     fn on_timer(&mut self, tag: u32, ctx: &mut Ctx<NoBackupMsg>) {
         if self.cons.owns_tag(tag) {
-            let mut host = CtxHost { ctx, wrap: NoBackupMsg::Cons };
+            let mut host = CtxHost {
+                ctx,
+                wrap: NoBackupMsg::Cons,
+            };
             let dec = self.cons.on_timer(tag, &mut host);
             self.cons_decided(dec, ctx);
             return;
@@ -216,7 +223,10 @@ impl Automaton for NoBackupNbac {
                 if !self.decided && !self.proposed {
                     self.proposed = true;
                     // No announcement: something failed; propose abort.
-                    let mut host = CtxHost { ctx, wrap: NoBackupMsg::Cons };
+                    let mut host = CtxHost {
+                        ctx,
+                        wrap: NoBackupMsg::Cons,
+                    };
                     self.cons.propose(0, &mut host);
                 }
             }
@@ -281,7 +291,14 @@ impl CommitProtocol for SilentCommit {
 
     fn new(me: ProcessId, n: usize, f: usize, vote: Vote) -> Self {
         validate_params(n, f);
-        SilentCommit { me, f, vote, saw_zero: false, acks: 0, decided: false }
+        SilentCommit {
+            me,
+            f,
+            vote,
+            saw_zero: false,
+            acks: 0,
+            decided: false,
+        }
     }
 }
 
@@ -331,7 +348,9 @@ impl Automaton for SilentCommit {
 /// a commit-validity violation in a crash-failure execution. (Real INBAC
 /// aborts here: the backups' vote sets visibly miss the crashed process.)
 pub fn silent_schedule(n: usize, zero_voter: ProcessId) -> Scenario {
-    Scenario::nice(n, 2).vote_no(zero_voter).crash(zero_voter, Crash::initially())
+    Scenario::nice(n, 2)
+        .vote_no(zero_voter)
+        .crash(zero_voter, Crash::initially())
 }
 
 #[cfg(test)]
@@ -350,7 +369,11 @@ mod tests {
     fn eager_nbac_is_fine_when_synchrony_holds() {
         let out = Scenario::nice(4, 1).run::<EagerNbac>();
         assert_eq!(out.decided_values(), vec![1]);
-        assert_eq!(out.metrics().delays, Some(1), "that is the whole temptation");
+        assert_eq!(
+            out.metrics().delays,
+            Some(1),
+            "that is the whole temptation"
+        );
     }
 
     #[test]
@@ -359,7 +382,10 @@ mod tests {
         let out = sc.run::<EagerNbac>();
         let report = check(&out, &sc.votes, claimed());
         assert!(
-            report.violations.iter().any(|v| matches!(v, Violation::Agreement { .. })),
+            report
+                .violations
+                .iter()
+                .any(|v| matches!(v, Violation::Agreement { .. })),
             "expected the agreement violation of Theorem 1, got {:?}",
             report.violations
         );
@@ -392,7 +418,10 @@ mod tests {
         let out = sc.run::<NoBackupNbac>();
         let report = check(&out, &sc.votes, claimed());
         assert!(
-            report.violations.iter().any(|v| matches!(v, Violation::Agreement { .. })),
+            report
+                .violations
+                .iter()
+                .any(|v| matches!(v, Violation::Agreement { .. })),
             "expected Lemma 1's agreement violation, got {:?} (decisions {:?})",
             report.violations,
             out.decisions
@@ -429,7 +458,10 @@ mod tests {
         let out = sc.run::<SilentCommit>();
         let report = check(&out, &sc.votes, claimed());
         assert!(
-            report.violations.iter().any(|v| matches!(v, Violation::CommitValidity { .. })),
+            report
+                .violations
+                .iter()
+                .any(|v| matches!(v, Violation::CommitValidity { .. })),
             "expected Lemma 6's validity violation, got {:?}",
             report.violations
         );

@@ -18,8 +18,9 @@ use ac_sim::{Automaton, ProcessId};
 /// A vote: `true` = 1 = "yes, willing to commit", `false` = 0 = "no".
 pub type Vote = bool;
 
-/// Decision values on the wire/decision channel (the kernel records `u64`).
+/// The decision value for "commit" (the kernel records decisions as `u64`).
 pub const COMMIT: u64 = 1;
+/// The decision value for "abort".
 pub const ABORT: u64 = 0;
 
 /// Encode a boolean commit verdict as a decision value.
@@ -50,7 +51,10 @@ pub trait CommitProtocol: Automaton + Sized {
 /// Validate the paper's parameter constraints (§2.1): `n ≥ 2` processes and
 /// `1 ≤ f ≤ n−1`. Panics otherwise — protocol constructors call this.
 pub fn validate_params(n: usize, f: usize) {
-    assert!(n >= 2, "the atomic commit problem needs at least two processes (n = {n})");
+    assert!(
+        n >= 2,
+        "the atomic commit problem needs at least two processes (n = {n})"
+    );
     assert!(
         (1..n).contains(&f),
         "resilience must satisfy 1 <= f <= n-1 (n = {n}, f = {f})"

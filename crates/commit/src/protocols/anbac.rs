@@ -20,6 +20,7 @@ use crate::problem::{decision_value, validate_params, CommitProtocol, Vote};
 const TAG_CHAIN: u32 = 1;
 const TAG_OVERLAY: u32 = 2;
 
+/// aNBAC's message alphabet.
 #[derive(Clone, Debug)]
 pub enum ANbacMsg {
     /// Chain message carrying the AND so far.
@@ -307,9 +308,13 @@ mod tests {
     fn network_failure_keeps_agreement_only() {
         // Delay one ack: the 0-voter noops (never decides); the B0 round
         // still aborts the 1-voters consistently, or everyone noops.
-        let sc = Scenario::nice(4, 1)
-            .vote_no(0)
-            .rule(DelayRule::link(1, 0, Time::ZERO, Time::units(10), 8 * U));
+        let sc = Scenario::nice(4, 1).vote_no(0).rule(DelayRule::link(
+            1,
+            0,
+            Time::ZERO,
+            Time::units(10),
+            8 * U,
+        ));
         let out = sc.run::<ANbac>();
         let report = check(&out, &sc.votes, ProtocolKind::ANbac.cell());
         report.assert_ok("delayed ack");

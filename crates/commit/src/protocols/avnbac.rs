@@ -20,9 +20,12 @@ use crate::problem::{decision_value, validate_params, CommitProtocol, Vote};
 
 const TAG: u32 = 1;
 
+/// avNBAC's message alphabet.
 #[derive(Clone, Debug)]
 pub enum AvMsg {
+    /// A vote.
     V(bool),
+    /// A backup relay of a learnt vote conjunction.
     B(bool),
 }
 
@@ -92,7 +95,13 @@ impl CommitProtocol for AvNbacMsgOpt {
         validate_params(n, f);
         let mut got = vec![false; n];
         got[me] = true;
-        AvNbacMsgOpt { me, n, votes: vote, received_b: false, got }
+        AvNbacMsgOpt {
+            me,
+            n,
+            votes: vote,
+            received_b: false,
+            got,
+        }
     }
 }
 

@@ -22,6 +22,7 @@ use crate::problem::{decision_value, validate_params, CommitProtocol, Vote};
 
 const TAG: u32 = 1;
 
+/// The chain message: the AND of all votes seen so far.
 #[derive(Clone, Debug)]
 pub struct ChainMsg(pub bool);
 
@@ -71,7 +72,16 @@ impl CommitProtocol for ChainNbac {
 
     fn new(me: ProcessId, n: usize, f: usize, vote: Vote) -> Self {
         validate_params(n, f);
-        ChainNbac { me, n, f, decision: vote, decided: false, delivered: false, phase: 0, echoed: false }
+        ChainNbac {
+            me,
+            n,
+            f,
+            decision: vote,
+            decided: false,
+            delivered: false,
+            phase: 0,
+            echoed: false,
+        }
     }
 }
 
@@ -225,8 +235,7 @@ mod tests {
         // Cell (AVT, T): under a network failure only termination is
         // promised. Delay the whole chain: everyone still decides at the
         // nooping deadline.
-        let sc = Scenario::nice(4, 1)
-            .rule(DelayRule::from_process(0, 20 * U));
+        let sc = Scenario::nice(4, 1).rule(DelayRule::from_process(0, 20 * U));
         let out = sc.run::<ChainNbac>();
         assert!(out.decisions.iter().all(|d| d.is_some()));
     }

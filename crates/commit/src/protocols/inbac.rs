@@ -57,6 +57,7 @@ fn vs_and_complete(set: &VoteSet, n: usize) -> Option<bool> {
     }
 }
 
+/// INBAC's message alphabet (Appendix A pseudocode).
 #[derive(Clone, Debug)]
 pub enum InbacMsg {
     /// `[V, v]` — a vote sent to its backups.
@@ -159,7 +160,10 @@ impl InbacCore {
         if !self.proposed && !self.decided {
             self.proposed = true;
             ctx.trace(|| format!("cons-propose {}", v as u8));
-            let mut host = CtxHost { ctx, wrap: InbacMsg::Cons };
+            let mut host = CtxHost {
+                ctx,
+                wrap: InbacMsg::Cons,
+            };
             self.cons.propose(decision_value(v), &mut host);
         }
     }
@@ -192,7 +196,10 @@ impl InbacCore {
     ///   itself arrives through its own (free) self-broadcast.
     fn acks_complete(&self) -> Option<bool> {
         let find = |p: ProcessId| {
-            self.collection1.iter().find(|(q, _)| *q == p).map(|(_, c)| c)
+            self.collection1
+                .iter()
+                .find(|(q, _)| *q == p)
+                .map(|(_, c)| c)
         };
         let mut union = VoteSet::new();
         for p in 0..self.f {
@@ -325,7 +332,10 @@ impl InbacCore {
                 self.decide(false, ctx);
             }
             InbacMsg::Cons(m) => {
-                let mut host = CtxHost { ctx, wrap: InbacMsg::Cons };
+                let mut host = CtxHost {
+                    ctx,
+                    wrap: InbacMsg::Cons,
+                };
                 let dec = self.cons.on_message(from, m, &mut host);
                 self.cons_decided(dec, ctx);
             }
@@ -334,7 +344,10 @@ impl InbacCore {
 
     fn on_timer(&mut self, tag: u32, ctx: &mut Ctx<InbacMsg>) {
         if self.cons.owns_tag(tag) {
-            let mut host = CtxHost { ctx, wrap: InbacMsg::Cons };
+            let mut host = CtxHost {
+                ctx,
+                wrap: InbacMsg::Cons,
+            };
             let dec = self.cons.on_timer(tag, &mut host);
             self.cons_decided(dec, ctx);
             return;
@@ -504,7 +517,11 @@ mod tests {
         let sc = Scenario::nice(5, 2).vote_no(3);
         let out = sc.run::<InbacFastAbort>();
         assert_eq!(out.decided_values(), vec![0]);
-        assert_eq!(out.decisions[3].unwrap().0, Time::ZERO, "0-voter decides instantly");
+        assert_eq!(
+            out.decisions[3].unwrap().0,
+            Time::ZERO,
+            "0-voter decides instantly"
+        );
         for p in [0usize, 1, 2, 4] {
             assert_eq!(out.decisions[p].unwrap().0, Time::units(1), "P{}", p + 1);
         }
@@ -547,12 +564,14 @@ mod tests {
         // Indulgence: delayed acknowledgements push processes into the
         // consensus path but NBAC still holds (this is Definition 3).
         for delayed in 0..4usize {
-            let sc = Scenario::nice(4, 1)
-                .rule(DelayRule::from_process(delayed, 5 * U));
+            let sc = Scenario::nice(4, 1).rule(DelayRule::from_process(delayed, 5 * U));
             let out = sc.run::<Inbac>();
             check(&out, &sc.votes, ProtocolKind::Inbac.cell())
                 .assert_ok(&format!("delayed={delayed}"));
-            assert!(out.decisions.iter().all(|d| d.is_some()), "delayed={delayed}");
+            assert!(
+                out.decisions.iter().all(|d| d.is_some()),
+                "delayed={delayed}"
+            );
         }
     }
 
@@ -562,9 +581,13 @@ mod tests {
         // P4 gets no ack at 2U, asks P2..P4 for help, and completes via
         // [HELPED] replies.
         let n = 4;
-        let sc = Scenario::nice(n, 1)
-            .traced()
-            .rule(DelayRule::link(0, 3, Time::units(1), Time::units(2), 6 * U));
+        let sc = Scenario::nice(n, 1).traced().rule(DelayRule::link(
+            0,
+            3,
+            Time::units(1),
+            Time::units(2),
+            6 * U,
+        ));
         let out = sc.run::<Inbac>();
         check(&out, &sc.votes, ProtocolKind::Inbac.cell()).assert_ok("slow primary");
         assert!(out.decisions.iter().all(|d| d.is_some()));
@@ -590,7 +613,11 @@ mod tests {
         let sc = Scenario::nice(5, 1).crash(0, Crash::at(Time::units(1)));
         let out = sc.run::<Inbac>();
         check(&out, &sc.votes, ProtocolKind::Inbac.cell()).assert_ok("primary crash");
-        assert!(out.decisions.iter().enumerate().all(|(p, d)| p == 0 || d.is_some()));
+        assert!(out
+            .decisions
+            .iter()
+            .enumerate()
+            .all(|(p, d)| p == 0 || d.is_some()));
     }
 
     #[test]

@@ -50,23 +50,38 @@ pub(crate) fn etime(k: u64) -> Time {
 /// Every protocol in the suite, for uniform dispatch by harness/benches.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub enum ProtocolKind {
+    /// INBAC (§5) — the paper's new indulgent protocol.
     Inbac,
+    /// INBAC with the §5.2 fast-abort optimization.
     InbacFastAbort,
+    /// 1NBAC — one-delay, consensus-backed (Theorem 3).
     Nbac1,
+    /// 0NBAC — zero-delay in the all-Yes nice execution.
     Nbac0,
+    /// aNBAC — asynchronous, always runs consensus.
     ANbac,
+    /// avNBAC, delay-optimal variant.
     AvNbacDelayOpt,
+    /// avNBAC, message-optimal variant.
     AvNbacMsgOpt,
+    /// (n−1+f)NBAC — chain broadcast.
     ChainNbac,
+    /// (2n−2)NBAC — star broadcast, no fault tolerance on termination.
     Nbac2n2,
+    /// (2n−2+f)NBAC — star broadcast plus HELP round.
     Nbac2n2f,
+    /// Two-phase commit (blocking baseline).
     TwoPc,
+    /// Three-phase commit (non-blocking synchronous baseline).
     ThreePc,
+    /// PaxosCommit (Gray & Lamport).
     PaxosCommit,
+    /// Faster PaxosCommit — phase-2a pre-assignment.
     FasterPaxosCommit,
 }
 
 impl ProtocolKind {
+    /// Every protocol, in Table-1 presentation order.
     pub fn all() -> [ProtocolKind; 14] {
         use ProtocolKind::*;
         [
@@ -87,6 +102,7 @@ impl ProtocolKind {
         ]
     }
 
+    /// The paper's display name for this protocol.
     pub fn name(self) -> &'static str {
         match self {
             ProtocolKind::Inbac => Inbac::NAME,
@@ -247,7 +263,10 @@ mod tests {
         let recs = ProtocolKind::recommend(Cell::new(PropSet::A, PropSet::V), 5, 1);
         assert!(recs.contains(&ProtocolKind::AvNbacMsgOpt));
         assert!(recs.contains(&ProtocolKind::Nbac1));
-        assert!(!recs.contains(&ProtocolKind::Nbac0), "0NBAC has no validity");
+        assert!(
+            !recs.contains(&ProtocolKind::Nbac0),
+            "0NBAC has no validity"
+        );
     }
 
     #[test]
@@ -271,7 +290,12 @@ mod tests {
                 let b = kind.cell().bounds(n, f);
                 let (d, m) = kind.nice_complexity_formula(n as u64, f as u64);
                 assert!(d >= b.delays, "{}: d {d} < bound {}", kind.name(), b.delays);
-                assert!(m >= b.messages, "{}: m {m} < bound {}", kind.name(), b.messages);
+                assert!(
+                    m >= b.messages,
+                    "{}: m {m} < bound {}",
+                    kind.name(),
+                    b.messages
+                );
             }
         }
     }

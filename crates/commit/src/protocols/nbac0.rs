@@ -22,11 +22,16 @@ use crate::problem::{validate_params, CommitProtocol, Vote};
 const TAG1: u32 = 1;
 const TAG2: u32 = 2;
 
+/// 0NBAC's message alphabet.
 #[derive(Clone, Debug)]
 pub enum Nbac0Msg {
+    /// An explicit abort vote.
     V0,
+    /// Abort backup by a 1-voter that learnt of a 0.
     B0,
+    /// Acknowledgement of a vote broadcast.
     Ack,
+    /// Consensus sub-protocol traffic.
     Cons(PaxosMsg),
 }
 
@@ -98,7 +103,10 @@ impl Automaton for Nbac0 {
                 self.myack[from] = true;
             }
             Nbac0Msg::Cons(m) => {
-                let mut host = CtxHost { ctx, wrap: Nbac0Msg::Cons };
+                let mut host = CtxHost {
+                    ctx,
+                    wrap: Nbac0Msg::Cons,
+                };
                 let dec = self.cons.on_message(from, m, &mut host);
                 self.cons_decided(dec, ctx);
             }
@@ -107,7 +115,10 @@ impl Automaton for Nbac0 {
 
     fn on_timer(&mut self, tag: u32, ctx: &mut Ctx<Nbac0Msg>) {
         if self.cons.owns_tag(tag) {
-            let mut host = CtxHost { ctx, wrap: Nbac0Msg::Cons };
+            let mut host = CtxHost {
+                ctx,
+                wrap: Nbac0Msg::Cons,
+            };
             let dec = self.cons.on_timer(tag, &mut host);
             self.cons_decided(dec, ctx);
             return;
@@ -136,7 +147,10 @@ impl Automaton for Nbac0 {
                     // Anyone silent may have decided 1 at time U; in that
                     // case agreement forces us toward 1.
                     let v = if self.myack.iter().all(|&a| a) { 0 } else { 1 };
-                    let mut host = CtxHost { ctx, wrap: Nbac0Msg::Cons };
+                    let mut host = CtxHost {
+                        ctx,
+                        wrap: Nbac0Msg::Cons,
+                    };
                     self.cons.propose(v, &mut host);
                 }
             }
@@ -201,12 +215,20 @@ mod tests {
     fn delayed_v0_is_survived() {
         // [V,0] from P2 reaches P4 late (network failure): P4 decides 1
         // fast; the others must follow via agreement.
-        let sc = Scenario::nice(4, 1)
-            .vote_no(1)
-            .rule(DelayRule::link(1, 3, Time::ZERO, Time::units(1), 3 * U));
+        let sc = Scenario::nice(4, 1).vote_no(1).rule(DelayRule::link(
+            1,
+            3,
+            Time::ZERO,
+            Time::units(1),
+            3 * U,
+        ));
         let out = sc.run::<Nbac0>();
         check(&out, &sc.votes, ProtocolKind::Nbac0.cell()).assert_ok("delayed V0");
-        assert_eq!(out.decided_values(), vec![1], "fast decider drags everyone to 1");
+        assert_eq!(
+            out.decided_values(),
+            vec![1],
+            "fast decider drags everyone to 1"
+        );
     }
 
     #[test]

@@ -21,10 +21,14 @@ use crate::problem::{decision_value, validate_params, CommitProtocol, Vote};
 const TAG1: u32 = 1;
 const TAG2: u32 = 2;
 
+/// 1NBAC's message alphabet.
 #[derive(Clone, Debug)]
 pub enum Nbac1Msg {
+    /// A vote.
     V(bool),
+    /// A relayed decision proposal.
     D(bool),
+    /// Consensus sub-protocol traffic.
     Cons(PaxosMsg),
 }
 
@@ -87,7 +91,10 @@ impl Automaton for Nbac1 {
                 self.decision = d;
             }
             Nbac1Msg::Cons(m) => {
-                let mut host = CtxHost { ctx, wrap: Nbac1Msg::Cons };
+                let mut host = CtxHost {
+                    ctx,
+                    wrap: Nbac1Msg::Cons,
+                };
                 let dec = self.cons.on_message(from, m, &mut host);
                 self.cons_decided(dec, ctx);
             }
@@ -96,7 +103,10 @@ impl Automaton for Nbac1 {
 
     fn on_timer(&mut self, tag: u32, ctx: &mut Ctx<Nbac1Msg>) {
         if self.cons.owns_tag(tag) {
-            let mut host = CtxHost { ctx, wrap: Nbac1Msg::Cons };
+            let mut host = CtxHost {
+                ctx,
+                wrap: Nbac1Msg::Cons,
+            };
             let dec = self.cons.on_timer(tag, &mut host);
             self.cons_decided(dec, ctx);
             return;
@@ -123,7 +133,10 @@ impl Automaton for Nbac1 {
                     }
                     self.proposed = true;
                     let v = decision_value(self.decision);
-                    let mut host = CtxHost { ctx, wrap: Nbac1Msg::Cons };
+                    let mut host = CtxHost {
+                        ctx,
+                        wrap: Nbac1Msg::Cons,
+                    };
                     self.cons.propose(v, &mut host);
                 }
             }
@@ -197,7 +210,8 @@ mod tests {
     fn decision_broadcast_rescues_slow_collectors() {
         // P1's vote reaches everyone but P4 in time; P4 waits for a [D,d]
         // and decides from it without consensus.
-        let sc = Scenario::nice(4, 1).rule(DelayRule::link(0, 3, Time::ZERO, Time::units(1), 2 * U));
+        let sc =
+            Scenario::nice(4, 1).rule(DelayRule::link(0, 3, Time::ZERO, Time::units(1), 2 * U));
         let out = sc.run::<Nbac1>();
         // All must decide 1: three processes decide at 1 delay; P4 receives
         // the [D,1] broadcast, proposes 1 to consensus and adopts its

@@ -16,9 +16,12 @@ use crate::problem::{decision_value, validate_params, CommitProtocol, Vote};
 
 const TAG: u32 = 1;
 
+/// (2n−2)NBAC's message alphabet.
 #[derive(Clone, Debug)]
 pub enum B2n2Msg {
+    /// A vote sent to the hub P1.
     V(bool),
+    /// The hub's broadcast of the conjunction.
     B(bool),
 }
 
@@ -57,7 +60,16 @@ impl CommitProtocol for Nbac2n2 {
         validate_params(n, f);
         let mut got = vec![false; n];
         got[me] = true;
-        Nbac2n2 { me, n, f, votes: vote, received_b: false, phase: 0, got, sent_b0: false }
+        Nbac2n2 {
+            me,
+            n,
+            f,
+            votes: vote,
+            received_b: false,
+            phase: 0,
+            got,
+            sent_b0: false,
+        }
     }
 }
 
@@ -152,8 +164,7 @@ mod tests {
         let n = 5;
         for reached in 0..n {
             for f in 1..n {
-                let sc =
-                    Scenario::nice(n, f).crash(n - 1, Crash::partial(Time::units(1), reached));
+                let sc = Scenario::nice(n, f).crash(n - 1, Crash::partial(Time::units(1), reached));
                 let out = sc.run::<Nbac2n2>();
                 check(&out, &sc.votes, ProtocolKind::Nbac2n2.cell())
                     .assert_ok(&format!("reached={reached} f={f}"));

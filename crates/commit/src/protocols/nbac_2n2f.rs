@@ -21,13 +21,20 @@ use crate::problem::{decision_value, validate_params, CommitProtocol, Vote};
 
 const TAG: u32 = 1;
 
+/// (2n−2+f)NBAC's message alphabet.
 #[derive(Clone, Debug)]
 pub enum C2n2fMsg {
+    /// A vote sent to the hub P1.
     V(bool),
+    /// The hub's broadcast of the conjunction.
     B(bool),
+    /// The hub's backup broadcast to the f witnesses.
     Z(bool),
+    /// Solicit a witness's learnt state.
     Help,
+    /// Reply to `Help`.
     Helped(bool),
+    /// Consensus sub-protocol traffic.
     Cons(PaxosMsg),
 }
 
@@ -66,7 +73,10 @@ impl Nbac2n2f {
     fn cons_propose(&mut self, v: bool, ctx: &mut Ctx<C2n2fMsg>) {
         if !self.proposed {
             self.proposed = true;
-            let mut host = CtxHost { ctx, wrap: C2n2fMsg::Cons };
+            let mut host = CtxHost {
+                ctx,
+                wrap: C2n2fMsg::Cons,
+            };
             self.cons.propose(decision_value(v), &mut host);
         }
     }
@@ -158,7 +168,10 @@ impl Automaton for Nbac2n2f {
                 }
             }
             C2n2fMsg::Cons(m) => {
-                let mut host = CtxHost { ctx, wrap: C2n2fMsg::Cons };
+                let mut host = CtxHost {
+                    ctx,
+                    wrap: C2n2fMsg::Cons,
+                };
                 let dec = self.cons.on_message(from, m, &mut host);
                 self.cons_decided(dec, ctx);
             }
@@ -167,7 +180,10 @@ impl Automaton for Nbac2n2f {
 
     fn on_timer(&mut self, tag: u32, ctx: &mut Ctx<C2n2fMsg>) {
         if self.cons.owns_tag(tag) {
-            let mut host = CtxHost { ctx, wrap: C2n2fMsg::Cons };
+            let mut host = CtxHost {
+                ctx,
+                wrap: C2n2fMsg::Cons,
+            };
             let dec = self.cons.on_timer(tag, &mut host);
             self.cons_decided(dec, ctx);
             return;
@@ -324,8 +340,8 @@ mod tests {
     fn network_failure_executions_solve_nbac() {
         // Break the confirmation chain with a delay: indulgence demands
         // NBAC still holds.
-        let sc = Scenario::nice(4, 1)
-            .rule(DelayRule::link(3, 0, Time::ZERO, Time::units(20), 10 * U));
+        let sc =
+            Scenario::nice(4, 1).rule(DelayRule::link(3, 0, Time::ZERO, Time::units(20), 10 * U));
         let out = sc.run::<Nbac2n2f>();
         check(&out, &sc.votes, ProtocolKind::Nbac2n2f.cell()).assert_ok("broken B chain");
         assert!(out.decisions.iter().all(|d| d.is_some()));

@@ -29,30 +29,64 @@ const ROUND_TICKS: u64 = 8 * U;
 const ROUND_GROWTH: u64 = 4 * U;
 const TAG_ROUND_BASE: u32 = 16;
 
+/// PaxosCommit's message alphabet.
 #[derive(Clone, Debug)]
 pub enum PcMsg {
     /// Ballot-0 phase 2a: RM `rm` registers its vote at an acceptor.
-    Vote2a { rm: ProcessId, vote: bool },
+    Vote2a {
+        /// The resource manager whose vote this is.
+        rm: ProcessId,
+        /// The vote.
+        vote: bool,
+    },
     /// An acceptor's bundled ballot-0 phase 2b covering all instances.
-    Bundle0 { vals: Vec<(ProcessId, bool)> },
+    Bundle0 {
+        /// `(instance, vote)` pairs the acceptor accepted at ballot 0.
+        vals: Vec<(ProcessId, bool)>,
+    },
     /// Recovery phase 1a for all instances.
-    Prepare { bal: u64 },
+    Prepare {
+        /// The recovery ballot.
+        bal: u64,
+    },
     /// Recovery phase 1b: per-instance highest accepted (instance, ballot,
     /// value).
-    Promise { bal: u64, accepted: Vec<(ProcessId, u64, bool)> },
+    Promise {
+        /// The ballot being promised.
+        bal: u64,
+        /// Per-instance `(instance, ballot, value)` of the highest accept.
+        accepted: Vec<(ProcessId, u64, bool)>,
+    },
     /// Recovery phase 2a with a value for every instance.
-    Accept { bal: u64, vals: Vec<(ProcessId, bool)> },
+    Accept {
+        /// The recovery ballot.
+        bal: u64,
+        /// A value for every instance.
+        vals: Vec<(ProcessId, bool)>,
+    },
     /// Recovery phase 2b.
-    Accepted { bal: u64 },
+    Accepted {
+        /// The ballot that was accepted.
+        bal: u64,
+    },
     /// The commit/abort outcome announcement.
-    Outcome { commit: bool },
+    Outcome {
+        /// Whether the transaction committed.
+        commit: bool,
+    },
 }
 
 #[derive(Clone, Debug, PartialEq, Eq)]
 enum LeaderPhase {
     Idle,
-    Preparing { promises: Vec<ProcessId>, best: Vec<(ProcessId, u64, bool)> },
-    Accepting { accepts: Vec<ProcessId>, commit: bool },
+    Preparing {
+        promises: Vec<ProcessId>,
+        best: Vec<(ProcessId, u64, bool)>,
+    },
+    Accepting {
+        accepts: Vec<ProcessId>,
+        commit: bool,
+    },
 }
 
 /// Shared machinery of both variants.
@@ -166,8 +200,12 @@ impl PaxosCommitCore {
             return;
         }
         self.sent_bundle = true;
-        let vals: Vec<(ProcessId, bool)> =
-            self.accepted.iter().enumerate().map(|(rm, a)| (rm, a.unwrap().1)).collect();
+        let vals: Vec<(ProcessId, bool)> = self
+            .accepted
+            .iter()
+            .enumerate()
+            .map(|(rm, a)| (rm, a.unwrap().1))
+            .collect();
         if self.faster {
             // Everyone is a learner.
             ctx.broadcast(PcMsg::Bundle0 { vals });
@@ -184,7 +222,10 @@ impl PaxosCommitCore {
     fn start_recovery(&mut self, ctx: &mut Ctx<PcMsg>) {
         let bal = self.round;
         debug_assert!(bal >= 1 && self.leader_of(bal) == self.me);
-        self.phase = LeaderPhase::Preparing { promises: Vec::new(), best: Vec::new() };
+        self.phase = LeaderPhase::Preparing {
+            promises: Vec::new(),
+            best: Vec::new(),
+        };
         for a in 0..self.acceptor_count() {
             ctx.send(a, PcMsg::Prepare { bal });
         }
@@ -193,7 +234,13 @@ impl PaxosCommitCore {
     fn on_start(&mut self, ctx: &mut Ctx<PcMsg>) {
         // Ballot-0 phase 2a to the active acceptors.
         for a in 0..self.active_count() {
-            ctx.send(a, PcMsg::Vote2a { rm: self.me, vote: self.vote });
+            ctx.send(
+                a,
+                PcMsg::Vote2a {
+                    rm: self.me,
+                    vote: self.vote,
+                },
+            );
         }
         self.arm_round_timer(ctx);
     }
@@ -218,7 +265,12 @@ impl PaxosCommitCore {
                 if self.decided {
                     // Short-circuit stragglers: the outcome is enough for
                     // them to decide, no per-instance state needed.
-                    ctx.send(from, PcMsg::Outcome { commit: self.outcome_cache });
+                    ctx.send(
+                        from,
+                        PcMsg::Outcome {
+                            commit: self.outcome_cache,
+                        },
+                    );
                 } else if self.is_acceptor() && bal > self.promised {
                     self.promised = bal;
                     let accepted: Vec<(ProcessId, u64, bool)> = self
@@ -263,10 +315,18 @@ impl PaxosCommitCore {
                             })
                             .collect();
                         let commit = vals.iter().all(|&(_, v)| v);
-                        self.phase =
-                            LeaderPhase::Accepting { accepts: Vec::new(), commit };
+                        self.phase = LeaderPhase::Accepting {
+                            accepts: Vec::new(),
+                            commit,
+                        };
                         for a in 0..self.acceptor_count() {
-                            ctx.send(a, PcMsg::Accept { bal, vals: vals.clone() });
+                            ctx.send(
+                                a,
+                                PcMsg::Accept {
+                                    bal,
+                                    vals: vals.clone(),
+                                },
+                            );
                         }
                     }
                 }
@@ -408,9 +468,10 @@ mod tests {
         // An RM crashes before registering its vote: ballot 0 never
         // completes; the recovery leader aborts its instance.
         let sc = Scenario::nice(5, 2).crash(4, Crash::initially());
-        for (nm, out) in
-            [("basic", sc.run::<PaxosCommit>()), ("faster", sc.run::<FasterPaxosCommit>())]
-        {
+        for (nm, out) in [
+            ("basic", sc.run::<PaxosCommit>()),
+            ("faster", sc.run::<FasterPaxosCommit>()),
+        ] {
             check(&out, &sc.votes, ProtocolKind::PaxosCommit.cell()).assert_ok(nm);
             assert_eq!(out.decided_values(), vec![0], "{nm}");
             for p in 0..4 {
@@ -439,8 +500,8 @@ mod tests {
         use ac_sim::U;
         // The leader's bundle path is delayed: recovery kicks in, agreement
         // and termination still hold (NBAC in a network-failure execution).
-        let sc = Scenario::nice(5, 1)
-            .rule(DelayRule::link(1, 0, Time::ZERO, Time::units(30), 25 * U));
+        let sc =
+            Scenario::nice(5, 1).rule(DelayRule::link(1, 0, Time::ZERO, Time::units(30), 25 * U));
         let out = sc.run::<PaxosCommit>();
         check(&out, &sc.votes, ProtocolKind::PaxosCommit.cell()).assert_ok("delayed bundle");
         assert!(out.decisions.iter().all(|d| d.is_some()));

@@ -28,9 +28,13 @@ const TAG_TERM_ROUND: u32 = 4;
 /// Local commit state, as in Skeen's protocol.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum PcState {
+    /// Decided abort (or never voted yes).
     Aborted,
+    /// Voted yes, has not seen pre-commit.
     Uncertain,
+    /// Received pre-commit, not yet committed.
     Prepared,
+    /// Decided commit.
     Committed,
 }
 
@@ -61,12 +65,18 @@ impl StateMask {
     }
 }
 
+/// 3PC's message alphabet.
 #[derive(Clone, Debug)]
 pub enum ThreePcMsg {
+    /// A participant's vote.
     V(bool),
+    /// Coordinator: prepare to commit.
     PreCommit,
+    /// Participant acknowledges the pre-commit.
     AckPc,
+    /// Coordinator: commit.
     DoCommit,
+    /// Coordinator: abort.
     DoAbort,
     /// Termination protocol: the sender's accumulated state mask.
     States(u8),
@@ -102,7 +112,11 @@ impl ThreePc {
     fn decide(&mut self, commit: bool, ctx: &mut Ctx<ThreePcMsg>) {
         if !self.decided {
             self.decided = true;
-            self.state = if commit { PcState::Committed } else { PcState::Aborted };
+            self.state = if commit {
+                PcState::Committed
+            } else {
+                PcState::Aborted
+            };
             ctx.decide(decision_value(commit));
         }
     }
@@ -127,7 +141,11 @@ impl CommitProtocol for ThreePc {
             n,
             f,
             vote,
-            state: if vote { PcState::Uncertain } else { PcState::Aborted },
+            state: if vote {
+                PcState::Uncertain
+            } else {
+                PcState::Aborted
+            },
             decided: false,
             votes_all: true,
             got_vote: vec![false; n],

@@ -11,6 +11,7 @@ use ac_sim::{Automaton, Ctx, ProcessId, Time};
 
 use crate::problem::{decision_value, validate_params, CommitProtocol, Vote};
 
+/// 2PC's message alphabet.
 #[derive(Clone, Debug)]
 pub enum TwoPcMsg {
     /// A participant's vote.
@@ -49,7 +50,14 @@ impl CommitProtocol for TwoPc {
 
     fn new(me: ProcessId, n: usize, f: usize, vote: Vote) -> Self {
         validate_params(n, f);
-        TwoPc { me, n, vote, votes_all: true, got: vec![false; n], decided: false }
+        TwoPc {
+            me,
+            n,
+            vote,
+            votes_all: true,
+            got: vec![false; n],
+            decided: false,
+        }
     }
 }
 
@@ -127,7 +135,9 @@ mod tests {
 
     #[test]
     fn participant_crash_aborts() {
-        let out = Scenario::nice(4, 1).crash(1, Crash::initially()).run::<TwoPc>();
+        let out = Scenario::nice(4, 1)
+            .crash(1, Crash::initially())
+            .run::<TwoPc>();
         assert_eq!(out.decided_values(), vec![0]);
         // The three live processes all decided.
         for p in [0, 2, 3] {
@@ -137,7 +147,9 @@ mod tests {
 
     #[test]
     fn coordinator_crash_blocks_participants() {
-        let out = Scenario::nice(4, 1).crash(3, Crash::at(Time::units(1))).run::<TwoPc>();
+        let out = Scenario::nice(4, 1)
+            .crash(3, Crash::at(Time::units(1)))
+            .run::<TwoPc>();
         // Nobody ever decides: the protocol is blocking.
         assert!(out.decisions.iter().all(|d| d.is_none()));
         assert!(out.quiescent, "2PC must quiesce even when blocked");
@@ -158,7 +170,9 @@ mod tests {
     fn coordinator_partial_broadcast_still_agrees() {
         // Coordinator crashes mid-outcome-broadcast: some participants get
         // D(1), the rest block. Agreement among deciders holds.
-        let out = Scenario::nice(5, 1).crash(4, Crash::partial(Time::units(1), 2)).run::<TwoPc>();
+        let out = Scenario::nice(5, 1)
+            .crash(4, Crash::partial(Time::units(1), 2))
+            .run::<TwoPc>();
         let vals = out.decided_values();
         assert!(vals.len() <= 1, "two different decisions: {vals:?}");
         let decided = out.decisions.iter().flatten().count();

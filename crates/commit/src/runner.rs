@@ -17,23 +17,33 @@ use crate::problem::{CommitProtocol, Vote};
 /// exactly `U` afterwards.
 #[derive(Copy, Clone, Debug)]
 pub struct Chaos {
+    /// Global stabilization time, in delay units.
     pub gst_units: u64,
+    /// Maximum pre-GST delay, in delay units.
     pub max_units: u64,
+    /// Seed of the deterministic delay stream.
     pub seed: u64,
 }
 
 /// A declarative execution scenario.
 #[derive(Clone, Debug)]
 pub struct Scenario {
+    /// Number of processes.
     pub n: usize,
+    /// Resilience bound (maximum tolerated crashes).
     pub f: usize,
+    /// Each process's vote.
     pub votes: Vec<Vote>,
+    /// Crash schedule.
     pub crashes: Vec<(ProcessId, Crash)>,
+    /// Targeted delay overrides, first match wins.
     pub rules: Vec<DelayRule>,
+    /// Optional randomized pre-GST chaos (overrides `rules`).
     pub chaos: Option<Chaos>,
     /// Run horizon in delay units. The default (600) dwarfs every protocol's
     /// own schedule plus several consensus coordinator rotations.
     pub horizon_units: u64,
+    /// Record a full execution trace.
     pub trace: bool,
 }
 
@@ -90,6 +100,7 @@ impl Scenario {
         self
     }
 
+    /// Set the run horizon, in delay units.
     pub fn horizon(mut self, units: u64) -> Scenario {
         self.horizon_units = units;
         self
@@ -104,14 +115,18 @@ impl Scenario {
     }
 
     fn world_config(&self) -> WorldConfig {
-        WorldConfig { horizon: Time::units(self.horizon_units), trace: self.trace }
+        WorldConfig {
+            horizon: Time::units(self.horizon_units),
+            trace: self.trace,
+        }
     }
 
     /// Run protocol `P` on this scenario.
     pub fn run<P: CommitProtocol>(&self) -> Outcome {
         assert_eq!(self.votes.len(), self.n);
-        let procs: Vec<P> =
-            (0..self.n).map(|me| P::new(me, self.n, self.f, self.votes[me])).collect();
+        let procs: Vec<P> = (0..self.n)
+            .map(|me| P::new(me, self.n, self.f, self.votes[me]))
+            .collect();
         let delay: Box<dyn ac_net::DelayModel> = match self.chaos {
             None => Box::new(RuleDelay::over_unit(self.rules.clone())),
             Some(c) => Box::new(RuleDelay::new(
@@ -126,9 +141,7 @@ impl Scenario {
     /// message rule/chaos). Note a delay rule of exactly `U` is not a
     /// failure.
     pub fn injects_failure(&self) -> bool {
-        !self.crashes.is_empty()
-            || self.chaos.is_some()
-            || self.rules.iter().any(|r| r.delay > U)
+        !self.crashes.is_empty() || self.chaos.is_some() || self.rules.iter().any(|r| r.delay > U)
     }
 }
 
@@ -138,6 +151,20 @@ pub fn run_nice<P: CommitProtocol>(n: usize, f: usize) -> Outcome {
 }
 
 /// Run `P` on explicit votes with unit delays and no failures.
+///
+/// ```
+/// use ac_commit::protocols::Inbac;
+///
+/// // Three processes, all voting yes, one tolerated crash: INBAC commits
+/// // everywhere after two message delays (Table 5's nice execution).
+/// let out = ac_commit::run::<Inbac>(&[true, true, true], 1);
+/// assert_eq!(out.decided_values(), vec![1]); // 1 = COMMIT
+/// assert_eq!(out.metrics().delays, Some(2));
+///
+/// // One no-vote forces abort everywhere.
+/// let out = ac_commit::run::<Inbac>(&[true, false, true], 1);
+/// assert_eq!(out.decided_values(), vec![0]); // 0 = ABORT
+/// ```
 pub fn run<P: CommitProtocol>(votes: &[Vote], f: usize) -> Outcome {
     Scenario::nice(votes.len(), f).votes(votes).run::<P>()
 }
@@ -148,7 +175,11 @@ pub fn nice_complexity<P: CommitProtocol>(n: usize, f: usize) -> (u64, u64) {
     let out = run_nice::<P>(n, f);
     let m = out.metrics();
     let delays = m.delays.unwrap_or_else(|| {
-        panic!("{}: nice execution did not complete: {:?}", P::NAME, out.decisions)
+        panic!(
+            "{}: nice execution did not complete: {:?}",
+            P::NAME,
+            out.decisions
+        )
     });
     (delays, m.messages as u64)
 }
@@ -197,7 +228,11 @@ mod tests {
 
     #[test]
     fn chaos_marks_failure_injection() {
-        let sc = Scenario::nice(3, 1).chaos(Chaos { gst_units: 4, max_units: 3, seed: 1 });
+        let sc = Scenario::nice(3, 1).chaos(Chaos {
+            gst_units: 4,
+            max_units: 3,
+            seed: 1,
+        });
         assert!(sc.injects_failure());
     }
 

@@ -27,13 +27,21 @@ use std::fmt;
 pub struct PropSet(u8);
 
 impl PropSet {
+    /// No guarantee.
     pub const EMPTY: PropSet = PropSet(0);
+    /// Agreement only.
     pub const A: PropSet = PropSet(0b001);
+    /// Validity only.
     pub const V: PropSet = PropSet(0b010);
+    /// Termination only.
     pub const T: PropSet = PropSet(0b100);
+    /// Agreement + validity.
     pub const AV: PropSet = PropSet(0b011);
+    /// Agreement + termination.
     pub const AT: PropSet = PropSet(0b101);
+    /// Validity + termination.
     pub const VT: PropSet = PropSet(0b110);
+    /// All three: full NBAC.
     pub const AVT: PropSet = PropSet(0b111);
 
     /// All eight subsets, in Table 1's column order (∅, A, V, T, AV, AT,
@@ -51,26 +59,31 @@ impl PropSet {
         ]
     }
 
+    /// Whether every property in `other` is also in `self`.
     #[inline]
     pub fn contains(self, other: PropSet) -> bool {
         self.0 & other.0 == other.0
     }
 
+    /// The properties in either set.
     #[inline]
     pub fn union(self, other: PropSet) -> PropSet {
         PropSet(self.0 | other.0)
     }
 
+    /// Whether agreement is guaranteed.
     #[inline]
     pub fn has_agreement(self) -> bool {
         self.contains(Self::A)
     }
 
+    /// Whether validity is guaranteed.
     #[inline]
     pub fn has_validity(self) -> bool {
         self.contains(Self::V)
     }
 
+    /// Whether termination is guaranteed.
     #[inline]
     pub fn has_termination(self) -> bool {
         self.contains(Self::T)
@@ -105,7 +118,9 @@ impl fmt::Display for PropSet {
 /// `nf` in network-failure executions (plus NBAC in failure-free ones).
 #[derive(Copy, Clone, PartialEq, Eq, Hash)]
 pub struct Cell {
+    /// Guarantees in crash-failure (synchronous) executions.
     pub cf: PropSet,
+    /// Guarantees in network-failure (eventually synchronous) executions.
     pub nf: PropSet,
 }
 
@@ -116,17 +131,25 @@ impl fmt::Debug for Cell {
 }
 
 impl Cell {
+    /// The cell guaranteeing `cf` under crash failures and `nf` under
+    /// network failures.
     pub fn new(cf: PropSet, nf: PropSet) -> Cell {
         Cell { cf, nf }
     }
 
     /// Indulgent atomic commit (Definition 3): every network-failure
     /// execution solves NBAC — the most robust cell.
-    pub const INDULGENT: Cell = Cell { cf: PropSet::AVT, nf: PropSet::AVT };
+    pub const INDULGENT: Cell = Cell {
+        cf: PropSet::AVT,
+        nf: PropSet::AVT,
+    };
 
     /// Synchronous NBAC: NBAC in every crash-failure execution; in Table 1
     /// terms the paper's (AVT, T) column covers its message-optimal side.
-    pub const SYNC_NBAC: Cell = Cell { cf: PropSet::AVT, nf: PropSet::EMPTY };
+    pub const SYNC_NBAC: Cell = Cell {
+        cf: PropSet::AVT,
+        nf: PropSet::EMPTY,
+    };
 
     /// Whether this cell is non-empty in Table 1 (`nf ⊆ cf`).
     pub fn is_canonical(self) -> bool {
@@ -137,7 +160,10 @@ impl Cell {
     /// `(X ∪ Y, Y)` (the paper: "for every empty cell (X, Y), there exists a
     /// non-empty cell (Z, Y) such that X ∪ Y = Z").
     pub fn canonicalize(self) -> Cell {
-        Cell { cf: self.cf.union(self.nf), nf: self.nf }
+        Cell {
+            cf: self.cf.union(self.nf),
+            nf: self.nf,
+        }
     }
 
     /// The 27 non-empty cells, row-major in Table 1's layout (rows = NF
@@ -164,7 +190,10 @@ impl Cell {
 
     /// Tight bounds for this cell (must be canonical).
     pub fn bounds(self, n: usize, f: usize) -> Bounds {
-        assert!(self.is_canonical(), "bounds of an empty cell: canonicalize first");
+        assert!(
+            self.is_canonical(),
+            "bounds of an empty cell: canonicalize first"
+        );
         let n = n as u64;
         let f = f as u64;
         let two_delay_group = self.cf == PropSet::AVT && self.nf.has_agreement();
@@ -190,7 +219,11 @@ impl Cell {
         } else {
             0
         };
-        Bounds { delays, messages, messages_at_optimal_delay }
+        Bounds {
+            delays,
+            messages,
+            messages_at_optimal_delay,
+        }
     }
 
     /// Whether the optimal delay and message counts cannot be achieved by
@@ -240,7 +273,11 @@ mod tests {
         let f = 2;
         // The four 2-delay cells.
         for nf in [PropSet::A, PropSet::AV, PropSet::AT, PropSet::AVT] {
-            assert_eq!(Cell::new(PropSet::AVT, nf).bounds(n, f).delays, 2, "nf={nf}");
+            assert_eq!(
+                Cell::new(PropSet::AVT, nf).bounds(n, f).delays,
+                2,
+                "nf={nf}"
+            );
         }
         // Everything else is 1.
         for c in Cell::all() {
@@ -296,8 +333,7 @@ mod tests {
 
     #[test]
     fn exactly_18_cells_have_a_tradeoff() {
-        let with_tradeoff =
-            Cell::all().iter().filter(|c| c.has_tradeoff(6, 2)).count();
+        let with_tradeoff = Cell::all().iter().filter(|c| c.has_tradeoff(6, 2)).count();
         assert_eq!(with_tradeoff, 18);
     }
 

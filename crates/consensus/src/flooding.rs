@@ -40,7 +40,13 @@ pub struct FloodSet {
 
 impl FloodSet {
     pub fn new(_me: ProcessId, _n: usize, f: usize) -> Self {
-        FloodSet { f, seen: Vec::new(), round: 0, started: None, decided: None }
+        FloodSet {
+            f,
+            seen: Vec::new(),
+            round: 0,
+            started: None,
+            decided: None,
+        }
     }
 
     #[inline]
@@ -100,7 +106,10 @@ impl FloodSet {
             ctx.set_timer(ctx.now() + U, FLOOD_TAG_BASE + self.round as u32);
             None
         } else {
-            let d = *self.seen.first().expect("own proposal is always in the set");
+            let d = *self
+                .seen
+                .first()
+                .expect("own proposal is always in the set");
             self.decided = Some(d);
             Some(d)
         }
@@ -147,7 +156,10 @@ mod tests {
     ) -> ac_net::Outcome {
         let n = proposals.len();
         let procs: Vec<FloodProc> = (0..n)
-            .map(|me| FloodProc { inner: FloodSet::new(me, n, f), proposal: proposals[me] })
+            .map(|me| FloodProc {
+                inner: FloodSet::new(me, n, f),
+                proposal: proposals[me],
+            })
             .collect();
         let delay: Box<dyn ac_net::DelayModel> = if rules.is_empty() {
             Box::new(FixedDelay::unit())

@@ -17,11 +17,24 @@ const ROUND_GROWTH: u64 = 4 * U;
 /// variant of their own message enum.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum PaxosMsg {
-    Prepare { bal: u64 },
-    Promise { bal: u64, accepted: Option<(u64, u64)> },
-    Accept { bal: u64, val: u64 },
-    Accepted { bal: u64, val: u64 },
-    Decide { val: u64 },
+    Prepare {
+        bal: u64,
+    },
+    Promise {
+        bal: u64,
+        accepted: Option<(u64, u64)>,
+    },
+    Accept {
+        bal: u64,
+        val: u64,
+    },
+    Accepted {
+        bal: u64,
+        val: u64,
+    },
+    Decide {
+        val: u64,
+    },
 }
 
 /// The effect interface the consensus module needs from its host.
@@ -58,8 +71,14 @@ impl<M: Clone + std::fmt::Debug> ConsensusHost for CtxHost<'_, M> {
 #[derive(Clone, Debug, PartialEq, Eq)]
 enum Phase {
     Idle,
-    Preparing { promises: Vec<ProcessId>, best: Option<(u64, u64)> },
-    Accepting { accepts: Vec<ProcessId>, val: u64 },
+    Preparing {
+        promises: Vec<ProcessId>,
+        best: Option<(u64, u64)>,
+    },
+    Accepting {
+        accepts: Vec<ProcessId>,
+        val: u64,
+    },
 }
 
 /// One instance of single-decree Paxos, embedded in a host automaton.
@@ -158,7 +177,10 @@ impl Paxos {
 
     fn start_prepare(&mut self, host: &mut impl ConsensusHost) {
         let bal = self.ballot(self.round);
-        self.phase = Phase::Preparing { promises: Vec::new(), best: None };
+        self.phase = Phase::Preparing {
+            promises: Vec::new(),
+            best: None,
+        };
         for q in 0..self.n {
             host.send(q, PaxosMsg::Prepare { bal });
         }
@@ -178,7 +200,13 @@ impl Paxos {
                     host.send(from, PaxosMsg::Decide { val });
                 } else if bal > self.promised {
                     self.promised = bal;
-                    host.send(from, PaxosMsg::Promise { bal, accepted: self.accepted });
+                    host.send(
+                        from,
+                        PaxosMsg::Promise {
+                            bal,
+                            accepted: self.accepted,
+                        },
+                    );
                 }
                 None
             }
@@ -202,7 +230,10 @@ impl Paxos {
                             .map(|(_, v)| v)
                             .or(self.proposal)
                             .expect("proposer without a value started a ballot");
-                        self.phase = Phase::Accepting { accepts: Vec::new(), val };
+                        self.phase = Phase::Accepting {
+                            accepts: Vec::new(),
+                            val,
+                        };
                         for q in 0..self.n {
                             host.send(q, PaxosMsg::Accept { bal, val });
                         }
@@ -226,7 +257,11 @@ impl Paxos {
                 if self.decided.is_some() || bal != self.ballot(self.round) {
                     return None;
                 }
-                if let Phase::Accepting { accepts, val: myval } = &mut self.phase {
+                if let Phase::Accepting {
+                    accepts,
+                    val: myval,
+                } = &mut self.phase
+                {
                     debug_assert_eq!(*myval, val);
                     if accepts.contains(&from) {
                         return None;
@@ -252,7 +287,11 @@ impl Paxos {
         if self.decided.is_none() {
             self.decided = Some(val);
         }
-        debug_assert_eq!(self.decided, Some(val), "paxos agreement violated internally");
+        debug_assert_eq!(
+            self.decided,
+            Some(val),
+            "paxos agreement violated internally"
+        );
         if self.announced {
             None
         } else {
@@ -291,7 +330,11 @@ mod tests {
     }
     impl VecHost {
         fn new() -> Self {
-            VecHost { now: Time::ZERO, sent: Vec::new(), timers: Vec::new() }
+            VecHost {
+                now: Time::ZERO,
+                sent: Vec::new(),
+                timers: Vec::new(),
+            }
         }
     }
     impl ConsensusHost for VecHost {
@@ -311,8 +354,11 @@ mod tests {
         let mut h = VecHost::new();
         let mut p = Paxos::new(0, 3);
         p.propose(1, &mut h);
-        let prepares =
-            h.sent.iter().filter(|(_, m)| matches!(m, PaxosMsg::Prepare { bal: 1 })).count();
+        let prepares = h
+            .sent
+            .iter()
+            .filter(|(_, m)| matches!(m, PaxosMsg::Prepare { bal: 1 }))
+            .count();
         assert_eq!(prepares, 3);
         assert_eq!(h.timers.len(), 1);
     }
@@ -332,16 +378,43 @@ mod tests {
         let mut p = Paxos::new(0, 3);
         p.propose(7, &mut h);
         // Majority promises (self + P2).
-        assert!(p.on_message(0, PaxosMsg::Promise { bal: 1, accepted: None }, &mut h).is_none());
-        assert!(p.on_message(1, PaxosMsg::Promise { bal: 1, accepted: None }, &mut h).is_none());
-        assert!(h.sent.iter().any(|(_, m)| matches!(m, PaxosMsg::Accept { bal: 1, val: 7 })));
+        assert!(p
+            .on_message(
+                0,
+                PaxosMsg::Promise {
+                    bal: 1,
+                    accepted: None
+                },
+                &mut h
+            )
+            .is_none());
+        assert!(p
+            .on_message(
+                1,
+                PaxosMsg::Promise {
+                    bal: 1,
+                    accepted: None
+                },
+                &mut h
+            )
+            .is_none());
+        assert!(h
+            .sent
+            .iter()
+            .any(|(_, m)| matches!(m, PaxosMsg::Accept { bal: 1, val: 7 })));
         // Majority accepts -> decision.
-        assert!(p.on_message(0, PaxosMsg::Accepted { bal: 1, val: 7 }, &mut h).is_none());
+        assert!(p
+            .on_message(0, PaxosMsg::Accepted { bal: 1, val: 7 }, &mut h)
+            .is_none());
         let dec = p.on_message(1, PaxosMsg::Accepted { bal: 1, val: 7 }, &mut h);
         assert_eq!(dec, Some(7));
         assert_eq!(p.decision(), Some(7));
         // Decision is announced to the others.
-        let decides = h.sent.iter().filter(|(_, m)| matches!(m, PaxosMsg::Decide { val: 7 })).count();
+        let decides = h
+            .sent
+            .iter()
+            .filter(|(_, m)| matches!(m, PaxosMsg::Decide { val: 7 }))
+            .count();
         assert_eq!(decides, 2);
     }
 
@@ -352,9 +425,26 @@ mod tests {
         p.propose(0, &mut h);
         // P2 reports it accepted value 1 at an earlier ballot: proposer must
         // adopt 1, not its own 0 (Paxos safety).
-        p.on_message(1, PaxosMsg::Promise { bal: 1, accepted: None }, &mut h);
-        p.on_message(2, PaxosMsg::Promise { bal: 1, accepted: Some((0, 1)) }, &mut h);
-        assert!(h.sent.iter().any(|(_, m)| matches!(m, PaxosMsg::Accept { bal: 1, val: 1 })));
+        p.on_message(
+            1,
+            PaxosMsg::Promise {
+                bal: 1,
+                accepted: None,
+            },
+            &mut h,
+        );
+        p.on_message(
+            2,
+            PaxosMsg::Promise {
+                bal: 1,
+                accepted: Some((0, 1)),
+            },
+            &mut h,
+        );
+        assert!(h
+            .sent
+            .iter()
+            .any(|(_, m)| matches!(m, PaxosMsg::Accept { bal: 1, val: 1 })));
     }
 
     #[test]
@@ -362,7 +452,10 @@ mod tests {
         let mut h = VecHost::new();
         let mut p = Paxos::new(2, 3);
         p.on_message(0, PaxosMsg::Prepare { bal: 5 }, &mut h);
-        assert!(matches!(h.sent.last(), Some((0, PaxosMsg::Promise { bal: 5, .. }))));
+        assert!(matches!(
+            h.sent.last(),
+            Some((0, PaxosMsg::Promise { bal: 5, .. }))
+        ));
         let before = h.sent.len();
         // An older prepare gets no promise.
         p.on_message(1, PaxosMsg::Prepare { bal: 3 }, &mut h);
@@ -381,7 +474,10 @@ mod tests {
         // Round 0 (owner P1=id 0) times out; round 1 is ours (id 1).
         let tag = h.timers[0].1;
         p.on_timer(tag, &mut h);
-        assert!(h.sent.iter().any(|(_, m)| matches!(m, PaxosMsg::Prepare { bal: 2 })));
+        assert!(h
+            .sent
+            .iter()
+            .any(|(_, m)| matches!(m, PaxosMsg::Prepare { bal: 2 })));
         assert_eq!(h.timers.len(), 2);
     }
 
@@ -389,11 +485,17 @@ mod tests {
     fn decided_acceptor_short_circuits() {
         let mut h = VecHost::new();
         let mut p = Paxos::new(2, 3);
-        assert_eq!(p.on_message(0, PaxosMsg::Decide { val: 1 }, &mut h), Some(1));
+        assert_eq!(
+            p.on_message(0, PaxosMsg::Decide { val: 1 }, &mut h),
+            Some(1)
+        );
         // Second learn returns None (announce-once semantics).
         assert_eq!(p.on_message(1, PaxosMsg::Decide { val: 1 }, &mut h), None);
         p.on_message(1, PaxosMsg::Prepare { bal: 9 }, &mut h);
-        assert!(matches!(h.sent.last(), Some((1, PaxosMsg::Decide { val: 1 }))));
+        assert!(matches!(
+            h.sent.last(),
+            Some((1, PaxosMsg::Decide { val: 1 }))
+        ));
     }
 
     #[test]

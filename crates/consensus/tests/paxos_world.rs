@@ -14,7 +14,10 @@ struct PaxosProc {
 
 impl PaxosProc {
     fn new(me: ProcessId, n: usize, proposal: Option<u64>) -> Self {
-        PaxosProc { inner: Paxos::new(me, n), proposal }
+        PaxosProc {
+            inner: Paxos::new(me, n),
+            proposal,
+        }
     }
 }
 
@@ -47,10 +50,21 @@ fn world(
     delay: Box<dyn ac_net::DelayModel>,
 ) -> ac_net::Outcome {
     let n = proposals.len();
-    let procs: Vec<PaxosProc> =
-        proposals.into_iter().enumerate().map(|(me, p)| PaxosProc::new(me, n, p)).collect();
-    World::new(procs, delay, faults, WorldConfig { horizon: Time::units(3000), trace: false })
-        .run()
+    let procs: Vec<PaxosProc> = proposals
+        .into_iter()
+        .enumerate()
+        .map(|(me, p)| PaxosProc::new(me, n, p))
+        .collect();
+    World::new(
+        procs,
+        delay,
+        faults,
+        WorldConfig {
+            horizon: Time::units(3000),
+            trace: false,
+        },
+    )
+    .run()
 }
 
 #[test]
@@ -64,7 +78,13 @@ fn unanimous_fast_decision() {
     assert!(out.decisions.iter().all(|d| d.is_some()));
     // Round-0 coordinator drives two phases + decide: everyone is done
     // within a handful of delays.
-    let last = out.decisions.iter().flatten().map(|&(t, _)| t).max().unwrap();
+    let last = out
+        .decisions
+        .iter()
+        .flatten()
+        .map(|&(t, _)| t)
+        .max()
+        .unwrap();
     assert!(last <= Time::units(6), "slow decision: {last}");
 }
 
@@ -78,7 +98,10 @@ fn mixed_proposals_decide_a_proposed_value() {
         );
         let vals = out.decided_values();
         assert_eq!(vals.len(), 1, "agreement: {vals:?}");
-        assert!(votes.contains(&(vals[0] as i32)), "validity: {vals:?} from {votes:?}");
+        assert!(
+            votes.contains(&(vals[0] as i32)),
+            "validity: {vals:?} from {votes:?}"
+        );
     }
 }
 

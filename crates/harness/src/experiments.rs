@@ -35,7 +35,10 @@ fn measure(kind: ProtocolKind, n: usize, f: usize) -> (u64, u64) {
     let out = kind.run(&Scenario::nice(n, f));
     let m = out.metrics();
     let d = m.delays.unwrap_or_else(|| {
-        panic!("{}: nice execution did not complete (n={n}, f={f})", kind.name())
+        panic!(
+            "{}: nice execution did not complete (n={n}, f={f})",
+            kind.name()
+        )
     });
     (d, m.messages as u64)
 }
@@ -82,7 +85,9 @@ pub fn table1(n: usize, f: usize) -> Report {
 
     // Instantiated bounds and trade-off classification.
     let mut inst = Table::new(
-        format!("Table 1 instantiated at n={n}, f={f} (+ Theorem 5's 2fn for delay-optimal protocols)"),
+        format!(
+            "Table 1 instantiated at n={n}, f={f} (+ Theorem 5's 2fn for delay-optimal protocols)"
+        ),
         &["cell", "d", "m", "m@d-opt", "trade-off?"],
     );
     let mut tradeoffs = 0;
@@ -99,13 +104,22 @@ pub fn table1(n: usize, f: usize) -> Report {
         ]);
     }
     r.table(inst);
-    r.note(format!("{tradeoffs}/27 cells cannot achieve both optima at once (paper: 18)"));
+    r.note(format!(
+        "{tradeoffs}/27 cells cannot achieve both optima at once (paper: 18)"
+    ));
     let _ = r.compare(tradeoffs == 18);
 
     // Matching protocols vs their bounds.
     let mut verify = Table::new(
         format!("matching protocols, nice executions at n={n}, f={f}"),
-        &["protocol", "cell", "optimal in", "bound", "measured", "match"],
+        &[
+            "protocol",
+            "cell",
+            "optimal in",
+            "bound",
+            "measured",
+            "match",
+        ],
     );
     for (kind, axis) in matching_protocols() {
         let cell = kind.cell();
@@ -154,7 +168,15 @@ pub fn table2() -> Report {
     let mut r = Report::new("table2");
     let mut t = Table::new(
         "Table 2: delay-optimal protocols (bound / measured delays in nice executions)",
-        &["cell", "protocol", "n", "f", "bound d", "measured d", "match"],
+        &[
+            "cell",
+            "protocol",
+            "n",
+            "f",
+            "bound d",
+            "measured d",
+            "match",
+        ],
     );
     let protos = [
         ProtocolKind::AvNbacDelayOpt,
@@ -187,7 +209,15 @@ pub fn table3() -> Report {
     let mut r = Report::new("table3");
     let mut t = Table::new(
         "Table 3: message-optimal protocols (bound / measured messages in nice executions)",
-        &["cell", "protocol", "n", "f", "bound m", "measured m", "match"],
+        &[
+            "cell",
+            "protocol",
+            "n",
+            "f",
+            "bound m",
+            "measured m",
+            "match",
+        ],
     );
     let protos = [
         ProtocolKind::Nbac0,
@@ -302,7 +332,14 @@ pub fn table5(ns: &[usize], fs: &[usize]) -> Report {
     ];
     let mut t = Table::new(
         "Table 5: measured nice-execution complexity (d = delays, m = messages)",
-        &["n", "f", "protocol", "formula (d, m)", "measured (d, m)", "match"],
+        &[
+            "n",
+            "f",
+            "protocol",
+            "formula (d, m)",
+            "measured (d, m)",
+            "match",
+        ],
     );
     for &n in ns {
         for &f in fs {
@@ -389,9 +426,13 @@ pub fn fig1() -> Report {
         Case {
             name: "one ack delayed -> cons-propose AND",
             // f=2: P4 misses P1's ack but has P2's complete one.
-            scenario: Scenario::nice(n, 2)
-                .traced()
-                .rule(DelayRule::link(0, 3, Time::units(1), Time::units(2), 6 * U)),
+            scenario: Scenario::nice(n, 2).traced().rule(DelayRule::link(
+                0,
+                3,
+                Time::units(1),
+                Time::units(2),
+                6 * U,
+            )),
             watched: 3,
             expect: "cons-propose 1",
         },
@@ -409,9 +450,13 @@ pub fn fig1() -> Report {
         Case {
             name: "no ack at all -> HELP",
             // f=1: the only primary's ack to P4 is delayed.
-            scenario: Scenario::nice(n, 1)
-                .traced()
-                .rule(DelayRule::link(0, 3, Time::units(1), Time::units(2), 6 * U)),
+            scenario: Scenario::nice(n, 1).traced().rule(DelayRule::link(
+                0,
+                3,
+                Time::units(1),
+                Time::units(2),
+                6 * U,
+            )),
             watched: 3,
             expect: "HELP",
         },
@@ -471,7 +516,11 @@ pub fn ablations() -> Report {
         let out = kind.run(&sc);
         let last = out.metrics().delays.unwrap();
         let zero_at = out.decisions[3].unwrap().0;
-        a.row(vec![kind.name().into(), format!("{last} delays"), format!("{zero_at}")]);
+        a.row(vec![
+            kind.name().into(),
+            format!("{last} delays"),
+            format!("{zero_at}"),
+        ]);
     }
     r.table(a);
     let _ = r.compare(true);
@@ -508,7 +557,11 @@ pub fn ablations() -> Report {
         let seeds = 30u64;
         for seed in 0..seeds {
             let sc = Scenario::nice(5, 2)
-                .chaos(ac_commit::runner::Chaos { gst_units: 6, max_units: 4, seed })
+                .chaos(ac_commit::runner::Chaos {
+                    gst_units: 6,
+                    max_units: 4,
+                    seed,
+                })
                 .horizon(1200);
             let out = kind.run(&sc);
             let (_, nice_m) = kind.nice_complexity_formula(5, 2);

@@ -5,6 +5,16 @@ use serde::Serialize;
 
 /// A rendered table: header + rows of strings, pre-formatted by the
 /// experiment.
+///
+/// ```
+/// use ac_harness::report::Table;
+///
+/// let mut t = Table::new("demo", &["protocol", "delays"]);
+/// t.row(vec!["INBAC".into(), "2".into()]);
+/// let text = t.render();
+/// assert!(text.contains("## demo"));
+/// assert!(text.contains("| INBAC"));
+/// ```
 #[derive(Clone, Debug, Serialize)]
 pub struct Table {
     pub title: String,
@@ -76,7 +86,10 @@ pub struct Report {
 
 impl Report {
     pub fn new(id: impl Into<String>) -> Report {
-        Report { id: id.into(), ..Default::default() }
+        Report {
+            id: id.into(),
+            ..Default::default()
+        }
     }
 
     pub fn table(&mut self, t: Table) {

@@ -57,7 +57,11 @@ impl JitterDelay {
     pub fn new(min: u64, max: u64, seed: u64) -> Self {
         assert!(min >= 1, "a message cannot arrive at its send instant");
         assert!(min <= max);
-        JitterDelay { min, max, rng: StdRng::seed_from_u64(seed) }
+        JitterDelay {
+            min,
+            max,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Jitter within the synchronous bound: delays in `[U/2, U]`.
@@ -89,7 +93,11 @@ pub struct GstDelay {
 impl GstDelay {
     pub fn new(gst: Time, chaos_max: u64, seed: u64) -> Self {
         assert!(chaos_max >= U);
-        GstDelay { gst, chaos_max, rng: StdRng::seed_from_u64(seed) }
+        GstDelay {
+            gst,
+            chaos_max,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -111,6 +119,17 @@ impl DelayModel for GstDelay {
 /// A targeted delay override, used to build the adversarial schedules of the
 /// paper's lower-bound proofs (e.g. "every message from P to a process in
 /// Ω\Φ arrives later than max(t1, t3)").
+///
+/// ```
+/// use ac_net::DelayRule;
+/// use ac_sim::{Time, U};
+///
+/// // Messages on the link P1 -> P3 sent before time 1U take 6 delay units.
+/// let rule = DelayRule::link(0, 2, Time::ZERO, Time::units(1), 6 * U);
+/// assert!(rule.matches(0, 2, Time::ZERO));
+/// assert!(!rule.matches(0, 2, Time::units(1))); // window expired
+/// assert!(!rule.matches(1, 2, Time::ZERO)); // different sender
+/// ```
 #[derive(Clone, Debug)]
 pub struct DelayRule {
     /// Match messages from this sender (`None` = any).
@@ -133,13 +152,23 @@ impl DelayRule {
 
     /// Rule: all messages from `from`, whenever sent, take `delay` ticks.
     pub fn from_process(from: ProcessId, delay: u64) -> Self {
-        DelayRule { from: Some(from), to: None, window: (Time::ZERO, Time(u64::MAX)), delay }
+        DelayRule {
+            from: Some(from),
+            to: None,
+            window: (Time::ZERO, Time(u64::MAX)),
+            delay,
+        }
     }
 
     /// Rule: the link `from -> to` takes `delay` ticks for messages sent in
     /// `[start, end)`.
     pub fn link(from: ProcessId, to: ProcessId, start: Time, end: Time, delay: u64) -> Self {
-        DelayRule { from: Some(from), to: Some(to), window: (start, end), delay }
+        DelayRule {
+            from: Some(from),
+            to: Some(to),
+            window: (start, end),
+            delay,
+        }
     }
 }
 
@@ -159,7 +188,10 @@ impl RuleDelay<FixedDelay> {
     /// Rules over the unit-delay baseline — the usual way to build a
     /// targeted network-failure execution.
     pub fn over_unit(rules: Vec<DelayRule>) -> Self {
-        RuleDelay { rules, fallback: FixedDelay::unit() }
+        RuleDelay {
+            rules,
+            fallback: FixedDelay::unit(),
+        }
     }
 }
 

@@ -25,7 +25,10 @@ pub struct Crash {
 impl Crash {
     /// Crash dead at `at`: no step, no send at or after `at`.
     pub fn at(at: Time) -> Self {
-        Crash { at, sends_at_crash_time: 0 }
+        Crash {
+            at,
+            sends_at_crash_time: 0,
+        }
     }
 
     /// Crash at time 0 before sending anything — the "P crashes before
@@ -36,7 +39,10 @@ impl Crash {
 
     /// Crash at `at` after `k` of the sends performed at `at` made it out.
     pub fn partial(at: Time, k: usize) -> Self {
-        Crash { at, sends_at_crash_time: k }
+        Crash {
+            at,
+            sends_at_crash_time: k,
+        }
     }
 }
 
@@ -49,7 +55,9 @@ pub struct FaultPlan {
 impl FaultPlan {
     /// No failures.
     pub fn none(n: usize) -> Self {
-        FaultPlan { crashes: vec![None; n] }
+        FaultPlan {
+            crashes: vec![None; n],
+        }
     }
 
     /// Add a crash for process `p` (builder style).
@@ -79,7 +87,9 @@ impl FaultPlan {
 
     /// Ids of crashing processes.
     pub fn crashed_ids(&self) -> Vec<ProcessId> {
-        (0..self.crashes.len()).filter(|&p| self.crashes[p].is_some()).collect()
+        (0..self.crashes.len())
+            .filter(|&p| self.crashes[p].is_some())
+            .collect()
     }
 }
 

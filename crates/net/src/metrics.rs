@@ -109,13 +109,25 @@ mod tests {
     use super::*;
 
     fn rec(seq: u64, sent: u64, arrival: u64) -> MsgRecord {
-        MsgRecord { seq, from: 0, to: 1, sent: Time(sent), arrival: Time(arrival) }
+        MsgRecord {
+            seq,
+            from: 0,
+            to: 1,
+            sent: Time(sent),
+            arrival: Time(arrival),
+        }
     }
 
     #[test]
     fn classify_three_ways() {
-        assert_eq!(ExecutionClass::classify(false, &[rec(0, 0, U)]), ExecutionClass::FailureFree);
-        assert_eq!(ExecutionClass::classify(true, &[rec(0, 0, U)]), ExecutionClass::CrashFailure);
+        assert_eq!(
+            ExecutionClass::classify(false, &[rec(0, 0, U)]),
+            ExecutionClass::FailureFree
+        );
+        assert_eq!(
+            ExecutionClass::classify(true, &[rec(0, 0, U)]),
+            ExecutionClass::CrashFailure
+        );
         // A delayed message makes it a network-failure execution even
         // without crashes.
         assert_eq!(

@@ -2,9 +2,7 @@
 //! and a fault plan, and records everything needed for property checking
 //! and complexity metering.
 
-use ac_sim::{
-    Action, Automaton, Ctx, Event, EventQueue, ProcessId, Time, TraceEntry, TraceKind,
-};
+use ac_sim::{Action, Automaton, Ctx, Event, EventQueue, ProcessId, Time, TraceEntry, TraceKind};
 
 use crate::delay::DelayModel;
 use crate::fault::FaultPlan;
@@ -23,7 +21,10 @@ pub struct WorldConfig {
 
 impl Default for WorldConfig {
     fn default() -> Self {
-        WorldConfig { horizon: Time::units(10_000), trace: false }
+        WorldConfig {
+            horizon: Time::units(10_000),
+            trace: false,
+        }
     }
 }
 
@@ -154,7 +155,9 @@ impl<A: Automaton> World<A> {
                             self.push_trace(t, TraceKind::Crash { at: p });
                             continue;
                         }
-                        if t == c.at && c.sends_at_crash_time > 0 && self.partial_budget[p].is_none()
+                        if t == c.at
+                            && c.sends_at_crash_time > 0
+                            && self.partial_budget[p].is_none()
                         {
                             self.partial_budget[p] = Some(c.sends_at_crash_time);
                         }
@@ -179,11 +182,19 @@ impl<A: Automaton> World<A> {
         let mut ctx = Ctx::new(t, p, self.n(), self.config.trace);
         match event {
             Event::Start => self.procs[p].on_start(&mut ctx),
-            Event::Deliver { from, msg, wire_seq } => {
+            Event::Deliver {
+                from,
+                msg,
+                wire_seq,
+            } => {
                 if self.config.trace {
                     self.trace.push(TraceEntry {
                         time: t,
-                        kind: TraceKind::Deliver { from, to: p, desc: format!("{msg:?}") },
+                        kind: TraceKind::Deliver {
+                            from,
+                            to: p,
+                            desc: format!("{msg:?}"),
+                        },
                     });
                 }
                 let _ = wire_seq;
@@ -191,7 +202,10 @@ impl<A: Automaton> World<A> {
             }
             Event::Timer { tag } => {
                 if self.config.trace {
-                    self.trace.push(TraceEntry { time: t, kind: TraceKind::Timer { at: p, tag } });
+                    self.trace.push(TraceEntry {
+                        time: t,
+                        kind: TraceKind::Timer { at: p, tag },
+                    });
                 }
                 self.procs[p].on_timer(tag, &mut ctx);
             }
@@ -199,7 +213,10 @@ impl<A: Automaton> World<A> {
         }
 
         for line in ctx.take_traces() {
-            self.trace.push(TraceEntry { time: t, kind: TraceKind::Note { at: p, text: line } });
+            self.trace.push(TraceEntry {
+                time: t,
+                kind: TraceKind::Note { at: p, text: line },
+            });
         }
         for action in ctx.take_actions() {
             self.apply(p, t, action);
@@ -224,19 +241,45 @@ impl<A: Automaton> World<A> {
                 if self.config.trace {
                     self.trace.push(TraceEntry {
                         time: t,
-                        kind: TraceKind::Send { from: p, to, desc: format!("{msg:?}") },
+                        kind: TraceKind::Send {
+                            from: p,
+                            to,
+                            desc: format!("{msg:?}"),
+                        },
                     });
                 }
                 if to == p {
                     // Free self-message: immediate arrival, not metered.
-                    self.queue.push(t, to, Event::Deliver { from: p, msg, wire_seq: None });
+                    self.queue.push(
+                        t,
+                        to,
+                        Event::Deliver {
+                            from: p,
+                            msg,
+                            wire_seq: None,
+                        },
+                    );
                 } else {
                     let d = self.delay.delay(p, to, t, self.wire_seq).max(1);
                     let arrival = t + d;
                     let seq = self.wire_seq;
                     self.wire_seq += 1;
-                    self.records.push(MsgRecord { seq, from: p, to, sent: t, arrival });
-                    self.queue.push(arrival, to, Event::Deliver { from: p, msg, wire_seq: Some(seq) });
+                    self.records.push(MsgRecord {
+                        seq,
+                        from: p,
+                        to,
+                        sent: t,
+                        arrival,
+                    });
+                    self.queue.push(
+                        arrival,
+                        to,
+                        Event::Deliver {
+                            from: p,
+                            msg,
+                            wire_seq: Some(seq),
+                        },
+                    );
                 }
             }
             Action::SetTimer { at, tag } => {
@@ -293,7 +336,12 @@ mod tests {
 
     fn ping_world(n: usize, faults: FaultPlan) -> World<Ping> {
         let procs = (0..n).map(|me| Ping { me }).collect();
-        World::new(procs, Box::new(FixedDelay::unit()), faults, WorldConfig::default())
+        World::new(
+            procs,
+            Box::new(FixedDelay::unit()),
+            faults,
+            WorldConfig::default(),
+        )
     }
 
     #[test]
@@ -380,7 +428,10 @@ mod tests {
             vec![Loopy],
             Box::new(FixedDelay::unit()),
             FaultPlan::none(1),
-            WorldConfig { horizon: Time::units(10), trace: false },
+            WorldConfig {
+                horizon: Time::units(10),
+                trace: false,
+            },
         );
         let out = w.run();
         assert!(!out.quiescent);

@@ -41,7 +41,10 @@ pub struct RtConfig {
 
 impl Default for RtConfig {
     fn default() -> Self {
-        RtConfig { unit: Duration::from_millis(5), deadline: Duration::from_secs(5) }
+        RtConfig {
+            unit: Duration::from_millis(5),
+            deadline: Duration::from_secs(5),
+        }
     }
 }
 
@@ -125,33 +128,35 @@ where
                 start + Duration::from_nanos((unit.as_nanos() as u64 / U) * t.ticks())
             };
 
-            let apply = |automaton: &mut A,
-                             ctx: &mut Ctx<A::Msg>,
-                             timers: &mut BinaryHeap<TimerEntry>| {
-                let _ = automaton;
-                for action in ctx.take_actions() {
-                    match action {
-                        Action::Send { to, msg } => {
-                            if to != me {
-                                wire_count.fetch_add(1, Ordering::Relaxed);
+            let apply =
+                |automaton: &mut A, ctx: &mut Ctx<A::Msg>, timers: &mut BinaryHeap<TimerEntry>| {
+                    let _ = automaton;
+                    for action in ctx.take_actions() {
+                        match action {
+                            Action::Send { to, msg } => {
+                                if to != me {
+                                    wire_count.fetch_add(1, Ordering::Relaxed);
+                                }
+                                // A send can only fail if the peer finished —
+                                // then the message is moot.
+                                let _ = txs[to].send((me, msg));
                             }
-                            // A send can only fail if the peer finished —
-                            // then the message is moot.
-                            let _ = txs[to].send((me, msg));
-                        }
-                        Action::SetTimer { at, tag } => {
-                            timers.push(TimerEntry { due: wall_of(at), tag });
-                        }
-                        Action::Decide(v) => {
-                            let mut d = decisions.lock();
-                            if d[me].is_none() {
-                                d[me] = Some(v);
-                                decided_count.fetch_add(1, Ordering::SeqCst);
+                            Action::SetTimer { at, tag } => {
+                                timers.push(TimerEntry {
+                                    due: wall_of(at),
+                                    tag,
+                                });
+                            }
+                            Action::Decide(v) => {
+                                let mut d = decisions.lock();
+                                if d[me].is_none() {
+                                    d[me] = Some(v);
+                                    decided_count.fetch_add(1, Ordering::SeqCst);
+                                }
                             }
                         }
                     }
-                }
-            };
+                };
 
             let mut ctx = Ctx::new(Time::ZERO, me, n, false);
             automaton.on_start(&mut ctx);
@@ -243,7 +248,10 @@ mod tests {
             fn on_message(&mut self, _: ProcessId, _: (), _: &mut Ctx<()>) {}
             fn on_timer(&mut self, _: u32, _: &mut Ctx<()>) {}
         }
-        let cfg = RtConfig { unit: Duration::from_millis(1), deadline: Duration::from_millis(50) };
+        let cfg = RtConfig {
+            unit: Duration::from_millis(1),
+            deadline: Duration::from_millis(50),
+        };
         let t0 = Instant::now();
         let out = run_threads(3, |_| Mute, cfg);
         assert!(out.decisions.iter().all(|d| d.is_none()));

@@ -15,12 +15,22 @@ pub enum Action<M> {
     /// Send `msg` to process `to`. Sending to oneself is allowed; the
     /// runtime delivers self-messages at the same timestamp and does **not**
     /// count them as network messages (paper, footnote 10).
-    Send { to: ProcessId, msg: M },
+    Send {
+        /// Destination process.
+        to: ProcessId,
+        /// Message payload.
+        msg: M,
+    },
     /// Request a timer event carrying `tag` at absolute virtual time `at`.
     /// Setting several timers (even for the same tag) is allowed; each set
     /// fires exactly once. Automata are responsible for ignoring stale fires
     /// (the appendix pseudocode guards every timeout handler with a phase).
-    SetTimer { at: Time, tag: u32 },
+    SetTimer {
+        /// Absolute virtual time at which the timer fires.
+        at: Time,
+        /// Tag passed back to [`Automaton::on_timer`].
+        tag: u32,
+    },
     /// Irrevocably output a decision value. A second decision is a protocol
     /// bug and the runtime panics (the paper's *integrity* property).
     Decide(u64),
@@ -31,6 +41,18 @@ pub enum Action<M> {
 /// `Ctx` buffers actions; the runtime drains them after the handler returns,
 /// which models the paper's instantaneous local steps (every send performed
 /// during one step carries the same timestamp).
+///
+/// ```
+/// use ac_sim::{Action, Ctx, Time};
+///
+/// // Process 1 of 3 handles an event at time zero.
+/// let mut ctx: Ctx<&str> = Ctx::new(Time::ZERO, 1, 3, false);
+/// ctx.broadcast_others("vote");
+/// ctx.set_timer(Time::units(2), 7);
+/// let actions = ctx.take_actions();
+/// assert_eq!(actions.len(), 3); // two sends (not to self) + one timer
+/// assert!(matches!(actions[2], Action::SetTimer { tag: 7, .. }));
+/// ```
 #[derive(Debug)]
 pub struct Ctx<M> {
     now: Time,
@@ -42,8 +64,17 @@ pub struct Ctx<M> {
 }
 
 impl<M> Ctx<M> {
+    /// Create a context for one handler invocation of process `me` (of `n`)
+    /// at virtual time `now`.
     pub fn new(now: Time, me: ProcessId, n: usize, trace_enabled: bool) -> Self {
-        Ctx { now, me, n, actions: Vec::new(), trace_enabled, traces: Vec::new() }
+        Ctx {
+            now,
+            me,
+            n,
+            actions: Vec::new(),
+            trace_enabled,
+            traces: Vec::new(),
+        }
     }
 
     /// Current virtual time.
@@ -77,7 +108,10 @@ impl<M> Ctx<M> {
         M: Clone,
     {
         for q in 0..self.n {
-            self.actions.push(Action::Send { to: q, msg: msg.clone() });
+            self.actions.push(Action::Send {
+                to: q,
+                msg: msg.clone(),
+            });
         }
     }
 
@@ -88,7 +122,10 @@ impl<M> Ctx<M> {
     {
         for q in 0..self.n {
             if q != self.me {
-                self.actions.push(Action::Send { to: q, msg: msg.clone() });
+                self.actions.push(Action::Send {
+                    to: q,
+                    msg: msg.clone(),
+                });
             }
         }
     }

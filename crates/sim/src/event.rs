@@ -28,21 +28,29 @@ pub enum EventClass {
 /// What happens.
 #[derive(Clone, Debug)]
 pub enum Event<M> {
+    /// The target process crashes (performs no further steps).
     Crash,
+    /// The start (propose) stimulus.
     Start,
+    /// A message is delivered to the target process.
     Deliver {
+        /// Sending process.
         from: ProcessId,
+        /// Message payload.
         msg: M,
         /// Sequence number of the message on the wire (metering key);
         /// `None` for free self-messages.
         wire_seq: Option<u64>,
     },
+    /// A previously set timer fires.
     Timer {
+        /// Tag the automaton armed the timer with.
         tag: u32,
     },
 }
 
 impl<M> Event<M> {
+    /// The priority class used to order this event among same-time events.
     pub fn class(&self) -> EventClass {
         match self {
             Event::Crash => EventClass::Crash,
@@ -56,16 +64,22 @@ impl<M> Event<M> {
 /// Total ordering key for a scheduled event.
 #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
 pub struct EventKey {
+    /// When the event occurs.
     pub at: Time,
+    /// Priority class among events at the same time.
     pub class: EventClass,
+    /// Insertion sequence number; makes the order total.
     pub seq: u64,
 }
 
 /// An event scheduled for a target process.
 #[derive(Debug)]
 pub struct ScheduledEvent<M> {
+    /// Total-order key the queue popped this event by.
     pub key: EventKey,
+    /// Process the event is addressed to.
     pub target: ProcessId,
+    /// The event itself.
     pub event: Event<M>,
 }
 
@@ -105,8 +119,12 @@ impl<M> Default for EventQueue<M> {
 }
 
 impl<M> EventQueue<M> {
+    /// An empty queue with the sequence counter at zero.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
     }
 
     /// Schedule `event` for `target` at time `at`. Returns the assigned
@@ -114,7 +132,11 @@ impl<M> EventQueue<M> {
     pub fn push(&mut self, at: Time, target: ProcessId, event: Event<M>) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
-        let key = EventKey { at, class: event.class(), seq };
+        let key = EventKey {
+            at,
+            class: event.class(),
+            seq,
+        };
         self.heap.push(Reverse(HeapEntry { key, target, event }));
         seq
     }
@@ -133,10 +155,12 @@ impl<M> EventQueue<M> {
         self.heap.peek().map(|Reverse(e)| e.key.at)
     }
 
+    /// Number of pending events.
     pub fn len(&self) -> usize {
         self.heap.len()
     }
 
+    /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
@@ -150,7 +174,15 @@ mod tests {
     fn deliveries_precede_timers_at_equal_time() {
         let mut q: EventQueue<u8> = EventQueue::new();
         q.push(Time::units(1), 0, Event::Timer { tag: 1 });
-        q.push(Time::units(1), 0, Event::Deliver { from: 1, msg: 9, wire_seq: Some(0) });
+        q.push(
+            Time::units(1),
+            0,
+            Event::Deliver {
+                from: 1,
+                msg: 9,
+                wire_seq: Some(0),
+            },
+        );
         let first = q.pop().unwrap();
         assert!(matches!(first.event, Event::Deliver { .. }));
         let second = q.pop().unwrap();
@@ -160,7 +192,15 @@ mod tests {
     #[test]
     fn crash_precedes_everything_at_equal_time() {
         let mut q: EventQueue<u8> = EventQueue::new();
-        q.push(Time::units(2), 0, Event::Deliver { from: 1, msg: 9, wire_seq: Some(0) });
+        q.push(
+            Time::units(2),
+            0,
+            Event::Deliver {
+                from: 1,
+                msg: 9,
+                wire_seq: Some(0),
+            },
+        );
         q.push(Time::units(2), 0, Event::Crash);
         assert!(matches!(q.pop().unwrap().event, Event::Crash));
     }
@@ -168,8 +208,24 @@ mod tests {
     #[test]
     fn fifo_within_class() {
         let mut q: EventQueue<u8> = EventQueue::new();
-        q.push(Time::units(1), 0, Event::Deliver { from: 1, msg: 1, wire_seq: Some(0) });
-        q.push(Time::units(1), 0, Event::Deliver { from: 2, msg: 2, wire_seq: Some(1) });
+        q.push(
+            Time::units(1),
+            0,
+            Event::Deliver {
+                from: 1,
+                msg: 1,
+                wire_seq: Some(0),
+            },
+        );
+        q.push(
+            Time::units(1),
+            0,
+            Event::Deliver {
+                from: 2,
+                msg: 2,
+                wire_seq: Some(1),
+            },
+        );
         let a = q.pop().unwrap();
         let b = q.pop().unwrap();
         match (a.event, b.event) {
@@ -181,7 +237,15 @@ mod tests {
     #[test]
     fn time_dominates_class() {
         let mut q: EventQueue<u8> = EventQueue::new();
-        q.push(Time::units(2), 0, Event::Deliver { from: 1, msg: 9, wire_seq: Some(0) });
+        q.push(
+            Time::units(2),
+            0,
+            Event::Deliver {
+                from: 1,
+                msg: 9,
+                wire_seq: Some(0),
+            },
+        );
         q.push(Time::units(1), 0, Event::Timer { tag: 7 });
         assert!(matches!(q.pop().unwrap().event, Event::Timer { tag: 7 }));
     }

@@ -16,6 +16,8 @@
 //! crate; this crate is runtime-agnostic so the same automata also run on
 //! real threads (`ac-runtime`).
 
+#![deny(missing_docs)]
+
 pub mod automaton;
 pub mod event;
 pub mod time;

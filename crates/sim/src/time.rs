@@ -19,6 +19,7 @@ pub const U: u64 = 1_000;
 pub struct Time(pub u64);
 
 impl Time {
+    /// The origin of virtual time.
     pub const ZERO: Time = Time(0);
 
     /// The time `k * U`, i.e. `k` message-delay units after time zero.

@@ -11,18 +11,58 @@ use std::fmt;
 /// What kind of step a trace entry records.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TraceKind {
-    Send { from: ProcessId, to: ProcessId, desc: String },
-    Deliver { from: ProcessId, to: ProcessId, desc: String },
-    Timer { at: ProcessId, tag: u32 },
-    Decide { at: ProcessId, value: u64 },
-    Crash { at: ProcessId },
-    Note { at: ProcessId, text: String },
+    /// A message left the sender.
+    Send {
+        /// Sending process.
+        from: ProcessId,
+        /// Destination process.
+        to: ProcessId,
+        /// Protocol-provided description of the message.
+        desc: String,
+    },
+    /// A message reached its destination.
+    Deliver {
+        /// Sending process.
+        from: ProcessId,
+        /// Destination process.
+        to: ProcessId,
+        /// Protocol-provided description of the message.
+        desc: String,
+    },
+    /// A timer fired.
+    Timer {
+        /// Process whose timer fired.
+        at: ProcessId,
+        /// Tag the timer was armed with.
+        tag: u32,
+    },
+    /// A process decided.
+    Decide {
+        /// Deciding process.
+        at: ProcessId,
+        /// Decision value (1 = commit, 0 = abort for NBAC).
+        value: u64,
+    },
+    /// A process crashed.
+    Crash {
+        /// Crashing process.
+        at: ProcessId,
+    },
+    /// A protocol-level annotation.
+    Note {
+        /// Annotating process.
+        at: ProcessId,
+        /// Free-form text.
+        text: String,
+    },
 }
 
 /// A timestamped trace entry.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TraceEntry {
+    /// When the step happened.
     pub time: Time,
+    /// What happened.
     pub kind: TraceKind,
 }
 
@@ -54,7 +94,11 @@ mod tests {
     fn display_formats_one_based_process_names() {
         let e = TraceEntry {
             time: Time::units(2),
-            kind: TraceKind::Send { from: 0, to: 2, desc: "[V,1]".into() },
+            kind: TraceKind::Send {
+                from: 0,
+                to: 2,
+                desc: "[V,1]".into(),
+            },
         };
         let s = e.to_string();
         assert!(s.contains("P1 -> P3"), "{s}");
@@ -63,10 +107,16 @@ mod tests {
 
     #[test]
     fn display_decide_and_crash() {
-        let d = TraceEntry { time: Time::ZERO, kind: TraceKind::Decide { at: 1, value: 1 } };
+        let d = TraceEntry {
+            time: Time::ZERO,
+            kind: TraceKind::Decide { at: 1, value: 1 },
+        };
         assert!(d.to_string().contains("P2"));
         assert!(d.to_string().contains("DECIDE 1"));
-        let c = TraceEntry { time: Time::ZERO, kind: TraceKind::Crash { at: 0 } };
+        let c = TraceEntry {
+            time: Time::ZERO,
+            kind: TraceKind::Crash { at: 0 },
+        };
         assert!(c.to_string().contains("CRASH"));
     }
 }

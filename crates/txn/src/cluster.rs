@@ -67,7 +67,12 @@ pub struct Cluster {
 impl Cluster {
     pub fn new(n: usize, f: usize, kind: ProtocolKind) -> Cluster {
         assert!(n >= 2 && f >= 1 && f < n);
-        Cluster { shards: (0..n).map(Shard::new).collect(), f, kind, stats: CommitStats::default() }
+        Cluster {
+            shards: (0..n).map(Shard::new).collect(),
+            f,
+            kind,
+            stats: CommitStats::default(),
+        }
     }
 
     pub fn n(&self) -> usize {
@@ -93,7 +98,13 @@ impl Cluster {
         // 1. Local validation at every touched shard -> votes. Untouched
         //    processes have nothing to object to and vote 1.
         let votes: Vec<bool> = (0..n)
-            .map(|p| if txn.touches(p) { self.shards[p].prepare(txn) } else { true })
+            .map(|p| {
+                if txn.touches(p) {
+                    self.shards[p].prepare(txn)
+                } else {
+                    true
+                }
+            })
             .collect();
 
         // 2. One run of the commit protocol.
@@ -144,7 +155,13 @@ impl Cluster {
             .iter()
             .map(|txn| {
                 (0..n)
-                    .map(|p| if txn.touches(p) { self.shards[p].prepare(txn) } else { true })
+                    .map(|p| {
+                        if txn.touches(p) {
+                            self.shards[p].prepare(txn)
+                        } else {
+                            true
+                        }
+                    })
                     .collect()
             })
             .collect();
@@ -227,7 +244,10 @@ mod tests {
         let cfg = WorkloadConfig {
             shards: 4,
             keys_per_shard: 8,
-            workload: Workload::Skewed { span: 2, theta: 0.9 },
+            workload: Workload::Skewed {
+                span: 2,
+                theta: 0.9,
+            },
             seed: 11,
         };
         let txns = cfg.generator().take_txns(40);

@@ -29,7 +29,11 @@ pub struct Shard {
 
 impl Shard {
     pub fn new(id: usize) -> Shard {
-        Shard { id, cells: BTreeMap::new(), locks: BTreeMap::new() }
+        Shard {
+            id,
+            cells: BTreeMap::new(),
+            locks: BTreeMap::new(),
+        }
     }
 
     /// Current version of `k` (default zero-version for absent keys).
@@ -107,7 +111,13 @@ mod tests {
         assert!(s.prepare(&t));
         assert_eq!(s.locked(), 1);
         s.finish(&t, true);
-        assert_eq!(s.read(7), Version { value: 42, version: 1 });
+        assert_eq!(
+            s.read(7),
+            Version {
+                value: 42,
+                version: 1
+            }
+        );
         assert_eq!(s.locked(), 0);
     }
 

@@ -41,7 +41,11 @@ pub struct Transaction {
 
 impl Transaction {
     pub fn new(id: TxnId) -> Transaction {
-        Transaction { id, reads: BTreeMap::new(), writes: BTreeMap::new() }
+        Transaction {
+            id,
+            reads: BTreeMap::new(),
+            writes: BTreeMap::new(),
+        }
     }
 
     pub fn with_read(mut self, key: Key, version: u64) -> Transaction {
@@ -61,8 +65,12 @@ impl Transaction {
 
     /// The distinct shards this transaction touches.
     pub fn shards(&self) -> Vec<usize> {
-        let mut s: Vec<usize> =
-            self.reads.keys().chain(self.writes.keys()).map(|k| k.shard).collect();
+        let mut s: Vec<usize> = self
+            .reads
+            .keys()
+            .chain(self.writes.keys())
+            .map(|k| k.shard)
+            .collect();
         s.sort_unstable();
         s.dedup();
         s
@@ -70,7 +78,10 @@ impl Transaction {
 
     /// Whether a shard participates in this transaction.
     pub fn touches(&self, shard: usize) -> bool {
-        self.reads.keys().chain(self.writes.keys()).any(|k| k.shard == shard)
+        self.reads
+            .keys()
+            .chain(self.writes.keys())
+            .any(|k| k.shard == shard)
     }
 }
 

@@ -27,6 +27,21 @@ pub enum Workload {
 }
 
 /// Generator configuration.
+///
+/// ```
+/// use ac_txn::workload::{Workload, WorkloadConfig};
+///
+/// let cfg = WorkloadConfig {
+///     shards: 4,
+///     keys_per_shard: 100,
+///     workload: Workload::Uniform { span: 2 },
+///     seed: 7,
+/// };
+/// let txns = cfg.generator().take_txns(5);
+/// assert_eq!(txns.len(), 5);
+/// // Uniform transactions span `span` distinct shards.
+/// assert!(txns.iter().all(|t| t.shards().len() == 2));
+/// ```
 #[derive(Clone, Debug)]
 pub struct WorkloadConfig {
     pub shards: usize,
@@ -118,7 +133,12 @@ mod tests {
     use super::*;
 
     fn cfg(workload: Workload) -> WorkloadConfig {
-        WorkloadConfig { shards: 4, keys_per_shard: 100, workload, seed: 7 }
+        WorkloadConfig {
+            shards: 4,
+            keys_per_shard: 100,
+            workload,
+            seed: 7,
+        }
     }
 
     #[test]
@@ -140,7 +160,11 @@ mod tests {
 
     #[test]
     fn skew_concentrates_keys() {
-        let mut hot = cfg(Workload::Skewed { span: 1, theta: 0.95 }).generator();
+        let mut hot = cfg(Workload::Skewed {
+            span: 1,
+            theta: 0.95,
+        })
+        .generator();
         let mut cold = cfg(Workload::Uniform { span: 1 }).generator();
         let head = |txns: &[Transaction]| {
             txns.iter()
@@ -158,7 +182,9 @@ mod tests {
 
     #[test]
     fn transfers_conserve_money_by_construction() {
-        let txns = cfg(Workload::Transfer { amount: 10 }).generator().take_txns(40);
+        let txns = cfg(Workload::Transfer { amount: 10 })
+            .generator()
+            .take_txns(40);
         for t in &txns {
             let sum: i64 = t
                 .writes

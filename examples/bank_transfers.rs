@@ -22,7 +22,10 @@ fn main() {
         seed: 2017,
     };
 
-    println!("{:<18} {:>6} {:>8} {:>10} {:>12} {:>8}", "protocol", "commit", "abort", "avg delays", "avg messages", "balance");
+    println!(
+        "{:<18} {:>6} {:>8} {:>10} {:>12} {:>8}",
+        "protocol", "commit", "abort", "avg delays", "avg messages", "balance"
+    );
     for kind in [
         ProtocolKind::TwoPc,
         ProtocolKind::ThreePc,

@@ -73,12 +73,19 @@ fn main() {
     let mut worst_delay = 0;
     for seed in 0..40 {
         let sc = Scenario::nice(n, 1)
-            .chaos(Chaos { gst_units: 8, max_units: 5, seed })
+            .chaos(Chaos {
+                gst_units: 8,
+                max_units: 5,
+                seed,
+            })
             .horizon(1500);
         let out = sc.run::<ac_commit::protocols::Inbac>();
         let report = check(&out, &sc.votes, ProtocolKind::Inbac.cell());
         assert!(report.ok(), "seed {seed}: {:?}", report.violations);
-        assert!(out.decisions.iter().all(|d| d.is_some()), "seed {seed} blocked");
+        assert!(
+            out.decisions.iter().all(|d| d.is_some()),
+            "seed {seed} blocked"
+        );
         worst_delay = worst_delay.max(out.metrics().delays.unwrap_or(0));
     }
     println!("  all 40 runs solved NBAC; worst decision latency: {worst_delay} delay units");

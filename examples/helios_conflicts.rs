@@ -38,7 +38,10 @@ fn main() {
     for theta in [0.0, 0.5, 0.8, 0.95] {
         let (cr_a, d_a) = run(theta, ProtocolKind::Inbac);
         let (cr_b, d_b) = run(theta, ProtocolKind::InbacFastAbort);
-        assert!((cr_a - cr_b).abs() < f64::EPSILON, "same votes, same outcomes");
+        assert!(
+            (cr_a - cr_b).abs() < f64::EPSILON,
+            "same votes, same outcomes"
+        );
         println!(
             "{:>6.2}  {:>13.1}% {:>7.2}  {:>13.1}% {:>7.2}",
             theta,

@@ -21,7 +21,12 @@ fn main() {
     println!("votes      : {:?}", scenario.votes);
     for (p, d) in outcome.decisions.iter().enumerate() {
         let (t, v) = d.expect("INBAC terminates");
-        println!("P{} decided : {} at {}", p + 1, if v == 1 { "COMMIT" } else { "ABORT" }, t);
+        println!(
+            "P{} decided : {} at {}",
+            p + 1,
+            if v == 1 { "COMMIT" } else { "ABORT" },
+            t
+        );
     }
     let m = outcome.metrics();
     println!(
@@ -33,10 +38,16 @@ fn main() {
 
     // The same run, checked against the NBAC properties.
     let report = check(&outcome, &scenario.votes, ProtocolKind::Inbac.cell());
-    println!("NBAC check : {}", if report.ok() { "ok" } else { "violated!" });
+    println!(
+        "NBAC check : {}",
+        if report.ok() { "ok" } else { "violated!" }
+    );
 
     // One dissenting vote aborts the transaction — validity in action.
     let abort = Scenario::nice(n, f).vote_no(2).run::<Inbac>();
-    println!("with P3 voting no -> everyone decides {:?}", abort.decided_values());
+    println!(
+        "with P3 voting no -> everyone decides {:?}",
+        abort.decided_values()
+    );
     assert_eq!(abort.decided_values(), vec![0]);
 }

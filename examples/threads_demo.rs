@@ -22,7 +22,10 @@ fn main() {
     let (n, f) = (5usize, 2usize);
 
     println!("running INBAC on {n} OS threads (U = 20ms)...");
-    let cfg = RtConfig { unit: Duration::from_millis(20), deadline: Duration::from_secs(10) };
+    let cfg = RtConfig {
+        unit: Duration::from_millis(20),
+        deadline: Duration::from_secs(10),
+    };
     let out = run_threads(n, move |me| Inbac::new(me, n, f, true), cfg);
     for (p, d) in out.decisions.iter().enumerate() {
         println!(
@@ -49,7 +52,10 @@ fn main() {
     for (label, cell) in [
         ("full indulgent NBAC (AVT, AVT)", Cell::INDULGENT),
         ("safety only (AV, AV)", Cell::new(PropSet::AV, PropSet::AV)),
-        ("agreement+termination (AT, AT)", Cell::new(PropSet::AT, PropSet::AT)),
+        (
+            "agreement+termination (AT, AT)",
+            Cell::new(PropSet::AT, PropSet::AT),
+        ),
     ] {
         let recs = ProtocolKind::recommend(cell, n, f);
         let names: Vec<&str> = recs.iter().map(|k| k.name()).collect();

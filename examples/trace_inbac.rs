@@ -18,12 +18,20 @@ fn scenario(which: &str) -> Scenario {
     let n = 4;
     match which {
         "abort" => Scenario::nice(n, 2).vote_no(2).traced(),
-        "help" => Scenario::nice(n, 1)
-            .traced()
-            .rule(DelayRule::link(0, 3, Time::units(1), Time::units(2), 6 * U)),
+        "help" => Scenario::nice(n, 1).traced().rule(DelayRule::link(
+            0,
+            3,
+            Time::units(1),
+            Time::units(2),
+            6 * U,
+        )),
         "chaos" => Scenario::nice(n, 2)
             .traced()
-            .chaos(Chaos { gst_units: 5, max_units: 4, seed: 3 })
+            .chaos(Chaos {
+                gst_units: 5,
+                max_units: 4,
+                seed: 3,
+            })
             .horizon(1200),
         _ => Scenario::nice(n, 2).traced(),
     }

@@ -65,7 +65,11 @@ fn simulation_is_bit_for_bit_deterministic() {
     // twice: identical decisions, identical wire records.
     let sc = Scenario::nice(5, 2)
         .vote_no(2)
-        .chaos(Chaos { gst_units: 7, max_units: 4, seed: 123 })
+        .chaos(Chaos {
+            gst_units: 7,
+            max_units: 4,
+            seed: 123,
+        })
         .horizon(1500);
     let a = sc.run::<ac_commit::protocols::Inbac>();
     let b = sc.run::<ac_commit::protocols::Inbac>();
@@ -80,14 +84,21 @@ fn different_seeds_explore_different_schedules() {
     let runs: Vec<Vec<u64>> = (0..6)
         .map(|seed| {
             let sc = Scenario::nice(4, 1)
-                .chaos(Chaos { gst_units: 6, max_units: 5, seed })
+                .chaos(Chaos {
+                    gst_units: 6,
+                    max_units: 5,
+                    seed,
+                })
                 .horizon(1500);
             let out = sc.run::<ac_commit::protocols::Inbac>();
             out.records.iter().map(|r| r.arrival.ticks()).collect()
         })
         .collect();
     let distinct: std::collections::BTreeSet<_> = runs.iter().collect();
-    assert!(distinct.len() > 1, "chaos seeds all produced identical schedules");
+    assert!(
+        distinct.len() > 1,
+        "chaos seeds all produced identical schedules"
+    );
 }
 
 #[test]

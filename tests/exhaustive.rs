@@ -62,7 +62,11 @@ fn double_crashes_respect_safety_for_indulgent_protocols() {
     // Two crashes out of n=5 (still a minority): INBAC and (2n−2+f)NBAC
     // must keep full NBAC; run the double-crash explorer on a coarser time
     // grid to bound the state space.
-    for kind in [ProtocolKind::Inbac, ProtocolKind::Nbac2n2f, ProtocolKind::PaxosCommit] {
+    for kind in [
+        ProtocolKind::Inbac,
+        ProtocolKind::Nbac2n2f,
+        ProtocolKind::PaxosCommit,
+    ] {
         let cfg = ExplorerConfig {
             n: 5,
             f: 2,
@@ -73,6 +77,11 @@ fn double_crashes_respect_safety_for_indulgent_protocols() {
         };
         let report = explore(kind, &cfg);
         report.assert_ok(kind.name());
-        assert!(report.executions > 1000, "{}: {}", kind.name(), report.executions);
+        assert!(
+            report.executions > 1000,
+            "{}: {}",
+            kind.name(),
+            report.executions
+        );
     }
 }

@@ -40,7 +40,10 @@ fn fig1_reproduces_all_branches() {
     assert!(r.all_matched(), "{}", r.render());
     let rendered = r.render();
     for branch in ["decide AND", "cons-propose 1", "cons-propose 0", "HELP"] {
-        assert!(rendered.contains(branch), "missing branch {branch}:\n{rendered}");
+        assert!(
+            rendered.contains(branch),
+            "missing branch {branch}:\n{rendered}"
+        );
     }
 }
 

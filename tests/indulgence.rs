@@ -20,11 +20,14 @@ fn chaos_storms_never_break_nbac_for_indulgent_protocols() {
     for kind in INDULGENT {
         for seed in 0..15 {
             let sc = Scenario::nice(5, 2)
-                .chaos(Chaos { gst_units: 8, max_units: 5, seed })
+                .chaos(Chaos {
+                    gst_units: 8,
+                    max_units: 5,
+                    seed,
+                })
                 .horizon(2000);
             let out = kind.run(&sc);
-            check(&out, &sc.votes, kind.cell())
-                .assert_ok(&format!("{} seed {seed}", kind.name()));
+            check(&out, &sc.votes, kind.cell()).assert_ok(&format!("{} seed {seed}", kind.name()));
             assert!(
                 out.decisions.iter().all(|d| d.is_some()),
                 "{} seed {seed}: blocked",
@@ -41,7 +44,11 @@ fn chaos_plus_crash_still_solves_nbac() {
         for seed in 0..8 {
             let victim = (seed as usize) % 5;
             let sc = Scenario::nice(5, 2)
-                .chaos(Chaos { gst_units: 8, max_units: 4, seed })
+                .chaos(Chaos {
+                    gst_units: 8,
+                    max_units: 4,
+                    seed,
+                })
                 .crash(victim, Crash::at(Time::units(seed % 6)))
                 .horizon(2000);
             let out = kind.run(&sc);
@@ -65,13 +72,20 @@ fn chaos_with_dissent_aborts_consistently() {
         for seed in 0..8 {
             let sc = Scenario::nice(4, 1)
                 .vote_no((seed as usize) % 4)
-                .chaos(Chaos { gst_units: 6, max_units: 4, seed })
+                .chaos(Chaos {
+                    gst_units: 6,
+                    max_units: 4,
+                    seed,
+                })
                 .horizon(2000);
             let out = kind.run(&sc);
-            check(&out, &sc.votes, kind.cell())
-                .assert_ok(&format!("{} seed {seed}", kind.name()));
+            check(&out, &sc.votes, kind.cell()).assert_ok(&format!("{} seed {seed}", kind.name()));
             // A 0-vote exists, so committing is forbidden outright.
-            assert!(!out.decided_values().contains(&1), "{} seed {seed}", kind.name());
+            assert!(
+                !out.decided_values().contains(&1),
+                "{} seed {seed}",
+                kind.name()
+            );
         }
     }
 }
@@ -110,8 +124,15 @@ fn appendix_b_case_decider_in_tail() {
     let out = sc.run::<ac_commit::protocols::Inbac>();
     check(&out, &sc.votes, ProtocolKind::Inbac.cell()).assert_ok("case P in tail");
     assert_eq!(out.decided_values(), vec![1]);
-    assert_eq!(out.decisions[3].unwrap().0, Time::units(2), "P4 fast-decides");
-    assert!(out.decisions[1].unwrap().0 > Time::units(2), "P2 goes through consensus");
+    assert_eq!(
+        out.decisions[3].unwrap().0,
+        Time::units(2),
+        "P4 fast-decides"
+    );
+    assert!(
+        out.decisions[1].unwrap().0 > Time::units(2),
+        "P2 goes through consensus"
+    );
 }
 
 #[test]

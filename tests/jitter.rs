@@ -4,7 +4,7 @@
 //! independent.
 
 use ac_commit::protocols::ProtocolKind;
-use ac_commit::{check, CommitProtocol, Scenario};
+use ac_commit::{check, CommitProtocol};
 use ac_net::{Crash, FaultPlan, JitterDelay, World, WorldConfig};
 use ac_sim::Time;
 
@@ -34,7 +34,10 @@ fn run_jittered(
             procs,
             Box::new(JitterDelay::synchronous(seed)),
             faults,
-            WorldConfig { horizon: Time::units(1500), trace: false },
+            WorldConfig {
+                horizon: Time::units(1500),
+                trace: false,
+            },
         )
         .run()
     }

@@ -23,7 +23,9 @@ struct Schedule {
 
 impl Schedule {
     fn scenario(&self) -> Scenario {
-        let mut sc = Scenario::nice(self.n, self.f).votes(&self.votes).horizon(1200);
+        let mut sc = Scenario::nice(self.n, self.f)
+            .votes(&self.votes)
+            .horizon(1200);
         for &(victim, t, partial) in &self.crashes {
             let crash = if partial == 0 {
                 Crash::at(Time::units(t))
@@ -55,14 +57,8 @@ fn arb_schedule() -> impl Strategy<Value = Schedule> {
             // Keep a correct majority so consensus-backed termination holds.
             let max_crashes = f.min((n - 1) / 2);
             let votes = proptest::collection::vec(any::<bool>(), n);
-            let crashes = proptest::collection::vec(
-                (0..n, 0u64..8, 0usize..3),
-                0..=max_crashes,
-            );
-            let rules = proptest::collection::vec(
-                (0..n, 0..n, 0u64..6, 1u64..6, 2u64..8),
-                0..3,
-            );
+            let crashes = proptest::collection::vec((0..n, 0u64..8, 0usize..3), 0..=max_crashes);
+            let rules = proptest::collection::vec((0..n, 0..n, 0u64..6, 1u64..6, 2u64..8), 0..3);
             (Just(n), Just(f), votes, crashes, rules)
         })
         .prop_map(|(n, f, votes, mut crashes, rules)| {
@@ -73,7 +69,13 @@ fn arb_schedule() -> impl Strategy<Value = Schedule> {
                 .into_iter()
                 .filter(|(from, to, ..)| from != to)
                 .collect();
-            Schedule { n, f, votes, crashes, rules }
+            Schedule {
+                n,
+                f,
+                votes,
+                crashes,
+                rules,
+            }
         })
 }
 

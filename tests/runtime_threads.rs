@@ -12,7 +12,10 @@ use ac_commit::{CommitProtocol, Scenario};
 use ac_runtime::{run_threads, RtConfig};
 
 fn cfg() -> RtConfig {
-    RtConfig { unit: Duration::from_millis(30), deadline: Duration::from_secs(10) }
+    RtConfig {
+        unit: Duration::from_millis(30),
+        deadline: Duration::from_secs(10),
+    }
 }
 
 fn compare<P: CommitProtocol + Send + 'static>(votes: &[bool], f: usize)
@@ -28,9 +31,12 @@ where
     let thread_vals = threads.decided_values();
 
     assert_eq!(
-        sim_vals, thread_vals,
+        sim_vals,
+        thread_vals,
         "{}: simulator {:?} vs threads {:?}",
-        P::NAME, sim_vals, thread_vals
+        P::NAME,
+        sim_vals,
+        thread_vals
     );
     assert!(
         threads.decisions.iter().all(|d| d.is_some()),
@@ -67,7 +73,10 @@ fn nbac0_on_threads_is_silent_and_fast() {
     let t0 = std::time::Instant::now();
     let threads = run_threads(n, move |me| Nbac0::new(me, n, 2, true), cfg());
     assert_eq!(threads.decided_values(), vec![1]);
-    assert_eq!(threads.messages, 0, "0NBAC exchanges no message in nice runs");
+    assert_eq!(
+        threads.messages, 0,
+        "0NBAC exchanges no message in nice runs"
+    );
     assert!(t0.elapsed() < Duration::from_secs(5));
 }
 

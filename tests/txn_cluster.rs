@@ -33,7 +33,10 @@ fn commit_abort_outcomes_are_protocol_independent() {
     let cfg = WorkloadConfig {
         shards: 4,
         keys_per_shard: 6,
-        workload: Workload::Skewed { span: 2, theta: 0.9 },
+        workload: Workload::Skewed {
+            span: 2,
+            theta: 0.9,
+        },
         seed: 7,
     };
     let txns = cfg.generator().take_txns(80);
@@ -41,8 +44,10 @@ fn commit_abort_outcomes_are_protocol_independent() {
     for kind in ProtocolKind::all() {
         let mut cluster = Cluster::new(4, 1, kind);
         // Pipelined batches: transactions within a batch conflict.
-        let outcomes: Vec<bool> =
-            txns.chunks(8).flat_map(|c| cluster.execute_concurrent(c)).collect();
+        let outcomes: Vec<bool> = txns
+            .chunks(8)
+            .flat_map(|c| cluster.execute_concurrent(c))
+            .collect();
         match &reference {
             None => reference = Some(outcomes),
             Some(r) => assert_eq!(r, &outcomes, "{} disagrees with reference", kind.name()),
@@ -51,7 +56,10 @@ fn commit_abort_outcomes_are_protocol_independent() {
     // The skewed workload must actually produce both outcomes for the test
     // to mean anything.
     let r = reference.unwrap();
-    assert!(r.iter().any(|&c| c) && r.iter().any(|&c| !c), "degenerate workload");
+    assert!(
+        r.iter().any(|&c| c) && r.iter().any(|&c| !c),
+        "degenerate workload"
+    );
 }
 
 #[test]

@@ -1,0 +1,194 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the configuration-builder + `benchmark_group`/`bench_function`
+//! surface the `ac-bench` targets use. Instead of criterion's statistical
+//! machinery it runs a short warm-up, then `sample_size` timed batches, and
+//! prints the mean and min per-iteration wall time — enough to track
+//! regressions by eye while staying dependency-free.
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, re-exported from `std::hint`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark driver: collects configuration, runs groups, prints results.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(200),
+            measurement_time: Duration::from_millis(900),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time spent running the closure before measurement starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Total time budget for the measurement phase.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// CLI-argument hook; accepted and ignored by this stand-in.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbench group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+        }
+    }
+
+    /// Run a single stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let stats = run_one(self, &mut f);
+        println!("  {id}: {stats}");
+        self
+    }
+
+    /// Print the closing summary (layout parity with criterion).
+    pub fn final_summary(&self) {
+        println!("\nbench run complete");
+    }
+}
+
+/// A named set of related benchmarks sharing the parent configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Time `f` under this group's configuration.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let stats = run_one(self.criterion, &mut f);
+        println!("  {}/{id}: {stats}", self.name);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Handed to each benchmark closure; [`Bencher::iter`] does the timing.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    warm_up: Duration,
+    measure: Duration,
+    target_samples: usize,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly, recording per-iteration wall time.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warm-up: also calibrates how many iterations fit in one sample.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos().max(1) / u128::from(warm_iters.max(1));
+        let sample_budget = self.measure.as_nanos() / self.target_samples.max(1) as u128;
+        self.iters_per_sample = ((sample_budget / per_iter.max(1)) as u64).clamp(1, 1_000_000);
+
+        for _ in 0..self.target_samples {
+            let t0 = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(f());
+            }
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+struct Stats {
+    mean: Duration,
+    min: Duration,
+}
+
+impl std::fmt::Display for Stats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "mean {:?}/iter (min {:?}/iter)", self.mean, self.min)
+    }
+}
+
+fn run_one(c: &Criterion, f: &mut impl FnMut(&mut Bencher)) -> Stats {
+    let mut b = Bencher {
+        iters_per_sample: 1,
+        samples: Vec::new(),
+        warm_up: c.warm_up_time,
+        measure: c.measurement_time,
+        target_samples: c.sample_size,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        return Stats {
+            mean: Duration::ZERO,
+            min: Duration::ZERO,
+        };
+    }
+    let per_iter = |d: Duration| d / u32::try_from(b.iters_per_sample).unwrap_or(u32::MAX).max(1);
+    let total: Duration = b.samples.iter().sum();
+    Stats {
+        mean: per_iter(total / b.samples.len() as u32),
+        min: per_iter(b.samples.iter().min().copied().unwrap_or_default()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut ran = 0u64;
+        {
+            let mut g = c.benchmark_group("g");
+            g.bench_function("noop", |b| b.iter(|| ran = ran.wrapping_add(1)));
+            g.finish();
+        }
+        c.final_summary();
+        assert!(ran > 0);
+    }
+}

@@ -1,0 +1,31 @@
+//! Offline stand-in for `parking_lot`.
+//!
+//! Wraps `std::sync::Mutex` behind parking_lot's poison-free API
+//! (`lock()` returns the guard directly). Poisoning is absorbed by
+//! continuing with the inner value — the workspace only guards plain data.
+
+use std::sync::Mutex as StdMutex;
+pub use std::sync::MutexGuard;
+
+/// A mutual-exclusion primitive with parking_lot's panic-free `lock()`.
+#[derive(Debug, Default)]
+pub struct Mutex<T>(StdMutex<T>);
+
+impl<T> Mutex<T> {
+    /// Create a new mutex guarding `value`.
+    pub fn new(value: T) -> Self {
+        Mutex(StdMutex::new(value))
+    }
+
+    /// Acquire the lock, blocking the current thread.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|poison| poison.into_inner())
+    }
+
+    /// Consume the mutex, returning the guarded value.
+    pub fn into_inner(self) -> T {
+        self.0
+            .into_inner()
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+}

@@ -1,0 +1,137 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the *exact* API surface it consumes: [`rngs::StdRng`],
+//! [`SeedableRng::seed_from_u64`] and [`Rng::gen_range`] over integer and
+//! float ranges. The generator is SplitMix64 — statistically solid for
+//! simulation workloads and deterministic per seed, which is all the
+//! simulator requires (every experiment must be reproducible).
+//!
+//! Not a cryptographic RNG; do not use it for anything security-relevant.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Types that can construct themselves from entropy-style seeds.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a `u64` seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The sampling surface used by the workspace.
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Sample uniformly from `range` (a `Range` or `RangeInclusive`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+}
+
+/// A range that knows how to sample a value of `T` from an [`Rng`].
+pub trait SampleRange<T> {
+    /// Draw one uniform sample.
+    fn sample_single<R: Rng>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: Rng>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let x = ((rng.next_u64() as u128) % span) as i128;
+                (self.start as i128 + x) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: Rng>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let x = ((rng.next_u64() as u128) % span) as i128;
+                (start as i128 + x) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: Rng>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        // 53 high bits -> uniform in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let v = self.start + unit * (self.end - self.start);
+        // Rounding can land exactly on `end` for wide ranges; keep the
+        // half-open contract.
+        if v >= self.end {
+            self.end.next_down()
+        } else {
+            v
+        }
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic SplitMix64 generator (stand-in for rand's `StdRng`).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea, Flood 2014).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let x: u64 = r.gen_range(3u64..=9);
+            assert!((3..=9).contains(&x));
+            let y: i64 = r.gen_range(-100..100);
+            assert!((-100..100).contains(&y));
+            let f: f64 = r.gen_range(0.0f64..1.0);
+            assert!((0.0..1.0).contains(&f));
+            let u: usize = r.gen_range(0..5usize);
+            assert!(u < 5);
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Offline stand-in for `serde` (serialization only).
+//!
+//! Real serde drives a `Serializer` visitor; this stand-in instead has
+//! [`Serialize`] build a self-describing [`Content`] tree that data formats
+//! (here: the vendored `serde_json`) render. The `#[derive(Serialize)]`
+//! macro from the sibling `serde_derive` crate emits `Content::Map` with one
+//! entry per named struct field, in declaration order — the property the
+//! workspace's JSON snapshots rely on.
+
+pub use serde_derive::Serialize;
+
+/// A serialized value: the self-describing intermediate tree.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Content {
+    /// `null` / `None`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// A sequence (`Vec`, slice, array).
+    Seq(Vec<Content>),
+    /// Named fields in declaration order.
+    Map(Vec<(String, Content)>),
+}
+
+/// Types that can render themselves into a [`Content`] tree.
+pub trait Serialize {
+    /// Build the content tree for `self`.
+    fn to_content(&self) -> Content;
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+macro_rules! impl_serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+    )*};
+}
+impl_serialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+    )*};
+}
+impl_serialize_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}

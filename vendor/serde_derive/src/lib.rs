@@ -1,0 +1,105 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` for structs with named fields without
+//! `syn`/`quote` (unavailable offline): the struct name and field names are
+//! pulled straight out of the token stream and the impl is emitted as
+//! formatted source. Enums, tuple structs and generic structs are not
+//! supported — the workspace doesn't derive on any.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` as a `Content::Map` of the named fields, in
+/// declaration order.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+
+    let mut name = None;
+    let mut body = None;
+    let mut iter = tokens.iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                match iter.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    other => panic!("derive(Serialize): expected struct name, got {other:?}"),
+                }
+                // Scan forward to the brace-delimited field block (skipping
+                // nothing in practice: the workspace derives only on plain,
+                // non-generic structs).
+                for rest in iter.by_ref() {
+                    if let TokenTree::Group(g) = rest {
+                        if g.delimiter() == Delimiter::Brace {
+                            body = Some(g.stream());
+                            break;
+                        }
+                    }
+                }
+                break;
+            }
+            _ => {}
+        }
+    }
+
+    let name = name.expect("derive(Serialize): no `struct` keyword found (enums unsupported)");
+    let body =
+        body.expect("derive(Serialize): no named-field block found (tuple structs unsupported)");
+
+    let fields = named_fields(body);
+    let entries: String = fields
+        .iter()
+        .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_content(&self.{f})),"))
+        .collect();
+
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{\n\
+                 ::serde::Content::Map(vec![{entries}])\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("derive(Serialize): generated impl failed to parse")
+}
+
+/// Extract field names from the contents of a struct's `{ ... }` block:
+/// skip attributes and visibility, take the identifier before each `:`,
+/// then skip to the next top-level comma (tracking `<...>` depth so commas
+/// inside generic arguments don't split a field).
+fn named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    'fields: while let Some(tt) = iter.next() {
+        match tt {
+            // Attribute: `#` followed by a bracketed group.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next();
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                // Optional `pub(...)` restriction.
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            TokenTree::Ident(field) => {
+                fields.push(field.to_string());
+                let mut angle_depth: i64 = 0;
+                for tt in iter.by_ref() {
+                    if let TokenTree::Punct(p) = &tt {
+                        match p.as_char() {
+                            '<' => angle_depth += 1,
+                            '>' => angle_depth -= 1,
+                            ',' if angle_depth == 0 => continue 'fields,
+                            _ => {}
+                        }
+                    }
+                }
+                break; // last field, no trailing comma
+            }
+            other => panic!("derive(Serialize): unexpected token {other:?} in field list"),
+        }
+    }
+    fields
+}
