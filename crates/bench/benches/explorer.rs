@@ -1,0 +1,32 @@
+//! Bench for the exhaustive explorer: the same schedule space explored
+//! sequentially and through the parallel execution pool. This is the
+//! wall-clock half of the bench baseline (`BENCH_baseline.json` records a
+//! snapshot of it); on a multi-core runner the `jobs4` rows should be a
+//! multiple faster than `jobs1`, on a single core they tie.
+
+use ac_bench::run_explorer;
+use ac_commit::protocols::ProtocolKind;
+use criterion::{black_box, Criterion};
+
+fn benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("explorer");
+    for kind in [ProtocolKind::Inbac, ProtocolKind::TwoPc] {
+        for jobs in [1usize, 4] {
+            g.bench_function(format!("{}/n4_f1_jobs{jobs}", kind.name()), |b| {
+                b.iter(|| run_explorer(black_box(kind), 4, 1, jobs))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn main() {
+    println!("{}", ac_harness::experiments::exhaustive(4).render());
+    let mut c = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .configure_from_args();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -6,6 +6,9 @@
 //! `cargo bench --workspace` therefore both reproduces the evaluation and
 //! tracks the simulator's own performance.
 
+#![deny(missing_docs)]
+
+use ac_commit::explorer::{explore_jobs, ExplorerConfig};
 use ac_commit::protocols::ProtocolKind;
 use ac_commit::Scenario;
 
@@ -15,14 +18,20 @@ pub fn run_nice(kind: ProtocolKind, n: usize, f: usize) -> u64 {
     out.metrics().messages as u64
 }
 
-/// The six Table-5 protocols.
+/// Explorer benchmark body: exhaustively explore `kind` over `jobs` worker
+/// threads on a single-crash 0..6U grid and return the executions count
+/// (asserting the space was clean). The `benches/explorer.rs` target times
+/// this body at `jobs = 1` vs `jobs = 4` — the repo's standing
+/// sequential-vs-parallel measurement.
+pub fn run_explorer(kind: ProtocolKind, n: usize, f: usize, jobs: usize) -> usize {
+    let cfg = ExplorerConfig::small(n, f);
+    let report = explore_jobs(kind, &cfg, jobs);
+    report.assert_ok(kind.name());
+    report.executions
+}
+
+/// The six Table-5 protocols (delegates to the canonical list in
+/// [`ProtocolKind::table5`]).
 pub fn table5_protocols() -> [ProtocolKind; 6] {
-    [
-        ProtocolKind::Nbac1,
-        ProtocolKind::ChainNbac,
-        ProtocolKind::Inbac,
-        ProtocolKind::TwoPc,
-        ProtocolKind::PaxosCommit,
-        ProtocolKind::FasterPaxosCommit,
-    ]
+    ProtocolKind::table5()
 }

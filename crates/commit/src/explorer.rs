@@ -7,13 +7,25 @@
 //! the protocol's Table-1 cell. This is the strongest correctness evidence
 //! this library produces: for the explored parameters, the guarantees are
 //! not sampled, they are verified over the whole schedule space.
+//!
+//! The module is split into two independent halves:
+//!
+//! * [`ScheduleSpace`] — **pure enumeration**. An iterator over every
+//!   [`Schedule`] (vote vector + crash schedule) of an [`ExplorerConfig`],
+//!   in a fixed, documented order. It executes nothing.
+//! * the **execution engine** — [`explore_jobs`] fans the enumerated
+//!   schedules out over worker threads (chunked, via the crossbeam-channel
+//!   pool in [`crate::runner::fan_out`]) and merges the per-chunk results
+//!   back **in enumeration order**, so the report of a parallel exploration
+//!   is byte-identical to the sequential one. `jobs = 1` runs inline with
+//!   no threads at all.
 
 use ac_net::Crash;
 use ac_sim::Time;
 
 use crate::checker::{check, Violation};
 use crate::protocols::ProtocolKind;
-use crate::runner::Scenario;
+use crate::runner::{fan_out_stream, Scenario};
 use crate::taxonomy::Cell;
 
 /// Exploration space configuration.
@@ -51,8 +63,39 @@ impl ExplorerConfig {
     }
 }
 
+impl Default for ExplorerConfig {
+    /// [`ExplorerConfig::small`] at the paper's minimal interesting system,
+    /// `n = 3`, `f = 1`.
+    fn default() -> Self {
+        ExplorerConfig::small(3, 1)
+    }
+}
+
+/// One point of the exploration space: a vote vector plus a crash schedule.
+/// Pure data — building a `Schedule` executes nothing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schedule {
+    /// Each process's vote.
+    pub votes: Vec<bool>,
+    /// The processes crashed in this execution, with their crash specs.
+    pub crashes: Vec<(usize, Crash)>,
+}
+
+impl Schedule {
+    /// The runnable [`Scenario`] for this schedule under `cfg`.
+    pub fn scenario(&self, cfg: &ExplorerConfig) -> Scenario {
+        let mut sc = Scenario::nice(cfg.n, cfg.f)
+            .votes(&self.votes)
+            .horizon(cfg.horizon_units);
+        for &(victim, crash) in &self.crashes {
+            sc = sc.crash(victim, crash);
+        }
+        sc
+    }
+}
+
 /// One counterexample found by the explorer.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CounterExample {
     /// Human-readable description of the failing schedule.
     pub scenario: String,
@@ -61,11 +104,11 @@ pub struct CounterExample {
 }
 
 /// Aggregate result of an exploration.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct ExplorationReport {
     /// Total executions explored.
     pub executions: usize,
-    /// Executions that violated the protocol's cell.
+    /// Executions that violated the protocol's cell, in enumeration order.
     pub counterexamples: Vec<CounterExample>,
 }
 
@@ -98,67 +141,196 @@ fn crash_options(cfg: &ExplorerConfig) -> Vec<Crash> {
     opts
 }
 
-/// Exhaustively explore `kind` under `cfg`, checking each execution against
-/// `cell` (defaults to the protocol's own cell via [`explore`]).
-pub fn explore_against(kind: ProtocolKind, cell: Cell, cfg: &ExplorerConfig) -> ExplorationReport {
-    let mut report = ExplorationReport::default();
+/// All crash schedules of `cfg`: the failure-free schedule first, then every
+/// single-victim schedule (victim-major, crash options in
+/// [`crash_options`] order), then every victim pair. Shared by every vote
+/// vector, so it is computed once per exploration.
+fn crash_schedules(cfg: &ExplorerConfig) -> Vec<Vec<(usize, Crash)>> {
     let crash_opts = crash_options(cfg);
     let max_crashes = cfg.max_crashes.min(cfg.f);
-
-    // Enumerate vote vectors as bitmasks.
-    for votes_mask in 0..(1u32 << cfg.n) {
-        let votes: Vec<bool> = (0..cfg.n).map(|p| votes_mask & (1 << p) != 0).collect();
-
-        // Crash schedules: none, then every victim set of size <= max.
-        let mut schedules: Vec<Vec<(usize, Crash)>> = vec![vec![]];
-        if max_crashes >= 1 {
-            for victim in 0..cfg.n {
-                for &c in &crash_opts {
-                    schedules.push(vec![(victim, c)]);
-                }
+    let mut schedules: Vec<Vec<(usize, Crash)>> = vec![vec![]];
+    if max_crashes >= 1 {
+        for victim in 0..cfg.n {
+            for &c in &crash_opts {
+                schedules.push(vec![(victim, c)]);
             }
         }
-        if max_crashes >= 2 {
-            for v1 in 0..cfg.n {
-                for v2 in (v1 + 1)..cfg.n {
-                    for &c1 in &crash_opts {
-                        for &c2 in &crash_opts {
-                            schedules.push(vec![(v1, c1), (v2, c2)]);
-                        }
+    }
+    if max_crashes >= 2 {
+        for v1 in 0..cfg.n {
+            for v2 in (v1 + 1)..cfg.n {
+                for &c1 in &crash_opts {
+                    for &c2 in &crash_opts {
+                        schedules.push(vec![(v1, c1), (v2, c2)]);
                     }
                 }
             }
         }
-
-        for schedule in &schedules {
-            let mut sc = Scenario::nice(cfg.n, cfg.f)
-                .votes(&votes)
-                .horizon(cfg.horizon_units);
-            for &(victim, crash) in schedule {
-                sc = sc.crash(victim, crash);
-            }
-            let out = kind.run(&sc);
-            report.executions += 1;
-            let r = check(&out, &votes, cell);
-            if !r.ok() {
-                report.counterexamples.push(CounterExample {
-                    scenario: format!(
-                        "{} n={} f={} votes={votes:?} crashes={schedule:?}",
-                        kind.name(),
-                        cfg.n,
-                        cfg.f
-                    ),
-                    violations: r.violations,
-                });
-            }
-        }
     }
-    report
+    schedules
 }
 
-/// Explore `kind` against its own declared cell.
+/// Pure enumeration of an [`ExplorerConfig`]'s schedule space.
+///
+/// Iterates every vote vector × crash schedule in a fixed order — vote
+/// bitmask-major (mask `0` = all-No first), crash schedules within a vote
+/// vector as produced by the config (failure-free, then singles, then
+/// pairs). [`ScheduleSpace::len`] gives the exact space size without
+/// iterating.
+///
+/// ```
+/// use ac_commit::explorer::{ExplorerConfig, ScheduleSpace};
+///
+/// let cfg = ExplorerConfig { crash_times: vec![0, 1], partial_sends: vec![1],
+///                            ..ExplorerConfig::small(2, 1) };
+/// let space = ScheduleSpace::new(&cfg);
+/// // 4 vote vectors x (1 no-crash + 2 victims x 2 times x 2 modes).
+/// assert_eq!(space.len(), 4 * (1 + 2 * 2 * 2));
+/// let first = space.clone().next().unwrap();
+/// assert_eq!(first.votes, vec![false, false]); // mask 0, failure-free
+/// assert!(first.crashes.is_empty());
+/// ```
+#[derive(Clone, Debug)]
+pub struct ScheduleSpace {
+    n: usize,
+    schedules: Vec<Vec<(usize, Crash)>>,
+    votes_mask: u32,
+    schedule_idx: usize,
+}
+
+impl ScheduleSpace {
+    /// Enumerate the space of `cfg`.
+    pub fn new(cfg: &ExplorerConfig) -> Self {
+        assert!(cfg.n < 32, "vote vectors are enumerated as u32 bitmasks");
+        ScheduleSpace {
+            n: cfg.n,
+            schedules: crash_schedules(cfg),
+            votes_mask: 0,
+            schedule_idx: 0,
+        }
+    }
+
+    /// Exact number of schedules in the *whole* space (independent of how
+    /// far this iterator has advanced).
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        (1usize << self.n) * self.schedules.len()
+    }
+}
+
+impl Iterator for ScheduleSpace {
+    type Item = Schedule;
+
+    fn next(&mut self) -> Option<Schedule> {
+        if self.votes_mask >= (1u32 << self.n) {
+            return None;
+        }
+        let votes = (0..self.n)
+            .map(|p| self.votes_mask & (1 << p) != 0)
+            .collect();
+        let crashes = self.schedules[self.schedule_idx].clone();
+        self.schedule_idx += 1;
+        if self.schedule_idx == self.schedules.len() {
+            self.schedule_idx = 0;
+            self.votes_mask += 1;
+        }
+        Some(Schedule { votes, crashes })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let done = self.votes_mask as usize * self.schedules.len() + self.schedule_idx;
+        let left = self.len().saturating_sub(done);
+        (left, Some(left))
+    }
+}
+
+/// Run and check one schedule; `Some` iff it violates `cell`.
+fn run_one(
+    kind: ProtocolKind,
+    cell: Cell,
+    cfg: &ExplorerConfig,
+    schedule: &Schedule,
+) -> Option<CounterExample> {
+    let out = kind.run(&schedule.scenario(cfg));
+    let r = check(&out, &schedule.votes, cell);
+    if r.ok() {
+        None
+    } else {
+        Some(CounterExample {
+            scenario: format!(
+                "{} n={} f={} votes={:?} crashes={:?}",
+                kind.name(),
+                cfg.n,
+                cfg.f,
+                schedule.votes,
+                schedule.crashes,
+            ),
+            violations: r.violations,
+        })
+    }
+}
+
+/// Schedules per work item handed to the pool. Runs take tens to hundreds
+/// of microseconds, so a chunk amortizes channel traffic to a few
+/// milliseconds of work while staying small enough for dynamic balancing.
+const CHUNK: usize = 64;
+
+/// Exhaustively explore `kind` under `cfg` against an explicit `cell`, over
+/// `jobs` worker threads. The parallel report is byte-identical to the
+/// sequential (`jobs = 1`) one: chunks are checked in parallel but merged
+/// back in enumeration order.
+pub fn explore_against_jobs(
+    kind: ProtocolKind,
+    cell: Cell,
+    cfg: &ExplorerConfig,
+    jobs: usize,
+) -> ExplorationReport {
+    let space = ScheduleSpace::new(cfg);
+    let executions = space.len();
+
+    let counterexamples = if jobs <= 1 {
+        space.filter_map(|s| run_one(kind, cell, cfg, &s)).collect()
+    } else {
+        // Chunks are drawn from the space lazily — the pool keeps only
+        // O(jobs) chunks in flight, so parallel exploration costs no more
+        // memory than sequential even on exponentially large spaces.
+        let mut space = space.peekable();
+        let chunks = std::iter::from_fn(move || {
+            space.peek()?;
+            Some(space.by_ref().take(CHUNK).collect::<Vec<Schedule>>())
+        });
+        fan_out_stream(chunks, jobs, |chunk| {
+            chunk
+                .iter()
+                .filter_map(|s| run_one(kind, cell, cfg, s))
+                .collect::<Vec<CounterExample>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    };
+
+    ExplorationReport {
+        executions,
+        counterexamples,
+    }
+}
+
+/// Exhaustively explore `kind` under `cfg`, checking each execution against
+/// `cell` (defaults to the protocol's own cell via [`explore`]). Sequential;
+/// see [`explore_against_jobs`] for the parallel engine.
+pub fn explore_against(kind: ProtocolKind, cell: Cell, cfg: &ExplorerConfig) -> ExplorationReport {
+    explore_against_jobs(kind, cell, cfg, 1)
+}
+
+/// Explore `kind` against its own declared cell over `jobs` worker threads.
+pub fn explore_jobs(kind: ProtocolKind, cfg: &ExplorerConfig, jobs: usize) -> ExplorationReport {
+    explore_against_jobs(kind, kind.cell(), cfg, jobs)
+}
+
+/// Explore `kind` against its own declared cell, sequentially.
 pub fn explore(kind: ProtocolKind, cfg: &ExplorerConfig) -> ExplorationReport {
-    explore_against(kind, kind.cell(), cfg)
+    explore_jobs(kind, cfg, 1)
 }
 
 #[cfg(test)]
@@ -197,5 +369,56 @@ mod tests {
             .violations
             .iter()
             .any(|v| matches!(v, Violation::Termination { .. }))));
+    }
+
+    #[test]
+    fn space_len_matches_iteration() {
+        for cfg in [
+            ExplorerConfig::default(),
+            ExplorerConfig {
+                max_crashes: 2,
+                crash_times: vec![0, 2],
+                ..ExplorerConfig::small(4, 2)
+            },
+        ] {
+            let space = ScheduleSpace::new(&cfg);
+            let len = space.len();
+            assert_eq!(space.size_hint(), (len, Some(len)));
+            assert_eq!(space.count(), len);
+        }
+    }
+
+    #[test]
+    fn space_enumeration_is_deterministic_and_unique() {
+        let cfg = ExplorerConfig {
+            crash_times: vec![0, 1, 2],
+            ..ExplorerConfig::small(3, 1)
+        };
+        let a: Vec<Schedule> = ScheduleSpace::new(&cfg).collect();
+        let b: Vec<Schedule> = ScheduleSpace::new(&cfg).collect();
+        assert_eq!(a, b);
+        for (i, s) in a.iter().enumerate() {
+            for t in &a[i + 1..] {
+                assert_ne!(s, t, "duplicate schedule in the space");
+            }
+        }
+    }
+
+    // Parallel-vs-sequential byte-identity is pinned by the cross-crate
+    // suite in `tests/parallel_explorer.rs` (every protocol, violating
+    // spaces, oversubscribed pools, proptest over random configs).
+
+    #[test]
+    fn schedule_scenario_reproduces_builder_construction() {
+        let cfg = ExplorerConfig::small(3, 1);
+        let schedule = Schedule {
+            votes: vec![true, false, true],
+            crashes: vec![(1, Crash::partial(Time::units(2), 1))],
+        };
+        let sc = schedule.scenario(&cfg);
+        assert_eq!(sc.votes, vec![true, false, true]);
+        assert_eq!(sc.crashes, vec![(1, Crash::partial(Time::units(2), 1))]);
+        assert_eq!(sc.horizon_units, cfg.horizon_units);
+        assert!(sc.injects_failure());
     }
 }

@@ -102,6 +102,20 @@ impl ProtocolKind {
         ]
     }
 
+    /// The six protocols of Table 5's head-to-head sweep, in presentation
+    /// order. The single source of truth for that list: the harness's
+    /// bench baseline, its validator and `ac-bench` all derive from it.
+    pub fn table5() -> [ProtocolKind; 6] {
+        [
+            ProtocolKind::Nbac1,
+            ProtocolKind::ChainNbac,
+            ProtocolKind::Inbac,
+            ProtocolKind::TwoPc,
+            ProtocolKind::PaxosCommit,
+            ProtocolKind::FasterPaxosCommit,
+        ]
+    }
+
     /// The paper's display name for this protocol.
     pub fn name(self) -> &'static str {
         match self {

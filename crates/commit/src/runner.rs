@@ -4,6 +4,12 @@
 //! votes, crash schedule, targeted delay rules and optional pre-GST chaos.
 //! `Scenario::run::<P>()` instantiates protocol `P` for every process and
 //! runs it in an `ac_net::World`.
+//!
+//! The module also hosts the **execution pool**: [`fan_out`] is a
+//! deterministic parallel map over worker threads (results always come back
+//! in input order, regardless of scheduling), and [`run_all`] fans a batch
+//! of scenarios out over it. The exhaustive [`crate::explorer`] builds its
+//! parallel engine on these primitives.
 
 use ac_net::{
     Crash, DelayRule, FaultPlan, FixedDelay, GstDelay, Outcome, RuleDelay, World, WorldConfig,
@@ -11,6 +17,7 @@ use ac_net::{
 use ac_sim::{ProcessId, Time, U};
 
 use crate::problem::{CommitProtocol, Vote};
+use crate::protocols::ProtocolKind;
 
 /// Randomized pre-GST chaos (network-failure executions with no targeted
 /// structure): delays uniform in `[U, max_units*U]` before `gst_units*U`,
@@ -184,6 +191,113 @@ pub fn nice_complexity<P: CommitProtocol>(n: usize, f: usize) -> (u64, u64) {
     (delays, m.messages as u64)
 }
 
+/// Deterministic parallel map: apply `f` to every item of `items` on up to
+/// `jobs` worker threads and return the results **in input order**.
+///
+/// Workers pull `(index, item)` pairs from a shared crossbeam channel, so
+/// load balances dynamically (a worker that drew cheap items steals the
+/// remaining work of slower ones); the indexed results are then reassembled
+/// in order, which makes the output independent of thread scheduling. With
+/// `jobs <= 1` the map runs inline on the caller's thread with no channel
+/// or thread overhead — bit-for-bit the same results either way.
+///
+/// ```
+/// use ac_commit::runner::fan_out;
+///
+/// let squares = fan_out((0u64..8).collect(), 4, |x| x * x);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// ```
+pub fn fan_out<T, R, F>(items: Vec<T>, jobs: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    fan_out_stream(items.into_iter(), jobs, f)
+}
+
+/// Streaming [`fan_out`]: like the `Vec` version but pulls work items from
+/// an iterator **lazily**, keeping at most `4 * jobs` items in flight.
+/// This bounds memory to O(`jobs`) items (plus the results), so a space too
+/// large to materialize — the parallel explorer enumerates schedule spaces
+/// that grow exponentially in `n` — costs no more memory parallel than
+/// sequential. Results are still returned in input order.
+pub fn fan_out_stream<T, R, F>(items: impl Iterator<Item = T>, jobs: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    if jobs <= 1 {
+        return items.map(f).collect();
+    }
+    let mut items = items.enumerate();
+    let window = 4 * jobs;
+
+    let (work_tx, work_rx) = crossbeam::channel::unbounded();
+    let (res_tx, res_rx) = crossbeam::channel::unbounded();
+
+    let mut out: Vec<Option<R>> = Vec::new();
+    let store = |i: usize, r: R, out: &mut Vec<Option<R>>| {
+        if i >= out.len() {
+            out.resize_with(i + 1, || None);
+        }
+        out[i] = Some(r);
+    };
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            let work_rx = work_rx.clone();
+            let res_tx = res_tx.clone();
+            let f = &f;
+            scope.spawn(move || {
+                while let Ok((i, item)) = work_rx.recv() {
+                    if res_tx.send((i, f(item))).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(res_tx);
+        drop(work_rx);
+
+        // Prime the queue, then pump: one new item per result received, so
+        // at most `window` items are in flight at any moment.
+        let mut in_flight = 0usize;
+        for pair in items.by_ref().take(window) {
+            let _ = work_tx.send(pair);
+            in_flight += 1;
+        }
+        let mut exhausted = in_flight < window;
+        while in_flight > 0 {
+            let (i, r) = res_rx.recv().expect("workers alive while work remains");
+            store(i, r, &mut out);
+            in_flight -= 1;
+            if !exhausted {
+                match items.next() {
+                    Some(pair) => {
+                        let _ = work_tx.send(pair);
+                        in_flight += 1;
+                    }
+                    None => exhausted = true,
+                }
+            }
+        }
+        drop(work_tx); // lets idle workers observe disconnection and exit
+    });
+    out.into_iter()
+        .map(|r| r.expect("every index produced exactly one result"))
+        .collect()
+}
+
+/// Run `kind` on every scenario over `jobs` worker threads, returning the
+/// outcomes in scenario order. The convenience entry point for sweep-style
+/// callers (harness experiments, benches); the explorer uses the
+/// lower-level [`fan_out`] directly so it can check-and-discard outcomes
+/// inside the workers instead of collecting them.
+pub fn run_all(kind: ProtocolKind, scenarios: Vec<Scenario>, jobs: usize) -> Vec<Outcome> {
+    fan_out(scenarios, jobs, |sc| kind.run(&sc))
+}
+
 // Re-exported for scenario construction ergonomics.
 pub use ac_net::Crash as CrashSpec;
 
@@ -264,5 +378,61 @@ mod tests {
     fn run_helper_respects_votes() {
         let out = run::<TwoPc>(&[true, false, true], 1);
         assert_eq!(out.decided_values(), vec![0]);
+    }
+
+    #[test]
+    fn scenarios_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Scenario>();
+        assert_send::<ProtocolKind>();
+    }
+
+    #[test]
+    fn fan_out_preserves_input_order() {
+        // Uneven per-item cost: late items finish first on a free worker,
+        // but the output must still be in input order.
+        let items: Vec<u64> = (0..100).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * 2).collect();
+        for jobs in [1, 2, 4, 7] {
+            let got = fan_out(items.clone(), jobs, |x| {
+                if x % 9 == 0 {
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                }
+                x * 2
+            });
+            assert_eq!(got, expect, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn fan_out_handles_degenerate_sizes() {
+        assert_eq!(fan_out(Vec::<u8>::new(), 4, |x| x), Vec::<u8>::new());
+        assert_eq!(fan_out(vec![5u8], 4, |x| x + 1), vec![6]);
+        assert_eq!(fan_out(vec![1u8, 2], 64, |x| x), vec![1, 2]);
+    }
+
+    #[test]
+    fn run_all_matches_individual_runs() {
+        let scenarios: Vec<Scenario> = (0..6)
+            .map(|i| {
+                let mut sc = Scenario::nice(4, 1);
+                if i % 2 == 0 {
+                    sc = sc.vote_no(i % 4);
+                }
+                if i % 3 == 0 {
+                    sc = sc.crash(1, Crash::at(Time::units(1)));
+                }
+                sc
+            })
+            .collect();
+        let seq: Vec<Vec<u64>> = scenarios
+            .iter()
+            .map(|sc| ProtocolKind::Inbac.run(sc).decided_values())
+            .collect();
+        let par: Vec<Vec<u64>> = run_all(ProtocolKind::Inbac, scenarios, 3)
+            .into_iter()
+            .map(|o| o.decided_values())
+            .collect();
+        assert_eq!(seq, par);
     }
 }

@@ -39,6 +39,7 @@ pub struct FloodSet {
 }
 
 impl FloodSet {
+    /// A FloodSet instance for one process of `n` tolerating `f` crashes.
     pub fn new(_me: ProcessId, _n: usize, f: usize) -> Self {
         FloodSet {
             f,
@@ -49,11 +50,14 @@ impl FloodSet {
         }
     }
 
+    /// Whether `tag` belongs to this sub-automaton's round timers (hosts
+    /// route such timers to [`FloodSet::on_timer`]).
     #[inline]
     pub fn owns_tag(&self, tag: u32) -> bool {
         (FLOOD_TAG_BASE..FLOOD_TAG_BASE + self.f as u32 + 2).contains(&tag)
     }
 
+    /// The decided value, once the final round has completed.
     #[inline]
     pub fn decision(&self) -> Option<u64> {
         self.decided

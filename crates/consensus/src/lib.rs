@@ -26,6 +26,8 @@
 //! particular algorithm"; this crate is behind the [`ConsensusHost`]
 //! seam precisely so another implementation can be dropped in.
 
+#![deny(missing_docs)]
+
 pub mod flooding;
 pub mod paxos;
 

@@ -17,22 +17,36 @@ const ROUND_GROWTH: u64 = 4 * U;
 /// variant of their own message enum.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum PaxosMsg {
+    /// Phase 1a: the ballot `bal` coordinator asks acceptors to promise.
     Prepare {
+        /// Ballot number.
         bal: u64,
     },
+    /// Phase 1b: an acceptor promises ballot `bal`, reporting its
+    /// highest accepted `(ballot, value)` pair, if any.
     Promise {
+        /// The promised ballot.
         bal: u64,
+        /// Highest `(ballot, value)` this acceptor has accepted.
         accepted: Option<(u64, u64)>,
     },
+    /// Phase 2a: the coordinator asks acceptors to accept `val` at `bal`.
     Accept {
+        /// Ballot number.
         bal: u64,
+        /// Proposed value.
         val: u64,
     },
+    /// Phase 2b: an acceptor reports it accepted `val` at `bal`.
     Accepted {
+        /// Ballot number.
         bal: u64,
+        /// Accepted value.
         val: u64,
     },
+    /// Decision broadcast: `val` is chosen.
     Decide {
+        /// The decided value.
         val: u64,
     },
 }
@@ -42,15 +56,20 @@ pub enum PaxosMsg {
 /// Implemented by [`CtxHost`] for simulated/threaded automata; a production
 /// system would implement it over its RPC layer.
 pub trait ConsensusHost {
+    /// Send a consensus message to process `to`.
     fn send(&mut self, to: ProcessId, m: PaxosMsg);
+    /// Arm a timer for the consensus module at absolute time `at`.
     fn set_timer(&mut self, at: Time, tag: u32);
+    /// Current virtual time.
     fn now(&self) -> Time;
 }
 
 /// Adapter implementing [`ConsensusHost`] over a protocol's [`Ctx`], wrapping
 /// consensus messages into the protocol's own message type via `wrap`.
 pub struct CtxHost<'a, M> {
+    /// The hosting automaton's execution context.
     pub ctx: &'a mut Ctx<M>,
+    /// Wraps a consensus message into the host's message alphabet.
     pub wrap: fn(PaxosMsg) -> M,
 }
 
@@ -104,10 +123,14 @@ pub struct Paxos {
 }
 
 impl Paxos {
+    /// A Paxos instance for process `me` of `n`, with the default
+    /// [`CONS_TAG_BASE`] timer-tag namespace.
     pub fn new(me: ProcessId, n: usize) -> Self {
         Self::with_tag_base(me, n, CONS_TAG_BASE)
     }
 
+    /// Like [`Paxos::new`] with an explicit timer-tag namespace start (for
+    /// hosts embedding several consensus instances).
     pub fn with_tag_base(me: ProcessId, n: usize, tag_base: u32) -> Self {
         assert!(n >= 1);
         Paxos {

@@ -1,16 +1,26 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--json] [table1|table2|table3|table4|table5|fig1|ablations|all]
+//! repro [--json] [--jobs N] [--out PATH] \
+//!       [table1|table2|table3|table4|table5|fig1|ablations|exhaustive|bench|all]
+//! repro bench-check <path>
 //! ```
 //!
 //! With no argument, runs everything. `--json` emits machine-readable
-//! reports instead of aligned text.
+//! reports instead of aligned text. `--jobs N` sets the worker-thread count
+//! of the explorer-backed targets (`exhaustive`, `bench`, `all`); the
+//! default is 1 (sequential). `bench` additionally writes the
+//! machine-readable baseline to `--out` (default `BENCH_baseline.json`),
+//! and `bench-check <path>` validates a previously written baseline —
+//! CI's bench-smoke job runs both.
+
+use std::path::PathBuf;
 
 use ac_harness::experiments;
+use ac_harness::report::BenchBaseline;
 use ac_harness::Report;
 
-fn run_one(id: &str) -> Option<Vec<Report>> {
+fn run_one(id: &str, jobs: usize) -> Option<Vec<Report>> {
     Some(match id {
         "table1" => vec![experiments::table1(6, 2)],
         "table2" => vec![experiments::table2()],
@@ -19,21 +29,105 @@ fn run_one(id: &str) -> Option<Vec<Report>> {
         "table5" => vec![experiments::table5(&[4, 6, 8, 10], &[1, 2, 3])],
         "fig1" => vec![experiments::fig1()],
         "ablations" => vec![experiments::ablations()],
-        "all" => experiments::all(),
+        "exhaustive" => vec![experiments::exhaustive(jobs)],
+        "all" => experiments::all(jobs),
         _ => return None,
     })
+}
+
+fn usage_exit() -> ! {
+    eprintln!(
+        "usage: repro [--json] [--jobs N] [--out PATH] \
+         [table1|table2|table3|table4|table5|fig1|ablations|exhaustive|bench|all]\n\
+         \x20      repro bench-check <path>"
+    );
+    std::process::exit(2);
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
-    let targets: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let mut jobs = 1usize;
+    let mut out = PathBuf::from("BENCH_baseline.json");
+    let mut targets: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => {}
+            "--jobs" => {
+                let Some(n) = it.next().and_then(|v| v.parse().ok()).filter(|&n| n > 0) else {
+                    eprintln!("--jobs requires a positive integer");
+                    usage_exit();
+                };
+                jobs = n;
+            }
+            "--out" => {
+                let Some(p) = it.next() else {
+                    eprintln!("--out requires a path");
+                    usage_exit();
+                };
+                out = PathBuf::from(p);
+            }
+            _ if arg.starts_with("--") => {
+                eprintln!("unknown flag `{arg}`");
+                usage_exit();
+            }
+            _ => targets.push(arg),
+        }
+    }
     let id = targets.first().map(|s| s.as_str()).unwrap_or("all");
 
-    let Some(reports) = run_one(id) else {
+    // `bench-check <path>`: validate a written baseline and exit.
+    if id == "bench-check" {
+        let Some(path) = targets.get(1) else {
+            eprintln!("bench-check requires the path of a baseline file");
+            usage_exit();
+        };
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        match BenchBaseline::validate_json(&text) {
+            Ok(()) => {
+                println!("{path}: valid bench baseline (all six Table-5 protocols present)");
+                return;
+            }
+            Err(problems) => {
+                for p in problems {
+                    eprintln!("{path}: {p}");
+                }
+                std::process::exit(1);
+            }
+        }
+    }
+
+    // `bench`: measure, print, and write the machine-readable baseline.
+    if id == "bench" {
+        let (report, baseline) = experiments::bench_baseline(jobs);
+        if json {
+            println!("{}", report.to_json());
+        } else {
+            println!("{}", report.render());
+        }
+        if let Err(e) = baseline.write(&out) {
+            eprintln!("cannot write {}: {e}", out.display());
+            std::process::exit(1);
+        }
+        eprintln!("wrote {}", out.display());
+        if !report.all_matched() {
+            eprintln!("some paper-vs-measured comparisons did not match");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let Some(reports) = run_one(id, jobs) else {
         eprintln!(
             "unknown experiment `{id}`; expected one of \
-             table1 table2 table3 table4 table5 fig1 ablations all"
+             table1 table2 table3 table4 table5 fig1 ablations exhaustive bench all"
         );
         std::process::exit(2);
     };

@@ -1,12 +1,18 @@
-//! The experiments: one function per paper table/figure.
+//! The experiments: one function per paper table/figure, plus the
+//! cross-cutting entries that are not a single paper artifact:
+//! [`exhaustive`] (the parallel small-model soundness sweep) and
+//! [`bench_baseline`] (the machine-readable performance seed point).
 
+use std::time::Instant;
+
+use ac_commit::explorer::{explore_jobs, ExplorerConfig};
 use ac_commit::protocols::{InbacUnbundledAck, ProtocolKind};
 use ac_commit::taxonomy::{Cell, PropSet};
 use ac_commit::{check, Scenario};
 use ac_net::DelayRule;
 use ac_sim::{Time, TraceKind, U};
 
-use crate::report::{Report, Table};
+use crate::report::{BenchBaseline, ExplorerBaseline, ProtocolBaseline, Report, Table};
 
 /// Symbolic message bound of a Table-1 cell (mirrors
 /// `Cell::bounds`, in formula form).
@@ -322,14 +328,7 @@ pub fn table4(n: usize, f: usize) -> Report {
 /// **Table 5** — the protocol comparison sweep.
 pub fn table5(ns: &[usize], fs: &[usize]) -> Report {
     let mut r = Report::new("table5");
-    let protos = [
-        ProtocolKind::Nbac1,
-        ProtocolKind::ChainNbac,
-        ProtocolKind::Inbac,
-        ProtocolKind::TwoPc,
-        ProtocolKind::PaxosCommit,
-        ProtocolKind::FasterPaxosCommit,
-    ];
+    let protos = ProtocolKind::table5();
     let mut t = Table::new(
         "Table 5: measured nice-execution complexity (d = delays, m = messages)",
         &[
@@ -591,8 +590,182 @@ pub fn ablations() -> Report {
     r
 }
 
-/// All experiments with default parameters.
-pub fn all() -> Vec<Report> {
+/// **Exhaustive** — the parallel small-model soundness sweep. Not a paper
+/// table: for every protocol in the suite, enumerate all vote vectors ×
+/// single-crash schedules on the protocol's own time grid (at `n = 3,
+/// f = 1`) and check the guarantees of its Table-1 cell, fanning the runs
+/// out over `jobs` worker threads.
+pub fn exhaustive(jobs: usize) -> Report {
+    let mut r = Report::new("exhaustive");
+    let mut t = Table::new(
+        format!("Exhaustive sweep at n=3, f=1 over {jobs} worker thread(s)"),
+        &["protocol", "executions", "counterexamples", "wall ms", "ok"],
+    );
+    for kind in ProtocolKind::all() {
+        let (d, _) = kind.nice_complexity_formula(3, 1);
+        let cfg = ExplorerConfig {
+            n: 3,
+            f: 1,
+            crash_times: (0..=d + 2).collect(),
+            partial_sends: vec![1, 2],
+            max_crashes: 1,
+            horizon_units: 500,
+        };
+        let t0 = Instant::now();
+        let report = explore_jobs(kind, &cfg, jobs);
+        let wall = t0.elapsed();
+        let verdict = r.compare(report.ok()).to_string();
+        t.row(vec![
+            kind.name().into(),
+            report.executions.to_string(),
+            report.counterexamples.len().to_string(),
+            format!("{:.1}", wall.as_secs_f64() * 1e3),
+            verdict,
+        ]);
+    }
+    r.table(t);
+    r.note(
+        "each protocol's crash grid extends 2U past its own nice-execution \
+         schedule; 'ok' means every execution of the space satisfied the \
+         protocol's declared Table-1 cell.",
+    );
+    r
+}
+
+/// Mean wall-clock of one nice execution of `kind`, in microseconds.
+fn nice_run_micros(kind: ProtocolKind, n: usize, f: usize) -> f64 {
+    let sc = Scenario::nice(n, f);
+    for _ in 0..3 {
+        let _ = kind.run(&sc); // warmup
+    }
+    const ITERS: u32 = 20;
+    let t0 = Instant::now();
+    for _ in 0..ITERS {
+        std::hint::black_box(kind.run(std::hint::black_box(&sc)));
+    }
+    t0.elapsed().as_secs_f64() * 1e6 / f64::from(ITERS)
+}
+
+/// The `(n, f)` the per-protocol baseline is measured at (Table 5's
+/// mid-size column).
+pub const BASELINE_GRID: (usize, usize) = (6, 2);
+
+/// The exploration space timed by the baseline: INBAC at `n = 5, f = 2`
+/// with up to two crash victims on a 0..4U grid — ~34k executions, large
+/// enough that worker threads amortize pool overhead (the single-crash
+/// spaces of the tier-1 tests finish in milliseconds and would only time
+/// thread spawning).
+pub fn baseline_explorer_config() -> ExplorerConfig {
+    ExplorerConfig {
+        n: 5,
+        f: 2,
+        crash_times: (0..=4).collect(),
+        partial_sends: vec![1],
+        max_crashes: 2,
+        horizon_units: 500,
+    }
+}
+
+/// **Bench baseline** — measure the per-protocol nice-execution numbers and
+/// the explorer's sequential-vs-parallel wall-clock, producing both a
+/// human-readable [`Report`] and the machine-readable [`BenchBaseline`]
+/// written to `BENCH_baseline.json`.
+pub fn bench_baseline(jobs: usize) -> (Report, BenchBaseline) {
+    let (n, f) = BASELINE_GRID;
+    let mut r = Report::new("bench_baseline");
+
+    let mut pt = Table::new(
+        format!("Per-protocol nice-execution baseline at n={n}, f={f}"),
+        &["protocol", "d", "m", "formula (d, m)", "match", "µs/run"],
+    );
+    let mut protocols = Vec::new();
+    for kind in ProtocolKind::table5() {
+        let (fd, fm) = kind.nice_complexity_formula(n as u64, f as u64);
+        let (d, m) = measure(kind, n, f);
+        let micros = nice_run_micros(kind, n, f);
+        let matches = (d, m) == (fd, fm);
+        let verdict = r.compare(matches).to_string();
+        pt.row(vec![
+            kind.name().into(),
+            d.to_string(),
+            m.to_string(),
+            format!("({fd}, {fm})"),
+            verdict,
+            format!("{micros:.1}"),
+        ]);
+        protocols.push(ProtocolBaseline {
+            protocol: kind.name().into(),
+            n,
+            f,
+            delays: d,
+            messages: m,
+            formula_delays: fd,
+            formula_messages: fm,
+            matches_formula: matches,
+            nice_run_micros: micros,
+        });
+    }
+    r.table(pt);
+
+    let cfg = baseline_explorer_config();
+    // One untimed warmup so the sequential leg is not measured cold while
+    // the parallel leg runs warm — that would bias `speedup` upward.
+    let _ = explore_jobs(ProtocolKind::Inbac, &cfg, 1);
+    let t0 = Instant::now();
+    let seq = explore_jobs(ProtocolKind::Inbac, &cfg, 1);
+    let sequential_millis = t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = Instant::now();
+    let par = explore_jobs(ProtocolKind::Inbac, &cfg, jobs);
+    let parallel_millis = t0.elapsed().as_secs_f64() * 1e3;
+    let _ = r.compare(seq == par); // parallel must be byte-identical
+    let _ = r.compare(seq.ok());
+    let speedup = sequential_millis / parallel_millis.max(1e-9);
+
+    let mut et = Table::new(
+        format!(
+            "Explorer wall-clock: INBAC n={} f={}, {} executions",
+            cfg.n, cfg.f, seq.executions
+        ),
+        &["engine", "wall ms", "counterexamples"],
+    );
+    et.row(vec![
+        "sequential".into(),
+        format!("{sequential_millis:.1}"),
+        seq.counterexamples.len().to_string(),
+    ]);
+    et.row(vec![
+        format!("parallel (jobs={jobs})"),
+        format!("{parallel_millis:.1}"),
+        par.counterexamples.len().to_string(),
+    ]);
+    r.table(et);
+    r.note(format!(
+        "speedup {speedup:.2}x with {jobs} worker thread(s); parallel report \
+         is byte-identical to sequential."
+    ));
+
+    let baseline = BenchBaseline {
+        schema_version: 1,
+        jobs,
+        protocols,
+        explorer: ExplorerBaseline {
+            protocol: ProtocolKind::Inbac.name().into(),
+            n: cfg.n,
+            f: cfg.f,
+            executions: seq.executions,
+            counterexamples: seq.counterexamples.len(),
+            sequential_millis,
+            parallel_millis,
+            jobs,
+            speedup,
+        },
+    };
+    (r, baseline)
+}
+
+/// All experiments with default parameters; explorer-backed entries run
+/// over `jobs` worker threads.
+pub fn all(jobs: usize) -> Vec<Report> {
     vec![
         table1(6, 2),
         table2(),
@@ -601,6 +774,7 @@ pub fn all() -> Vec<Report> {
         table5(&[4, 6, 8, 10], &[1, 2, 3]),
         fig1(),
         ablations(),
+        exhaustive(jobs),
     ]
 }
 
@@ -648,5 +822,21 @@ mod tests {
     fn ablations_hold() {
         let r = ablations();
         assert!(r.all_matched(), "{}", r.render());
+    }
+
+    #[test]
+    fn exhaustive_sweep_is_clean_in_parallel() {
+        let r = exhaustive(2);
+        assert!(r.all_matched(), "{}", r.render());
+    }
+
+    #[test]
+    fn bench_baseline_validates_and_covers_table5() {
+        let (r, baseline) = bench_baseline(2);
+        assert!(r.all_matched(), "{}", r.render());
+        assert_eq!(
+            crate::report::BenchBaseline::validate_json(&baseline.to_json()),
+            Ok(())
+        );
     }
 }

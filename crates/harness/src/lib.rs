@@ -11,10 +11,17 @@
 //! | `table5` | Table 5 — INBAC vs 2PC vs PaxosCommit (sweep) | [`experiments::table5`] |
 //! | `fig1`   | Figure 1 — INBAC state transitions at 2U | [`experiments::fig1`] |
 //! | `ablations` | §5.2 fast abort, consensus engagement, ack bundling | [`experiments::ablations`] |
+//! | `exhaustive` | (cross-cutting) parallel small-model soundness sweep | [`experiments::exhaustive`] |
+//! | `bench` | (cross-cutting) machine-readable bench baseline | [`experiments::bench_baseline`] |
 //!
 //! Each experiment returns a [`report::Report`] that renders as aligned
 //! text (what `repro` prints and EXPERIMENTS.md records) and serializes to
-//! JSON for downstream tooling.
+//! JSON for downstream tooling. Explorer-backed experiments take a `jobs`
+//! worker-thread count (the `repro` binary's `--jobs` flag); `bench`
+//! additionally emits the [`report::BenchBaseline`] snapshot written to
+//! `BENCH_baseline.json` and validated by `repro bench-check` in CI.
+
+#![deny(missing_docs)]
 
 pub mod experiments;
 pub mod report;

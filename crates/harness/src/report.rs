@@ -1,5 +1,7 @@
 //! Plain-text table rendering and JSON serialization for experiment
-//! results.
+//! results, plus the machine-readable bench baseline
+//! ([`BenchBaseline`]) that seeds the repository's performance
+//! trajectory (`BENCH_baseline.json`).
 
 use serde::Serialize;
 
@@ -17,12 +19,16 @@ use serde::Serialize;
 /// ```
 #[derive(Clone, Debug, Serialize)]
 pub struct Table {
+    /// Caption rendered above the table.
     pub title: String,
+    /// Column headers.
     pub header: Vec<String>,
+    /// Data rows, one cell per header column.
     pub rows: Vec<Vec<String>>,
 }
 
 impl Table {
+    /// An empty table with the given title and column headers.
     pub fn new(title: impl Into<String>, header: &[&str]) -> Table {
         Table {
             title: title.into(),
@@ -31,6 +37,7 @@ impl Table {
         }
     }
 
+    /// Append a data row (must have one cell per header column).
     pub fn row(&mut self, cells: Vec<String>) {
         debug_assert_eq!(cells.len(), self.header.len());
         self.rows.push(cells);
@@ -46,6 +53,7 @@ impl Table {
         w
     }
 
+    /// Render as an aligned plain-text table.
     pub fn render(&self) -> String {
         let w = self.widths();
         let mut out = String::new();
@@ -76,15 +84,20 @@ impl Table {
 /// A full experiment report: tables plus free-form notes.
 #[derive(Clone, Debug, Serialize, Default)]
 pub struct Report {
+    /// Experiment identifier (`table1`, `fig1`, ...).
     pub id: String,
+    /// Rendered tables, in presentation order.
     pub tables: Vec<Table>,
+    /// Free-form notes appended after the tables.
     pub notes: Vec<String>,
-    /// Number of paper-vs-measured comparisons that matched / total.
+    /// Number of paper-vs-measured comparisons that matched.
     pub matched: usize,
+    /// Total paper-vs-measured comparisons recorded.
     pub compared: usize,
 }
 
 impl Report {
+    /// An empty report for experiment `id`.
     pub fn new(id: impl Into<String>) -> Report {
         Report {
             id: id.into(),
@@ -92,10 +105,12 @@ impl Report {
         }
     }
 
+    /// Append a table.
     pub fn table(&mut self, t: Table) {
         self.tables.push(t);
     }
 
+    /// Append a free-form note.
     pub fn note(&mut self, s: impl Into<String>) {
         self.notes.push(s.into());
     }
@@ -111,10 +126,12 @@ impl Report {
         }
     }
 
+    /// Whether every recorded comparison matched.
     pub fn all_matched(&self) -> bool {
         self.matched == self.compared
     }
 
+    /// Render tables, notes and the match summary as plain text.
     pub fn render(&self) -> String {
         let mut out = format!("# Experiment {}\n\n", self.id);
         for t in &self.tables {
@@ -133,8 +150,156 @@ impl Report {
         out
     }
 
+    /// Serialize the whole report as pretty JSON.
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("report serialization cannot fail")
+    }
+}
+
+/// The protocol names a valid bench baseline must cover: the six of the
+/// paper's Table 5 (the headline comparison sweep), derived from the
+/// canonical [`ac_commit::protocols::ProtocolKind::table5`] list so a
+/// protocol rename cannot desynchronize the emitter from the validator.
+pub fn table5_protocol_names() -> [&'static str; 6] {
+    ac_commit::protocols::ProtocolKind::table5().map(|k| k.name())
+}
+
+/// Per-protocol baseline numbers: the paper's two complexity measures of a
+/// nice execution plus the simulator's wall-clock cost of producing it.
+#[derive(Clone, Debug, Serialize)]
+pub struct ProtocolBaseline {
+    /// Display name of the protocol ([`table5_protocol_names`]).
+    pub protocol: String,
+    /// Number of processes of the measured nice execution.
+    pub n: usize,
+    /// Resilience bound of the measured nice execution.
+    pub f: usize,
+    /// Measured message delays to the last decision.
+    pub delays: u64,
+    /// Measured messages exchanged until the last decision.
+    pub messages: u64,
+    /// The paper's closed-form delay count at this `(n, f)`.
+    pub formula_delays: u64,
+    /// The paper's closed-form message count at this `(n, f)`.
+    pub formula_messages: u64,
+    /// Whether measured and closed-form complexity agree.
+    pub matches_formula: bool,
+    /// Mean wall-clock of one simulated nice execution, in microseconds.
+    pub nice_run_micros: f64,
+}
+
+/// Explorer wall-clock baseline: the same exhaustive space explored
+/// sequentially and with the parallel engine.
+#[derive(Clone, Debug, Serialize)]
+pub struct ExplorerBaseline {
+    /// Protocol whose schedule space was explored.
+    pub protocol: String,
+    /// Number of processes.
+    pub n: usize,
+    /// Resilience bound.
+    pub f: usize,
+    /// Total executions in the explored space.
+    pub executions: usize,
+    /// Counterexamples found (must be 0 for a sound protocol).
+    pub counterexamples: usize,
+    /// Wall-clock of the sequential (`jobs = 1`) exploration, milliseconds.
+    pub sequential_millis: f64,
+    /// Wall-clock of the parallel exploration, milliseconds.
+    pub parallel_millis: f64,
+    /// Worker threads used by the parallel exploration.
+    pub jobs: usize,
+    /// `sequential_millis / parallel_millis` — ≥ 2 expected on a 4-core
+    /// runner with `jobs = 4`; ~1 on a single core.
+    pub speedup: f64,
+}
+
+/// The machine-readable bench baseline written to `BENCH_baseline.json`.
+///
+/// This is the seed point of the repository's performance trajectory:
+/// future PRs regenerate it and diff against the committed copy. Field
+/// semantics are documented field-by-field in the README ("The bench
+/// baseline" section).
+#[derive(Clone, Debug, Serialize)]
+pub struct BenchBaseline {
+    /// Format version; bump on breaking layout changes.
+    pub schema_version: u32,
+    /// Worker threads the harness was invoked with.
+    pub jobs: usize,
+    /// Per-protocol nice-execution numbers, Table-5 order.
+    pub protocols: Vec<ProtocolBaseline>,
+    /// Explorer wall-clock numbers.
+    pub explorer: ExplorerBaseline,
+}
+
+impl BenchBaseline {
+    /// Pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("baseline serialization cannot fail")
+    }
+
+    /// Write the baseline to `path` (pretty JSON, trailing newline).
+    pub fn write(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json() + "\n")
+    }
+
+    /// Validate a serialized baseline: parses as JSON, carries a known
+    /// schema version, covers **all six Table-5 protocols**, and reports a
+    /// non-empty, counterexample-free exploration. Returns a list of
+    /// problems (empty = valid). This is what CI's bench-smoke job runs via
+    /// `repro bench-check`.
+    pub fn validate_json(text: &str) -> Result<(), Vec<String>> {
+        let mut problems = Vec::new();
+        let v: serde_json::Value = match serde_json::from_str(text) {
+            Ok(v) => v,
+            Err(e) => return Err(vec![format!("not valid JSON: {e:?}")]),
+        };
+        if v["schema_version"].as_u64() != Some(1) {
+            problems.push(format!(
+                "schema_version must be 1, got {:?}",
+                v["schema_version"]
+            ));
+        }
+        let empty = Vec::new();
+        let protocols = v["protocols"].as_array().unwrap_or(&empty);
+        for want in table5_protocol_names() {
+            let found = protocols.iter().any(|p| {
+                p["protocol"].as_str() == Some(want)
+                    && p["delays"].as_u64().is_some()
+                    && p["messages"].as_u64().is_some()
+                    && p["nice_run_micros"].as_f64().is_some()
+            });
+            if !found {
+                problems.push(format!(
+                    "missing (or incomplete) Table-5 protocol entry: {want}"
+                ));
+            }
+        }
+        for p in protocols {
+            if p["matches_formula"].as_bool() != Some(true) {
+                problems.push(format!(
+                    "protocol {:?} does not match its paper formula",
+                    p["protocol"]
+                ));
+            }
+        }
+        let explorer = &v["explorer"];
+        match explorer["executions"].as_u64() {
+            Some(0) | None => problems.push("explorer.executions must be > 0".into()),
+            Some(_) => {}
+        }
+        if explorer["counterexamples"].as_u64() != Some(0) {
+            problems.push("explorer.counterexamples must be 0".into());
+        }
+        for key in ["sequential_millis", "parallel_millis", "speedup"] {
+            if explorer[key].as_f64().is_none_or(|x| x <= 0.0) {
+                problems.push(format!("explorer.{key} must be a positive number"));
+            }
+        }
+        if problems.is_empty() {
+            Ok(())
+        } else {
+            Err(problems)
+        }
     }
 }
 
@@ -160,6 +325,74 @@ mod tests {
         assert_eq!(r.compare(false), "MISMATCH");
         assert!(!r.all_matched());
         assert!(r.render().contains("1/2"));
+    }
+
+    fn sample_baseline() -> BenchBaseline {
+        BenchBaseline {
+            schema_version: 1,
+            jobs: 4,
+            protocols: table5_protocol_names()
+                .iter()
+                .map(|name| ProtocolBaseline {
+                    protocol: name.to_string(),
+                    n: 6,
+                    f: 2,
+                    delays: 2,
+                    messages: 24,
+                    formula_delays: 2,
+                    formula_messages: 24,
+                    matches_formula: true,
+                    nice_run_micros: 12.5,
+                })
+                .collect(),
+            explorer: ExplorerBaseline {
+                protocol: "INBAC".into(),
+                n: 4,
+                f: 1,
+                executions: 1744,
+                counterexamples: 0,
+                sequential_millis: 100.0,
+                parallel_millis: 50.0,
+                jobs: 4,
+                speedup: 2.0,
+            },
+        }
+    }
+
+    #[test]
+    fn baseline_round_trips_and_validates() {
+        let b = sample_baseline();
+        assert_eq!(BenchBaseline::validate_json(&b.to_json()), Ok(()));
+    }
+
+    #[test]
+    fn baseline_validation_catches_missing_protocols() {
+        let mut b = sample_baseline();
+        b.protocols.retain(|p| p.protocol != "INBAC");
+        let problems = BenchBaseline::validate_json(&b.to_json()).unwrap_err();
+        assert!(problems.iter().any(|p| p.contains("INBAC")), "{problems:?}");
+    }
+
+    #[test]
+    fn baseline_validation_catches_formula_mismatches_and_violations() {
+        let mut b = sample_baseline();
+        b.protocols[0].matches_formula = false;
+        b.explorer.counterexamples = 3;
+        let problems = BenchBaseline::validate_json(&b.to_json()).unwrap_err();
+        assert!(
+            problems.iter().any(|p| p.contains("formula")),
+            "{problems:?}"
+        );
+        assert!(
+            problems.iter().any(|p| p.contains("counterexamples")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn baseline_validation_rejects_garbage() {
+        assert!(BenchBaseline::validate_json("not json").is_err());
+        assert!(BenchBaseline::validate_json("{}").is_err());
     }
 
     #[test]

@@ -11,7 +11,11 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Decides per-message transmission delays (in ticks).
-pub trait DelayModel {
+///
+/// `Send` is a supertrait so that a boxed model — and therefore a whole
+/// [`crate::World`] — can be shipped to a worker thread; the parallel
+/// explorer in `ac-commit` fans independent runs out over threads.
+pub trait DelayModel: Send {
     /// Delay of the message with wire sequence number `seq`, sent by `from`
     /// to `to` at `sent`.
     fn delay(&mut self, from: ProcessId, to: ProcessId, sent: Time, seq: u64) -> u64;
@@ -30,6 +34,7 @@ pub trait DelayModel {
 pub struct FixedDelay(pub u64);
 
 impl FixedDelay {
+    /// Exactly one delay unit `U` per message — the nice-execution model.
     pub fn unit() -> Self {
         FixedDelay(U)
     }
@@ -48,12 +53,16 @@ impl DelayModel for FixedDelay {
 /// With `max ≤ U` this is still a synchronous (crash-failure) execution.
 #[derive(Clone, Debug)]
 pub struct JitterDelay {
+    /// Minimum delay in ticks (≥ 1: a message cannot arrive instantly).
     pub min: u64,
+    /// Maximum delay in ticks (inclusive).
     pub max: u64,
     rng: StdRng,
 }
 
 impl JitterDelay {
+    /// Delays uniform in `[min, max]` ticks, drawn from a stream seeded
+    /// with `seed`.
     pub fn new(min: u64, max: u64, seed: u64) -> Self {
         assert!(min >= 1, "a message cannot arrive at its send instant");
         assert!(min <= max);
@@ -85,12 +94,16 @@ impl DelayModel for JitterDelay {
 /// This is the executable form of the paper's network-failure system.
 #[derive(Clone, Debug)]
 pub struct GstDelay {
+    /// Global stabilization time: sends at or after it take exactly `U`.
     pub gst: Time,
+    /// Maximum pre-GST delay in ticks (inclusive, ≥ `U`).
     pub chaos_max: u64,
     rng: StdRng,
 }
 
 impl GstDelay {
+    /// Pre-GST delays uniform in `[U, chaos_max]`, seeded with `seed`;
+    /// exactly `U` from `gst` on.
     pub fn new(gst: Time, chaos_max: u64, seed: u64) -> Self {
         assert!(chaos_max >= U);
         GstDelay {
@@ -143,6 +156,7 @@ pub struct DelayRule {
 }
 
 impl DelayRule {
+    /// Whether this rule applies to a message `from -> to` sent at `sent`.
     pub fn matches(&self, from: ProcessId, to: ProcessId, sent: Time) -> bool {
         self.from.is_none_or(|p| p == from)
             && self.to.is_none_or(|p| p == to)
@@ -174,11 +188,14 @@ impl DelayRule {
 
 /// First-match rule list with a fallback model.
 pub struct RuleDelay<D: DelayModel> {
+    /// Targeted overrides, checked in order; the first match wins.
     pub rules: Vec<DelayRule>,
+    /// Model deciding the delay of messages no rule matches.
     pub fallback: D,
 }
 
 impl<D: DelayModel> RuleDelay<D> {
+    /// Rules over an arbitrary fallback model.
     pub fn new(rules: Vec<DelayRule>, fallback: D) -> Self {
         RuleDelay { rules, fallback }
     }

@@ -67,6 +67,7 @@ impl FaultPlan {
         self
     }
 
+    /// The crash scheduled for process `p`, if any.
     pub fn crash_of(&self, p: ProcessId) -> Option<Crash> {
         self.crashes.get(p).copied().flatten()
     }
@@ -81,6 +82,7 @@ impl FaultPlan {
         self.crash_count() > 0
     }
 
+    /// Number of processes this plan is sized for.
     pub fn n(&self) -> usize {
         self.crashes.len()
     }

@@ -17,6 +17,8 @@
 //! wire records and optional traces, from which [`Metrics`] computes the
 //! paper's two complexity measures.
 
+#![deny(missing_docs)]
+
 pub mod delay;
 pub mod fault;
 pub mod metrics;

@@ -17,10 +17,15 @@ use ac_sim::{ProcessId, Time, U};
 /// Wire record of one inter-process message.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct MsgRecord {
+    /// Wire sequence number, in send order over the whole execution.
     pub seq: u64,
+    /// Sending process.
     pub from: ProcessId,
+    /// Destination process.
     pub to: ProcessId,
+    /// Send timestamp.
     pub sent: Time,
+    /// Arrival timestamp (`sent` + the delay the model assigned).
     pub arrival: Time,
 }
 
@@ -43,6 +48,9 @@ pub enum ExecutionClass {
 }
 
 impl ExecutionClass {
+    /// Classify an execution from its crash flag and wire records: any
+    /// delay > `U` makes it a network failure, else any crash makes it a
+    /// crash failure, else it is failure-free.
     pub fn classify(any_crash: bool, records: &[MsgRecord]) -> ExecutionClass {
         if records.iter().any(|r| r.delay() > U) {
             ExecutionClass::NetworkFailure

@@ -46,6 +46,7 @@ pub struct Outcome {
 }
 
 impl Outcome {
+    /// Compute the paper's complexity measures for this execution.
     pub fn metrics(&self) -> Metrics {
         Metrics::compute(&self.records, &self.decisions, &self.crashed)
     }
@@ -342,6 +343,19 @@ mod tests {
             faults,
             WorldConfig::default(),
         )
+    }
+
+    #[test]
+    fn worlds_and_plans_are_send() {
+        // The parallel explorer ships whole worlds to worker threads; this
+        // must stay true as the types evolve.
+        fn assert_send<T: Send>() {}
+        assert_send::<Crash>();
+        assert_send::<FaultPlan>();
+        assert_send::<WorldConfig>();
+        assert_send::<Outcome>();
+        assert_send::<World<Ping>>();
+        assert_send::<Box<dyn crate::DelayModel>>();
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //! decisions must therefore match the simulator's failure-free executions,
 //! which the integration tests assert.
 
+#![deny(missing_docs)]
+
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;

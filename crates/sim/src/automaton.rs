@@ -181,8 +181,10 @@ impl<M> Ctx<M> {
 /// the simulator relies on this for reproducibility, and the exhaustive
 /// explorer in `ac-commit` relies on it for soundness.
 pub trait Automaton {
-    /// The protocol's message alphabet.
-    type Msg: Clone + std::fmt::Debug;
+    /// The protocol's message alphabet. Messages must be `Send` so whole
+    /// worlds can be executed on worker threads (`ac-runtime` and the
+    /// parallel explorer in `ac-commit` both rely on this).
+    type Msg: Clone + std::fmt::Debug + Send;
 
     /// The start event. For commit protocols this is the NBAC `Propose`
     /// (the vote was passed to the constructor). All processes start

@@ -16,7 +16,9 @@ use crate::txn::Transaction;
 /// Aggregated outcome of a workload run.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CommitStats {
+    /// Transactions that committed.
     pub committed: usize,
+    /// Transactions that aborted.
     pub aborted: usize,
     /// Total commit-protocol latency, in message delays, across txns.
     pub total_delays: u64,
@@ -26,10 +28,12 @@ pub struct CommitStats {
 }
 
 impl CommitStats {
+    /// Total transactions executed.
     pub fn transactions(&self) -> usize {
         self.committed + self.aborted
     }
 
+    /// Fraction of transactions that committed (0 if none ran).
     pub fn commit_ratio(&self) -> f64 {
         if self.transactions() == 0 {
             0.0
@@ -38,6 +42,7 @@ impl CommitStats {
         }
     }
 
+    /// Mean commit-protocol latency per transaction, in message delays.
     pub fn avg_delays(&self) -> f64 {
         if self.transactions() == 0 {
             0.0
@@ -46,6 +51,7 @@ impl CommitStats {
         }
     }
 
+    /// Mean commit-protocol messages per transaction.
     pub fn avg_messages(&self) -> f64 {
         if self.transactions() == 0 {
             0.0
@@ -65,6 +71,8 @@ pub struct Cluster {
 }
 
 impl Cluster {
+    /// A cluster of `n` single-shard processes tolerating `f` crashes,
+    /// committing through `kind`.
     pub fn new(n: usize, f: usize, kind: ProtocolKind) -> Cluster {
         assert!(n >= 2 && f >= 1 && f < n);
         Cluster {
@@ -75,18 +83,22 @@ impl Cluster {
         }
     }
 
+    /// Number of processes (= shards).
     pub fn n(&self) -> usize {
         self.shards.len()
     }
 
+    /// The commit protocol in use.
     pub fn protocol(&self) -> ProtocolKind {
         self.kind
     }
 
+    /// Shard `i`'s store.
     pub fn shard(&self, i: usize) -> &Shard {
         &self.shards[i]
     }
 
+    /// Statistics aggregated over every executed transaction.
     pub fn stats(&self) -> &CommitStats {
         &self.stats
     }

@@ -17,6 +17,8 @@
 //!   simulated commit round per transaction, with latency (in message
 //!   delays) and abort accounting.
 
+#![deny(missing_docs)]
+
 pub mod cluster;
 pub mod store;
 pub mod txn;

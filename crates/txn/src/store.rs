@@ -14,13 +14,16 @@ use crate::txn::{Key, Transaction, TxnId, WriteOp};
 /// A versioned cell.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct Version {
+    /// Current value.
     pub value: i64,
+    /// Monotone version counter, bumped on every committed write.
     pub version: u64,
 }
 
 /// One shard of the database, owned by one process.
 #[derive(Clone, Debug, Default)]
 pub struct Shard {
+    /// Owning process id.
     pub id: usize,
     cells: BTreeMap<u64, Version>,
     /// Write locks held by prepared transactions: key -> owner txn.
@@ -28,6 +31,7 @@ pub struct Shard {
 }
 
 impl Shard {
+    /// An empty shard owned by process `id`.
     pub fn new(id: usize) -> Shard {
         Shard {
             id,

@@ -6,11 +6,14 @@ use std::collections::BTreeMap;
 //  control cross-shard spans precisely.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Key {
+    /// Owning shard.
     pub shard: usize,
+    /// Key within the shard.
     pub k: u64,
 }
 
 impl Key {
+    /// Key `k` on `shard`.
     pub fn new(shard: usize, k: u64) -> Key {
         Key { shard, k }
     }
@@ -24,7 +27,9 @@ pub type TxnId = u64;
 /// what makes transfer workloads conserve money under concurrency.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum WriteOp {
+    /// Install the value (blind write).
     Put(i64),
+    /// Increment the current value (read-modify-write).
     Add(i64),
 }
 
@@ -32,6 +37,7 @@ pub enum WriteOp {
 /// at execute time; writes install new values on commit.
 #[derive(Clone, Debug, Default)]
 pub struct Transaction {
+    /// Unique transaction id.
     pub id: TxnId,
     /// Key -> version observed when the transaction executed.
     pub reads: BTreeMap<Key, u64>,
@@ -40,6 +46,7 @@ pub struct Transaction {
 }
 
 impl Transaction {
+    /// An empty transaction with id `id`.
     pub fn new(id: TxnId) -> Transaction {
         Transaction {
             id,
@@ -48,16 +55,19 @@ impl Transaction {
         }
     }
 
+    /// Record a read of `key` at `version` (builder style).
     pub fn with_read(mut self, key: Key, version: u64) -> Transaction {
         self.reads.insert(key, version);
         self
     }
 
+    /// Record a blind write of `value` to `key` (builder style).
     pub fn with_write(mut self, key: Key, value: i64) -> Transaction {
         self.writes.insert(key, WriteOp::Put(value));
         self
     }
 
+    /// Record an increment of `key` by `delta` (builder style).
     pub fn with_add(mut self, key: Key, delta: i64) -> Transaction {
         self.writes.insert(key, WriteOp::Add(delta));
         self

@@ -18,12 +18,23 @@ use crate::txn::{Key, Transaction, TxnId};
 pub enum Workload {
     /// Each transaction writes `span` keys on distinct shards, keys drawn
     /// uniformly from `keys_per_shard`.
-    Uniform { span: usize },
+    Uniform {
+        /// Distinct shards each transaction touches.
+        span: usize,
+    },
     /// Same, but keys are drawn Zipf-like with exponent `theta` — higher
     /// theta, hotter head, more write-write conflicts.
-    Skewed { span: usize, theta: f64 },
+    Skewed {
+        /// Distinct shards each transaction touches.
+        span: usize,
+        /// Zipf exponent (`0` = uniform; higher = hotter head).
+        theta: f64,
+    },
     /// Debit one key on one shard, credit one key on another.
-    Transfer { amount: i64 },
+    Transfer {
+        /// Amount moved from the debited to the credited key.
+        amount: i64,
+    },
 }
 
 /// Generator configuration.
@@ -44,13 +55,18 @@ pub enum Workload {
 /// ```
 #[derive(Clone, Debug)]
 pub struct WorkloadConfig {
+    /// Number of shards keys are spread over.
     pub shards: usize,
+    /// Keys per shard (drawn from `0..keys_per_shard`).
     pub keys_per_shard: u64,
+    /// Workload shape.
     pub workload: Workload,
+    /// Seed of the deterministic transaction stream.
     pub seed: u64,
 }
 
 impl WorkloadConfig {
+    /// The deterministic transaction stream of this configuration.
     pub fn generator(&self) -> WorkloadGen {
         WorkloadGen {
             cfg: self.clone(),

@@ -1,10 +1,12 @@
 //! Offline stand-in for `crossbeam`.
 //!
 //! Provides the subset the workspace uses — `channel::unbounded` with
-//! cloneable senders and `recv_timeout` — implemented over
-//! `Mutex<VecDeque>` + `Condvar`. Semantics match crossbeam where the
-//! workspace depends on them: FIFO per channel, `Disconnected` only after
-//! the queue is drained and all senders are gone.
+//! cloneable senders **and cloneable receivers** (crossbeam channels are
+//! multi-producer multi-consumer), blocking `recv`, `try_recv` and
+//! `recv_timeout` — implemented over `Mutex<VecDeque>` + `Condvar`.
+//! Semantics match crossbeam where the workspace depends on them: FIFO per
+//! channel, each message delivered to exactly one receiver, `Disconnected`
+//! only after the queue is drained and all senders are gone.
 
 pub mod channel {
     use std::collections::VecDeque;
@@ -25,11 +27,25 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error returned by [`Receiver::recv`]: all senders dropped and the
+    /// queue is empty.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The queue is currently empty (senders still connected).
+        Empty,
+        /// All senders dropped and the queue is empty.
+        Disconnected,
+    }
+
     struct Shared<T> {
         queue: Mutex<VecDeque<T>>,
         ready: Condvar,
         senders: AtomicUsize,
-        receiver_alive: AtomicUsize,
+        receivers: AtomicUsize,
     }
 
     /// The sending half of an unbounded channel. Cloneable.
@@ -37,7 +53,9 @@ pub mod channel {
         shared: Arc<Shared<T>>,
     }
 
-    /// The receiving half of an unbounded channel.
+    /// The receiving half of an unbounded channel. Cloneable (crossbeam
+    /// channels are multi-consumer); each message is delivered to exactly
+    /// one receiver.
     pub struct Receiver<T> {
         shared: Arc<Shared<T>>,
     }
@@ -48,7 +66,7 @@ pub mod channel {
             queue: Mutex::new(VecDeque::new()),
             ready: Condvar::new(),
             senders: AtomicUsize::new(1),
-            receiver_alive: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
         });
         (
             Sender {
@@ -78,16 +96,25 @@ pub mod channel {
         }
     }
 
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.receivers.fetch_add(1, Ordering::SeqCst);
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            self.shared.receiver_alive.store(0, Ordering::SeqCst);
+            self.shared.receivers.fetch_sub(1, Ordering::SeqCst);
         }
     }
 
     impl<T> Sender<T> {
-        /// Enqueue `value`; fails only if the receiver was dropped.
+        /// Enqueue `value`; fails only if every receiver was dropped.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            if self.shared.receiver_alive.load(Ordering::SeqCst) == 0 {
+            if self.shared.receivers.load(Ordering::SeqCst) == 0 {
                 return Err(SendError(value));
             }
             let mut q = self.shared.queue.lock().unwrap();
@@ -99,6 +126,33 @@ pub mod channel {
     }
 
     impl<T> Receiver<T> {
+        /// Dequeue a message, blocking until one arrives or every sender is
+        /// dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut q = self.shared.queue.lock().unwrap();
+            loop {
+                if let Some(v) = q.pop_front() {
+                    return Ok(v);
+                }
+                if self.shared.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvError);
+                }
+                q = self.shared.ready.wait(q).unwrap();
+            }
+        }
+
+        /// Dequeue a message without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut q = self.shared.queue.lock().unwrap();
+            if let Some(v) = q.pop_front() {
+                return Ok(v);
+            }
+            if self.shared.senders.load(Ordering::SeqCst) == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
+        }
+
         /// Dequeue a message, waiting up to `timeout` for one to arrive.
         pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
             let deadline = Instant::now() + timeout;
@@ -150,6 +204,62 @@ pub mod channel {
                 rx.recv_timeout(Duration::from_millis(10)),
                 Err(RecvTimeoutError::Disconnected)
             );
+        }
+
+        #[test]
+        fn cloned_receivers_split_the_stream() {
+            let (tx, rx) = unbounded();
+            let rx2 = rx.clone();
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let a = std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Ok(v) = rx.recv() {
+                    got.push(v);
+                }
+                got
+            });
+            let b = std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Ok(v) = rx2.recv() {
+                    got.push(v);
+                }
+                got
+            });
+            let mut all = a.join().unwrap();
+            all.extend(b.join().unwrap());
+            all.sort_unstable();
+            assert_eq!(all, (0..100).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn blocking_recv_sees_disconnect() {
+            let (tx, rx) = unbounded::<u8>();
+            let h = std::thread::spawn(move || rx.recv());
+            drop(tx);
+            assert_eq!(h.join().unwrap(), Err(RecvError));
+        }
+
+        #[test]
+        fn try_recv_distinguishes_empty_from_disconnected() {
+            let (tx, rx) = unbounded();
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+            tx.send(3).unwrap();
+            assert_eq!(rx.try_recv(), Ok(3));
+            drop(tx);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
+
+        #[test]
+        fn send_fails_only_after_all_receivers_drop() {
+            let (tx, rx) = unbounded();
+            let rx2 = rx.clone();
+            drop(rx);
+            assert_eq!(tx.send(1), Ok(()));
+            drop(rx2);
+            assert_eq!(tx.send(2), Err(SendError(2)));
         }
 
         #[test]

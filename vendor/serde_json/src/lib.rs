@@ -70,6 +70,14 @@ impl Value {
         }
     }
 
+    /// The boolean if this is a `Value::Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The elements if this is a `Value::Array`.
     pub fn as_array(&self) -> Option<&Vec<Value>> {
         match self {
