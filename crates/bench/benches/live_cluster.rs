@@ -1,0 +1,71 @@
+//! Bench for the live `ac-cluster` service: 2PC vs INBAC vs Paxos-Commit
+//! serving a contended (skewed) workload end-to-end over real channels.
+//! Prints the throughput/latency comparison first, then times whole
+//! service runs under criterion.
+
+use std::time::Duration;
+
+use ac_cluster::{run_service, ServiceConfig};
+use ac_commit::protocols::ProtocolKind;
+use ac_txn::Workload;
+use criterion::{black_box, Criterion};
+
+const KINDS: [ProtocolKind; 3] = [
+    ProtocolKind::TwoPc,
+    ProtocolKind::Inbac,
+    ProtocolKind::PaxosCommit,
+];
+
+fn contended(kind: ProtocolKind, clients: usize, txns_per_client: usize) -> ServiceConfig {
+    ServiceConfig::new(4, 1, kind)
+        .clients(clients)
+        .txns_per_client(txns_per_client)
+        .workload(Workload::Skewed {
+            span: 2,
+            theta: 0.9,
+        })
+        .unit(Duration::from_millis(2))
+        .keys_per_shard(16)
+        .seed(2017)
+}
+
+fn benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("live_cluster");
+    for kind in KINDS {
+        g.bench_function(format!("{}/skewed_c8", kind.name()), |b| {
+            b.iter(|| run_service(black_box(&contended(kind, 8, 5))))
+        });
+    }
+    g.finish();
+}
+
+fn main() {
+    println!("## live service under contention (skewed theta=0.9, 8 clients x 20 txns)\n");
+    println!(
+        "{:<14} {:>6} {:>6} {:>9} {:>9} {:>9} {:>6}",
+        "protocol", "commit", "abort", "tput t/s", "p50 ms", "p99 ms", "safe"
+    );
+    for kind in KINDS {
+        let out = run_service(&contended(kind, 8, 20));
+        assert!(out.is_safe(), "{}: {:?}", kind.name(), out.violations);
+        println!(
+            "{:<14} {:>6} {:>6} {:>9.0} {:>9.2} {:>9.2} {:>6}",
+            kind.name(),
+            out.committed,
+            out.aborted,
+            out.throughput_tps(),
+            out.latency.p50() as f64 / 1e6,
+            out.latency.p99() as f64 / 1e6,
+            if out.is_safe() { "yes" } else { "NO" }
+        );
+    }
+    println!();
+
+    let mut c = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900))
+        .configure_from_args();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,27 @@
+//! # ac-cluster — the live in-process transaction service
+//!
+//! `ac-txn::Cluster` pushes transactions one-at-a-time through the
+//! discrete-event simulator and reports latency in *message delays*. This
+//! crate answers the paper's question — how fast can a distributed
+//! transaction commit? — the way systems papers do: **many concurrent
+//! commits over real channels**, measured in wall-clock throughput and
+//! tail latency.
+//!
+//! * [`service`] — `n` long-lived node threads, each owning one
+//!   [`ac_txn::Shard`] plus an [`ac_runtime::NodeLoop`] demultiplexer
+//!   running many concurrent protocol instances (messages travel as
+//!   `(TxnId, Msg)` envelopes over crossbeam channels), and a closed-loop
+//!   load generator of `c` client threads driving `ac-txn` workloads
+//!   end-to-end: prepare/vote at the shards, one live protocol run per
+//!   transaction (any [`ac_commit::protocols::ProtocolKind`]),
+//!   apply/release, with a post-run safety audit;
+//! * [`histogram`] — a dependency-free log-bucketed
+//!   [`LatencyHistogram`] (p50/p90/p99/max) with exact merge semantics.
+
+#![deny(missing_docs)]
+
+pub mod histogram;
+pub mod service;
+
+pub use histogram::LatencyHistogram;
+pub use service::{run_service, NodeRecord, ServiceConfig, ServiceOutcome};

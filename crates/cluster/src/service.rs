@@ -1,0 +1,680 @@
+//! The live transaction service: `n` long-lived node threads, each owning a
+//! [`Shard`] and a [`NodeLoop`] demultiplexer running many concurrent
+//! commit-protocol instances, plus a closed-loop load generator of `c`
+//! client threads.
+//!
+//! ## Lifecycle of one transaction
+//!
+//! 1. A client draws a transaction from its workload generator, stamps it
+//!    with a globally unique id and sends `Begin` to **every** node.
+//! 2. Each node validates/prepares its shard (taking write locks — an
+//!    untouched shard votes yes for free) and opens a protocol instance
+//!    keyed by the transaction id on its [`NodeLoop`]. Protocol traffic
+//!    travels node-to-node as `(TxnId, A::Msg)` envelopes.
+//! 3. When a node's instance decides, the node applies the decision to its
+//!    shard (install writes + release locks on commit, release on abort)
+//!    and reports `Done` to the submitting client.
+//! 4. The client measures wall-clock latency submit → all `n` decisions,
+//!    then broadcasts `End` so nodes can garbage-collect the instance.
+//!
+//! Envelopes for instances a node has not opened yet are buffered (a peer's
+//! vote can outrun the client's `Begin`); envelopes for ended instances are
+//! dropped. Decisions, votes and apply order are logged per node so the
+//! caller can audit safety after the run ([`ServiceOutcome::violations`]).
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ac_commit::problem::COMMIT;
+use ac_commit::protocols::ProtocolKind;
+use ac_commit::CommitProtocol;
+use ac_runtime::{NodeEvent, NodeLoop, UnitClock};
+use ac_sim::ProcessId;
+use ac_txn::workload::{Workload, WorkloadConfig};
+use ac_txn::{Shard, Transaction, TxnId};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+
+use crate::histogram::LatencyHistogram;
+
+/// Configuration of one live service run.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Number of nodes (= processes = shards).
+    pub n: usize,
+    /// Crash-resilience parameter handed to the protocol.
+    pub f: usize,
+    /// The commit protocol serving the cluster.
+    pub kind: ProtocolKind,
+    /// Wall-clock duration of one virtual delay unit `U` (protocol timers
+    /// are scaled by this; it must comfortably exceed channel latency or
+    /// timer-driven protocols degrade into their fallback paths).
+    pub unit: Duration,
+    /// Number of closed-loop client threads (the concurrency level).
+    pub clients: usize,
+    /// Transactions each client submits.
+    pub txns_per_client: usize,
+    /// Workload shape drawn by every client (distinct per-client seeds).
+    pub workload: Workload,
+    /// Keys per shard.
+    pub keys_per_shard: u64,
+    /// Base seed; each client derives its own stream from it.
+    pub seed: u64,
+    /// Per-transaction wait bound before a client declares the transaction
+    /// stalled (a liveness alarm, not a latency figure).
+    pub txn_deadline: Duration,
+}
+
+impl ServiceConfig {
+    /// A sensible default service: `unit` 5 ms, 4 clients × 25 uniform
+    /// two-shard transactions, 64 keys per shard, 10 s stall alarm.
+    pub fn new(n: usize, f: usize, kind: ProtocolKind) -> ServiceConfig {
+        ServiceConfig {
+            n,
+            f,
+            kind,
+            unit: Duration::from_millis(5),
+            clients: 4,
+            txns_per_client: 25,
+            workload: Workload::Uniform { span: 2 },
+            keys_per_shard: 64,
+            seed: 1,
+            txn_deadline: Duration::from_secs(10),
+        }
+    }
+
+    /// Set the client count (builder style).
+    pub fn clients(mut self, c: usize) -> ServiceConfig {
+        self.clients = c;
+        self
+    }
+
+    /// Set the per-client transaction count (builder style).
+    pub fn txns_per_client(mut self, t: usize) -> ServiceConfig {
+        self.txns_per_client = t;
+        self
+    }
+
+    /// Set the workload shape (builder style).
+    pub fn workload(mut self, w: Workload) -> ServiceConfig {
+        self.workload = w;
+        self
+    }
+
+    /// Set the wall-clock length of one delay unit (builder style).
+    pub fn unit(mut self, unit: Duration) -> ServiceConfig {
+        self.unit = unit;
+        self
+    }
+
+    /// Set the base seed (builder style).
+    pub fn seed(mut self, seed: u64) -> ServiceConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the keys-per-shard count (builder style).
+    pub fn keys_per_shard(mut self, k: u64) -> ServiceConfig {
+        self.keys_per_shard = k;
+        self
+    }
+
+    /// The workload seed client `client` draws from (exposed so tests can
+    /// regenerate the exact transaction stream a client submitted).
+    pub fn client_seed(&self, client: usize) -> u64 {
+        self.seed
+            .wrapping_add((client as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// The globally unique id of client `client`'s `i`-th transaction.
+    pub fn txn_id(client: usize, i: usize) -> TxnId {
+        ((client as u64 + 1) << 32) | (i as u64 + 1)
+    }
+}
+
+/// One entry of a node's apply log: the transaction, this node's vote, and
+/// the decided outcome, in the order decisions were applied to the shard.
+#[derive(Clone, Debug)]
+pub struct NodeRecord {
+    /// The transaction.
+    pub txn: Arc<Transaction>,
+    /// The submitting client.
+    pub client: usize,
+    /// This node's vote (its shard's local validation verdict).
+    pub vote: bool,
+    /// The decided value (1 = commit).
+    pub decision: u64,
+}
+
+/// Outcome of one client transaction as the client observed it.
+#[derive(Clone, Debug)]
+struct ClientRecord {
+    txn: Arc<Transaction>,
+    /// Decision reported by each node (None = never arrived before the
+    /// stall alarm).
+    decisions: Vec<Option<u64>>,
+}
+
+/// Aggregated result of a [`run_service`] run.
+#[derive(Clone, Debug)]
+pub struct ServiceOutcome {
+    /// The protocol that served the run.
+    pub kind: ProtocolKind,
+    /// Closed-loop client threads.
+    pub clients: usize,
+    /// Transactions fully served (all `n` decisions reached the client).
+    pub txns: usize,
+    /// Transactions that committed.
+    pub committed: usize,
+    /// Transactions that aborted.
+    pub aborted: usize,
+    /// Transactions on which a client hit its stall alarm.
+    pub stalled: usize,
+    /// Wall-clock of the whole load phase (first submit → last reply).
+    pub elapsed: Duration,
+    /// Per-transaction wall-clock latency (submit → all `n` decisions).
+    pub latency: LatencyHistogram,
+    /// Protocol messages that crossed node boundaries.
+    pub wire_messages: usize,
+    /// Final shard states.
+    pub shards: Vec<Shard>,
+    /// Each node's apply log, in its local apply order.
+    pub node_logs: Vec<Vec<NodeRecord>>,
+    /// Safety violations found by the post-run audit (empty = safe).
+    pub violations: Vec<String>,
+}
+
+impl ServiceOutcome {
+    /// Committed transactions per second of the load phase.
+    pub fn throughput_tps(&self) -> f64 {
+        self.committed as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Whether the post-run safety audit found nothing.
+    pub fn is_safe(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Sum of all values across all shards (conservation checks: a
+    /// Transfer workload must keep this at zero).
+    pub fn total_value(&self) -> i64 {
+        self.shards.iter().map(|s| s.total()).sum()
+    }
+
+    /// Replay each node's committed transactions **sequentially** against a
+    /// fresh shard, in the node's apply order, and return the rebuilt
+    /// shards. Serializability smoke test: the rebuilt shards must equal
+    /// [`ServiceOutcome::shards`] — the concurrent run is equivalent to
+    /// some sequential execution (per shard, its own apply order).
+    pub fn replay(&self) -> Vec<Shard> {
+        self.node_logs
+            .iter()
+            .enumerate()
+            .map(|(p, log)| {
+                let mut shard = Shard::new(p);
+                for rec in log.iter().filter(|r| r.decision == COMMIT) {
+                    // Writes only: read validation was the live run's job;
+                    // replay re-applies the committed effects in order.
+                    let mut w = Transaction::new(rec.txn.id);
+                    w.writes = rec.txn.writes.clone();
+                    let vote = shard.prepare(&w);
+                    debug_assert!(vote, "sequential write-only replay cannot conflict");
+                    shard.finish(&w, true);
+                }
+                shard
+            })
+            .collect()
+    }
+}
+
+/// Everything a node can receive: client control traffic and protocol
+/// envelopes `(TxnId, from, msg)`.
+enum ToNode<M> {
+    Begin {
+        txn: Arc<Transaction>,
+        client: usize,
+    },
+    Net {
+        txn: TxnId,
+        from: ProcessId,
+        msg: M,
+    },
+    End {
+        txn: TxnId,
+    },
+    Shutdown,
+}
+
+/// A node's decision report to the submitting client.
+struct Done {
+    txn: TxnId,
+    node: ProcessId,
+    decision: u64,
+}
+
+struct NodeReturn {
+    shard: Shard,
+    log: Vec<NodeRecord>,
+}
+
+struct ClientReturn {
+    records: Vec<ClientRecord>,
+    latency: LatencyHistogram,
+    stalled: usize,
+}
+
+/// Run the configured service end-to-end and audit it. Dispatches on
+/// `cfg.kind` to the generic engine — any protocol of the suite can serve.
+pub fn run_service(cfg: &ServiceConfig) -> ServiceOutcome {
+    use ac_commit::protocols::*;
+    match cfg.kind {
+        ProtocolKind::Inbac => serve::<Inbac>(cfg),
+        ProtocolKind::InbacFastAbort => serve::<InbacFastAbort>(cfg),
+        ProtocolKind::Nbac1 => serve::<Nbac1>(cfg),
+        ProtocolKind::Nbac0 => serve::<Nbac0>(cfg),
+        ProtocolKind::ANbac => serve::<ANbac>(cfg),
+        ProtocolKind::AvNbacDelayOpt => serve::<AvNbacDelayOpt>(cfg),
+        ProtocolKind::AvNbacMsgOpt => serve::<AvNbacMsgOpt>(cfg),
+        ProtocolKind::ChainNbac => serve::<ChainNbac>(cfg),
+        ProtocolKind::Nbac2n2 => serve::<Nbac2n2>(cfg),
+        ProtocolKind::Nbac2n2f => serve::<Nbac2n2f>(cfg),
+        ProtocolKind::TwoPc => serve::<TwoPc>(cfg),
+        ProtocolKind::ThreePc => serve::<ThreePc>(cfg),
+        ProtocolKind::PaxosCommit => serve::<PaxosCommit>(cfg),
+        ProtocolKind::FasterPaxosCommit => serve::<FasterPaxosCommit>(cfg),
+    }
+}
+
+fn serve<P>(cfg: &ServiceConfig) -> ServiceOutcome
+where
+    P: CommitProtocol + Send + 'static,
+    P::Msg: Send + 'static,
+{
+    assert!(cfg.n >= 2 && cfg.f >= 1 && cfg.f < cfg.n, "invalid (n, f)");
+    assert!(cfg.clients >= 1);
+    let n = cfg.n;
+
+    // Node inboxes (nodes and clients all hold senders) and per-client
+    // reply channels.
+    let node_ch: Vec<_> = (0..n).map(|_| unbounded::<ToNode<P::Msg>>()).collect();
+    let (node_txs, node_rxs): (Vec<_>, Vec<_>) = node_ch.into_iter().unzip();
+    let client_ch: Vec<_> = (0..cfg.clients).map(|_| unbounded::<Done>()).collect();
+    let (done_txs, done_rxs): (Vec<_>, Vec<_>) = client_ch.into_iter().unzip();
+    let wire = Arc::new(AtomicUsize::new(0));
+
+    let node_handles: Vec<_> = node_rxs
+        .into_iter()
+        .enumerate()
+        .map(|(me, rx)| {
+            let txs = node_txs.clone();
+            let done_txs = done_txs.clone();
+            let wire = Arc::clone(&wire);
+            let unit = cfg.unit;
+            let f = cfg.f;
+            std::thread::spawn(move || node_main::<P>(me, n, f, unit, rx, txs, done_txs, wire))
+        })
+        .collect();
+
+    let t0 = Instant::now();
+    let client_handles: Vec<_> = done_rxs
+        .into_iter()
+        .enumerate()
+        .map(|(client, rx)| {
+            let txs = node_txs.clone();
+            let cfg = cfg.clone();
+            std::thread::spawn(move || client_main::<P>(client, &cfg, txs, rx))
+        })
+        .collect();
+
+    let client_returns: Vec<ClientReturn> = client_handles
+        .into_iter()
+        .map(|h| h.join().expect("client thread panicked"))
+        .collect();
+    let elapsed = t0.elapsed();
+
+    for tx in &node_txs {
+        let _ = tx.send(ToNode::Shutdown);
+    }
+    drop(node_txs);
+    let node_returns: Vec<NodeReturn> = node_handles
+        .into_iter()
+        .map(|h| h.join().expect("node thread panicked"))
+        .collect();
+
+    aggregate(cfg, client_returns, node_returns, elapsed, &wire)
+}
+
+/// One node thread: shard owner + instance demultiplexer.
+#[allow(clippy::too_many_arguments)]
+fn node_main<P>(
+    me: ProcessId,
+    n: usize,
+    f: usize,
+    unit: Duration,
+    rx: Receiver<ToNode<P::Msg>>,
+    txs: Vec<Sender<ToNode<P::Msg>>>,
+    done_txs: Vec<Sender<Done>>,
+    wire: Arc<AtomicUsize>,
+) -> NodeReturn
+where
+    P: CommitProtocol,
+    P::Msg: Send + 'static,
+{
+    let mut node: NodeLoop<P> = NodeLoop::new(me, n, UnitClock::new(unit));
+    let mut shard = Shard::new(me);
+    // txn -> (body, submitting client, our vote); live while the instance is.
+    let mut meta: HashMap<TxnId, (Arc<Transaction>, usize, bool)> = HashMap::new();
+    // Envelopes that outran their Begin.
+    let mut pending: HashMap<TxnId, Vec<(ProcessId, P::Msg)>> = HashMap::new();
+    // Ended instances: late envelopes for these are dropped.
+    let mut closed: HashSet<TxnId> = HashSet::new();
+    let mut log: Vec<NodeRecord> = Vec::new();
+    let mut decided: Vec<(u64, u64)> = Vec::new();
+
+    // Route one NodeLoop effect: protocol sends go out as Net envelopes
+    // (self-sends through our own inbox, not counted as wire messages);
+    // decisions are buffered and applied after the engine call returns.
+    macro_rules! sink {
+        () => {
+            |ev: NodeEvent<P::Msg>| match ev {
+                NodeEvent::Send { instance, to, msg } => {
+                    if to != me {
+                        wire.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let _ = txs[to].send(ToNode::Net {
+                        txn: instance,
+                        from: me,
+                        msg,
+                    });
+                }
+                NodeEvent::Decided { instance, value } => decided.push((instance, value)),
+            }
+        };
+    }
+
+    loop {
+        let now = Instant::now();
+        node.fire_due(now, &mut sink!());
+
+        // Apply buffered decisions outside the engine borrow.
+        for (txn_id, value) in decided.drain(..) {
+            if let Some((txn, client, vote)) = meta.get(&txn_id) {
+                shard.finish(txn, value == COMMIT);
+                log.push(NodeRecord {
+                    txn: Arc::clone(txn),
+                    client: *client,
+                    vote: *vote,
+                    decision: value,
+                });
+                let _ = done_txs[*client].send(Done {
+                    txn: txn_id,
+                    node: me,
+                    decision: value,
+                });
+            }
+        }
+
+        // Sleep until the earliest pending timer; inbound messages wake the
+        // recv immediately, so an idle node parks (bounded only by a long
+        // housekeeping tick rather than a busy 1 ms poll).
+        let wait = node
+            .next_due()
+            .map(|due| due.saturating_duration_since(Instant::now()))
+            .unwrap_or(Duration::from_millis(100));
+        match rx.recv_timeout(wait) {
+            Ok(ToNode::Begin { txn, client }) => {
+                let vote = if txn.touches(me) {
+                    shard.prepare(&txn)
+                } else {
+                    true
+                };
+                let id = txn.id;
+                meta.insert(id, (txn, client, vote));
+                let now = Instant::now();
+                node.open(id, P::new(me, n, f, vote), now, &mut sink!());
+                for (from, msg) in pending.remove(&id).unwrap_or_default() {
+                    node.deliver(id, from, msg, now, &mut sink!());
+                }
+            }
+            Ok(ToNode::Net { txn, from, msg }) => {
+                if node.has(txn) {
+                    node.deliver(txn, from, msg, Instant::now(), &mut sink!());
+                } else if !closed.contains(&txn) {
+                    pending.entry(txn).or_default().push((from, msg));
+                }
+            }
+            Ok(ToNode::End { txn }) => {
+                node.close(txn);
+                closed.insert(txn);
+                meta.remove(&txn);
+                pending.remove(&txn);
+            }
+            Ok(ToNode::Shutdown) | Err(RecvTimeoutError::Disconnected) => break,
+            Err(RecvTimeoutError::Timeout) => {}
+        }
+    }
+    NodeReturn { shard, log }
+}
+
+/// One closed-loop client: submit, await all `n` decisions, record, repeat.
+fn client_main<P>(
+    client: usize,
+    cfg: &ServiceConfig,
+    txs: Vec<Sender<ToNode<P::Msg>>>,
+    rx: Receiver<Done>,
+) -> ClientReturn
+where
+    P: CommitProtocol,
+    P::Msg: Send + 'static,
+{
+    let mut gen = WorkloadConfig {
+        shards: cfg.n,
+        keys_per_shard: cfg.keys_per_shard,
+        workload: cfg.workload.clone(),
+        seed: cfg.client_seed(client),
+    }
+    .generator();
+
+    let mut records = Vec::with_capacity(cfg.txns_per_client);
+    let mut latency = LatencyHistogram::new();
+    let mut stalled = 0usize;
+
+    for i in 0..cfg.txns_per_client {
+        let mut txn = gen.next_txn();
+        txn.id = ServiceConfig::txn_id(client, i);
+        let txn = Arc::new(txn);
+
+        let t0 = Instant::now();
+        for tx in &txs {
+            let _ = tx.send(ToNode::Begin {
+                txn: Arc::clone(&txn),
+                client,
+            });
+        }
+        let deadline = t0 + cfg.txn_deadline;
+        let mut decisions: Vec<Option<u64>> = vec![None; cfg.n];
+        let mut got = 0usize;
+        while got < cfg.n {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                break;
+            }
+            match rx.recv_timeout(left) {
+                Ok(d) if d.txn == txn.id => {
+                    if decisions[d.node].is_none() {
+                        decisions[d.node] = Some(d.decision);
+                        got += 1;
+                    }
+                }
+                Ok(_) => {} // straggler reply of an already-stalled txn
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        let lat = t0.elapsed();
+        for tx in &txs {
+            let _ = tx.send(ToNode::End { txn: txn.id });
+        }
+        if got == cfg.n {
+            latency.record_duration(lat);
+        } else {
+            stalled += 1;
+        }
+        records.push(ClientRecord { txn, decisions });
+    }
+    ClientReturn {
+        records,
+        latency,
+        stalled,
+    }
+}
+
+/// Merge per-thread results and audit safety.
+fn aggregate(
+    cfg: &ServiceConfig,
+    client_returns: Vec<ClientReturn>,
+    node_returns: Vec<NodeReturn>,
+    elapsed: Duration,
+    wire: &AtomicUsize,
+) -> ServiceOutcome {
+    let mut latency = LatencyHistogram::new();
+    let mut stalled = 0;
+    let mut txns = 0;
+    let mut committed = 0;
+    let mut aborted = 0;
+    let mut violations = Vec::new();
+
+    // Cross-node view: txn -> (votes, decisions) as logged by each node.
+    let mut by_txn: HashMap<TxnId, (Vec<bool>, Vec<u64>)> = HashMap::new();
+    for ret in &node_returns {
+        for rec in &ret.log {
+            let e = by_txn.entry(rec.txn.id).or_default();
+            e.0.push(rec.vote);
+            e.1.push(rec.decision);
+        }
+    }
+
+    for cr in &client_returns {
+        latency.merge(&cr.latency);
+        stalled += cr.stalled;
+        for rec in &cr.records {
+            let full = rec.decisions.iter().all(|d| d.is_some());
+            if !full {
+                continue; // counted in `stalled`
+            }
+            txns += 1;
+            let mut vals: Vec<u64> = rec.decisions.iter().flatten().copied().collect();
+            vals.sort_unstable();
+            vals.dedup();
+            if vals.len() != 1 {
+                violations.push(format!("txn {}: split decision {vals:?}", rec.txn.id));
+                continue;
+            }
+            let commit = vals[0] == COMMIT;
+            if commit {
+                committed += 1;
+            } else {
+                aborted += 1;
+            }
+            match by_txn.get(&rec.txn.id) {
+                Some((votes, decisions)) => {
+                    if votes.len() != cfg.n {
+                        violations.push(format!(
+                            "txn {}: {} of {} nodes logged a decision",
+                            rec.txn.id,
+                            votes.len(),
+                            cfg.n
+                        ));
+                    }
+                    if decisions.iter().any(|&d| d != vals[0]) {
+                        violations.push(format!(
+                            "txn {}: node logs disagree with client view",
+                            rec.txn.id
+                        ));
+                    }
+                    if commit && votes.iter().any(|&v| !v) {
+                        violations.push(format!(
+                            "txn {}: committed despite a missing yes-vote",
+                            rec.txn.id
+                        ));
+                    }
+                }
+                None => violations.push(format!("txn {}: no node logged it", rec.txn.id)),
+            }
+        }
+    }
+    for (p, ret) in node_returns.iter().enumerate() {
+        if ret.shard.locked() != 0 {
+            violations.push(format!(
+                "shard {p}: {} lock(s) still held after the run",
+                ret.shard.locked()
+            ));
+        }
+    }
+
+    let (shards, node_logs): (Vec<Shard>, Vec<Vec<NodeRecord>>) =
+        node_returns.into_iter().map(|r| (r.shard, r.log)).unzip();
+
+    ServiceOutcome {
+        kind: cfg.kind,
+        clients: cfg.clients,
+        txns,
+        committed,
+        aborted,
+        stalled,
+        elapsed,
+        latency,
+        wire_messages: wire.load(Ordering::Relaxed),
+        shards,
+        node_logs,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(kind: ProtocolKind) -> ServiceConfig {
+        ServiceConfig::new(4, 1, kind)
+            .clients(2)
+            .txns_per_client(5)
+            .unit(Duration::from_millis(10))
+    }
+
+    #[test]
+    fn inbac_serves_uniform_load_safely() {
+        let out = run_service(&quick(ProtocolKind::Inbac));
+        assert_eq!(out.stalled, 0);
+        assert_eq!(out.txns, 10);
+        assert!(out.is_safe(), "{:?}", out.violations);
+        assert!(out.committed + out.aborted == 10);
+        assert_eq!(out.latency.count(), 10);
+        assert!(out.wire_messages > 0);
+    }
+
+    #[test]
+    fn two_pc_transfer_load_conserves_value() {
+        let cfg = quick(ProtocolKind::TwoPc).workload(Workload::Transfer { amount: 7 });
+        let out = run_service(&cfg);
+        assert_eq!(out.stalled, 0);
+        assert!(out.is_safe(), "{:?}", out.violations);
+        assert_eq!(out.total_value(), 0);
+        assert!(out.committed > 0, "transfers should mostly commit");
+    }
+
+    #[test]
+    fn replay_reproduces_shard_state() {
+        let cfg = quick(ProtocolKind::PaxosCommit).clients(3);
+        let out = run_service(&cfg);
+        assert!(out.is_safe(), "{:?}", out.violations);
+        let rebuilt = out.replay();
+        for (live, replayed) in out.shards.iter().zip(&rebuilt) {
+            assert_eq!(live.total(), replayed.total());
+            for k in 0..cfg.keys_per_shard {
+                assert_eq!(live.read(k), replayed.read(k), "shard {} key {k}", live.id);
+            }
+        }
+    }
+}

@@ -1,18 +1,22 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--json] [--jobs N] [--out PATH] \
-//!       [table1|table2|table3|table4|table5|fig1|ablations|exhaustive|bench|all]
+//! repro [--json] [--jobs N] [--out PATH] [--quick] \
+//!       [table1|table2|table3|table4|table5|fig1|ablations|exhaustive|bench|load|all]
 //! repro bench-check <path>
 //! ```
 //!
 //! With no argument, runs everything. `--json` emits machine-readable
 //! reports instead of aligned text. `--jobs N` sets the worker-thread count
-//! of the explorer-backed targets (`exhaustive`, `bench`, `all`); the
-//! default is 1 (sequential). `bench` additionally writes the
-//! machine-readable baseline to `--out` (default `BENCH_baseline.json`),
-//! and `bench-check <path>` validates a previously written baseline —
-//! CI's bench-smoke job runs both.
+//! of the explorer-backed targets (`exhaustive`, `bench`, `load`, `all`);
+//! the default is 1 (sequential). `bench` additionally writes the
+//! machine-readable schema-v1 baseline to `--out` (default
+//! `BENCH_baseline.json`); `load` runs the live `ac-cluster` service sweep
+//! (protocol × workload × concurrency, `--quick` shrinks it for smoke
+//! jobs) and writes the schema-v2 baseline including the `service`
+//! section; `bench-check <path>` validates a previously written baseline
+//! of either schema version — CI's bench-smoke and load-smoke jobs run
+//! these.
 
 use std::path::PathBuf;
 
@@ -37,8 +41,8 @@ fn run_one(id: &str, jobs: usize) -> Option<Vec<Report>> {
 
 fn usage_exit() -> ! {
     eprintln!(
-        "usage: repro [--json] [--jobs N] [--out PATH] \
-         [table1|table2|table3|table4|table5|fig1|ablations|exhaustive|bench|all]\n\
+        "usage: repro [--json] [--jobs N] [--out PATH] [--quick] \
+         [table1|table2|table3|table4|table5|fig1|ablations|exhaustive|bench|load|all]\n\
          \x20      repro bench-check <path>"
     );
     std::process::exit(2);
@@ -48,12 +52,14 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
     let mut jobs = 1usize;
+    let mut quick = false;
     let mut out = PathBuf::from("BENCH_baseline.json");
     let mut targets: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--json" => {}
+            "--quick" => quick = true,
             "--jobs" => {
                 let Some(n) = it.next().and_then(|v| v.parse().ok()).filter(|&n| n > 0) else {
                     eprintln!("--jobs requires a positive integer");
@@ -92,7 +98,10 @@ fn main() {
         };
         match BenchBaseline::validate_json(&text) {
             Ok(()) => {
-                println!("{path}: valid bench baseline (all six Table-5 protocols present)");
+                println!(
+                    "{path}: valid bench baseline (all six Table-5 protocols present; \
+                     schema v1 or v2 with a clean service section)"
+                );
                 return;
             }
             Err(problems) => {
@@ -105,8 +114,13 @@ fn main() {
     }
 
     // `bench`: measure, print, and write the machine-readable baseline.
-    if id == "bench" {
-        let (report, baseline) = experiments::bench_baseline(jobs);
+    // `load`: additionally run the live service sweep (schema v2).
+    if id == "bench" || id == "load" {
+        let (report, baseline) = if id == "bench" {
+            experiments::bench_baseline(jobs)
+        } else {
+            experiments::load_baseline(quick, jobs)
+        };
         if json {
             println!("{}", report.to_json());
         } else {
@@ -116,9 +130,13 @@ fn main() {
             eprintln!("cannot write {}: {e}", out.display());
             std::process::exit(1);
         }
-        eprintln!("wrote {}", out.display());
+        eprintln!(
+            "wrote {} (schema v{})",
+            out.display(),
+            baseline.schema_version
+        );
         if !report.all_matched() {
-            eprintln!("some paper-vs-measured comparisons did not match");
+            eprintln!("some comparisons or safety audits did not pass");
             std::process::exit(1);
         }
         return;
@@ -127,7 +145,7 @@ fn main() {
     let Some(reports) = run_one(id, jobs) else {
         eprintln!(
             "unknown experiment `{id}`; expected one of \
-             table1 table2 table3 table4 table5 fig1 ablations exhaustive bench all"
+             table1 table2 table3 table4 table5 fig1 ablations exhaustive bench load all"
         );
         std::process::exit(2);
     };

@@ -748,6 +748,7 @@ pub fn bench_baseline(jobs: usize) -> (Report, BenchBaseline) {
         schema_version: 1,
         jobs,
         protocols,
+        service: None,
         explorer: ExplorerBaseline {
             protocol: ProtocolKind::Inbac.name().into(),
             n: cfg.n,
@@ -760,6 +761,130 @@ pub fn bench_baseline(jobs: usize) -> (Report, BenchBaseline) {
             speedup,
         },
     };
+    (r, baseline)
+}
+
+/// The `(n, f)` grid and delay-unit length of the live-service sweep.
+pub const SERVICE_GRID: (usize, usize) = (4, 1);
+/// Wall-clock length of one virtual delay unit in the live-service sweep.
+pub const SERVICE_UNIT: std::time::Duration = std::time::Duration::from_millis(5);
+
+/// **Load baseline** — the live `ac-cluster` transaction service measured
+/// under closed-loop load: protocol × workload × concurrency sweep with
+/// wall-clock throughput and latency percentiles, appended to the
+/// schema-v2 [`BenchBaseline`] (simulator sections re-measured by
+/// [`bench_baseline`], so the emitted file is self-contained).
+///
+/// `quick` shrinks the sweep for CI smoke jobs; `jobs` is forwarded to the
+/// explorer leg of the baseline (the service spawns its own `n + c`
+/// threads per combination regardless).
+pub fn load_baseline(quick: bool, jobs: usize) -> (Report, BenchBaseline) {
+    use crate::report::{service_protocols, ServiceBaseline, ServiceEntry};
+    use ac_cluster::{run_service, ServiceConfig};
+    use ac_txn::Workload;
+
+    let (n, f) = SERVICE_GRID;
+    let protos = service_protocols();
+    let workloads: [(&str, Workload); 2] = [
+        ("uniform", Workload::Uniform { span: 2 }),
+        (
+            "skewed",
+            Workload::Skewed {
+                span: 2,
+                theta: 0.9,
+            },
+        ),
+    ];
+    let client_levels: &[usize] = if quick { &[2, 8] } else { &[2, 8, 16] };
+    let txns_per_client = if quick { 15 } else { 40 };
+
+    // Simulator sections first (protocol formulas + explorer wall-clock):
+    // the v2 baseline carries everything v1 did.
+    let (mut r, mut baseline) = bench_baseline(jobs);
+    r.id = "load".into();
+
+    let mut t = Table::new(
+        format!(
+            "Live service sweep at n={n}, f={f}, unit={}ms ({} txns/client, closed loop)",
+            SERVICE_UNIT.as_millis(),
+            txns_per_client
+        ),
+        &[
+            "protocol", "workload", "clients", "txns", "commit%", "tput t/s", "p50 ms", "p90 ms",
+            "p99 ms", "max ms", "safe",
+        ],
+    );
+    let mut entries = Vec::new();
+    for kind in protos {
+        for (wname, workload) in &workloads {
+            for &clients in client_levels {
+                let cfg = ServiceConfig::new(n, f, kind)
+                    .clients(clients)
+                    .txns_per_client(txns_per_client)
+                    .workload(workload.clone())
+                    .unit(SERVICE_UNIT)
+                    .keys_per_shard(32)
+                    .seed(7);
+                let out = run_service(&cfg);
+                let ok = out.is_safe() && out.stalled == 0;
+                let verdict = r.compare(ok).to_string();
+                let ms = |v: u64| v as f64 / 1e6;
+                t.row(vec![
+                    kind.name().into(),
+                    (*wname).into(),
+                    clients.to_string(),
+                    out.txns.to_string(),
+                    format!(
+                        "{:.0}%",
+                        100.0 * out.committed as f64 / out.txns.max(1) as f64
+                    ),
+                    format!("{:.0}", out.throughput_tps()),
+                    format!("{:.2}", ms(out.latency.p50())),
+                    format!("{:.2}", ms(out.latency.p90())),
+                    format!("{:.2}", ms(out.latency.p99())),
+                    format!("{:.2}", ms(out.latency.max())),
+                    verdict,
+                ]);
+                let us = |v: u64| v as f64 / 1e3;
+                entries.push(ServiceEntry {
+                    protocol: kind.name().into(),
+                    workload: (*wname).into(),
+                    clients,
+                    txns: out.txns,
+                    committed: out.committed,
+                    aborted: out.aborted,
+                    stalled: out.stalled,
+                    throughput_tps: out.throughput_tps(),
+                    p50_micros: us(out.latency.p50()),
+                    p90_micros: us(out.latency.p90()),
+                    p99_micros: us(out.latency.p99()),
+                    max_micros: us(out.latency.max()),
+                    safety_violations: out.violations.len(),
+                });
+            }
+        }
+    }
+    r.table(t);
+    r.note(
+        "latency is wall-clock submit -> all n decisions. Timer-driven \
+         protocols pay their synchrony timeouts for real: 2PC's coordinator \
+         collects votes at 1U and INBAC decides at 2U, so their p50 floors \
+         are ~2 units; PaxosCommit's fast path decides on quorum *message \
+         arrival* and runs at channel speed - the wall-clock face of the \
+         paper's time/message trade-off (delay counts assume messages take \
+         exactly U; over fast links the timer-free protocol wins latency \
+         while paying its message premium). 'safe' requires a clean \
+         post-run audit: agreed decisions, no commit without n yes-votes, \
+         no lock left held, no stalled client.",
+    );
+
+    baseline.schema_version = 2;
+    baseline.service = Some(ServiceBaseline {
+        n,
+        f,
+        unit_micros: SERVICE_UNIT.as_micros() as u64,
+        entries,
+    });
     (r, baseline)
 }
 
@@ -834,6 +959,17 @@ mod tests {
     fn bench_baseline_validates_and_covers_table5() {
         let (r, baseline) = bench_baseline(2);
         assert!(r.all_matched(), "{}", r.render());
+        assert_eq!(
+            crate::report::BenchBaseline::validate_json(&baseline.to_json()),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn load_baseline_quick_is_safe_and_validates_as_v2() {
+        let (r, baseline) = load_baseline(true, 2);
+        assert!(r.all_matched(), "{}", r.render());
+        assert_eq!(baseline.schema_version, 2);
         assert_eq!(
             crate::report::BenchBaseline::validate_json(&baseline.to_json()),
             Ok(())

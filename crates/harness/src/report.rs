@@ -213,12 +213,82 @@ pub struct ExplorerBaseline {
     pub speedup: f64,
 }
 
+/// The protocols the schema-v2 `service` section must cover: the
+/// head-to-head trio of the live-load comparison (2PC vs Paxos-Commit vs
+/// INBAC — blocking baseline, consensus-upfront, indulgent fast-path).
+/// The single source of truth for that list: the `load` sweep emitter and
+/// the validator both derive from it, so they cannot desynchronize.
+pub fn service_protocols() -> [ac_commit::protocols::ProtocolKind; 3] {
+    use ac_commit::protocols::ProtocolKind;
+    [
+        ProtocolKind::TwoPc,
+        ProtocolKind::PaxosCommit,
+        ProtocolKind::Inbac,
+    ]
+}
+
+/// Display names of [`service_protocols`] (what the validator matches on).
+pub fn service_protocol_names() -> [&'static str; 3] {
+    service_protocols().map(|k| k.name())
+}
+
+/// One measured cell of the live-service sweep: a (protocol, workload,
+/// concurrency) combination served end-to-end by `ac-cluster`, reported in
+/// wall-clock throughput and latency percentiles.
+#[derive(Clone, Debug, Serialize)]
+pub struct ServiceEntry {
+    /// Protocol display name.
+    pub protocol: String,
+    /// Workload name (`uniform`, `skewed`, `transfer`).
+    pub workload: String,
+    /// Closed-loop client threads (the concurrency level).
+    pub clients: usize,
+    /// Transactions fully served.
+    pub txns: usize,
+    /// Transactions committed.
+    pub committed: usize,
+    /// Transactions aborted.
+    pub aborted: usize,
+    /// Transactions that hit the client stall alarm (must be 0).
+    pub stalled: usize,
+    /// Committed transactions per second of the load phase.
+    pub throughput_tps: f64,
+    /// Median latency, microseconds (submit → all `n` decisions).
+    pub p50_micros: f64,
+    /// 90th-percentile latency, microseconds.
+    pub p90_micros: f64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_micros: f64,
+    /// Maximum latency, microseconds.
+    pub max_micros: f64,
+    /// Safety violations found by the post-run audit (must be 0).
+    pub safety_violations: usize,
+}
+
+/// The schema-v2 `service` section: the live `ac-cluster` transaction
+/// service measured under closed-loop load.
+#[derive(Clone, Debug, Serialize)]
+pub struct ServiceBaseline {
+    /// Number of nodes (= shards).
+    pub n: usize,
+    /// Crash-resilience parameter.
+    pub f: usize,
+    /// Wall-clock length of one virtual delay unit, microseconds.
+    pub unit_micros: u64,
+    /// One entry per (protocol, workload, concurrency) combination.
+    pub entries: Vec<ServiceEntry>,
+}
+
 /// The machine-readable bench baseline written to `BENCH_baseline.json`.
 ///
 /// This is the seed point of the repository's performance trajectory:
 /// future PRs regenerate it and diff against the committed copy. Field
 /// semantics are documented field-by-field in the README ("The bench
 /// baseline" section).
+///
+/// Two schema versions exist: **v1** (`repro bench`) carries the simulator
+/// numbers only; **v2** (`repro load`) additionally carries the live
+/// [`ServiceBaseline`]. The validator accepts both.
 #[derive(Clone, Debug, Serialize)]
 pub struct BenchBaseline {
     /// Format version; bump on breaking layout changes.
@@ -229,6 +299,9 @@ pub struct BenchBaseline {
     pub protocols: Vec<ProtocolBaseline>,
     /// Explorer wall-clock numbers.
     pub explorer: ExplorerBaseline,
+    /// Live-service numbers (schema v2; `None` serializes as `null` in a
+    /// v1 baseline).
+    pub service: Option<ServiceBaseline>,
 }
 
 impl BenchBaseline {
@@ -243,19 +316,23 @@ impl BenchBaseline {
     }
 
     /// Validate a serialized baseline: parses as JSON, carries a known
-    /// schema version, covers **all six Table-5 protocols**, and reports a
-    /// non-empty, counterexample-free exploration. Returns a list of
-    /// problems (empty = valid). This is what CI's bench-smoke job runs via
-    /// `repro bench-check`.
+    /// schema version (1 or 2), covers **all six Table-5 protocols**, and
+    /// reports a non-empty, counterexample-free exploration. A v2 baseline
+    /// must additionally carry a `service` section covering every
+    /// [`service_protocol_names`] protocol at ≥ 2 concurrency levels with
+    /// zero safety violations and zero stalls. Returns a list of problems
+    /// (empty = valid). This is what CI's bench-smoke and load-smoke jobs
+    /// run via `repro bench-check`.
     pub fn validate_json(text: &str) -> Result<(), Vec<String>> {
         let mut problems = Vec::new();
         let v: serde_json::Value = match serde_json::from_str(text) {
             Ok(v) => v,
             Err(e) => return Err(vec![format!("not valid JSON: {e:?}")]),
         };
-        if v["schema_version"].as_u64() != Some(1) {
+        let schema = v["schema_version"].as_u64();
+        if schema != Some(1) && schema != Some(2) {
             problems.push(format!(
-                "schema_version must be 1, got {:?}",
+                "schema_version must be 1 or 2, got {:?}",
                 v["schema_version"]
             ));
         }
@@ -295,10 +372,60 @@ impl BenchBaseline {
                 problems.push(format!("explorer.{key} must be a positive number"));
             }
         }
+        if schema == Some(2) {
+            Self::validate_service(&v["service"], &mut problems);
+        }
         if problems.is_empty() {
             Ok(())
         } else {
             Err(problems)
+        }
+    }
+
+    /// Schema-v2 `service` section rules (see [`BenchBaseline::validate_json`]).
+    fn validate_service(service: &serde_json::Value, problems: &mut Vec<String>) {
+        let empty = Vec::new();
+        let entries = service["entries"].as_array().unwrap_or(&empty);
+        if entries.is_empty() {
+            problems.push("schema v2 requires a non-empty service.entries".into());
+            return;
+        }
+        for want in service_protocol_names() {
+            let mut clients: Vec<u64> = entries
+                .iter()
+                .filter(|e| e["protocol"].as_str() == Some(want))
+                .filter_map(|e| e["clients"].as_u64())
+                .collect();
+            clients.sort_unstable();
+            clients.dedup();
+            if clients.len() < 2 {
+                problems.push(format!(
+                    "service must measure {want} at >= 2 concurrency levels, got {clients:?}"
+                ));
+            }
+        }
+        for e in entries {
+            let label = format!(
+                "service entry {:?}/{:?}/c{:?}",
+                e["protocol"], e["workload"], e["clients"]
+            );
+            if e["safety_violations"].as_u64() != Some(0) {
+                problems.push(format!("{label}: safety_violations must be 0"));
+            }
+            if e["stalled"].as_u64() != Some(0) {
+                problems.push(format!("{label}: stalled must be 0"));
+            }
+            if e["throughput_tps"].as_f64().is_none_or(|x| x <= 0.0) {
+                problems.push(format!("{label}: throughput_tps must be positive"));
+            }
+            let p50 = e["p50_micros"].as_f64();
+            let p99 = e["p99_micros"].as_f64();
+            match (p50, p99) {
+                (Some(a), Some(b)) if a <= b => {}
+                _ => problems.push(format!(
+                    "{label}: p50_micros/p99_micros must be numbers with p50 <= p99"
+                )),
+            }
         }
     }
 }
@@ -356,7 +483,40 @@ mod tests {
                 jobs: 4,
                 speedup: 2.0,
             },
+            service: None,
         }
+    }
+
+    fn sample_v2_baseline() -> BenchBaseline {
+        let mut b = sample_baseline();
+        b.schema_version = 2;
+        let mut entries = Vec::new();
+        for name in service_protocol_names() {
+            for clients in [2usize, 8] {
+                entries.push(ServiceEntry {
+                    protocol: name.to_string(),
+                    workload: "uniform".into(),
+                    clients,
+                    txns: 30,
+                    committed: 28,
+                    aborted: 2,
+                    stalled: 0,
+                    throughput_tps: 150.0,
+                    p50_micros: 10_000.0,
+                    p90_micros: 12_000.0,
+                    p99_micros: 15_000.0,
+                    max_micros: 20_000.0,
+                    safety_violations: 0,
+                });
+            }
+        }
+        b.service = Some(ServiceBaseline {
+            n: 4,
+            f: 1,
+            unit_micros: 5_000,
+            entries,
+        });
+        b
     }
 
     #[test]
@@ -393,6 +553,73 @@ mod tests {
     fn baseline_validation_rejects_garbage() {
         assert!(BenchBaseline::validate_json("not json").is_err());
         assert!(BenchBaseline::validate_json("{}").is_err());
+    }
+
+    #[test]
+    fn v2_baseline_round_trips_and_validates() {
+        let b = sample_v2_baseline();
+        assert_eq!(BenchBaseline::validate_json(&b.to_json()), Ok(()));
+    }
+
+    #[test]
+    fn v2_requires_a_service_section() {
+        let mut b = sample_v2_baseline();
+        b.service = None;
+        let problems = BenchBaseline::validate_json(&b.to_json()).unwrap_err();
+        assert!(
+            problems.iter().any(|p| p.contains("service.entries")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn v2_requires_two_concurrency_levels_per_protocol() {
+        let mut b = sample_v2_baseline();
+        let svc = b.service.as_mut().unwrap();
+        svc.entries
+            .retain(|e| e.protocol != "INBAC" || e.clients == 2);
+        let problems = BenchBaseline::validate_json(&b.to_json()).unwrap_err();
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("INBAC") && p.contains("concurrency")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn v2_rejects_safety_violations_and_stalls() {
+        let mut b = sample_v2_baseline();
+        {
+            let svc = b.service.as_mut().unwrap();
+            svc.entries[0].safety_violations = 1;
+            svc.entries[1].stalled = 2;
+        }
+        let problems = BenchBaseline::validate_json(&b.to_json()).unwrap_err();
+        assert!(
+            problems.iter().any(|p| p.contains("safety_violations")),
+            "{problems:?}"
+        );
+        assert!(
+            problems.iter().any(|p| p.contains("stalled")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn v1_baselines_stay_valid_without_service() {
+        // The committed pre-upgrade format lacked the `service` key
+        // entirely (not `"service": null`, which is what serializing
+        // `None` produces) — strip the key to validate the real shape.
+        let json = sample_baseline().to_json();
+        let stripped = json.replace(",\n  \"service\": null", "");
+        assert!(
+            !stripped.contains("service") && stripped != json,
+            "fixture no longer serializes a null service key:\n{json}"
+        );
+        assert_eq!(BenchBaseline::validate_json(&stripped), Ok(()));
+        // `"service": null` (a freshly emitted v1) must also stay valid.
+        assert_eq!(BenchBaseline::validate_json(&json), Ok(()));
     }
 
     #[test]

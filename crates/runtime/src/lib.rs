@@ -15,10 +15,17 @@
 //! `unit`, so executions behave like synchronous runs with small delays —
 //! decisions must therefore match the simulator's failure-free executions,
 //! which the integration tests assert.
+//!
+//! The core of the runtime is [`NodeLoop`]: one node's event engine,
+//! multiplexing **many concurrent protocol instances** (each with its own
+//! automaton, virtual-time epoch and timer set) over a single timer heap.
+//! [`run_threads`] is the thin single-instance wrapper the original
+//! demonstration used; `ac-cluster` drives the same engine with thousands
+//! of transaction-keyed instances per node.
 
 #![deny(missing_docs)]
 
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -31,6 +38,10 @@ use parking_lot::Mutex;
 type Inbound<M> = (ProcessId, M);
 /// One process's endpoint pair.
 type Endpoint<M> = (Sender<Inbound<M>>, Receiver<Inbound<M>>);
+
+/// Identifier of one multiplexed protocol instance on a [`NodeLoop`]
+/// (`ac-cluster` uses the transaction id).
+pub type InstanceId = u64;
 
 /// Wall-clock mapping and limits for a threaded run.
 #[derive(Clone, Debug)]
@@ -71,14 +82,79 @@ impl RtOutcome {
     }
 }
 
+/// The wall-clock ↔ virtual-time mapping shared by every runtime on top of
+/// this crate: one virtual delay unit `U` equals `unit` of wall time,
+/// measured from a per-instance `epoch` (the instant the instance started).
+///
+/// Extracting this into one place removes the duplicated mapping logic that
+/// used to live inline in the thread loop — `run_threads` and the
+/// `ac-cluster` node threads now share it verbatim.
+#[derive(Copy, Clone, Debug)]
+pub struct UnitClock {
+    /// Wall-clock duration of one virtual delay unit `U`.
+    pub unit: Duration,
+}
+
+impl UnitClock {
+    /// A clock mapping one delay unit to `unit` of wall time.
+    pub fn new(unit: Duration) -> UnitClock {
+        UnitClock { unit }
+    }
+
+    /// The virtual time of instant `at` for an instance started at `epoch`,
+    /// rounded down to whole delay units (automata only compare times at
+    /// unit granularity).
+    pub fn virtual_now(&self, epoch: Instant, at: Instant) -> Time {
+        let elapsed = at.saturating_duration_since(epoch);
+        let units = elapsed.as_nanos() / self.unit.as_nanos().max(1);
+        Time(units as u64 * U)
+    }
+
+    /// The wall-clock instant of virtual time `t` for an instance started
+    /// at `epoch`. Computed as `unit · ticks / U` in 128-bit arithmetic so
+    /// units that are not a whole multiple of `U` nanoseconds still round
+    /// trip with [`UnitClock::virtual_now`] (truncation only at the
+    /// sub-nanosecond level).
+    pub fn wall_of(&self, epoch: Instant, t: Time) -> Instant {
+        let nanos = self.unit.as_nanos() * u128::from(t.ticks()) / u128::from(U);
+        epoch + Duration::from_nanos(u64::try_from(nanos).unwrap_or(u64::MAX))
+    }
+}
+
+/// An externally visible effect produced by a [`NodeLoop`] while it
+/// processes an event. The host routes `Send`s to peer nodes (self-sends
+/// included — route them back into your own inbound queue, like the
+/// simulator's free self-messages) and reacts to `Decided`.
+#[derive(Clone, Debug)]
+pub enum NodeEvent<M> {
+    /// Instance `instance` asked to send `msg` to process `to`.
+    Send {
+        /// The multiplexed instance that performed the send.
+        instance: InstanceId,
+        /// Destination process.
+        to: ProcessId,
+        /// Message payload.
+        msg: M,
+    },
+    /// Instance `instance` decided `value` (first decision only; protocols
+    /// guard against double decisions and the loop drops repeats).
+    Decided {
+        /// The instance that decided.
+        instance: InstanceId,
+        /// The decided value.
+        value: u64,
+    },
+}
+
 struct TimerEntry {
     due: Instant,
+    instance: InstanceId,
     tag: u32,
 }
 
 impl PartialEq for TimerEntry {
     fn eq(&self, other: &Self) -> bool {
-        self.due == other.due && self.tag == other.tag
+        self.due == other.due && self.instance == other.instance && self.tag == other.tag
     }
 }
 impl Eq for TimerEntry {}
@@ -90,12 +166,202 @@ impl PartialOrd for TimerEntry {
 impl Ord for TimerEntry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Reverse for a min-heap on `due`.
-        other.due.cmp(&self.due).then(other.tag.cmp(&self.tag))
+        other
+            .due
+            .cmp(&self.due)
+            .then(other.instance.cmp(&self.instance))
+            .then(other.tag.cmp(&self.tag))
+    }
+}
+
+struct Slot<A: Automaton> {
+    automaton: A,
+    epoch: Instant,
+    decided: Option<u64>,
+}
+
+/// One node's event engine: many concurrent protocol instances multiplexed
+/// over a single timer heap, each instance keyed by an [`InstanceId`] and
+/// running on its own virtual-time epoch.
+///
+/// The loop is transport-agnostic: the host owns the channels (or sockets)
+/// and feeds events in — [`NodeLoop::open`] to start an instance,
+/// [`NodeLoop::deliver`] for an inbound message, [`NodeLoop::fire_due`] to
+/// fire expired timers — and receives the instance's effects through a
+/// [`NodeEvent`] sink. Timers of closed instances are discarded lazily when
+/// they surface at the top of the heap.
+pub struct NodeLoop<A: Automaton> {
+    me: ProcessId,
+    n: usize,
+    clock: UnitClock,
+    slots: HashMap<InstanceId, Slot<A>>,
+    timers: BinaryHeap<TimerEntry>,
+}
+
+fn drain_actions<A: Automaton>(
+    instance: InstanceId,
+    slot: &mut Slot<A>,
+    timers: &mut BinaryHeap<TimerEntry>,
+    clock: UnitClock,
+    ctx: &mut Ctx<A::Msg>,
+    sink: &mut impl FnMut(NodeEvent<A::Msg>),
+) {
+    for action in ctx.take_actions() {
+        match action {
+            Action::Send { to, msg } => sink(NodeEvent::Send { instance, to, msg }),
+            Action::SetTimer { at, tag } => timers.push(TimerEntry {
+                due: clock.wall_of(slot.epoch, at),
+                instance,
+                tag,
+            }),
+            Action::Decide(v) => {
+                if slot.decided.is_none() {
+                    slot.decided = Some(v);
+                    sink(NodeEvent::Decided { instance, value: v });
+                }
+            }
+        }
+    }
+}
+
+impl<A: Automaton> NodeLoop<A> {
+    /// An empty loop for process `me` of `n` with the given clock mapping.
+    pub fn new(me: ProcessId, n: usize, clock: UnitClock) -> NodeLoop<A> {
+        NodeLoop {
+            me,
+            n,
+            clock,
+            slots: HashMap::new(),
+            timers: BinaryHeap::new(),
+        }
+    }
+
+    /// The owning process id.
+    pub fn me(&self) -> ProcessId {
+        self.me
+    }
+
+    /// The clock mapping in use.
+    pub fn clock(&self) -> UnitClock {
+        self.clock
+    }
+
+    /// Number of currently open instances.
+    pub fn open_instances(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether `instance` is open.
+    pub fn has(&self, instance: InstanceId) -> bool {
+        self.slots.contains_key(&instance)
+    }
+
+    /// The decision of `instance`, if it is open and has decided.
+    pub fn decision(&self, instance: InstanceId) -> Option<u64> {
+        self.slots.get(&instance).and_then(|s| s.decided)
+    }
+
+    /// Open a new instance: install `automaton` with epoch `now` and run
+    /// its start event. Effects go to `sink`.
+    pub fn open(
+        &mut self,
+        instance: InstanceId,
+        mut automaton: A,
+        now: Instant,
+        sink: &mut impl FnMut(NodeEvent<A::Msg>),
+    ) {
+        debug_assert!(!self.slots.contains_key(&instance), "instance reopened");
+        let mut ctx = Ctx::new(Time::ZERO, self.me, self.n, false);
+        automaton.on_start(&mut ctx);
+        let mut slot = Slot {
+            automaton,
+            epoch: now,
+            decided: None,
+        };
+        drain_actions(
+            instance,
+            &mut slot,
+            &mut self.timers,
+            self.clock,
+            &mut ctx,
+            sink,
+        );
+        self.slots.insert(instance, slot);
+    }
+
+    /// Deliver a message from `from` to `instance`. Returns `false` (and
+    /// does nothing) if the instance is not open — the host decides whether
+    /// to buffer or drop such messages.
+    pub fn deliver(
+        &mut self,
+        instance: InstanceId,
+        from: ProcessId,
+        msg: A::Msg,
+        now: Instant,
+        sink: &mut impl FnMut(NodeEvent<A::Msg>),
+    ) -> bool {
+        let Some(slot) = self.slots.get_mut(&instance) else {
+            return false;
+        };
+        let mut ctx = Ctx::new(
+            self.clock.virtual_now(slot.epoch, now),
+            self.me,
+            self.n,
+            false,
+        );
+        slot.automaton.on_message(from, msg, &mut ctx);
+        drain_actions(instance, slot, &mut self.timers, self.clock, &mut ctx, sink);
+        true
+    }
+
+    /// Fire every timer due at or before `now` (timers of closed instances
+    /// are silently discarded). Returns how many fired.
+    pub fn fire_due(&mut self, now: Instant, sink: &mut impl FnMut(NodeEvent<A::Msg>)) -> usize {
+        let mut fired = 0;
+        while self.timers.peek().is_some_and(|t| t.due <= now) {
+            let t = self.timers.pop().expect("peeked");
+            let Some(slot) = self.slots.get_mut(&t.instance) else {
+                continue; // stale timer of a closed instance
+            };
+            let mut ctx = Ctx::new(
+                self.clock.virtual_now(slot.epoch, now),
+                self.me,
+                self.n,
+                false,
+            );
+            slot.automaton.on_timer(t.tag, &mut ctx);
+            drain_actions(
+                t.instance,
+                slot,
+                &mut self.timers,
+                self.clock,
+                &mut ctx,
+                sink,
+            );
+            fired += 1;
+        }
+        fired
+    }
+
+    /// The wall-clock instant of the earliest pending timer (possibly a
+    /// stale one of a closed instance — the wake-up is then a cheap no-op).
+    pub fn next_due(&self) -> Option<Instant> {
+        self.timers.peek().map(|t| t.due)
+    }
+
+    /// Close `instance` and drop its state; its pending timers are
+    /// discarded lazily. Returns its decision, if it had one.
+    pub fn close(&mut self, instance: InstanceId) -> Option<u64> {
+        self.slots.remove(&instance).and_then(|s| s.decided)
     }
 }
 
 /// Run `n` automata (built by `make`) on threads. Returns when every
 /// process decided or the deadline passes.
+///
+/// This is the single-instance wrapper over [`NodeLoop`]: each thread runs
+/// one instance (id 0) whose epoch is the common start instant, so the
+/// wall-clock behaviour is exactly the pre-refactor runtime's.
 pub fn run_threads<A, F>(n: usize, make: F, cfg: RtConfig) -> RtOutcome
 where
     A: Automaton + Send + 'static,
@@ -112,57 +378,35 @@ where
 
     let mut handles = Vec::with_capacity(n);
     for (me, rx) in rxs.into_iter().enumerate() {
-        let mut automaton = make(me);
+        let automaton = make(me);
         let txs = txs.clone();
         let decisions = Arc::clone(&decisions);
         let decided_count = Arc::clone(&decided_count);
         let wire_count = Arc::clone(&wire_count);
-        let unit = cfg.unit;
+        let clock = UnitClock::new(cfg.unit);
 
         handles.push(std::thread::spawn(move || {
-            let mut timers: BinaryHeap<TimerEntry> = BinaryHeap::new();
-            let virtual_now = |at: Instant| -> Time {
-                let elapsed = at.saturating_duration_since(start);
-                let units = elapsed.as_nanos() / unit.as_nanos().max(1);
-                Time(units as u64 * U)
-            };
-            let wall_of = |t: Time| -> Instant {
-                start + Duration::from_nanos((unit.as_nanos() as u64 / U) * t.ticks())
-            };
-
-            let apply =
-                |automaton: &mut A, ctx: &mut Ctx<A::Msg>, timers: &mut BinaryHeap<TimerEntry>| {
-                    let _ = automaton;
-                    for action in ctx.take_actions() {
-                        match action {
-                            Action::Send { to, msg } => {
-                                if to != me {
-                                    wire_count.fetch_add(1, Ordering::Relaxed);
-                                }
-                                // A send can only fail if the peer finished —
-                                // then the message is moot.
-                                let _ = txs[to].send((me, msg));
-                            }
-                            Action::SetTimer { at, tag } => {
-                                timers.push(TimerEntry {
-                                    due: wall_of(at),
-                                    tag,
-                                });
-                            }
-                            Action::Decide(v) => {
-                                let mut d = decisions.lock();
-                                if d[me].is_none() {
-                                    d[me] = Some(v);
-                                    decided_count.fetch_add(1, Ordering::SeqCst);
-                                }
-                            }
-                        }
+            let mut node: NodeLoop<A> = NodeLoop::new(me, n, clock);
+            // Self-sends go through the node's own channel, like any other
+            // message (they are not counted as wire messages).
+            let mut sink = |ev: NodeEvent<A::Msg>| match ev {
+                NodeEvent::Send { to, msg, .. } => {
+                    if to != me {
+                        wire_count.fetch_add(1, Ordering::Relaxed);
                     }
-                };
-
-            let mut ctx = Ctx::new(Time::ZERO, me, n, false);
-            automaton.on_start(&mut ctx);
-            apply(&mut automaton, &mut ctx, &mut timers);
+                    // A send can only fail if the peer finished — then the
+                    // message is moot.
+                    let _ = txs[to].send((me, msg));
+                }
+                NodeEvent::Decided { value, .. } => {
+                    let mut d = decisions.lock();
+                    if d[me].is_none() {
+                        d[me] = Some(value);
+                        decided_count.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+            };
+            node.open(0, automaton, start, &mut sink);
 
             loop {
                 if decided_count.load(Ordering::SeqCst) == n {
@@ -174,19 +418,12 @@ where
                 }
                 // Fire due timers first (delivery-priority is a simulator
                 // refinement; on real clocks due timers are simply late).
-                while timers.peek().is_some_and(|t| t.due <= now) {
-                    let t = timers.pop().expect("peeked");
-                    let mut ctx = Ctx::new(virtual_now(now), me, n, false);
-                    automaton.on_timer(t.tag, &mut ctx);
-                    apply(&mut automaton, &mut ctx, &mut timers);
-                }
-                let next_due = timers.peek().map(|t| t.due).unwrap_or(deadline);
+                node.fire_due(now, &mut sink);
+                let next_due = node.next_due().unwrap_or(deadline);
                 let wait = next_due.min(deadline).saturating_duration_since(now);
                 match rx.recv_timeout(wait.min(Duration::from_millis(1))) {
                     Ok((from, msg)) => {
-                        let mut ctx = Ctx::new(virtual_now(Instant::now()), me, n, false);
-                        automaton.on_message(from, msg, &mut ctx);
-                        apply(&mut automaton, &mut ctx, &mut timers);
+                        node.deliver(0, from, msg, Instant::now(), &mut sink);
                     }
                     Err(RecvTimeoutError::Timeout) => {}
                     Err(RecvTimeoutError::Disconnected) => return,
@@ -258,5 +495,96 @@ mod tests {
         let out = run_threads(3, |_| Mute, cfg);
         assert!(out.decisions.iter().all(|d| d.is_none()));
         assert!(t0.elapsed() < Duration::from_secs(2));
+    }
+
+    #[test]
+    fn unit_clock_round_trips_units() {
+        let clock = UnitClock::new(Duration::from_millis(10));
+        let epoch = Instant::now();
+        let at2 = clock.wall_of(epoch, Time::units(2));
+        assert_eq!(at2.duration_since(epoch), Duration::from_millis(20));
+        assert_eq!(clock.virtual_now(epoch, at2), Time::units(2));
+        // Just before a unit boundary rounds down.
+        let almost = epoch + Duration::from_millis(19);
+        assert_eq!(clock.virtual_now(epoch, almost), Time::units(1));
+        // Before the epoch saturates to zero.
+        assert_eq!(clock.virtual_now(at2, epoch), Time::ZERO);
+    }
+
+    #[test]
+    fn unit_clock_round_trips_non_multiple_of_u_units() {
+        // 1500 ns is not a whole multiple of U = 1000 ticks; the mapping
+        // must still round trip (wall_of(k units) reads back as k units).
+        let clock = UnitClock::new(Duration::from_nanos(1500));
+        let epoch = Instant::now();
+        for k in [1u64, 2, 3, 7, 1000] {
+            let at = clock.wall_of(epoch, Time::units(k));
+            assert_eq!(
+                at.duration_since(epoch),
+                Duration::from_nanos(1500 * k),
+                "k={k}"
+            );
+            assert_eq!(clock.virtual_now(epoch, at), Time::units(k), "k={k}");
+        }
+    }
+
+    /// Automaton deciding `base + instance payload` on a timer; used to
+    /// check that multiplexed instances keep separate epochs and timers.
+    struct TimedDecider {
+        value: u64,
+    }
+    impl Automaton for TimedDecider {
+        type Msg = ();
+        fn on_start(&mut self, ctx: &mut Ctx<()>) {
+            ctx.set_timer(Time::units(1), 7);
+        }
+        fn on_message(&mut self, _: ProcessId, _: (), _: &mut Ctx<()>) {}
+        fn on_timer(&mut self, _: u32, ctx: &mut Ctx<()>) {
+            ctx.decide(self.value);
+        }
+    }
+
+    #[test]
+    fn node_loop_multiplexes_instances_with_own_epochs() {
+        let clock = UnitClock::new(Duration::from_millis(5));
+        let mut node: NodeLoop<TimedDecider> = NodeLoop::new(0, 1, clock);
+        let mut events: Vec<(InstanceId, u64)> = Vec::new();
+        let t0 = Instant::now();
+        {
+            let mut sink = |ev: NodeEvent<()>| {
+                if let NodeEvent::Decided { instance, value } = ev {
+                    events.push((instance, value));
+                }
+            };
+            node.open(1, TimedDecider { value: 10 }, t0, &mut sink);
+            // Second instance opens one unit later: its timer is due later.
+            node.open(
+                2,
+                TimedDecider { value: 20 },
+                t0 + Duration::from_millis(5),
+                &mut sink,
+            );
+            assert_eq!(node.open_instances(), 2);
+            // At t0+5ms only instance 1's timer is due.
+            assert_eq!(node.fire_due(t0 + Duration::from_millis(5), &mut sink), 1);
+            assert_eq!(node.decision(1), Some(10));
+            assert_eq!(node.decision(2), None);
+            // Closing instance 2 discards its pending timer.
+            node.close(2);
+            assert_eq!(node.fire_due(t0 + Duration::from_secs(1), &mut sink), 0);
+        }
+        assert_eq!(events, vec![(1, 10)]);
+        assert!(node.has(1) && !node.has(2));
+    }
+
+    #[test]
+    fn node_loop_rejects_messages_for_unknown_instances() {
+        let clock = UnitClock::new(Duration::from_millis(5));
+        let mut node: NodeLoop<Echo> = NodeLoop::new(1, 2, clock);
+        let mut sink = |_: NodeEvent<u64>| {};
+        assert!(!node.deliver(9, 0, 42, Instant::now(), &mut sink));
+        node.open(9, Echo { me: 1 }, Instant::now(), &mut sink);
+        assert!(node.deliver(9, 0, 42, Instant::now(), &mut sink));
+        assert_eq!(node.decision(9), Some(42));
     }
 }

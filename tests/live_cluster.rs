@@ -1,0 +1,159 @@
+//! Correctness of the live `ac-cluster` transaction service (ISSUE-3
+//! satellites): conservation under concurrent Transfer load, the
+//! serializability smoke test (sequential replay of each node's commit log
+//! reproduces its final shard state), and live-vs-simulator agreement for
+//! every Table-5 protocol.
+
+use std::time::Duration;
+
+use ac_cluster::{run_service, ServiceConfig};
+use ac_commit::protocols::ProtocolKind;
+use ac_txn::workload::{Workload, WorkloadConfig};
+use ac_txn::Cluster;
+
+fn base(kind: ProtocolKind) -> ServiceConfig {
+    ServiceConfig::new(4, 1, kind).unit(Duration::from_millis(10))
+}
+
+#[test]
+fn transfer_load_conserves_total_value() {
+    let cfg = base(ProtocolKind::Inbac)
+        .clients(4)
+        .txns_per_client(10)
+        .workload(Workload::Transfer { amount: 5 })
+        .keys_per_shard(8); // few keys -> real write-write conflicts
+    let out = run_service(&cfg);
+    assert_eq!(out.stalled, 0, "no transaction may stall");
+    assert!(out.is_safe(), "safety audit failed: {:?}", out.violations);
+    assert_eq!(out.txns, 40);
+    assert_eq!(
+        out.total_value(),
+        0,
+        "concurrent transfers must conserve money"
+    );
+    assert!(out.committed > 0, "some transfers must get through");
+    assert_eq!(out.latency.count() as usize, out.txns);
+}
+
+#[test]
+fn committed_log_replays_to_the_final_shard_state() {
+    // Uniform writes (blind Puts) make replay order-sensitive, so this
+    // exercises the strongest form of the check: each shard's final state
+    // must equal a *sequential* replay of its own commit log.
+    let cfg = base(ProtocolKind::TwoPc)
+        .clients(4)
+        .txns_per_client(10)
+        .workload(Workload::Skewed {
+            span: 2,
+            theta: 0.9,
+        })
+        .keys_per_shard(4); // tiny key space -> write-write conflicts
+    let out = run_service(&cfg);
+    assert_eq!(out.stalled, 0);
+    assert!(out.is_safe(), "safety audit failed: {:?}", out.violations);
+    // Aborts are overwhelmingly likely here but depend on thread
+    // interleaving, so they are not asserted — the replay equality below
+    // is the property under test and holds with or without them.
+    let rebuilt = out.replay();
+    for (live, replayed) in out.shards.iter().zip(&rebuilt) {
+        for k in 0..cfg.keys_per_shard {
+            assert_eq!(
+                live.read(k),
+                replayed.read(k),
+                "shard {} key {k}: live state is not serializable",
+                live.id
+            );
+        }
+    }
+}
+
+/// Failure-free live runs must decide commit exactly when the simulator's
+/// nice execution does — for every Table-5 protocol. One closed-loop
+/// client keeps the run sequential, so the simulator-backed
+/// `ac_txn::Cluster` executing the same transaction stream is the exact
+/// reference for both decisions and final shard state.
+#[test]
+fn live_decisions_match_the_simulator_for_every_table5_protocol() {
+    for kind in ProtocolKind::table5() {
+        let cfg = base(kind)
+            .clients(1)
+            .txns_per_client(4)
+            .workload(Workload::Uniform { span: 2 })
+            .unit(Duration::from_millis(30))
+            .keys_per_shard(16)
+            .seed(13);
+        let out = run_service(&cfg);
+        assert_eq!(out.stalled, 0, "{}: stalled", kind.name());
+        assert!(
+            out.is_safe(),
+            "{}: safety audit failed: {:?}",
+            kind.name(),
+            out.violations
+        );
+
+        // Reconstruct exactly the stream client 0 submitted.
+        let mut gen = WorkloadConfig {
+            shards: cfg.n,
+            keys_per_shard: cfg.keys_per_shard,
+            workload: cfg.workload.clone(),
+            seed: cfg.client_seed(0),
+        }
+        .generator();
+        let mut txns = gen.take_txns(cfg.txns_per_client);
+        for (i, t) in txns.iter_mut().enumerate() {
+            t.id = ServiceConfig::txn_id(0, i);
+        }
+
+        // The simulator reference: same protocol, same txns, in order.
+        let mut sim = Cluster::new(cfg.n, cfg.f, kind);
+        let sim_outcomes: Vec<bool> = txns.iter().map(|t| sim.execute(t)).collect();
+
+        // Live decisions, in submission order (node 0's log order is the
+        // client's sequential order).
+        let live_outcomes: Vec<bool> = out.node_logs[0]
+            .iter()
+            .map(|rec| rec.decision == 1)
+            .collect();
+        assert_eq!(
+            live_outcomes,
+            sim_outcomes,
+            "{}: live decisions diverge from the simulator's nice executions",
+            kind.name()
+        );
+
+        // Final shard states agree cell-by-cell.
+        for p in 0..cfg.n {
+            for k in 0..cfg.keys_per_shard {
+                assert_eq!(
+                    out.shards[p].read(k),
+                    sim.shard(p).read(k),
+                    "{}: shard {p} key {k} diverged",
+                    kind.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_protocol_kind_can_serve_live_traffic() {
+    // Beyond Table 5: the whole suite multiplexes correctly (2 clients,
+    // modest load, safety audited).
+    for kind in [
+        ProtocolKind::Nbac0,
+        ProtocolKind::InbacFastAbort,
+        ProtocolKind::ThreePc,
+        ProtocolKind::FasterPaxosCommit,
+    ] {
+        let cfg = base(kind).clients(2).txns_per_client(4);
+        let out = run_service(&cfg);
+        assert_eq!(out.stalled, 0, "{}: stalled", kind.name());
+        assert!(
+            out.is_safe(),
+            "{}: safety audit failed: {:?}",
+            kind.name(),
+            out.violations
+        );
+        assert_eq!(out.txns, 8, "{}", kind.name());
+    }
+}
