@@ -1,0 +1,161 @@
+//! Microbench for the ISSUE-4 hot-path layers, so the live-service gain is
+//! attributable layer by layer:
+//!
+//! * **mailbox** — the vendored channel driven per-message (`send` +
+//!   `recv`, the pre-upgrade service's cost model) vs batched
+//!   (`send_batch` + `recv_batch_timeout`, one lock + one wakeup per
+//!   burst), with 1 and 4 producer threads;
+//! * **demux** — `std::collections::HashMap` vs `ac_runtime::Slab` as the
+//!   `TxnId → instance` demultiplexer at 1k concurrent instances under
+//!   lookup + churn traffic.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use ac_runtime::Slab;
+use criterion::{black_box, Criterion};
+use crossbeam::channel::unbounded;
+
+/// Messages pumped through the channel per measured iteration.
+const MSGS: usize = 8_192;
+/// Batch size used by the batched producers/consumer (the service's node
+/// loop drains up to 256 envelopes per lock).
+const BATCH: usize = 64;
+
+/// Pump `MSGS` messages from `producers` threads to one consumer, one
+/// channel operation per message.
+fn pump_per_message(producers: usize) {
+    let (tx, rx) = unbounded::<u64>();
+    let per = MSGS / producers;
+    let handles: Vec<_> = (0..producers)
+        .map(|p| {
+            let tx = tx.clone();
+            std::thread::spawn(move || {
+                for i in 0..per {
+                    tx.send((p * per + i) as u64).unwrap();
+                }
+            })
+        })
+        .collect();
+    drop(tx);
+    let mut got = 0usize;
+    while let Ok(v) = rx.recv() {
+        black_box(v);
+        got += 1;
+    }
+    assert_eq!(got, per * producers);
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+/// Pump `MSGS` messages from `producers` threads to one consumer in
+/// `BATCH`-sized bursts: one lock + at most one wakeup per burst on the
+/// send side, one lock per drained burst on the receive side.
+fn pump_batched(producers: usize) {
+    let (tx, rx) = unbounded::<u64>();
+    let per = MSGS / producers;
+    let handles: Vec<_> = (0..producers)
+        .map(|p| {
+            let tx = tx.clone();
+            std::thread::spawn(move || {
+                let mut next = (p * per) as u64;
+                let mut left = per;
+                while left > 0 {
+                    let take = left.min(BATCH);
+                    tx.send_batch(next..next + take as u64).unwrap();
+                    next += take as u64;
+                    left -= take;
+                }
+            })
+        })
+        .collect();
+    drop(tx);
+    let mut buf = Vec::with_capacity(BATCH);
+    let mut got = 0usize;
+    loop {
+        buf.clear();
+        match rx.recv_batch_timeout(&mut buf, BATCH, Duration::from_secs(5)) {
+            Ok(k) => {
+                black_box(&buf);
+                got += k;
+            }
+            Err(_) => break, // disconnected after the last producer exits
+        }
+    }
+    assert_eq!(got, per * producers);
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+/// Live instances resident in the demux during the churn benches.
+const LIVE: u64 = 1_000;
+/// Lookup/churn operations per measured iteration.
+const OPS: u64 = 20_000;
+
+/// The service's id shape: (client, seq) packed into a u64.
+fn txn_id(i: u64) -> u64 {
+    ((i % 16 + 1) << 32) | (i / 16 + 1)
+}
+
+fn demux_hashmap() -> u64 {
+    let mut map: HashMap<u64, u64> = HashMap::new();
+    for i in 0..LIVE {
+        map.insert(txn_id(i), i);
+    }
+    let mut acc = 0u64;
+    for op in 0..OPS {
+        let probe = txn_id(op % LIVE);
+        acc = acc.wrapping_add(*map.get(&probe).unwrap());
+        // Churn: retire one instance, open a fresh one (End + Begin).
+        let retire = txn_id(op % LIVE);
+        map.remove(&retire);
+        map.insert(retire, op);
+    }
+    acc
+}
+
+fn demux_slab() -> u64 {
+    let mut slab: Slab<u64> = Slab::new();
+    for i in 0..LIVE {
+        slab.insert(txn_id(i), i);
+    }
+    let mut acc = 0u64;
+    for op in 0..OPS {
+        let probe = txn_id(op % LIVE);
+        acc = acc.wrapping_add(*slab.get(probe).unwrap());
+        let retire = txn_id(op % LIVE);
+        slab.remove(retire);
+        slab.insert(retire, op);
+    }
+    acc
+}
+
+fn benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mailbox");
+    for producers in [1usize, 4] {
+        g.bench_function(format!("per_message/{producers}p"), |b| {
+            b.iter(|| pump_per_message(black_box(producers)))
+        });
+        g.bench_function(format!("batched/{producers}p"), |b| {
+            b.iter(|| pump_batched(black_box(producers)))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("demux_1k_instances");
+    g.bench_function("hashmap", |b| b.iter(|| black_box(demux_hashmap())));
+    g.bench_function("slab", |b| b.iter(|| black_box(demux_slab())));
+    g.finish();
+}
+
+fn main() {
+    let mut c = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1500))
+        .configure_from_args();
+    benches(&mut c);
+    c.final_summary();
+}

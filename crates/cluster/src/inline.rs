@@ -1,0 +1,154 @@
+//! A small-buffer-inlined vector for per-transaction envelope buffers.
+//!
+//! The service buffers envelopes that outrun their `Begin` (a peer's vote
+//! can arrive before the client's transaction does). Those buffers are
+//! tiny — almost always one or two messages — but with a plain `Vec` every
+//! buffered transaction costs a heap allocation on the hot path. This type
+//! stores the first `N` elements inline and only spills to the heap on
+//! overflow, so the common case allocates nothing.
+
+/// A vector whose first `N` elements live inline (no heap allocation);
+/// pushes beyond `N` spill the whole buffer to a `Vec`.
+#[derive(Debug)]
+pub enum InlineVec<T, const N: usize = 4> {
+    /// All elements inline: `slots[..len]` are `Some`.
+    Inline {
+        /// Fixed inline storage; populated prefix is `Some`.
+        slots: [Option<T>; N],
+        /// Number of populated slots.
+        len: usize,
+    },
+    /// Spilled to the heap after overflowing the inline capacity.
+    Heap(Vec<T>),
+}
+
+impl<T, const N: usize> Default for InlineVec<T, N> {
+    fn default() -> Self {
+        InlineVec::new()
+    }
+}
+
+impl<T, const N: usize> InlineVec<T, N> {
+    /// An empty buffer (inline, no allocation).
+    pub fn new() -> InlineVec<T, N> {
+        InlineVec::Inline {
+            slots: std::array::from_fn(|_| None),
+            len: 0,
+        }
+    }
+
+    /// Number of buffered elements.
+    pub fn len(&self) -> usize {
+        match self {
+            InlineVec::Inline { len, .. } => *len,
+            InlineVec::Heap(v) => v.len(),
+        }
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the buffer has spilled to the heap.
+    pub fn spilled(&self) -> bool {
+        matches!(self, InlineVec::Heap(_))
+    }
+
+    /// Append `value`, spilling to the heap when the inline capacity
+    /// overflows.
+    pub fn push(&mut self, value: T) {
+        match self {
+            InlineVec::Inline { slots, len } if *len < N => {
+                slots[*len] = Some(value);
+                *len += 1;
+            }
+            InlineVec::Inline { slots, .. } => {
+                let mut vec: Vec<T> = Vec::with_capacity(2 * N);
+                for s in slots.iter_mut() {
+                    vec.push(s.take().expect("full inline buffer"));
+                }
+                vec.push(value);
+                *self = InlineVec::Heap(vec);
+            }
+            InlineVec::Heap(vec) => vec.push(value),
+        }
+    }
+}
+
+/// Consuming iterator over an [`InlineVec`], in push order.
+pub enum IntoIter<T, const N: usize> {
+    /// Iterating the inline slots.
+    Inline(std::array::IntoIter<Option<T>, N>),
+    /// Iterating the spilled heap buffer.
+    Heap(std::vec::IntoIter<T>),
+}
+
+impl<T, const N: usize> Iterator for IntoIter<T, N> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        match self {
+            // The populated prefix is `Some`; the first `None` slot ends
+            // the iteration.
+            IntoIter::Inline(it) => it.next().flatten(),
+            IntoIter::Heap(it) => it.next(),
+        }
+    }
+}
+
+impl<T, const N: usize> IntoIterator for InlineVec<T, N> {
+    type Item = T;
+    type IntoIter = IntoIter<T, N>;
+    fn into_iter(self) -> IntoIter<T, N> {
+        match self {
+            InlineVec::Inline { slots, .. } => IntoIter::Inline(slots.into_iter()),
+            InlineVec::Heap(vec) => IntoIter::Heap(vec.into_iter()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_inline_up_to_capacity() {
+        let mut v: InlineVec<u32, 4> = InlineVec::new();
+        assert!(v.is_empty());
+        for i in 0..4 {
+            v.push(i);
+        }
+        assert_eq!(v.len(), 4);
+        assert!(!v.spilled());
+        assert_eq!(v.into_iter().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn spills_and_preserves_order() {
+        let mut v: InlineVec<u32, 4> = InlineVec::new();
+        for i in 0..10 {
+            v.push(i);
+        }
+        assert_eq!(v.len(), 10);
+        assert!(v.spilled());
+        assert_eq!(
+            v.into_iter().collect::<Vec<_>>(),
+            (0..10).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn empty_iterates_nothing() {
+        let v: InlineVec<String, 2> = InlineVec::new();
+        assert_eq!(v.into_iter().count(), 0);
+    }
+
+    #[test]
+    fn works_with_non_copy_payloads() {
+        let mut v: InlineVec<String, 2> = InlineVec::new();
+        v.push("a".into());
+        v.push("b".into());
+        v.push("c".into()); // spills
+        assert_eq!(v.into_iter().collect::<Vec<_>>(), vec!["a", "b", "c"]);
+    }
+}

@@ -21,7 +21,9 @@
 #![deny(missing_docs)]
 
 pub mod histogram;
+pub mod inline;
 pub mod service;
 
 pub use histogram::LatencyHistogram;
+pub use inline::InlineVec;
 pub use service::{run_service, NodeRecord, ServiceConfig, ServiceOutcome};

@@ -21,8 +21,28 @@
 //! vote can outrun the client's `Begin`); envelopes for ended instances are
 //! dropped. Decisions, votes and apply order are logged per node so the
 //! caller can audit safety after the run ([`ServiceOutcome::violations`]).
+//!
+//! ## The hot path (batched since ISSUE-4)
+//!
+//! Both loops are **drain-then-dispatch**: a node blocks on the *exact*
+//! next timer deadline (or indefinitely when idle — an idle node performs
+//! zero wakeups, see [`ServiceOutcome::spurious_wakeups`]), drains its
+//! whole inbound backlog in one lock acquisition
+//! (`recv_batch_timeout`), dispatches every envelope through the
+//! slab-indexed demultiplexer, and only then flushes the outputs — one
+//! `send_batch` per peer node and per client, so a burst of N envelopes
+//! costs one lock + one wakeup per destination instead of N. Self-sends
+//! short-circuit through an in-memory queue and never touch a channel.
+//! Demux state (`NodeLoop` slots, transaction metadata, early-envelope
+//! buffers) lives in [`ac_runtime::Slab`]s — dense storage, free-list
+//! reuse, fast-hash id resolution — and early-envelope buffers inline
+//! their first few messages ([`crate::inline::InlineVec`]) so the common
+//! case allocates nothing per transaction. "Early envelope or late
+//! straggler?" is answered by per-client Begin watermarks (each client's
+//! control stream is FIFO), so no ended-transaction set has to grow with
+//! the run.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -30,13 +50,22 @@ use std::time::{Duration, Instant};
 use ac_commit::problem::COMMIT;
 use ac_commit::protocols::ProtocolKind;
 use ac_commit::CommitProtocol;
-use ac_runtime::{NodeEvent, NodeLoop, UnitClock};
+use ac_runtime::{NodeEvent, NodeLoop, Slab, UnitClock};
 use ac_sim::ProcessId;
 use ac_txn::workload::{Workload, WorkloadConfig};
 use ac_txn::{Shard, Transaction, TxnId};
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvError, RecvTimeoutError, Sender};
 
 use crate::histogram::LatencyHistogram;
+use crate::inline::InlineVec;
+
+/// Upper bound on envelopes drained per node-loop iteration. Bounds the
+/// latency a long backlog can add to timer firing while still amortizing
+/// the channel lock across many messages.
+const NODE_BATCH: usize = 256;
+
+/// Upper bound on decision replies a client drains per iteration.
+const CLIENT_BATCH: usize = 64;
 
 /// Configuration of one live service run.
 #[derive(Clone, Debug)]
@@ -177,6 +206,9 @@ pub struct ServiceOutcome {
     pub latency: LatencyHistogram,
     /// Protocol messages that crossed node boundaries.
     pub wire_messages: usize,
+    /// Node-loop wakeups that found neither a message nor a due timer
+    /// (0 = every wakeup did useful work; idle nodes park indefinitely).
+    pub spurious_wakeups: usize,
     /// Final shard states.
     pub shards: Vec<Shard>,
     /// Each node's apply log, in its local apply order.
@@ -256,6 +288,8 @@ struct Done {
 struct NodeReturn {
     shard: Shard,
     log: Vec<NodeRecord>,
+    /// Wakeups that found neither a message nor a due timer.
+    spurious_wakeups: usize,
 }
 
 struct ClientReturn {
@@ -345,7 +379,49 @@ where
     aggregate(cfg, client_returns, node_returns, elapsed, &wire)
 }
 
-/// One node thread: shard owner + instance demultiplexer.
+/// The submitting client encoded in a [`TxnId`] (inverse of
+/// [`ServiceConfig::txn_id`]).
+fn txn_client(id: TxnId) -> usize {
+    ((id >> 32) as usize).saturating_sub(1)
+}
+
+/// The per-client sequence number encoded in a [`TxnId`].
+fn txn_seq(id: TxnId) -> u64 {
+    id & 0xFFFF_FFFF
+}
+
+/// Apply every buffered decision to the shard, the node log and the
+/// per-client reply batches. Called once per node-loop iteration, and
+/// additionally before an `End` garbage-collects a transaction's metadata
+/// (a decision and its `End` can land in the same drained batch).
+fn apply_decisions(
+    decided: &mut Vec<(TxnId, u64)>,
+    meta: &Slab<(Arc<Transaction>, usize, bool)>,
+    shard: &mut Shard,
+    log: &mut Vec<NodeRecord>,
+    done_out: &mut [Vec<Done>],
+    me: ProcessId,
+) {
+    for (txn_id, value) in decided.drain(..) {
+        if let Some((txn, client, vote)) = meta.get(txn_id) {
+            shard.finish(txn, value == COMMIT);
+            log.push(NodeRecord {
+                txn: Arc::clone(txn),
+                client: *client,
+                vote: *vote,
+                decision: value,
+            });
+            done_out[*client].push(Done {
+                txn: txn_id,
+                node: me,
+                decision: value,
+            });
+        }
+    }
+}
+
+/// One node thread: shard owner + instance demultiplexer, batched
+/// drain-then-dispatch (see the module docs' "hot path" section).
 #[allow(clippy::too_many_arguments)]
 fn node_main<P>(
     me: ProcessId,
@@ -364,97 +440,183 @@ where
     let mut node: NodeLoop<P> = NodeLoop::new(me, n, UnitClock::new(unit));
     let mut shard = Shard::new(me);
     // txn -> (body, submitting client, our vote); live while the instance is.
-    let mut meta: HashMap<TxnId, (Arc<Transaction>, usize, bool)> = HashMap::new();
-    // Envelopes that outran their Begin.
-    let mut pending: HashMap<TxnId, Vec<(ProcessId, P::Msg)>> = HashMap::new();
-    // Ended instances: late envelopes for these are dropped.
-    let mut closed: HashSet<TxnId> = HashSet::new();
+    let mut meta: Slab<(Arc<Transaction>, usize, bool)> = Slab::new();
+    // Envelopes that outran their Begin (first few inline, no allocation).
+    let mut pending: Slab<InlineVec<(ProcessId, P::Msg)>> = Slab::new();
+    // Per-client Begin watermark: the highest per-client sequence number
+    // this node has opened. Each client's control stream is FIFO (one
+    // channel sender per client), so an envelope whose seq is at or below
+    // the watermark can never be "early" — if its instance is not open it
+    // has *ended*, and the envelope is a late straggler to drop. This
+    // replaces the ever-growing closed-TxnId set with `clients` words.
+    let mut begun: Vec<u64> = vec![0; done_txs.len()];
     let mut log: Vec<NodeRecord> = Vec::new();
     let mut decided: Vec<(u64, u64)> = Vec::new();
+    // Reused batch buffers: inbound drain, per-peer outbound envelopes,
+    // per-client decision replies, and the self-delivery queue.
+    let mut inbox: Vec<ToNode<P::Msg>> = Vec::with_capacity(NODE_BATCH);
+    let mut outbox: Vec<Vec<ToNode<P::Msg>>> = (0..n).map(|_| Vec::new()).collect();
+    let mut done_out: Vec<Vec<Done>> = (0..done_txs.len()).map(|_| Vec::new()).collect();
+    let mut selfq: VecDeque<(TxnId, P::Msg)> = VecDeque::new();
+    let mut spurious_wakeups = 0usize;
+    let mut shutdown = false;
 
-    // Route one NodeLoop effect: protocol sends go out as Net envelopes
-    // (self-sends through our own inbox, not counted as wire messages);
+    // Route one NodeLoop effect: remote sends are *staged* into the
+    // per-peer outbox (flushed once per iteration as a batch), self-sends
+    // go through the in-memory queue without touching any channel, and
     // decisions are buffered and applied after the engine call returns.
     macro_rules! sink {
         () => {
             |ev: NodeEvent<P::Msg>| match ev {
                 NodeEvent::Send { instance, to, msg } => {
-                    if to != me {
-                        wire.fetch_add(1, Ordering::Relaxed);
+                    if to == me {
+                        selfq.push_back((instance, msg));
+                    } else {
+                        outbox[to].push(ToNode::Net {
+                            txn: instance,
+                            from: me,
+                            msg,
+                        });
                     }
-                    let _ = txs[to].send(ToNode::Net {
-                        txn: instance,
-                        from: me,
-                        msg,
-                    });
                 }
                 NodeEvent::Decided { instance, value } => decided.push((instance, value)),
             }
         };
     }
 
-    loop {
-        let now = Instant::now();
-        node.fire_due(now, &mut sink!());
+    while !shutdown {
+        // 1. Drain: park until the exact next timer deadline (or
+        //    indefinitely when no timer is pending — an inbound envelope
+        //    or Shutdown wakes us), then take the whole backlog in one
+        //    lock acquisition.
+        inbox.clear();
+        let got = match node.next_due() {
+            Some(due) => {
+                let wait = due.saturating_duration_since(Instant::now());
+                match rx.recv_batch_timeout(&mut inbox, NODE_BATCH, wait) {
+                    Ok(k) => k,
+                    Err(RecvTimeoutError::Timeout) => 0,
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+            None => match rx.recv_batch(&mut inbox, NODE_BATCH) {
+                Ok(k) => k,
+                Err(RecvError) => break,
+            },
+        };
 
-        // Apply buffered decisions outside the engine borrow.
-        for (txn_id, value) in decided.drain(..) {
-            if let Some((txn, client, vote)) = meta.get(&txn_id) {
-                shard.finish(txn, value == COMMIT);
-                log.push(NodeRecord {
-                    txn: Arc::clone(txn),
-                    client: *client,
-                    vote: *vote,
-                    decision: value,
-                });
-                let _ = done_txs[*client].send(Done {
-                    txn: txn_id,
-                    node: me,
-                    decision: value,
-                });
+        // 2. Dispatch every envelope through the demultiplexer. One clock
+        //    read serves the whole batch: dispatch takes microseconds
+        //    against multi-millisecond virtual-time units, and timers set
+        //    "in the past" fire in step 3 anyway.
+        let now = Instant::now();
+        for env in inbox.drain(..) {
+            match env {
+                ToNode::Begin { txn, client } => {
+                    let vote = if txn.touches(me) {
+                        shard.prepare(&txn)
+                    } else {
+                        true
+                    };
+                    let id = txn.id;
+                    debug_assert_eq!(txn_client(id), client, "TxnId encoding drifted");
+                    if let Some(w) = begun.get_mut(client) {
+                        *w = (*w).max(txn_seq(id));
+                    }
+                    meta.insert(id, (txn, client, vote));
+                    node.open(id, P::new(me, n, f, vote), now, &mut sink!());
+                    if let Some(early) = pending.remove(id) {
+                        for (from, msg) in early {
+                            node.deliver(id, from, msg, now, &mut sink!());
+                        }
+                    }
+                }
+                ToNode::Net { txn, from, msg } => {
+                    // `offer` resolves the instance in one slab probe and
+                    // hands the message back if it is not open — which
+                    // means either "Begin not here yet" (seq above the
+                    // client's watermark: buffer it) or "already ended"
+                    // (at or below: a late straggler, dropped).
+                    if let Err(msg) = node.offer(txn, from, msg, now, &mut sink!()) {
+                        let early = begun.get(txn_client(txn)).is_none_or(|&w| txn_seq(txn) > w);
+                        if early {
+                            match pending.get_mut(txn) {
+                                Some(buf) => buf.push((from, msg)),
+                                None => {
+                                    let mut buf = InlineVec::new();
+                                    buf.push((from, msg));
+                                    pending.insert(txn, buf);
+                                }
+                            }
+                        }
+                    }
+                }
+                ToNode::End { txn } => {
+                    // A decision for `txn` computed earlier in this same
+                    // drained batch is still buffered — apply it before
+                    // dropping the metadata, or the shard would keep its
+                    // write locks forever.
+                    if !decided.is_empty() {
+                        apply_decisions(
+                            &mut decided,
+                            &meta,
+                            &mut shard,
+                            &mut log,
+                            &mut done_out,
+                            me,
+                        );
+                    }
+                    node.close(txn);
+                    meta.remove(txn);
+                    pending.remove(txn);
+                }
+                ToNode::Shutdown => shutdown = true,
             }
         }
 
-        // Sleep until the earliest pending timer; inbound messages wake the
-        // recv immediately, so an idle node parks (bounded only by a long
-        // housekeeping tick rather than a busy 1 ms poll).
-        let wait = node
-            .next_due()
-            .map(|due| due.saturating_duration_since(Instant::now()))
-            .unwrap_or(Duration::from_millis(100));
-        match rx.recv_timeout(wait) {
-            Ok(ToNode::Begin { txn, client }) => {
-                let vote = if txn.touches(me) {
-                    shard.prepare(&txn)
-                } else {
-                    true
-                };
-                let id = txn.id;
-                meta.insert(id, (txn, client, vote));
-                let now = Instant::now();
-                node.open(id, P::new(me, n, f, vote), now, &mut sink!());
-                for (from, msg) in pending.remove(&id).unwrap_or_default() {
-                    node.deliver(id, from, msg, now, &mut sink!());
-                }
+        // 3. Self-deliveries and due timers, to quiescence: a delivery can
+        //    set a timer already due, a fired timer can self-send.
+        let mut fired_any = false;
+        loop {
+            let now = Instant::now();
+            while let Some((txn, msg)) = selfq.pop_front() {
+                // A miss means the instance ended mid-batch; the message
+                // is then moot (the old dropped-late-envelope semantics).
+                let _ = node.deliver(txn, me, msg, now, &mut sink!());
             }
-            Ok(ToNode::Net { txn, from, msg }) => {
-                if node.has(txn) {
-                    node.deliver(txn, from, msg, Instant::now(), &mut sink!());
-                } else if !closed.contains(&txn) {
-                    pending.entry(txn).or_default().push((from, msg));
-                }
+            let fired = node.fire_due(now, &mut sink!());
+            fired_any |= fired > 0;
+            if fired == 0 && selfq.is_empty() {
+                break;
             }
-            Ok(ToNode::End { txn }) => {
-                node.close(txn);
-                closed.insert(txn);
-                meta.remove(&txn);
-                pending.remove(&txn);
+        }
+        if got == 0 && !fired_any && !shutdown {
+            spurious_wakeups += 1;
+        }
+
+        // 4. Apply buffered decisions outside the engine borrow and stage
+        //    the per-client replies.
+        apply_decisions(&mut decided, &meta, &mut shard, &mut log, &mut done_out, me);
+
+        // 5. Flush: one send_batch (one lock, at most one wakeup) per
+        //    destination that has traffic this iteration.
+        for (to, batch) in outbox.iter_mut().enumerate() {
+            if !batch.is_empty() {
+                wire.fetch_add(batch.len(), Ordering::Relaxed);
+                let _ = txs[to].send_batch(batch.drain(..));
             }
-            Ok(ToNode::Shutdown) | Err(RecvTimeoutError::Disconnected) => break,
-            Err(RecvTimeoutError::Timeout) => {}
+        }
+        for (client, batch) in done_out.iter_mut().enumerate() {
+            if !batch.is_empty() {
+                let _ = done_txs[client].send_batch(batch.drain(..));
+            }
         }
     }
-    NodeReturn { shard, log }
+    NodeReturn {
+        shard,
+        log,
+        spurious_wakeups,
+    }
 }
 
 /// One closed-loop client: submit, await all `n` decisions, record, repeat.
@@ -479,6 +641,10 @@ where
     let mut records = Vec::with_capacity(cfg.txns_per_client);
     let mut latency = LatencyHistogram::new();
     let mut stalled = 0usize;
+    let mut dbuf: Vec<Done> = Vec::with_capacity(CLIENT_BATCH);
+    // The previous transaction's id: its End rides in the same batch as
+    // the next Begin, halving the client's channel operations per txn.
+    let mut end_prev: Option<TxnId> = None;
 
     for i in 0..cfg.txns_per_client {
         let mut txn = gen.next_txn();
@@ -487,41 +653,59 @@ where
 
         let t0 = Instant::now();
         for tx in &txs {
-            let _ = tx.send(ToNode::Begin {
+            let begin = ToNode::Begin {
                 txn: Arc::clone(&txn),
                 client,
-            });
+            };
+            match end_prev {
+                Some(prev) => {
+                    let _ = tx.send_batch([ToNode::End { txn: prev }, begin]);
+                }
+                None => {
+                    let _ = tx.send(begin);
+                }
+            }
         }
+        end_prev = Some(txn.id);
         let deadline = t0 + cfg.txn_deadline;
         let mut decisions: Vec<Option<u64>> = vec![None; cfg.n];
         let mut got = 0usize;
-        while got < cfg.n {
+        // Block on the exact remaining deadline and drain replies in
+        // batches — no per-message re-poll, no spurious wakeups while the
+        // service is idle.
+        'collect: while got < cfg.n {
             let left = deadline.saturating_duration_since(Instant::now());
             if left.is_zero() {
                 break;
             }
-            match rx.recv_timeout(left) {
-                Ok(d) if d.txn == txn.id => {
-                    if decisions[d.node].is_none() {
-                        decisions[d.node] = Some(d.decision);
-                        got += 1;
+            // (dbuf is empty here: the Ok arm below always drains it.)
+            match rx.recv_batch_timeout(&mut dbuf, CLIENT_BATCH, left) {
+                Ok(_) => {
+                    for d in dbuf.drain(..) {
+                        if d.txn == txn.id && decisions[d.node].is_none() {
+                            decisions[d.node] = Some(d.decision);
+                            got += 1;
+                        }
+                        // else: straggler reply of an already-stalled txn
                     }
                 }
-                Ok(_) => {} // straggler reply of an already-stalled txn
-                Err(RecvTimeoutError::Timeout) => break,
-                Err(RecvTimeoutError::Disconnected) => break,
+                Err(RecvTimeoutError::Timeout) => break 'collect,
+                Err(RecvTimeoutError::Disconnected) => break 'collect,
             }
         }
         let lat = t0.elapsed();
-        for tx in &txs {
-            let _ = tx.send(ToNode::End { txn: txn.id });
-        }
         if got == cfg.n {
             latency.record_duration(lat);
         } else {
             stalled += 1;
         }
         records.push(ClientRecord { txn, decisions });
+    }
+    // Garbage-collect the last transaction's instances.
+    if let Some(prev) = end_prev {
+        for tx in &txs {
+            let _ = tx.send(ToNode::End { txn: prev });
+        }
     }
     ClientReturn {
         records,
@@ -544,6 +728,7 @@ fn aggregate(
     let mut committed = 0;
     let mut aborted = 0;
     let mut violations = Vec::new();
+    let spurious_wakeups = node_returns.iter().map(|r| r.spurious_wakeups).sum();
 
     // Cross-node view: txn -> (votes, decisions) as logged by each node.
     let mut by_txn: HashMap<TxnId, (Vec<bool>, Vec<u64>)> = HashMap::new();
@@ -626,6 +811,7 @@ fn aggregate(
         elapsed,
         latency,
         wire_messages: wire.load(Ordering::Relaxed),
+        spurious_wakeups,
         shards,
         node_logs,
         violations,
@@ -652,6 +838,127 @@ mod tests {
         assert!(out.committed + out.aborted == 10);
         assert_eq!(out.latency.count(), 10);
         assert!(out.wire_messages > 0);
+    }
+
+    /// A decision and the `End` that garbage-collects its transaction can
+    /// land in the **same drained batch** (the txn stalled at the client,
+    /// whose End rides with the next Begin). The decision must still be
+    /// applied — logged, reported, shard finished — before the metadata
+    /// goes away.
+    #[test]
+    fn decision_and_end_in_one_drained_batch_still_applies_the_decision() {
+        /// Minimal commit protocol deciding COMMIT on the first message.
+        struct DecideOnMsg;
+        impl ac_sim::Automaton for DecideOnMsg {
+            type Msg = ();
+            fn on_start(&mut self, _: &mut ac_sim::Ctx<()>) {}
+            fn on_message(&mut self, _: ProcessId, _: (), ctx: &mut ac_sim::Ctx<()>) {
+                ctx.decide(COMMIT);
+            }
+            fn on_timer(&mut self, _: u32, _: &mut ac_sim::Ctx<()>) {}
+        }
+        impl CommitProtocol for DecideOnMsg {
+            const NAME: &'static str = "decide-on-msg";
+            fn new(_: ProcessId, _: usize, _: usize, _: bool) -> Self {
+                DecideOnMsg
+            }
+        }
+
+        let (tx0, rx0) = unbounded::<ToNode<()>>();
+        let (tx1, _rx1) = unbounded::<ToNode<()>>(); // peer inbox, kept alive
+        let (done_tx, done_rx) = unbounded::<Done>();
+        let wire = Arc::new(AtomicUsize::new(0));
+        let handle = {
+            let txs = vec![tx0.clone(), tx1];
+            std::thread::spawn(move || {
+                node_main::<DecideOnMsg>(
+                    0,
+                    2,
+                    1,
+                    Duration::from_millis(5),
+                    rx0,
+                    txs,
+                    vec![done_tx],
+                    wire,
+                )
+            })
+        };
+
+        let id = ServiceConfig::txn_id(0, 0);
+        assert!(tx0
+            .send(ToNode::Begin {
+                txn: Arc::new(Transaction::new(id)),
+                client: 0,
+            })
+            .is_ok());
+        std::thread::sleep(Duration::from_millis(20)); // Begin processed alone
+                                                       // The deciding message and the End arrive in one drained batch.
+        assert!(tx0
+            .send_batch([
+                ToNode::Net {
+                    txn: id,
+                    from: 1,
+                    msg: (),
+                },
+                ToNode::End { txn: id },
+            ])
+            .is_ok());
+        let done = done_rx
+            .recv_timeout(Duration::from_secs(2))
+            .expect("the batched decision must still reach the client");
+        assert_eq!(done.txn, id);
+        assert_eq!(done.decision, COMMIT);
+        assert!(tx0.send(ToNode::Shutdown).is_ok());
+        let ret = handle.join().expect("node thread panicked");
+        assert_eq!(ret.log.len(), 1, "decision must be logged");
+        assert_eq!(ret.log[0].decision, COMMIT);
+        assert_eq!(ret.shard.locked(), 0, "no lock may leak");
+    }
+
+    /// ISSUE-4 satellite: an idle service must perform **zero** spurious
+    /// wakeups — no housekeeping ticks, no idle polls. Four node threads
+    /// are left with no clients and no traffic for 50 ms; every node must
+    /// park the whole time.
+    #[test]
+    fn idle_nodes_perform_zero_spurious_wakeups_over_50ms() {
+        use ac_commit::protocols::PaxosCommit;
+        type P = PaxosCommit;
+        let n = 4;
+        let node_ch: Vec<_> = (0..n)
+            .map(|_| unbounded::<ToNode<<P as ac_sim::Automaton>::Msg>>())
+            .collect();
+        let (node_txs, node_rxs): (Vec<_>, Vec<_>) = node_ch.into_iter().unzip();
+        let wire = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = node_rxs
+            .into_iter()
+            .enumerate()
+            .map(|(me, rx)| {
+                let txs = node_txs.clone();
+                let wire = Arc::clone(&wire);
+                std::thread::spawn(move || {
+                    node_main::<P>(
+                        me,
+                        n,
+                        1,
+                        Duration::from_millis(5),
+                        rx,
+                        txs,
+                        Vec::new(), // no clients
+                        wire,
+                    )
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(50));
+        for tx in &node_txs {
+            let _ = tx.send(ToNode::Shutdown);
+        }
+        drop(node_txs);
+        let total: usize = handles
+            .into_iter()
+            .map(|h| h.join().expect("node thread panicked").spurious_wakeups)
+            .sum();
+        assert_eq!(total, 0, "idle nodes woke without work to do");
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! repro [--json] [--jobs N] [--out PATH] [--quick] \
 //!       [table1|table2|table3|table4|table5|fig1|ablations|exhaustive|bench|load|all]
 //! repro bench-check <path>
+//! repro perf --against <path> [--quick] [--json] [--jobs N] [--out PATH]
 //! ```
 //!
 //! With no argument, runs everything. `--json` emits machine-readable
@@ -16,7 +17,12 @@
 //! jobs) and writes the schema-v2 baseline including the `service`
 //! section; `bench-check <path>` validates a previously written baseline
 //! of either schema version — CI's bench-smoke and load-smoke jobs run
-//! these.
+//! these. `perf --against <path>` re-measures the live sweep and diffs it
+//! against a committed baseline: counter-exact regressions (message
+//! counts, commit rates, safety/stall counters, explorer soundness) fail
+//! the run, wall-clock drift only warns; the machine-readable comparison
+//! is written to `--out` (default `PERF_comparison.json`) — CI's
+//! perf-smoke job runs this.
 
 use std::path::PathBuf;
 
@@ -43,7 +49,8 @@ fn usage_exit() -> ! {
     eprintln!(
         "usage: repro [--json] [--jobs N] [--out PATH] [--quick] \
          [table1|table2|table3|table4|table5|fig1|ablations|exhaustive|bench|load|all]\n\
-         \x20      repro bench-check <path>"
+         \x20      repro bench-check <path>\n\
+         \x20      repro perf --against <path> [--quick] [--json] [--jobs N] [--out PATH]"
     );
     std::process::exit(2);
 }
@@ -53,7 +60,8 @@ fn main() {
     let json = args.iter().any(|a| a == "--json");
     let mut jobs = 1usize;
     let mut quick = false;
-    let mut out = PathBuf::from("BENCH_baseline.json");
+    let mut out: Option<PathBuf> = None;
+    let mut against: Option<PathBuf> = None;
     let mut targets: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -72,7 +80,14 @@ fn main() {
                     eprintln!("--out requires a path");
                     usage_exit();
                 };
-                out = PathBuf::from(p);
+                out = Some(PathBuf::from(p));
+            }
+            "--against" => {
+                let Some(p) = it.next() else {
+                    eprintln!("--against requires a path");
+                    usage_exit();
+                };
+                against = Some(PathBuf::from(p));
             }
             _ if arg.starts_with("--") => {
                 eprintln!("unknown flag `{arg}`");
@@ -82,6 +97,50 @@ fn main() {
         }
     }
     let id = targets.first().map(|s| s.as_str()).unwrap_or("all");
+
+    // `perf --against <path>`: re-measure, diff, gate.
+    if id == "perf" {
+        let Some(against) = against else {
+            eprintln!("perf requires --against <baseline path>");
+            usage_exit();
+        };
+        let text = match std::fs::read_to_string(&against) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", against.display());
+                std::process::exit(1);
+            }
+        };
+        let (report, comparison, _) = match ac_harness::perf::perf_compare(quick, jobs, &text) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        };
+        if json {
+            println!("{}", report.to_json());
+        } else {
+            println!("{}", report.render());
+        }
+        let out = out.unwrap_or_else(|| PathBuf::from("PERF_comparison.json"));
+        if let Err(e) = comparison.write(&out) {
+            eprintln!("cannot write {}: {e}", out.display());
+            std::process::exit(1);
+        }
+        eprintln!(
+            "wrote {} ({} checks, {} failed)",
+            out.display(),
+            comparison.checks.len(),
+            comparison.failed
+        );
+        if !comparison.passed() {
+            eprintln!("counter-exact perf regression vs {}", against.display());
+            std::process::exit(1);
+        }
+        return;
+    }
+    let out = out.unwrap_or_else(|| PathBuf::from("BENCH_baseline.json"));
 
     // `bench-check <path>`: validate a written baseline and exit.
     if id == "bench-check" {
@@ -145,7 +204,7 @@ fn main() {
     let Some(reports) = run_one(id, jobs) else {
         eprintln!(
             "unknown experiment `{id}`; expected one of \
-             table1 table2 table3 table4 table5 fig1 ablations exhaustive bench load all"
+             table1 table2 table3 table4 table5 fig1 ablations exhaustive bench load perf all"
         );
         std::process::exit(2);
     };

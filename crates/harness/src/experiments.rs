@@ -860,6 +860,9 @@ pub fn load_baseline(quick: bool, jobs: usize) -> (Report, BenchBaseline) {
                     p99_micros: us(out.latency.p99()),
                     max_micros: us(out.latency.max()),
                     safety_violations: out.violations.len(),
+                    wire_messages: Some(out.wire_messages),
+                    wire_per_txn: Some(out.wire_messages as f64 / out.txns.max(1) as f64),
+                    spurious_wakeups: Some(out.spurious_wakeups),
                 });
             }
         }

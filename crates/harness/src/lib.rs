@@ -24,6 +24,7 @@
 #![deny(missing_docs)]
 
 pub mod experiments;
+pub mod perf;
 pub mod report;
 
 pub use report::{Report, Table};

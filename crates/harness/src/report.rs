@@ -263,6 +263,15 @@ pub struct ServiceEntry {
     pub max_micros: f64,
     /// Safety violations found by the post-run audit (must be 0).
     pub safety_violations: usize,
+    /// Protocol messages that crossed node boundaries (counter-exact;
+    /// optional — baselines written before the perf upgrade lack it).
+    pub wire_messages: Option<usize>,
+    /// `wire_messages / txns` — the per-transaction wire cost the perf
+    /// gate diffs (counter-backed, so gated strictly; optional as above).
+    pub wire_per_txn: Option<f64>,
+    /// Node-loop wakeups that found no work (see
+    /// `ac_cluster::ServiceOutcome::spurious_wakeups`; optional as above).
+    pub spurious_wakeups: Option<usize>,
 }
 
 /// The schema-v2 `service` section: the live `ac-cluster` transaction
@@ -426,6 +435,16 @@ impl BenchBaseline {
                     "{label}: p50_micros/p99_micros must be numbers with p50 <= p99"
                 )),
             }
+            // Optional perf fields (absent in pre-upgrade baselines): when
+            // present they must at least be well-formed non-negative
+            // numbers.
+            for key in ["wire_per_txn", "wire_messages", "spurious_wakeups"] {
+                if let Some(x) = e[key].as_f64() {
+                    if x < 0.0 {
+                        problems.push(format!("{label}: {key} must be >= 0"));
+                    }
+                }
+            }
         }
     }
 }
@@ -507,6 +526,11 @@ mod tests {
                     p99_micros: 15_000.0,
                     max_micros: 20_000.0,
                     safety_violations: 0,
+                    // One entry with perf fields, one without: both shapes
+                    // must validate (pre-upgrade baselines lack them).
+                    wire_messages: (clients == 2).then_some(300),
+                    wire_per_txn: (clients == 2).then_some(10.0),
+                    spurious_wakeups: (clients == 2).then_some(0),
                 });
             }
         }
@@ -602,6 +626,19 @@ mod tests {
         );
         assert!(
             problems.iter().any(|p| p.contains("stalled")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn v2_rejects_negative_perf_fields() {
+        let json = sample_v2_baseline().to_json();
+        // NB: the vendored serde_json prints `10.0_f64` as `10`.
+        let corrupted = json.replace("\"wire_per_txn\": 10", "\"wire_per_txn\": -3");
+        assert_ne!(corrupted, json, "fixture must carry a wire_per_txn");
+        let problems = BenchBaseline::validate_json(&corrupted).unwrap_err();
+        assert!(
+            problems.iter().any(|p| p.contains("wire_per_txn")),
             "{problems:?}"
         );
     }

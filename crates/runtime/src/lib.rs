@@ -25,7 +25,9 @@
 
 #![deny(missing_docs)]
 
-use std::collections::{BinaryHeap, HashMap};
+pub mod slab;
+
+use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -34,8 +36,18 @@ use ac_sim::{Action, Automaton, Ctx, ProcessId, Time, U};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 
-/// A message on a process's inbound channel: `(sender, payload)`.
-type Inbound<M> = (ProcessId, M);
+pub use slab::Slab;
+
+/// A message on a process's inbound channel: a protocol payload or a
+/// control nudge. `Wake` carries no data — it exists so the thread that
+/// observes global completion can rouse peers parked on **exact** timer
+/// deadlines (there is no idle-poll tick to notice completion anymore).
+enum Inbound<M> {
+    /// A protocol message from `ProcessId`.
+    Msg(ProcessId, M),
+    /// Re-check the loop's exit conditions.
+    Wake,
+}
 /// One process's endpoint pair.
 type Endpoint<M> = (Sender<Inbound<M>>, Receiver<Inbound<M>>);
 
@@ -190,14 +202,22 @@ struct Slot<A: Automaton> {
 /// fire expired timers — and receives the instance's effects through a
 /// [`NodeEvent`] sink. Timers of closed instances are discarded lazily when
 /// they surface at the top of the heap.
+///
+/// Instance state lives in a [`Slab`] — dense storage with free-list
+/// recycling, resolved by a fast-hash index — so the per-envelope
+/// demultiplexing cost is a couple of multiplies, not a SipHash walk.
 pub struct NodeLoop<A: Automaton> {
     me: ProcessId,
     n: usize,
     clock: UnitClock,
-    slots: HashMap<InstanceId, Slot<A>>,
+    slots: Slab<Slot<A>>,
     timers: BinaryHeap<TimerEntry>,
+    /// Recycled actions buffer, threaded through every `Ctx` so per-event
+    /// effect collection allocates nothing in steady state.
+    scratch: Vec<Action<<A as Automaton>::Msg>>,
 }
 
+/// Drain `ctx`'s actions and hand its buffer back for recycling.
 fn drain_actions<A: Automaton>(
     instance: InstanceId,
     slot: &mut Slot<A>,
@@ -205,8 +225,9 @@ fn drain_actions<A: Automaton>(
     clock: UnitClock,
     ctx: &mut Ctx<A::Msg>,
     sink: &mut impl FnMut(NodeEvent<A::Msg>),
-) {
-    for action in ctx.take_actions() {
+) -> Vec<Action<A::Msg>> {
+    let mut actions = ctx.take_actions();
+    for action in actions.drain(..) {
         match action {
             Action::Send { to, msg } => sink(NodeEvent::Send { instance, to, msg }),
             Action::SetTimer { at, tag } => timers.push(TimerEntry {
@@ -222,6 +243,7 @@ fn drain_actions<A: Automaton>(
             }
         }
     }
+    actions
 }
 
 impl<A: Automaton> NodeLoop<A> {
@@ -231,8 +253,9 @@ impl<A: Automaton> NodeLoop<A> {
             me,
             n,
             clock,
-            slots: HashMap::new(),
+            slots: Slab::new(),
             timers: BinaryHeap::new(),
+            scratch: Vec::new(),
         }
     }
 
@@ -253,12 +276,12 @@ impl<A: Automaton> NodeLoop<A> {
 
     /// Whether `instance` is open.
     pub fn has(&self, instance: InstanceId) -> bool {
-        self.slots.contains_key(&instance)
+        self.slots.contains(instance)
     }
 
     /// The decision of `instance`, if it is open and has decided.
     pub fn decision(&self, instance: InstanceId) -> Option<u64> {
-        self.slots.get(&instance).and_then(|s| s.decided)
+        self.slots.get(instance).and_then(|s| s.decided)
     }
 
     /// Open a new instance: install `automaton` with epoch `now` and run
@@ -270,15 +293,21 @@ impl<A: Automaton> NodeLoop<A> {
         now: Instant,
         sink: &mut impl FnMut(NodeEvent<A::Msg>),
     ) {
-        debug_assert!(!self.slots.contains_key(&instance), "instance reopened");
-        let mut ctx = Ctx::new(Time::ZERO, self.me, self.n, false);
+        debug_assert!(!self.slots.contains(instance), "instance reopened");
+        let mut ctx = Ctx::with_actions(
+            Time::ZERO,
+            self.me,
+            self.n,
+            false,
+            std::mem::take(&mut self.scratch),
+        );
         automaton.on_start(&mut ctx);
         let mut slot = Slot {
             automaton,
             epoch: now,
             decided: None,
         };
-        drain_actions(
+        self.scratch = drain_actions(
             instance,
             &mut slot,
             &mut self.timers,
@@ -300,18 +329,35 @@ impl<A: Automaton> NodeLoop<A> {
         now: Instant,
         sink: &mut impl FnMut(NodeEvent<A::Msg>),
     ) -> bool {
-        let Some(slot) = self.slots.get_mut(&instance) else {
-            return false;
+        self.offer(instance, from, msg, now, sink).is_ok()
+    }
+
+    /// [`NodeLoop::deliver`], but a miss hands the message **back** instead
+    /// of dropping it: one slab probe both resolves the instance and keeps
+    /// the payload available for the host's early-envelope buffer (the
+    /// hot-path caller would otherwise pay a second lookup via
+    /// [`NodeLoop::has`]).
+    pub fn offer(
+        &mut self,
+        instance: InstanceId,
+        from: ProcessId,
+        msg: A::Msg,
+        now: Instant,
+        sink: &mut impl FnMut(NodeEvent<A::Msg>),
+    ) -> Result<(), A::Msg> {
+        let Some(slot) = self.slots.get_mut(instance) else {
+            return Err(msg);
         };
-        let mut ctx = Ctx::new(
+        let mut ctx = Ctx::with_actions(
             self.clock.virtual_now(slot.epoch, now),
             self.me,
             self.n,
             false,
+            std::mem::take(&mut self.scratch),
         );
         slot.automaton.on_message(from, msg, &mut ctx);
-        drain_actions(instance, slot, &mut self.timers, self.clock, &mut ctx, sink);
-        true
+        self.scratch = drain_actions(instance, slot, &mut self.timers, self.clock, &mut ctx, sink);
+        Ok(())
     }
 
     /// Fire every timer due at or before `now` (timers of closed instances
@@ -320,17 +366,18 @@ impl<A: Automaton> NodeLoop<A> {
         let mut fired = 0;
         while self.timers.peek().is_some_and(|t| t.due <= now) {
             let t = self.timers.pop().expect("peeked");
-            let Some(slot) = self.slots.get_mut(&t.instance) else {
+            let Some(slot) = self.slots.get_mut(t.instance) else {
                 continue; // stale timer of a closed instance
             };
-            let mut ctx = Ctx::new(
+            let mut ctx = Ctx::with_actions(
                 self.clock.virtual_now(slot.epoch, now),
                 self.me,
                 self.n,
                 false,
+                std::mem::take(&mut self.scratch),
             );
             slot.automaton.on_timer(t.tag, &mut ctx);
-            drain_actions(
+            self.scratch = drain_actions(
                 t.instance,
                 slot,
                 &mut self.timers,
@@ -352,7 +399,7 @@ impl<A: Automaton> NodeLoop<A> {
     /// Close `instance` and drop its state; its pending timers are
     /// discarded lazily. Returns its decision, if it had one.
     pub fn close(&mut self, instance: InstanceId) -> Option<u64> {
-        self.slots.remove(&instance).and_then(|s| s.decided)
+        self.slots.remove(instance).and_then(|s| s.decided)
     }
 }
 
@@ -388,7 +435,9 @@ where
         handles.push(std::thread::spawn(move || {
             let mut node: NodeLoop<A> = NodeLoop::new(me, n, clock);
             // Self-sends go through the node's own channel, like any other
-            // message (they are not counted as wire messages).
+            // message (they are not counted as wire messages). The thread
+            // whose decision completes the run nudges every parked peer
+            // awake — waits below are deadline-exact, so nobody polls.
             let mut sink = |ev: NodeEvent<A::Msg>| match ev {
                 NodeEvent::Send { to, msg, .. } => {
                     if to != me {
@@ -396,13 +445,19 @@ where
                     }
                     // A send can only fail if the peer finished — then the
                     // message is moot.
-                    let _ = txs[to].send((me, msg));
+                    let _ = txs[to].send(Inbound::Msg(me, msg));
                 }
                 NodeEvent::Decided { value, .. } => {
                     let mut d = decisions.lock();
                     if d[me].is_none() {
                         d[me] = Some(value);
-                        decided_count.fetch_add(1, Ordering::SeqCst);
+                        if decided_count.fetch_add(1, Ordering::SeqCst) + 1 == n {
+                            for (p, tx) in txs.iter().enumerate() {
+                                if p != me {
+                                    let _ = tx.send(Inbound::Wake);
+                                }
+                            }
+                        }
                     }
                 }
             };
@@ -417,14 +472,25 @@ where
                     return;
                 }
                 // Fire due timers first (delivery-priority is a simulator
-                // refinement; on real clocks due timers are simply late).
+                // refinement; on real clocks due timers are simply late),
+                // then park until the exact next deadline: the earliest
+                // pending timer or the run's hard stop, whichever is
+                // sooner. No idle-poll tick — an inbound message or the
+                // completion Wake interrupts the wait.
                 node.fire_due(now, &mut sink);
+                // A timer we just fired may have been the run's last
+                // decision (ours); re-check before parking — no peer will
+                // wake us, the Wake fan-out goes to the *others*.
+                if decided_count.load(Ordering::SeqCst) == n {
+                    return;
+                }
                 let next_due = node.next_due().unwrap_or(deadline);
                 let wait = next_due.min(deadline).saturating_duration_since(now);
-                match rx.recv_timeout(wait.min(Duration::from_millis(1))) {
-                    Ok((from, msg)) => {
+                match rx.recv_timeout(wait) {
+                    Ok(Inbound::Msg(from, msg)) => {
                         node.deliver(0, from, msg, Instant::now(), &mut sink);
                     }
+                    Ok(Inbound::Wake) => {}
                     Err(RecvTimeoutError::Timeout) => {}
                     Err(RecvTimeoutError::Disconnected) => return,
                 }

@@ -1,0 +1,343 @@
+//! Instance slab: the demultiplexer's `InstanceId → state` map, tuned for
+//! the hot path.
+//!
+//! A node serving thousands of concurrent commit instances looks its state
+//! up **once per envelope**. `std`'s `HashMap` pays SipHash on every probe
+//! and scatters entries across a large table; this slab instead keeps the
+//! state itself in a **dense `Vec`** (slots recycled through a free list,
+//! so long-running services stay compact and allocation-free in steady
+//! state) and resolves `InstanceId → dense index` through a minimal
+//! open-addressing table hashed with a SplitMix64 finalizer — a couple of
+//! multiplies instead of a full SipHash permutation.
+//!
+//! Identifiers are arbitrary `u64`s: transaction ids arrive in whatever
+//! order the network delivers them (a peer's vote envelope can outrun the
+//! client's `Begin`), so there is no dense-key fast path to exploit — the
+//! fast-hash table IS the lookup path for out-of-order and in-order ids
+//! alike.
+
+use crate::InstanceId;
+
+/// Slot value marking a never-used index cell.
+const EMPTY: u32 = u32::MAX;
+/// Slot value marking a deleted index cell (probe chains continue past it).
+const TOMBSTONE: u32 = u32::MAX - 1;
+
+/// SplitMix64 finalizer: a fast, well-mixed `u64 → u64` hash (the same
+/// mixer the vendored `rand` seeds with).
+#[inline]
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Open-addressing `u64 → u32` index with linear probing and tombstone
+/// deletion. Rebuilt (dropping tombstones) when occupancy passes 3/4.
+struct FastIndex {
+    /// `(key, value)` cells; `value` is `EMPTY`, `TOMBSTONE`, or a dense
+    /// slab index (necessarily `< TOMBSTONE`).
+    cells: Vec<(u64, u32)>,
+    /// Power-of-two capacity minus one.
+    mask: usize,
+    /// Live entries.
+    len: usize,
+    /// Live entries plus tombstones (what occupancy is measured on).
+    used: usize,
+}
+
+impl FastIndex {
+    fn with_capacity_pow2(cap: usize) -> FastIndex {
+        debug_assert!(cap.is_power_of_two());
+        FastIndex {
+            cells: vec![(0, EMPTY); cap],
+            mask: cap - 1,
+            len: 0,
+            used: 0,
+        }
+    }
+
+    fn get(&self, key: u64) -> Option<u32> {
+        let mut i = mix(key) as usize & self.mask;
+        loop {
+            let (k, v) = self.cells[i];
+            match v {
+                EMPTY => return None,
+                TOMBSTONE => {}
+                _ if k == key => return Some(v),
+                _ => {}
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Insert `key → value`; the caller guarantees `key` is absent.
+    fn insert(&mut self, key: u64, value: u32) {
+        debug_assert!(value < TOMBSTONE);
+        if (self.used + 1) * 4 > self.cells.len() * 3 {
+            self.grow();
+        }
+        let mut i = mix(key) as usize & self.mask;
+        loop {
+            let v = self.cells[i].1;
+            if v == EMPTY || v == TOMBSTONE {
+                self.used += usize::from(v == EMPTY);
+                self.cells[i] = (key, value);
+                self.len += 1;
+                return;
+            }
+            debug_assert!(self.cells[i].0 != key, "duplicate key");
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    fn remove(&mut self, key: u64) -> Option<u32> {
+        let mut i = mix(key) as usize & self.mask;
+        loop {
+            let (k, v) = self.cells[i];
+            match v {
+                EMPTY => return None,
+                TOMBSTONE => {}
+                _ if k == key => {
+                    self.cells[i].1 = TOMBSTONE;
+                    self.len -= 1;
+                    return Some(v);
+                }
+                _ => {}
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Rebuild the table, dropping accumulated tombstones. Occupancy is
+    /// dominated by tombstones under insert/remove churn (live entries
+    /// few, `used` climbing monotonically), so a half-empty table is
+    /// rebuilt **at the same capacity** — a long-running service with a
+    /// bounded working set keeps a bounded index; the capacity only
+    /// doubles when live entries genuinely fill it.
+    fn grow(&mut self) {
+        let new_cap = if self.len * 2 <= self.cells.len() {
+            self.cells.len().max(16)
+        } else {
+            (self.cells.len() * 2).max(16)
+        };
+        let old = std::mem::replace(self, FastIndex::with_capacity_pow2(new_cap));
+        for (k, v) in old.cells {
+            if v != EMPTY && v != TOMBSTONE {
+                self.insert(k, v);
+            }
+        }
+    }
+}
+
+/// A dense, free-list-recycling map from [`InstanceId`] to `T` — the
+/// demultiplexer state store. See the module docs for the design.
+pub struct Slab<T> {
+    /// Dense storage; `None` cells are on the free list.
+    entries: Vec<Option<T>>,
+    /// Recycled indices, reused LIFO (hot cache lines first).
+    free: Vec<u32>,
+    /// `InstanceId → entries index`.
+    index: FastIndex,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Slab::new()
+    }
+}
+
+impl<T> Slab<T> {
+    /// An empty slab.
+    pub fn new() -> Slab<T> {
+        Slab {
+            entries: Vec::new(),
+            free: Vec::new(),
+            index: FastIndex::with_capacity_pow2(16),
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.index.len
+    }
+
+    /// Whether the slab holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether `id` is present.
+    pub fn contains(&self, id: InstanceId) -> bool {
+        self.index.get(id).is_some()
+    }
+
+    /// Insert `value` under `id`, returning the dense index it landed on.
+    /// `id` must not already be present (checked in debug builds).
+    pub fn insert(&mut self, id: InstanceId, value: T) -> usize {
+        debug_assert!(!self.contains(id), "instance id inserted twice");
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.entries[i as usize] = Some(value);
+                i
+            }
+            None => {
+                self.entries.push(Some(value));
+                (self.entries.len() - 1) as u32
+            }
+        };
+        self.index.insert(id, idx);
+        idx as usize
+    }
+
+    /// Shared access to `id`'s entry.
+    pub fn get(&self, id: InstanceId) -> Option<&T> {
+        let idx = self.index.get(id)?;
+        self.entries[idx as usize].as_ref()
+    }
+
+    /// Mutable access to `id`'s entry.
+    pub fn get_mut(&mut self, id: InstanceId) -> Option<&mut T> {
+        let idx = self.index.get(id)?;
+        self.entries[idx as usize].as_mut()
+    }
+
+    /// Remove `id`'s entry, recycling its slot onto the free list.
+    pub fn remove(&mut self, id: InstanceId) -> Option<T> {
+        let idx = self.index.remove(id)?;
+        let value = self.entries[idx as usize].take();
+        debug_assert!(value.is_some(), "index and storage out of sync");
+        self.free.push(idx);
+        value
+    }
+
+    /// Iterate over live entries (arbitrary order).
+    pub fn values(&self) -> impl Iterator<Item = &T> {
+        self.entries.iter().filter_map(|e| e.as_ref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut s: Slab<String> = Slab::new();
+        assert!(s.is_empty());
+        s.insert(7, "seven".into());
+        s.insert(0, "zero".into()); // id 0 is a valid instance id
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(7).map(String::as_str), Some("seven"));
+        assert_eq!(s.get_mut(0).map(|v| v.push('!')), Some(()));
+        assert_eq!(s.remove(0).as_deref(), Some("zero!"));
+        assert!(!s.contains(0));
+        assert_eq!(s.remove(0), None);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn free_list_recycles_dense_slots() {
+        let mut s: Slab<u64> = Slab::new();
+        let a = s.insert(1, 10);
+        let _b = s.insert(2, 20);
+        s.remove(1);
+        // The freed dense slot is reused by the next insert.
+        let c = s.insert(3, 30);
+        assert_eq!(c, a);
+        assert_eq!(s.get(3), Some(&30));
+        assert_eq!(s.get(2), Some(&20));
+        assert_eq!(s.entries.len(), 2, "storage stays dense under churn");
+    }
+
+    #[test]
+    fn survives_heavy_churn_with_sparse_ids() {
+        // Deterministic churn over ids that collide-and-probe: grow,
+        // tombstone pressure, and rebuilds all get exercised.
+        let mut s: Slab<u64> = Slab::new();
+        let id = |i: u64| i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        for round in 0..20u64 {
+            for i in 0..100 {
+                s.insert(id(round * 100 + i), round * 100 + i);
+            }
+            for i in 0..100 {
+                if i % 3 != 0 {
+                    assert_eq!(s.remove(id(round * 100 + i)), Some(round * 100 + i));
+                }
+            }
+        }
+        // Survivors: every (round, i) with i % 3 == 0.
+        let mut expect = 0;
+        for round in 0..20u64 {
+            for i in 0..100 {
+                if i % 3 == 0 {
+                    assert_eq!(s.get(id(round * 100 + i)), Some(&(round * 100 + i)));
+                    expect += 1;
+                }
+            }
+        }
+        assert_eq!(s.len(), expect);
+        assert_eq!(s.values().count(), expect);
+        // Dense storage never grew past the high-water mark of one round.
+        assert!(
+            s.entries.len() <= 100 + expect,
+            "dense storage leaked slots: {}",
+            s.entries.len()
+        );
+    }
+
+    #[test]
+    fn index_stays_bounded_under_unique_key_churn() {
+        // The service's steady state: every transaction inserts a fresh
+        // TxnId and removes it on End, live set bounded. The index must
+        // shed tombstones by rebuilding in place, not grow with the
+        // total transaction count.
+        let mut s: Slab<u64> = Slab::new();
+        for i in 0..100_000u64 {
+            s.insert(i, i);
+            if i >= 8 {
+                s.remove(i - 8); // keep ~8 live
+            }
+        }
+        assert_eq!(s.len(), 8);
+        assert!(
+            s.index.cells.len() <= 64,
+            "index grew unboundedly under churn: {} cells for {} live entries",
+            s.index.cells.len(),
+            s.len()
+        );
+        assert_eq!(s.entries.len() as u64, 9, "dense storage high-water mark");
+    }
+
+    #[test]
+    fn agrees_with_std_hashmap_under_random_ops() {
+        use std::collections::HashMap;
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        let mut s: Slab<u64> = Slab::new();
+        let mut rng = 0x1234_5678_u64;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        for _ in 0..20_000 {
+            let id = next() % 512; // small key space -> heavy churn
+            match next() % 3 {
+                0 => {
+                    if !model.contains_key(&id) {
+                        model.insert(id, id * 3);
+                        s.insert(id, id * 3);
+                    }
+                }
+                1 => {
+                    assert_eq!(s.remove(id), model.remove(&id));
+                }
+                _ => {
+                    assert_eq!(s.get(id), model.get(&id));
+                }
+            }
+        }
+        assert_eq!(s.len(), model.len());
+    }
+}

@@ -67,11 +67,27 @@ impl<M> Ctx<M> {
     /// Create a context for one handler invocation of process `me` (of `n`)
     /// at virtual time `now`.
     pub fn new(now: Time, me: ProcessId, n: usize, trace_enabled: bool) -> Self {
+        Ctx::with_actions(now, me, n, trace_enabled, Vec::new())
+    }
+
+    /// [`Ctx::new`] with a recycled actions buffer: `actions` is cleared
+    /// and used as the backing storage, so a runtime that processes
+    /// millions of events can hand the same allocation back in through
+    /// every [`Ctx::take_actions`]/`with_actions` round trip instead of
+    /// re-allocating per event (the live service's node loops do this).
+    pub fn with_actions(
+        now: Time,
+        me: ProcessId,
+        n: usize,
+        trace_enabled: bool,
+        mut actions: Vec<Action<M>>,
+    ) -> Self {
+        actions.clear();
         Ctx {
             now,
             me,
             n,
-            actions: Vec::new(),
+            actions,
             trace_enabled,
             traces: Vec::new(),
         }

@@ -3,7 +3,20 @@
 //! Provides the subset the workspace uses — `channel::unbounded` with
 //! cloneable senders **and cloneable receivers** (crossbeam channels are
 //! multi-producer multi-consumer), blocking `recv`, `try_recv` and
-//! `recv_timeout` — implemented over `Mutex<VecDeque>` + `Condvar`.
+//! `recv_timeout` — plus the batched extensions the live-service hot path
+//! is built on: [`channel::Sender::send_batch`],
+//! [`channel::Receiver::recv_batch_timeout`] and
+//! [`channel::Receiver::try_drain`].
+//!
+//! The queue is stored as **block-linked segments** (a FIFO of
+//! fixed-capacity blocks) behind one mutex: pushing never copies existing
+//! elements (no `VecDeque`-style doubling of a huge contiguous buffer),
+//! exhausted blocks are recycled instead of reallocated, and a batch of
+//! `k` messages costs **one lock acquisition and at most one wakeup**
+//! instead of `k` of each. Wakeups are coalesced: a sender only signals
+//! the condvar when at least one receiver is actually parked, so a
+//! receiver that is busy draining is never pointlessly re-notified.
+//!
 //! Semantics match crossbeam where the workspace depends on them: FIFO per
 //! channel, each message delivered to exactly one receiver, `Disconnected`
 //! only after the queue is drained and all senders are gone.
@@ -13,6 +26,11 @@ pub mod channel {
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::{Arc, Condvar, Mutex};
     use std::time::{Duration, Instant};
+
+    /// Capacity of one segment block. Bursts beyond this link further
+    /// blocks; exhausted blocks are recycled through a one-block spare
+    /// slot, so steady-state traffic allocates nothing.
+    const SEG_CAP: usize = 64;
 
     /// Error returned by [`Sender::send`] when the receiver is gone.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,11 +59,104 @@ pub mod channel {
         Disconnected,
     }
 
+    /// The segmented FIFO plus the receiver-parking bookkeeping, all
+    /// guarded by one mutex.
+    struct Inner<T> {
+        /// Front block is popped from, back block is pushed to; blocks in
+        /// between are full. Each block is a bounded `VecDeque` so both
+        /// ends are O(1) and capacity is retained on recycle.
+        blocks: VecDeque<VecDeque<T>>,
+        /// Total queued messages across all blocks.
+        len: usize,
+        /// One recycled empty block, so pop-then-push traffic does not
+        /// reallocate.
+        spare: Option<VecDeque<T>>,
+        /// Number of receivers currently parked on the condvar. Senders
+        /// skip the wakeup entirely when this is 0 (the receiver is
+        /// running and will drain the queue anyway).
+        waiting: usize,
+    }
+
+    impl<T> Inner<T> {
+        fn new() -> Inner<T> {
+            Inner {
+                blocks: VecDeque::new(),
+                len: 0,
+                spare: None,
+                waiting: 0,
+            }
+        }
+
+        fn push(&mut self, value: T) {
+            let needs_block = self.blocks.back().is_none_or(|b| b.len() >= SEG_CAP);
+            if needs_block {
+                let block = self
+                    .spare
+                    .take()
+                    .unwrap_or_else(|| VecDeque::with_capacity(SEG_CAP));
+                self.blocks.push_back(block);
+            }
+            self.blocks
+                .back_mut()
+                .expect("block present")
+                .push_back(value);
+            self.len += 1;
+        }
+
+        fn pop(&mut self) -> Option<T> {
+            loop {
+                let front = self.blocks.front_mut()?;
+                if let Some(v) = front.pop_front() {
+                    self.len -= 1;
+                    // Recycle the block once drained (unless it is the
+                    // only one, which stays as the active push target).
+                    if front.is_empty() && self.blocks.len() > 1 {
+                        let block = self.blocks.pop_front().expect("front exists");
+                        self.spare.get_or_insert(block);
+                    }
+                    return Some(v);
+                }
+                if self.blocks.len() == 1 {
+                    return None;
+                }
+                let block = self.blocks.pop_front().expect("front exists");
+                self.spare.get_or_insert(block);
+            }
+        }
+
+        /// Move up to `max` messages into `buf`; returns how many moved.
+        fn drain_into(&mut self, buf: &mut Vec<T>, max: usize) -> usize {
+            let take = max.min(self.len);
+            buf.reserve(take);
+            for _ in 0..take {
+                buf.push(self.pop().expect("len accounted"));
+            }
+            take
+        }
+    }
+
     struct Shared<T> {
-        queue: Mutex<VecDeque<T>>,
+        inner: Mutex<Inner<T>>,
         ready: Condvar,
         senders: AtomicUsize,
         receivers: AtomicUsize,
+    }
+
+    impl<T> Shared<T> {
+        /// Wake parked receivers after enqueuing `pushed` messages, given
+        /// the `waiting` count observed under the lock. The coalescing
+        /// rule: no waiter — no syscall; one message — one waiter; a batch
+        /// — every waiter (an MPMC worker pool wants them all pulling).
+        fn wake(&self, pushed: usize, waiting: usize) {
+            if pushed == 0 || waiting == 0 {
+                return;
+            }
+            if pushed == 1 || waiting == 1 {
+                self.ready.notify_one();
+            } else {
+                self.ready.notify_all();
+            }
+        }
     }
 
     /// The sending half of an unbounded channel. Cloneable.
@@ -63,7 +174,7 @@ pub mod channel {
     /// Create an unbounded FIFO channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
-            queue: Mutex::new(VecDeque::new()),
+            inner: Mutex::new(Inner::new()),
             ready: Condvar::new(),
             senders: AtomicUsize::new(1),
             receivers: AtomicUsize::new(1),
@@ -90,7 +201,7 @@ pub mod channel {
             if self.shared.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
                 // Last sender: wake any blocked receiver so it observes
                 // disconnection.
-                let _guard = self.shared.queue.lock().unwrap();
+                let _guard = self.shared.inner.lock().unwrap();
                 self.shared.ready.notify_all();
             }
         }
@@ -117,11 +228,41 @@ pub mod channel {
             if self.shared.receivers.load(Ordering::SeqCst) == 0 {
                 return Err(SendError(value));
             }
-            let mut q = self.shared.queue.lock().unwrap();
-            q.push_back(value);
-            drop(q);
-            self.shared.ready.notify_one();
+            let mut inner = self.shared.inner.lock().unwrap();
+            inner.push(value);
+            let waiting = inner.waiting;
+            drop(inner);
+            self.shared.wake(1, waiting);
             Ok(())
+        }
+
+        /// Enqueue every message of `batch` under **one** lock acquisition
+        /// and with at most one condvar signal — the wakeup-coalescing
+        /// fast path of the live service: a burst of `k` envelopes costs
+        /// one lock + one notify instead of `k` of each.
+        ///
+        /// Delivery order is the batch's iteration order, contiguous with
+        /// respect to this sender (no other sender's messages interleave
+        /// inside the batch). Returns the number of messages enqueued;
+        /// if every receiver was dropped, the batch's messages are
+        /// returned in the error (none were enqueued).
+        pub fn send_batch(
+            &self,
+            batch: impl IntoIterator<Item = T>,
+        ) -> Result<usize, SendError<Vec<T>>> {
+            if self.shared.receivers.load(Ordering::SeqCst) == 0 {
+                return Err(SendError(batch.into_iter().collect()));
+            }
+            let mut inner = self.shared.inner.lock().unwrap();
+            let mut pushed = 0;
+            for v in batch {
+                inner.push(v);
+                pushed += 1;
+            }
+            let waiting = inner.waiting;
+            drop(inner);
+            self.shared.wake(pushed, waiting);
+            Ok(pushed)
         }
     }
 
@@ -129,22 +270,24 @@ pub mod channel {
         /// Dequeue a message, blocking until one arrives or every sender is
         /// dropped.
         pub fn recv(&self) -> Result<T, RecvError> {
-            let mut q = self.shared.queue.lock().unwrap();
+            let mut inner = self.shared.inner.lock().unwrap();
             loop {
-                if let Some(v) = q.pop_front() {
+                if let Some(v) = inner.pop() {
                     return Ok(v);
                 }
                 if self.shared.senders.load(Ordering::SeqCst) == 0 {
                     return Err(RecvError);
                 }
-                q = self.shared.ready.wait(q).unwrap();
+                inner.waiting += 1;
+                inner = self.shared.ready.wait(inner).unwrap();
+                inner.waiting -= 1;
             }
         }
 
         /// Dequeue a message without blocking.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            let mut q = self.shared.queue.lock().unwrap();
-            if let Some(v) = q.pop_front() {
+            let mut inner = self.shared.inner.lock().unwrap();
+            if let Some(v) = inner.pop() {
                 return Ok(v);
             }
             if self.shared.senders.load(Ordering::SeqCst) == 0 {
@@ -156,9 +299,9 @@ pub mod channel {
         /// Dequeue a message, waiting up to `timeout` for one to arrive.
         pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
             let deadline = Instant::now() + timeout;
-            let mut q = self.shared.queue.lock().unwrap();
+            let mut inner = self.shared.inner.lock().unwrap();
             loop {
-                if let Some(v) = q.pop_front() {
+                if let Some(v) = inner.pop() {
                     return Ok(v);
                 }
                 if self.shared.senders.load(Ordering::SeqCst) == 0 {
@@ -168,9 +311,85 @@ pub mod channel {
                 if now >= deadline {
                     return Err(RecvTimeoutError::Timeout);
                 }
-                let (guard, _res) = self.shared.ready.wait_timeout(q, deadline - now).unwrap();
-                q = guard;
+                inner.waiting += 1;
+                let (guard, _res) = self
+                    .shared
+                    .ready
+                    .wait_timeout(inner, deadline - now)
+                    .unwrap();
+                inner = guard;
+                inner.waiting -= 1;
             }
+        }
+
+        /// Dequeue up to `max` messages into `buf` (appended), blocking
+        /// until **at least one** is available or `timeout` elapses. The
+        /// whole batch costs one lock acquisition; per-sender FIFO order
+        /// is preserved. Returns how many messages were moved.
+        pub fn recv_batch_timeout(
+            &self,
+            buf: &mut Vec<T>,
+            max: usize,
+            timeout: Duration,
+        ) -> Result<usize, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut inner = self.shared.inner.lock().unwrap();
+            loop {
+                if inner.len > 0 {
+                    return Ok(inner.drain_into(buf, max));
+                }
+                if self.shared.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                inner.waiting += 1;
+                let (guard, _res) = self
+                    .shared
+                    .ready
+                    .wait_timeout(inner, deadline - now)
+                    .unwrap();
+                inner = guard;
+                inner.waiting -= 1;
+            }
+        }
+
+        /// Like [`Receiver::recv_batch_timeout`] but with no deadline:
+        /// parks until a message arrives or every sender is dropped. This
+        /// is what an idle service node blocks on — zero wakeups until
+        /// there is real work.
+        pub fn recv_batch(&self, buf: &mut Vec<T>, max: usize) -> Result<usize, RecvError> {
+            let mut inner = self.shared.inner.lock().unwrap();
+            loop {
+                if inner.len > 0 {
+                    return Ok(inner.drain_into(buf, max));
+                }
+                if self.shared.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvError);
+                }
+                inner.waiting += 1;
+                inner = self.shared.ready.wait(inner).unwrap();
+                inner.waiting -= 1;
+            }
+        }
+
+        /// Non-blocking drain: move up to `max` already-queued messages
+        /// into `buf` and return how many moved (0 if the queue is empty).
+        pub fn try_drain(&self, buf: &mut Vec<T>, max: usize) -> usize {
+            let mut inner = self.shared.inner.lock().unwrap();
+            inner.drain_into(buf, max)
+        }
+
+        /// Number of messages currently queued (snapshot; racy by nature).
+        pub fn len(&self) -> usize {
+            self.shared.inner.lock().unwrap().len
+        }
+
+        /// Whether the queue is currently empty (snapshot; racy by nature).
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
     }
 
@@ -193,6 +412,21 @@ pub mod channel {
         }
 
         #[test]
+        fn fifo_across_many_segments() {
+            // 10 * SEG_CAP messages span many linked blocks; order and
+            // count must survive block recycling.
+            let (tx, rx) = unbounded();
+            let n = 10 * SEG_CAP;
+            for i in 0..n {
+                tx.send(i).unwrap();
+            }
+            for i in 0..n {
+                assert_eq!(rx.try_recv(), Ok(i));
+            }
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        }
+
+        #[test]
         fn disconnect_after_drain() {
             let (tx, rx) = unbounded();
             let tx2 = tx.clone();
@@ -204,6 +438,73 @@ pub mod channel {
                 rx.recv_timeout(Duration::from_millis(10)),
                 Err(RecvTimeoutError::Disconnected)
             );
+        }
+
+        #[test]
+        fn send_batch_is_one_contiguous_fifo_run() {
+            let (tx, rx) = unbounded();
+            tx.send(0).unwrap();
+            assert_eq!(tx.send_batch(1..=200).unwrap(), 200);
+            let mut buf = Vec::new();
+            // Drain in two batch calls to cross the segment boundary.
+            assert_eq!(
+                rx.recv_batch_timeout(&mut buf, 128, Duration::ZERO),
+                Ok(128)
+            );
+            assert_eq!(
+                rx.recv_batch_timeout(&mut buf, usize::MAX, Duration::ZERO),
+                Ok(73)
+            );
+            assert_eq!(buf, (0..=200).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn recv_batch_timeout_blocks_then_drains() {
+            let (tx, rx) = unbounded::<u32>();
+            let h = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(5));
+                tx.send_batch([1, 2, 3]).unwrap();
+            });
+            let mut buf = Vec::new();
+            let got = rx
+                .recv_batch_timeout(&mut buf, 16, Duration::from_secs(2))
+                .unwrap();
+            assert!(got >= 1, "must wake on the batch");
+            h.join().unwrap();
+            let mut total = got;
+            total += rx.try_drain(&mut buf, 16);
+            assert_eq!(total, 3);
+            assert_eq!(buf, vec![1, 2, 3]);
+        }
+
+        #[test]
+        fn recv_batch_timeout_times_out_empty() {
+            let (_tx, rx) = unbounded::<u8>();
+            let mut buf = Vec::new();
+            assert_eq!(
+                rx.recv_batch_timeout(&mut buf, 8, Duration::from_millis(5)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            assert!(buf.is_empty());
+        }
+
+        #[test]
+        fn send_batch_fails_wholesale_without_receivers() {
+            let (tx, rx) = unbounded::<u8>();
+            drop(rx);
+            let err = tx.send_batch([1, 2, 3]).unwrap_err();
+            assert_eq!(err.0, vec![1, 2, 3]);
+        }
+
+        #[test]
+        fn try_drain_is_nonblocking() {
+            let (tx, rx) = unbounded();
+            let mut buf = Vec::new();
+            assert_eq!(rx.try_drain(&mut buf, 8), 0);
+            tx.send_batch(0..5).unwrap();
+            assert_eq!(rx.try_drain(&mut buf, 3), 3);
+            assert_eq!(rx.try_drain(&mut buf, 8), 2);
+            assert_eq!(buf, vec![0, 1, 2, 3, 4]);
         }
 
         #[test]
@@ -235,9 +536,47 @@ pub mod channel {
         }
 
         #[test]
+        fn batch_wakeup_reaches_every_parked_worker() {
+            // 4 workers parked on the same MPMC channel; one send_batch
+            // must get all items processed (notify_all coalescing path).
+            let (tx, rx) = unbounded::<u32>();
+            let done = Arc::new(AtomicUsize::new(0));
+            let workers: Vec<_> = (0..4)
+                .map(|_| {
+                    let rx = rx.clone();
+                    let done = Arc::clone(&done);
+                    std::thread::spawn(move || {
+                        while rx.recv().is_ok() {
+                            done.fetch_add(1, Ordering::SeqCst);
+                        }
+                    })
+                })
+                .collect();
+            drop(rx);
+            std::thread::sleep(Duration::from_millis(10)); // let them park
+            tx.send_batch(0..64).unwrap();
+            drop(tx);
+            for w in workers {
+                w.join().unwrap();
+            }
+            assert_eq!(done.load(Ordering::SeqCst), 64);
+        }
+
+        #[test]
         fn blocking_recv_sees_disconnect() {
             let (tx, rx) = unbounded::<u8>();
             let h = std::thread::spawn(move || rx.recv());
+            drop(tx);
+            assert_eq!(h.join().unwrap(), Err(RecvError));
+        }
+
+        #[test]
+        fn blocking_recv_batch_sees_disconnect() {
+            let (tx, rx) = unbounded::<u8>();
+            let h = std::thread::spawn(move || {
+                let mut buf = Vec::new();
+                rx.recv_batch(&mut buf, 8)
+            });
             drop(tx);
             assert_eq!(h.join().unwrap(), Err(RecvError));
         }
@@ -280,6 +619,38 @@ pub mod channel {
             }
             h.join().unwrap();
             assert_eq!(got, (0..100).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn mixed_send_and_batch_preserve_per_sender_fifo() {
+            let (tx, rx) = unbounded();
+            let tx2 = tx.clone();
+            let a = std::thread::spawn(move || {
+                for chunk in (0..500u32).collect::<Vec<_>>().chunks(7) {
+                    tx.send_batch(chunk.iter().copied()).unwrap();
+                }
+            });
+            let b = std::thread::spawn(move || {
+                for i in 1000..1500u32 {
+                    tx2.send(i).unwrap();
+                }
+            });
+            let mut got = Vec::new();
+            let mut buf = Vec::new();
+            loop {
+                buf.clear();
+                match rx.recv_batch_timeout(&mut buf, 32, Duration::from_millis(200)) {
+                    Ok(_) => got.extend(buf.iter().copied()),
+                    Err(RecvTimeoutError::Disconnected) => break,
+                    Err(RecvTimeoutError::Timeout) => panic!("senders stalled"),
+                }
+            }
+            a.join().unwrap();
+            b.join().unwrap();
+            let low: Vec<u32> = got.iter().copied().filter(|&x| x < 1000).collect();
+            let high: Vec<u32> = got.iter().copied().filter(|&x| x >= 1000).collect();
+            assert_eq!(low, (0..500).collect::<Vec<_>>());
+            assert_eq!(high, (1000..1500).collect::<Vec<_>>());
         }
     }
 }
