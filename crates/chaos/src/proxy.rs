@@ -1,0 +1,158 @@
+//! [`FaultProxy`] — the mailbox-wrapping fault layer: an
+//! [`ac_cluster::NetPolicy`] that applies a [`ChaosPlan`] to every
+//! node-to-node envelope the live service flushes.
+//!
+//! Determinism: the service hands the proxy a per-`(from, to)` monotone
+//! sequence number, so the drop lottery is a pure hash of
+//! `(seed, from, to, seq)` — replaying the same message sequence under the
+//! same plan reproduces the same fates, with no interior mutability and no
+//! cross-thread coordination.
+
+use std::time::Duration;
+
+use ac_cluster::{Fate, NetPolicy};
+use ac_sim::ProcessId;
+
+use crate::plan::ChaosPlan;
+
+/// SplitMix64 — the same dependency-free mixer the vendored `rand` uses.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seeded, stateless per-envelope fault policy derived from a
+/// [`ChaosPlan`].
+pub struct FaultProxy {
+    plan: ChaosPlan,
+    unit: Duration,
+}
+
+impl FaultProxy {
+    /// Wrap `plan`, mapping its virtual-unit windows onto wall time with
+    /// `unit` per delay unit.
+    pub fn new(plan: ChaosPlan, unit: Duration) -> FaultProxy {
+        FaultProxy { plan, unit }
+    }
+
+    /// The plan in force.
+    pub fn plan(&self) -> &ChaosPlan {
+        &self.plan
+    }
+
+    fn units_of(&self, elapsed: Duration) -> u64 {
+        (elapsed.as_nanos() / self.unit.as_nanos().max(1)) as u64
+    }
+}
+
+impl NetPolicy for FaultProxy {
+    fn fate(&self, from: ProcessId, to: ProcessId, elapsed: Duration, seq: u64) -> Fate {
+        let t = self.units_of(elapsed);
+        for p in &self.plan.partitions {
+            if t < p.from_units || t >= p.until_units {
+                continue;
+            }
+            let from_in = p.group.contains(&from);
+            let to_in = p.group.contains(&to);
+            // Symmetric: the cut severs both directions. Asymmetric: only
+            // traffic *leaving* the group is lost (half-open link).
+            if from_in != to_in && (p.symmetric || from_in) {
+                return Fate::Drop;
+            }
+        }
+        for l in &self.plan.losses {
+            if t >= l.from_units && t < l.until_units {
+                let h = splitmix(
+                    self.plan
+                        .seed
+                        .wrapping_add((from as u64) << 40)
+                        .wrapping_add((to as u64) << 20)
+                        .wrapping_add(seq),
+                );
+                if h % 1000 < u64::from(l.permille) {
+                    return Fate::Drop;
+                }
+            }
+        }
+        for d in &self.plan.delays {
+            if t >= d.from_units && t < d.until_units {
+                return Fate::Delay(self.unit * u32::try_from(d.extra_units).unwrap_or(u32::MAX));
+            }
+        }
+        Fate::Deliver
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const UNIT: Duration = Duration::from_millis(5);
+
+    fn at_units(u: u64) -> Duration {
+        UNIT * u32::try_from(u).unwrap()
+    }
+
+    #[test]
+    fn symmetric_partition_cuts_both_directions_only_in_window() {
+        let proxy = FaultProxy::new(ChaosPlan::none(4).partition(vec![0, 1], 10, 20, true), UNIT);
+        assert_eq!(proxy.fate(0, 2, at_units(12), 0), Fate::Drop);
+        assert_eq!(proxy.fate(2, 0, at_units(12), 0), Fate::Drop);
+        // Within a side: flows.
+        assert_eq!(proxy.fate(0, 1, at_units(12), 0), Fate::Deliver);
+        assert_eq!(proxy.fate(2, 3, at_units(12), 0), Fate::Deliver);
+        // Outside the window: flows.
+        assert_eq!(proxy.fate(0, 2, at_units(9), 0), Fate::Deliver);
+        assert_eq!(proxy.fate(0, 2, at_units(20), 0), Fate::Deliver);
+    }
+
+    #[test]
+    fn asymmetric_partition_cuts_only_outbound() {
+        let proxy = FaultProxy::new(
+            ChaosPlan::none(4).partition(vec![0, 1], 0, 100, false),
+            UNIT,
+        );
+        assert_eq!(proxy.fate(0, 3, at_units(5), 0), Fate::Drop);
+        assert_eq!(proxy.fate(3, 0, at_units(5), 0), Fate::Deliver);
+    }
+
+    #[test]
+    fn drop_lottery_is_deterministic_and_roughly_calibrated() {
+        let plan = ChaosPlan::none(2).seed(7).lossy(0, 1000, 100);
+        let a = FaultProxy::new(plan.clone(), UNIT);
+        let b = FaultProxy::new(plan, UNIT);
+        let mut drops = 0;
+        for seq in 0..2000u64 {
+            let fa = a.fate(0, 1, at_units(1), seq);
+            assert_eq!(fa, b.fate(0, 1, at_units(1), seq), "seq {seq}");
+            if fa == Fate::Drop {
+                drops += 1;
+            }
+        }
+        // 10% nominal; allow generous slack — the property under test is
+        // calibration, not the exact mix.
+        assert!(
+            (100..=320).contains(&drops),
+            "10% of 2000 ≈ 200, got {drops}"
+        );
+        // A different seed reshuffles fates.
+        let c = FaultProxy::new(ChaosPlan::none(2).seed(8).lossy(0, 1000, 100), UNIT);
+        assert!(
+            (0..2000u64).any(|s| a.fate(0, 1, at_units(1), s) != c.fate(0, 1, at_units(1), s)),
+            "seeds must matter"
+        );
+    }
+
+    #[test]
+    fn extra_delay_windows_stretch_latency() {
+        let proxy = FaultProxy::new(ChaosPlan::none(2).extra_delay(3, 6, 4), UNIT);
+        assert_eq!(
+            proxy.fate(0, 1, at_units(4), 0),
+            Fate::Delay(Duration::from_millis(20))
+        );
+        assert_eq!(proxy.fate(0, 1, at_units(7), 0), Fate::Deliver);
+    }
+}

@@ -1,0 +1,232 @@
+//! Drive the live service under a [`ChaosPlan`] and measure
+//! availability-under-failure: who keeps committing while the fault is
+//! live, who merely keeps *deciding*, who blocks, and how long recovery
+//! takes after the heal.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ac_cluster::{run_service_faulted, FaultSpec, ServiceConfig, ServiceOutcome, TxnEvent};
+
+use crate::plan::ChaosPlan;
+use crate::proxy::FaultProxy;
+
+/// One chaos experiment: a service configuration plus the fault schedule.
+#[derive(Clone, Debug)]
+pub struct ChaosConfig {
+    /// The service under test.
+    pub service: ServiceConfig,
+    /// The injected faults.
+    pub plan: ChaosPlan,
+}
+
+/// Availability accounting against the plan's fault window.
+#[derive(Clone, Debug)]
+pub struct FaultStats {
+    /// Fault window start (wall clock since the service epoch).
+    pub fault_from: Duration,
+    /// Fault window end — the heal/restart instant (clamped to the run
+    /// length for faults that never heal).
+    pub fault_until: Duration,
+    /// Transactions first submitted inside the window.
+    pub submitted_during_fault: usize,
+    /// Of those, fully decided before the heal.
+    pub decided_during_fault: usize,
+    /// Transactions whose decision completed inside the window **and**
+    /// committed — the paper-facing availability signal.
+    pub committed_during_fault: usize,
+    /// Transactions committed after the heal.
+    pub committed_after_heal: usize,
+    /// Committed-ops/s while the fault was live.
+    pub ops_during_fault: f64,
+    /// Committed-ops/s from the heal to the end of the run.
+    pub ops_after_heal: f64,
+    /// `100 · decided_during_fault / submitted_during_fault` (100 when
+    /// nothing was submitted in the window).
+    pub availability_pct: f64,
+    /// Transactions the client had to *park* (its closed-loop wait gave up
+    /// after `park_retries` bounded timeouts) — 2PC's blocked transactions
+    /// under a crashed coordinator land here.
+    pub blocked: usize,
+    /// Worst time from the heal to a blocked transaction's decision (zero
+    /// when nothing blocked or nothing recovered) — the time-to-unblock.
+    pub time_to_unblock: Duration,
+    /// Transactions never resolved (equals the service's stall count).
+    pub unresolved: usize,
+}
+
+impl FaultStats {
+    /// Bucket `events` against the fault window `[from, until)`.
+    pub fn measure(
+        events: &[TxnEvent],
+        from: Duration,
+        until: Duration,
+        run: Duration,
+        park_retries: u32,
+    ) -> FaultStats {
+        let until = until.min(run).max(from);
+        let mut submitted_during_fault = 0;
+        let mut decided_during_fault = 0;
+        let mut committed_during_fault = 0;
+        let mut committed_after_heal = 0;
+        let mut blocked = 0;
+        let mut unresolved = 0;
+        let mut time_to_unblock = Duration::ZERO;
+        for ev in events {
+            let in_window = ev.submitted_at >= from && ev.submitted_at < until;
+            if in_window {
+                submitted_during_fault += 1;
+            }
+            match ev.decided_at {
+                None => unresolved += 1,
+                Some(at) => {
+                    let committed = ev.committed == Some(true);
+                    if in_window && at < until {
+                        decided_during_fault += 1;
+                    }
+                    if committed && at >= from && at < until {
+                        committed_during_fault += 1;
+                    }
+                    if committed && at >= until {
+                        committed_after_heal += 1;
+                    }
+                    if ev.retries >= park_retries {
+                        blocked += 1;
+                        time_to_unblock = time_to_unblock.max(at.saturating_sub(until));
+                    }
+                }
+            }
+            if ev.decided_at.is_none() && ev.retries >= park_retries {
+                blocked += 1;
+            }
+        }
+        let window_secs = (until.saturating_sub(from)).as_secs_f64();
+        let heal_secs = run.saturating_sub(until).as_secs_f64();
+        FaultStats {
+            fault_from: from,
+            fault_until: until,
+            submitted_during_fault,
+            decided_during_fault,
+            committed_during_fault,
+            committed_after_heal,
+            ops_during_fault: committed_during_fault as f64 / window_secs.max(1e-9),
+            ops_after_heal: committed_after_heal as f64 / heal_secs.max(1e-9),
+            availability_pct: if submitted_during_fault == 0 {
+                100.0
+            } else {
+                100.0 * decided_during_fault as f64 / submitted_during_fault as f64
+            },
+            blocked,
+            time_to_unblock,
+            unresolved,
+        }
+    }
+}
+
+/// Result of one chaos experiment.
+#[derive(Clone, Debug)]
+pub struct ChaosOutcome {
+    /// The full service outcome (latency, audit, shard states, timelines).
+    pub service: ServiceOutcome,
+    /// Availability metrics against the fault window.
+    pub stats: FaultStats,
+}
+
+/// Run the service under the plan: the [`FaultProxy`] wraps every per-peer
+/// mailbox, crash windows are scheduled from the plan, durability (WAL) is
+/// always on so crashed nodes can recover, and the transaction timelines
+/// are bucketed against the fault window afterwards.
+pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
+    assert_eq!(cfg.plan.n, cfg.service.n, "plan and service disagree on n");
+    let unit = cfg.service.unit;
+    let spec = FaultSpec {
+        policy: cfg
+            .plan
+            .any()
+            .then(|| Arc::new(FaultProxy::new(cfg.plan.clone(), unit)) as _),
+        crashes: cfg.plan.crash_windows(unit),
+        durable: true,
+    };
+    let service = run_service_faulted(&cfg.service, &spec);
+    let (from_u, until_u) = cfg.plan.fault_window_units().unwrap_or((0, 0));
+    let scale = |u: u64| {
+        unit.checked_mul(u32::try_from(u).unwrap_or(u32::MAX))
+            .unwrap_or(Duration::MAX)
+    };
+    let stats = FaultStats::measure(
+        &service.txn_events,
+        scale(from_u),
+        scale(until_u),
+        service.elapsed,
+        cfg.service.park_retries.max(1),
+    );
+    ChaosOutcome { service, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(
+        id: u64,
+        submitted_ms: u64,
+        decided_ms: Option<u64>,
+        committed: Option<bool>,
+        retries: u32,
+    ) -> TxnEvent {
+        TxnEvent {
+            id,
+            client: 0,
+            participants: 3,
+            submitted_at: Duration::from_millis(submitted_ms),
+            decided_at: decided_ms.map(Duration::from_millis),
+            committed,
+            retries,
+        }
+    }
+
+    #[test]
+    fn stats_bucket_the_window_correctly() {
+        let events = vec![
+            // Before the fault, committed.
+            ev(1, 10, Some(20), Some(true), 0),
+            // Submitted and committed inside the window.
+            ev(2, 120, Some(140), Some(true), 0),
+            // Submitted inside, aborted inside: decided but not committed.
+            ev(3, 150, Some(180), Some(false), 0),
+            // Submitted inside, blocked until after the heal.
+            ev(4, 160, Some(450), Some(false), 5),
+            // Never resolved.
+            ev(5, 170, None, None, 9),
+        ];
+        let s = FaultStats::measure(
+            &events,
+            Duration::from_millis(100),
+            Duration::from_millis(300),
+            Duration::from_millis(600),
+            2,
+        );
+        assert_eq!(s.submitted_during_fault, 4);
+        assert_eq!(s.decided_during_fault, 2);
+        assert_eq!(s.committed_during_fault, 1);
+        assert_eq!(s.committed_after_heal, 0);
+        assert_eq!(s.blocked, 2);
+        assert_eq!(s.unresolved, 1);
+        assert_eq!(s.time_to_unblock, Duration::from_millis(150));
+        assert!((s.availability_pct - 50.0).abs() < 1e-9);
+        assert!(s.ops_during_fault > 0.0);
+    }
+
+    #[test]
+    fn empty_window_reads_fully_available() {
+        let s = FaultStats::measure(
+            &[ev(1, 10, Some(20), Some(true), 0)],
+            Duration::from_millis(500),
+            Duration::from_millis(600),
+            Duration::from_millis(700),
+            2,
+        );
+        assert_eq!(s.submitted_during_fault, 0);
+        assert_eq!(s.availability_pct, 100.0);
+    }
+}

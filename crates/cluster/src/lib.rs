@@ -10,11 +10,17 @@
 //! * [`service`] — `n` long-lived node threads, each owning one
 //!   [`ac_txn::Shard`] plus an [`ac_runtime::NodeLoop`] demultiplexer
 //!   running many concurrent protocol instances (messages travel as
-//!   `(TxnId, Msg)` envelopes over crossbeam channels), and a closed-loop
-//!   load generator of `c` client threads driving `ac-txn` workloads
-//!   end-to-end: prepare/vote at the shards, one live protocol run per
-//!   transaction (any [`ac_commit::protocols::ProtocolKind`]),
-//!   apply/release, with a post-run safety audit;
+//!   `(TxnId, Msg)` envelopes over crossbeam channels, scoped to each
+//!   transaction's participant shards), and a closed-loop load generator
+//!   of `c` client threads driving `ac-txn` workloads end-to-end:
+//!   prepare/vote at the shards, one live protocol run per transaction
+//!   (any [`ac_commit::protocols::ProtocolKind`]), apply/release, with a
+//!   post-run safety audit. Since ISSUE-5 the service is also the
+//!   fault-injection substrate: [`run_service_faulted`] accepts a
+//!   [`FaultSpec`] (a [`NetPolicy`] deciding per-envelope [`Fate`]s plus
+//!   per-node [`CrashWindow`]s), nodes write-ahead-log prepares/decisions
+//!   to [`ac_txn::Wal`] and recover from it on restart, and clients use
+//!   bounded, retrying reply waits instead of blocking on dead nodes;
 //! * [`histogram`] — a dependency-free log-bucketed
 //!   [`LatencyHistogram`] (p50/p90/p99/max) with exact merge semantics.
 
@@ -26,4 +32,7 @@ pub mod service;
 
 pub use histogram::LatencyHistogram;
 pub use inline::InlineVec;
-pub use service::{run_service, NodeRecord, ServiceConfig, ServiceOutcome};
+pub use service::{
+    participants_of, run_service, run_service_faulted, CrashWindow, Fate, FaultSpec, NetPolicy,
+    NodeRecord, ServiceConfig, ServiceOutcome, TxnEvent,
+};

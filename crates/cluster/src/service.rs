@@ -6,45 +6,75 @@
 //! ## Lifecycle of one transaction
 //!
 //! 1. A client draws a transaction from its workload generator, stamps it
-//!    with a globally unique id and sends `Begin` to **every** node.
-//! 2. Each node validates/prepares its shard (taking write locks — an
-//!    untouched shard votes yes for free) and opens a protocol instance
-//!    keyed by the transaction id on its [`NodeLoop`]. Protocol traffic
-//!    travels node-to-node as `(TxnId, A::Msg)` envelopes.
-//! 3. When a node's instance decides, the node applies the decision to its
-//!    shard (install writes + release locks on commit, release on abort)
-//!    and reports `Done` to the submitting client.
-//! 4. The client measures wall-clock latency submit → all `n` decisions,
-//!    then broadcasts `End` so nodes can garbage-collect the instance.
+//!    with a globally unique id and sends `Begin` to **every participant**
+//!    — the shards the transaction touches (all `n` nodes only when it
+//!    touches fewer than two shards). The commit-protocol instance runs
+//!    over exactly those `k` participants with resilience
+//!    `min(f, k−1)`; envelopes carry global node ids, translated to
+//!    instance-local ranks at the demux boundary.
+//! 2. Each participant validates/prepares its shard (taking write locks),
+//!    logs the prepare to its write-ahead log (when durability is on) and
+//!    opens a protocol instance keyed by the transaction id on its
+//!    [`NodeLoop`]. Protocol traffic travels node-to-node as
+//!    `(TxnId, A::Msg)` envelopes.
+//! 3. When a participant's instance decides, the node applies the decision
+//!    to its shard (install writes + release locks on commit, release on
+//!    abort), logs it, and reports `Done` to the submitting client.
+//! 4. The client measures wall-clock latency submit → all `k` decisions,
+//!    then broadcasts `End` so participants can garbage-collect the
+//!    instance.
 //!
 //! Envelopes for instances a node has not opened yet are buffered (a peer's
 //! vote can outrun the client's `Begin`); envelopes for ended instances are
 //! dropped. Decisions, votes and apply order are logged per node so the
 //! caller can audit safety after the run ([`ServiceOutcome::violations`]).
 //!
+//! ## Failure injection, crash/restart and recovery (since ISSUE-5)
+//!
+//! [`run_service_faulted`] augments the failure-free service with a
+//! [`FaultSpec`]:
+//!
+//! * a [`NetPolicy`] is consulted for every node-to-node envelope at flush
+//!   time and may **drop** or **delay** it (`ac-chaos` implements seeded
+//!   plans: partitions, loss, extra latency);
+//! * a per-node [`CrashWindow`] crashes the node at a wall-clock offset:
+//!   the thread discards its entire volatile state (demux instances,
+//!   timers, metadata, the in-memory shard) and ignores all traffic until
+//!   the restart offset, when it **recovers from its write-ahead log**
+//!   ([`ac_txn::Wal`]): committed state and the decision log are rebuilt,
+//!   locks of in-flight prepared transactions are re-taken, their protocol
+//!   instances are re-opened (fresh automata with the *logged* vote — no
+//!   re-validation), decision reports are re-sent, and a `StatusQ` round
+//!   asks peers for decisions reached while the node was down.
+//!
+//! Clients never block forever on a dead node: every reply wait is bounded
+//! by [`ServiceConfig::reply_timeout`], after which the client re-sends
+//! `Begin` (nodes deduplicate by transaction id; a duplicate `Begin` for an
+//! undecided instance triggers a cooperative-termination `StatusQ`
+//! broadcast, and for a decided one re-sends `Done`). After
+//! [`ServiceConfig::park_retries`] retries the client *parks* the
+//! transaction — it keeps retrying in the background while the closed loop
+//! moves on — and abandons it only at [`ServiceConfig::txn_deadline`],
+//! counting it stalled. This is the service-level termination path:
+//! f-tolerant protocols (Paxos-Commit, INBAC) decide through crashes on
+//! their own, while 2PC's blocked participants are released by the
+//! coordinator's restart + the client's retry, or by a `StatusA` carrying a
+//! decision the coordinator reached before a partition cut them off.
+//!
 //! ## The hot path (batched since ISSUE-4)
 //!
 //! Both loops are **drain-then-dispatch**: a node blocks on the *exact*
-//! next timer deadline (or indefinitely when idle — an idle node performs
-//! zero wakeups, see [`ServiceOutcome::spurious_wakeups`]), drains its
-//! whole inbound backlog in one lock acquisition
-//! (`recv_batch_timeout`), dispatches every envelope through the
-//! slab-indexed demultiplexer, and only then flushes the outputs — one
-//! `send_batch` per peer node and per client, so a burst of N envelopes
-//! costs one lock + one wakeup per destination instead of N. Self-sends
+//! next deadline (timer, delayed-envelope release or scheduled crash; or
+//! indefinitely when idle — an idle node performs zero wakeups, see
+//! [`ServiceOutcome::spurious_wakeups`]), drains its whole inbound backlog
+//! in one lock acquisition (`recv_batch_timeout`), dispatches every
+//! envelope through the slab-indexed demultiplexer, and only then flushes
+//! the outputs — one `send_batch` per peer node and per client. Self-sends
 //! short-circuit through an in-memory queue and never touch a channel.
-//! Demux state (`NodeLoop` slots, transaction metadata, early-envelope
-//! buffers) lives in [`ac_runtime::Slab`]s — dense storage, free-list
-//! reuse, fast-hash id resolution — and early-envelope buffers inline
-//! their first few messages ([`crate::inline::InlineVec`]) so the common
-//! case allocates nothing per transaction. "Early envelope or late
-//! straggler?" is answered by per-client Begin watermarks (each client's
-//! control stream is FIFO), so no ended-transaction set has to grow with
-//! the run.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use ac_commit::problem::COMMIT;
@@ -53,7 +83,7 @@ use ac_commit::CommitProtocol;
 use ac_runtime::{NodeEvent, NodeLoop, Slab, UnitClock};
 use ac_sim::ProcessId;
 use ac_txn::workload::{Workload, WorkloadConfig};
-use ac_txn::{Shard, Transaction, TxnId};
+use ac_txn::{Shard, Transaction, TxnId, Wal};
 use crossbeam::channel::{unbounded, Receiver, RecvError, RecvTimeoutError, Sender};
 
 use crate::histogram::LatencyHistogram;
@@ -67,12 +97,87 @@ const NODE_BATCH: usize = 256;
 /// Upper bound on decision replies a client drains per iteration.
 const CLIENT_BATCH: usize = 64;
 
+/// The shards participating in `txn`'s commit — its protocol group. A
+/// transaction touching fewer than two shards falls back to the whole
+/// cluster (protocols need `n ≥ 2`). Sorted ascending; a participant's
+/// instance-local rank is its index here.
+pub fn participants_of(txn: &Transaction, n: usize) -> Vec<usize> {
+    let parts: Vec<usize> = txn.shards().into_iter().filter(|&p| p < n).collect();
+    if parts.len() >= 2 {
+        parts
+    } else {
+        (0..n).collect()
+    }
+}
+
+/// What the fault layer decides about one node-to-node envelope.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fate {
+    /// Put it on the wire now.
+    Deliver,
+    /// Lose it (partition, lossy link).
+    Drop,
+    /// Deliver it after an extra delay.
+    Delay(Duration),
+}
+
+/// A fault-injection policy consulted for every node-to-node envelope.
+///
+/// `seq` is a per-`(from, to)` monotone counter, so a seeded policy can be
+/// deterministic without interior mutability (`ac-chaos::FaultProxy` hashes
+/// `(seed, from, to, seq)`); `elapsed` is wall time since the service
+/// epoch. Client↔node control traffic is *not* subject to the policy (the
+/// client is the measurement harness, not a distributed component).
+pub trait NetPolicy: Send + Sync {
+    /// Decide the fate of one envelope from `from` to `to`.
+    fn fate(&self, from: ProcessId, to: ProcessId, elapsed: Duration, seq: u64) -> Fate;
+}
+
+/// A scheduled crash (and optional restart) of one node, as wall-clock
+/// offsets from the service epoch.
+#[derive(Clone, Copy, Debug)]
+pub struct CrashWindow {
+    /// When the node dies: volatile state dropped, all traffic ignored.
+    pub down_after: Duration,
+    /// When the node restarts and recovers from its write-ahead log
+    /// (`None` = never; it stays dead for the rest of the run).
+    pub up_after: Option<Duration>,
+}
+
+/// The complete fault configuration of one service run.
+pub struct FaultSpec {
+    /// Message-level fault policy (drop/delay), if any.
+    pub policy: Option<Arc<dyn NetPolicy>>,
+    /// Per-node crash schedule.
+    pub crashes: Vec<Option<CrashWindow>>,
+    /// Force write-ahead logging even without a crash schedule (crash
+    /// schedules always enable it — recovery needs the log).
+    pub durable: bool,
+}
+
+impl FaultSpec {
+    /// No faults, no durability — the failure-free fast path.
+    pub fn none(n: usize) -> FaultSpec {
+        FaultSpec {
+            policy: None,
+            crashes: vec![None; n],
+            durable: false,
+        }
+    }
+
+    /// Whether any node has a crash scheduled.
+    pub fn any_crash(&self) -> bool {
+        self.crashes.iter().any(|c| c.is_some())
+    }
+}
+
 /// Configuration of one live service run.
 #[derive(Clone, Debug)]
 pub struct ServiceConfig {
     /// Number of nodes (= processes = shards).
     pub n: usize,
-    /// Crash-resilience parameter handed to the protocol.
+    /// Crash-resilience parameter handed to the protocol (capped at
+    /// `k − 1` for a `k`-participant instance).
     pub f: usize,
     /// The commit protocol serving the cluster.
     pub kind: ProtocolKind,
@@ -90,14 +195,33 @@ pub struct ServiceConfig {
     pub keys_per_shard: u64,
     /// Base seed; each client derives its own stream from it.
     pub seed: u64,
-    /// Per-transaction wait bound before a client declares the transaction
-    /// stalled (a liveness alarm, not a latency figure).
+    /// Total per-transaction patience: a transaction unresolved this long
+    /// after submission is abandoned and counted stalled (a liveness
+    /// alarm, not a latency figure).
     pub txn_deadline: Duration,
+    /// Bounded reply wait: a client that has not collected all participant
+    /// decisions within this window re-sends `Begin` (counted in
+    /// [`ServiceOutcome::retries`], never a panic or an unbounded block —
+    /// the ISSUE-5 fix for the silent client-stall hazard).
+    pub reply_timeout: Duration,
+    /// Retries after which the transaction is *parked*: the client keeps
+    /// retrying it in the background but unblocks its closed loop and
+    /// submits the next transaction (how availability stays measurable
+    /// while 2PC blocks on a crashed coordinator).
+    pub park_retries: u32,
+    /// Upper bound on simultaneously outstanding (parked + active)
+    /// transactions per client; reaching it blocks submission.
+    pub max_outstanding: usize,
+    /// Minimum gap between submissions (`None` = pure closed loop). Chaos
+    /// runs pace the load so the stream is still flowing when the fault
+    /// window opens.
+    pub pacing: Option<Duration>,
 }
 
 impl ServiceConfig {
     /// A sensible default service: `unit` 5 ms, 4 clients × 25 uniform
-    /// two-shard transactions, 64 keys per shard, 10 s stall alarm.
+    /// two-shard transactions, 64 keys per shard, 1 s bounded reply waits,
+    /// 10 s stall alarm.
     pub fn new(n: usize, f: usize, kind: ProtocolKind) -> ServiceConfig {
         ServiceConfig {
             n,
@@ -110,6 +234,10 @@ impl ServiceConfig {
             keys_per_shard: 64,
             seed: 1,
             txn_deadline: Duration::from_secs(10),
+            reply_timeout: Duration::from_secs(1),
+            park_retries: 3,
+            max_outstanding: 16,
+            pacing: None,
         }
     }
 
@@ -149,6 +277,30 @@ impl ServiceConfig {
         self
     }
 
+    /// Set the bounded reply wait (builder style).
+    pub fn reply_timeout(mut self, t: Duration) -> ServiceConfig {
+        self.reply_timeout = t;
+        self
+    }
+
+    /// Set the park threshold (builder style).
+    pub fn park_retries(mut self, r: u32) -> ServiceConfig {
+        self.park_retries = r;
+        self
+    }
+
+    /// Set the per-transaction abandonment deadline (builder style).
+    pub fn txn_deadline(mut self, d: Duration) -> ServiceConfig {
+        self.txn_deadline = d;
+        self
+    }
+
+    /// Set the submission pacing gap (builder style).
+    pub fn pacing(mut self, p: Duration) -> ServiceConfig {
+        self.pacing = Some(p);
+        self
+    }
+
     /// The workload seed client `client` draws from (exposed so tests can
     /// regenerate the exact transaction stream a client submitted).
     pub fn client_seed(&self, client: usize) -> u64 {
@@ -164,6 +316,7 @@ impl ServiceConfig {
 
 /// One entry of a node's apply log: the transaction, this node's vote, and
 /// the decided outcome, in the order decisions were applied to the shard.
+/// A recovered node rebuilds this log from its write-ahead log.
 #[derive(Clone, Debug)]
 pub struct NodeRecord {
     /// The transaction.
@@ -180,9 +333,31 @@ pub struct NodeRecord {
 #[derive(Clone, Debug)]
 struct ClientRecord {
     txn: Arc<Transaction>,
-    /// Decision reported by each node (None = never arrived before the
-    /// stall alarm).
+    /// Decision reported by each participant, in participant-rank order
+    /// (None = never arrived before abandonment).
     decisions: Vec<Option<u64>>,
+}
+
+/// One transaction's timeline as the client observed it, relative to the
+/// service epoch — the raw material of availability-under-failure metrics
+/// (`ac-chaos` buckets these against the fault window).
+#[derive(Clone, Debug)]
+pub struct TxnEvent {
+    /// The transaction id.
+    pub id: TxnId,
+    /// The submitting client.
+    pub client: usize,
+    /// Number of participant shards.
+    pub participants: usize,
+    /// First submission, relative to the service epoch.
+    pub submitted_at: Duration,
+    /// When the client held all participant decisions (`None` =
+    /// abandoned/stalled).
+    pub decided_at: Option<Duration>,
+    /// The agreed outcome (`None` = never fully decided at the client).
+    pub committed: Option<bool>,
+    /// `Begin` re-sends this transaction needed.
+    pub retries: u32,
 }
 
 /// Aggregated result of a [`run_service`] run.
@@ -192,20 +367,31 @@ pub struct ServiceOutcome {
     pub kind: ProtocolKind,
     /// Closed-loop client threads.
     pub clients: usize,
-    /// Transactions fully served (all `n` decisions reached the client).
+    /// Transactions fully served (all participant decisions reached the
+    /// client).
     pub txns: usize,
     /// Transactions that committed.
     pub committed: usize,
     /// Transactions that aborted.
     pub aborted: usize,
-    /// Transactions on which a client hit its stall alarm.
+    /// Transactions abandoned at their deadline (unresolved at run end).
     pub stalled: usize,
     /// Wall-clock of the whole load phase (first submit → last reply).
     pub elapsed: Duration,
-    /// Per-transaction wall-clock latency (submit → all `n` decisions).
+    /// Per-transaction wall-clock latency (submit → all decisions).
     pub latency: LatencyHistogram,
-    /// Protocol messages that crossed node boundaries.
+    /// Protocol messages that crossed node boundaries (including recovery
+    /// `StatusQ`/`StatusA` traffic).
     pub wire_messages: usize,
+    /// Envelopes the fault policy dropped.
+    pub dropped_messages: usize,
+    /// Envelopes the fault policy held back before delivery.
+    pub delayed_messages: usize,
+    /// `Begin` re-sends across all clients (0 in a healthy run; bounded
+    /// reply waits make a dead node cost retries, not a hang).
+    pub retries: usize,
+    /// Bounded reply waits that expired (retries + abandonments).
+    pub reply_timeouts: usize,
     /// Node-loop wakeups that found neither a message nor a due timer
     /// (0 = every wakeup did useful work; idle nodes park indefinitely).
     pub spurious_wakeups: usize,
@@ -213,6 +399,8 @@ pub struct ServiceOutcome {
     pub shards: Vec<Shard>,
     /// Each node's apply log, in its local apply order.
     pub node_logs: Vec<Vec<NodeRecord>>,
+    /// Per-transaction timelines, grouped by client, submission order.
+    pub txn_events: Vec<TxnEvent>,
     /// Safety violations found by the post-run audit (empty = safe).
     pub violations: Vec<String>,
 }
@@ -260,8 +448,8 @@ impl ServiceOutcome {
     }
 }
 
-/// Everything a node can receive: client control traffic and protocol
-/// envelopes `(TxnId, from, msg)`.
+/// Everything a node can receive: client control traffic, protocol
+/// envelopes `(TxnId, from, msg)`, and service-level recovery traffic.
 enum ToNode<M> {
     Begin {
         txn: Arc<Transaction>,
@@ -271,6 +459,19 @@ enum ToNode<M> {
         txn: TxnId,
         from: ProcessId,
         msg: M,
+    },
+    /// Cooperative termination: "has `txn` decided at your node?" Sent by a
+    /// recovered node for its in-flight transactions and by any node whose
+    /// open instance is the target of a client retry.
+    StatusQ {
+        txn: TxnId,
+        from: ProcessId,
+    },
+    /// The answer: a decision this node applied (protocol agreement makes
+    /// adopting it safe).
+    StatusA {
+        txn: TxnId,
+        value: u64,
     },
     End {
         txn: TxnId,
@@ -285,48 +486,114 @@ struct Done {
     decision: u64,
 }
 
+/// Per-open-transaction node state: body, routing and the local vote.
+struct TxnMeta {
+    txn: Arc<Transaction>,
+    client: usize,
+    vote: bool,
+    /// Participant shards, ascending; protocol rank = index here.
+    parts: Vec<usize>,
+    /// This node's rank within `parts`.
+    my_rank: usize,
+}
+
+/// An envelope held back by a [`Fate::Delay`] verdict, released at `due`.
+struct DelayedEnv<M> {
+    due: Instant,
+    seq: u64,
+    to: ProcessId,
+    env: ToNode<M>,
+}
+
+impl<M> PartialEq for DelayedEnv<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl<M> Eq for DelayedEnv<M> {}
+impl<M> PartialOrd for DelayedEnv<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for DelayedEnv<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse for a min-heap on `due`.
+        other.due.cmp(&self.due).then(other.seq.cmp(&self.seq))
+    }
+}
+
 struct NodeReturn {
     shard: Shard,
     log: Vec<NodeRecord>,
     /// Wakeups that found neither a message nor a due timer.
     spurious_wakeups: usize,
+    dropped_messages: usize,
+    delayed_messages: usize,
 }
 
 struct ClientReturn {
     records: Vec<ClientRecord>,
+    events: Vec<TxnEvent>,
     latency: LatencyHistogram,
     stalled: usize,
+    retries: usize,
+    reply_timeouts: usize,
 }
 
-/// Run the configured service end-to-end and audit it. Dispatches on
-/// `cfg.kind` to the generic engine — any protocol of the suite can serve.
+/// Run the configured service end-to-end, failure-free, and audit it.
 pub fn run_service(cfg: &ServiceConfig) -> ServiceOutcome {
+    run_service_faulted(cfg, &FaultSpec::none(cfg.n))
+}
+
+/// Run the configured service under a fault specification (see the module
+/// docs' "Failure injection" section). Dispatches on `cfg.kind` to the
+/// generic engine — any protocol of the suite can serve.
+pub fn run_service_faulted(cfg: &ServiceConfig, spec: &FaultSpec) -> ServiceOutcome {
     use ac_commit::protocols::*;
     match cfg.kind {
-        ProtocolKind::Inbac => serve::<Inbac>(cfg),
-        ProtocolKind::InbacFastAbort => serve::<InbacFastAbort>(cfg),
-        ProtocolKind::Nbac1 => serve::<Nbac1>(cfg),
-        ProtocolKind::Nbac0 => serve::<Nbac0>(cfg),
-        ProtocolKind::ANbac => serve::<ANbac>(cfg),
-        ProtocolKind::AvNbacDelayOpt => serve::<AvNbacDelayOpt>(cfg),
-        ProtocolKind::AvNbacMsgOpt => serve::<AvNbacMsgOpt>(cfg),
-        ProtocolKind::ChainNbac => serve::<ChainNbac>(cfg),
-        ProtocolKind::Nbac2n2 => serve::<Nbac2n2>(cfg),
-        ProtocolKind::Nbac2n2f => serve::<Nbac2n2f>(cfg),
-        ProtocolKind::TwoPc => serve::<TwoPc>(cfg),
-        ProtocolKind::ThreePc => serve::<ThreePc>(cfg),
-        ProtocolKind::PaxosCommit => serve::<PaxosCommit>(cfg),
-        ProtocolKind::FasterPaxosCommit => serve::<FasterPaxosCommit>(cfg),
+        ProtocolKind::Inbac => serve::<Inbac>(cfg, spec),
+        ProtocolKind::InbacFastAbort => serve::<InbacFastAbort>(cfg, spec),
+        ProtocolKind::Nbac1 => serve::<Nbac1>(cfg, spec),
+        ProtocolKind::Nbac0 => serve::<Nbac0>(cfg, spec),
+        ProtocolKind::ANbac => serve::<ANbac>(cfg, spec),
+        ProtocolKind::AvNbacDelayOpt => serve::<AvNbacDelayOpt>(cfg, spec),
+        ProtocolKind::AvNbacMsgOpt => serve::<AvNbacMsgOpt>(cfg, spec),
+        ProtocolKind::ChainNbac => serve::<ChainNbac>(cfg, spec),
+        ProtocolKind::Nbac2n2 => serve::<Nbac2n2>(cfg, spec),
+        ProtocolKind::Nbac2n2f => serve::<Nbac2n2f>(cfg, spec),
+        ProtocolKind::TwoPc => serve::<TwoPc>(cfg, spec),
+        ProtocolKind::ThreePc => serve::<ThreePc>(cfg, spec),
+        ProtocolKind::PaxosCommit => serve::<PaxosCommit>(cfg, spec),
+        ProtocolKind::FasterPaxosCommit => serve::<FasterPaxosCommit>(cfg, spec),
     }
 }
 
-fn serve<P>(cfg: &ServiceConfig) -> ServiceOutcome
+/// Everything one node thread needs (bundled so crash/restart state rides
+/// along without a dozen loose parameters).
+struct NodeEnv<P: CommitProtocol> {
+    me: ProcessId,
+    n: usize,
+    f: usize,
+    unit: Duration,
+    epoch: Instant,
+    rx: Receiver<ToNode<P::Msg>>,
+    txs: Vec<Sender<ToNode<P::Msg>>>,
+    done_txs: Vec<Sender<Done>>,
+    wire: Arc<AtomicUsize>,
+    policy: Option<Arc<dyn NetPolicy>>,
+    window: Option<CrashWindow>,
+    wal: Option<Arc<Mutex<Wal>>>,
+}
+
+fn serve<P>(cfg: &ServiceConfig, spec: &FaultSpec) -> ServiceOutcome
 where
     P: CommitProtocol + Send + 'static,
     P::Msg: Send + 'static,
 {
     assert!(cfg.n >= 2 && cfg.f >= 1 && cfg.f < cfg.n, "invalid (n, f)");
     assert!(cfg.clients >= 1);
+    assert_eq!(spec.crashes.len(), cfg.n, "one crash slot per node");
     let n = cfg.n;
 
     // Node inboxes (nodes and clients all hold senders) and per-client
@@ -337,27 +604,43 @@ where
     let (done_txs, done_rxs): (Vec<_>, Vec<_>) = client_ch.into_iter().unzip();
     let wire = Arc::new(AtomicUsize::new(0));
 
+    // Write-ahead logs live *outside* the node threads — the in-process
+    // stand-in for durable storage that survives a crash.
+    let durable = spec.durable || spec.any_crash();
+    let wals: Vec<Option<Arc<Mutex<Wal>>>> = (0..n)
+        .map(|_| durable.then(|| Arc::new(Mutex::new(Wal::new()))))
+        .collect();
+
+    let epoch = Instant::now();
     let node_handles: Vec<_> = node_rxs
         .into_iter()
         .enumerate()
         .map(|(me, rx)| {
-            let txs = node_txs.clone();
-            let done_txs = done_txs.clone();
-            let wire = Arc::clone(&wire);
-            let unit = cfg.unit;
-            let f = cfg.f;
-            std::thread::spawn(move || node_main::<P>(me, n, f, unit, rx, txs, done_txs, wire))
+            let env = NodeEnv::<P> {
+                me,
+                n,
+                f: cfg.f,
+                unit: cfg.unit,
+                epoch,
+                rx,
+                txs: node_txs.clone(),
+                done_txs: done_txs.clone(),
+                wire: Arc::clone(&wire),
+                policy: spec.policy.clone(),
+                window: spec.crashes[me],
+                wal: wals[me].clone(),
+            };
+            std::thread::spawn(move || node_main::<P>(env))
         })
         .collect();
 
-    let t0 = Instant::now();
     let client_handles: Vec<_> = done_rxs
         .into_iter()
         .enumerate()
         .map(|(client, rx)| {
             let txs = node_txs.clone();
             let cfg = cfg.clone();
-            std::thread::spawn(move || client_main::<P>(client, &cfg, txs, rx))
+            std::thread::spawn(move || client_main::<P>(client, &cfg, epoch, txs, rx))
         })
         .collect();
 
@@ -365,7 +648,7 @@ where
         .into_iter()
         .map(|h| h.join().expect("client thread panicked"))
         .collect();
-    let elapsed = t0.elapsed();
+    let elapsed = epoch.elapsed();
 
     for tx in &node_txs {
         let _ = tx.send(ToNode::Shutdown);
@@ -390,89 +673,124 @@ fn txn_seq(id: TxnId) -> u64 {
     id & 0xFFFF_FFFF
 }
 
-/// Apply every buffered decision to the shard, the node log and the
-/// per-client reply batches. Called once per node-loop iteration, and
+/// Apply every buffered decision to the shard, the WAL, the node log and
+/// the per-client reply batches. Called once per node-loop iteration, and
 /// additionally before an `End` garbage-collects a transaction's metadata
 /// (a decision and its `End` can land in the same drained batch).
+#[allow(clippy::too_many_arguments)]
 fn apply_decisions(
     decided: &mut Vec<(TxnId, u64)>,
-    meta: &Slab<(Arc<Transaction>, usize, bool)>,
+    meta: &Slab<TxnMeta>,
     shard: &mut Shard,
     log: &mut Vec<NodeRecord>,
     done_out: &mut [Vec<Done>],
     me: ProcessId,
+    wal: &Option<Arc<Mutex<Wal>>>,
+    decided_map: &mut HashMap<TxnId, u64>,
 ) {
     for (txn_id, value) in decided.drain(..) {
-        if let Some((txn, client, vote)) = meta.get(txn_id) {
-            shard.finish(txn, value == COMMIT);
+        if decided_map.contains_key(&txn_id) {
+            continue; // duplicate (e.g. StatusA raced the protocol decide)
+        }
+        if let Some(m) = meta.get(txn_id) {
+            shard.finish(&m.txn, value == COMMIT);
+            if let Some(wal) = wal {
+                wal.lock().expect("wal poisoned").log_decide(txn_id, value);
+            }
+            decided_map.insert(txn_id, value);
             log.push(NodeRecord {
-                txn: Arc::clone(txn),
-                client: *client,
-                vote: *vote,
+                txn: Arc::clone(&m.txn),
+                client: m.client,
+                vote: m.vote,
                 decision: value,
             });
-            done_out[*client].push(Done {
-                txn: txn_id,
-                node: me,
-                decision: value,
-            });
+            if let Some(buf) = done_out.get_mut(m.client) {
+                buf.push(Done {
+                    txn: txn_id,
+                    node: me,
+                    decision: value,
+                });
+            }
         }
     }
 }
 
 /// One node thread: shard owner + instance demultiplexer, batched
-/// drain-then-dispatch (see the module docs' "hot path" section).
-#[allow(clippy::too_many_arguments)]
-fn node_main<P>(
-    me: ProcessId,
-    n: usize,
-    f: usize,
-    unit: Duration,
-    rx: Receiver<ToNode<P::Msg>>,
-    txs: Vec<Sender<ToNode<P::Msg>>>,
-    done_txs: Vec<Sender<Done>>,
-    wire: Arc<AtomicUsize>,
-) -> NodeReturn
+/// drain-then-dispatch, with fault-policy flush and crash/restart (see the
+/// module docs).
+fn node_main<P>(env: NodeEnv<P>) -> NodeReturn
 where
     P: CommitProtocol,
     P::Msg: Send + 'static,
 {
+    let NodeEnv {
+        me,
+        n,
+        f,
+        unit,
+        epoch,
+        rx,
+        txs,
+        done_txs,
+        wire,
+        policy,
+        window,
+        wal,
+    } = env;
     let mut node: NodeLoop<P> = NodeLoop::new(me, n, UnitClock::new(unit));
     let mut shard = Shard::new(me);
-    // txn -> (body, submitting client, our vote); live while the instance is.
-    let mut meta: Slab<(Arc<Transaction>, usize, bool)> = Slab::new();
-    // Envelopes that outran their Begin (first few inline, no allocation).
+    // txn -> (body, client, vote, participant routing); live while open.
+    let mut meta: Slab<TxnMeta> = Slab::new();
+    // Envelopes that outran their Begin (first few inline, no allocation);
+    // senders recorded as global node ids, translated on drain.
     let mut pending: Slab<InlineVec<(ProcessId, P::Msg)>> = Slab::new();
     // Per-client Begin watermark: the highest per-client sequence number
     // this node has opened. Each client's control stream is FIFO (one
-    // channel sender per client), so an envelope whose seq is at or below
-    // the watermark can never be "early" — if its instance is not open it
-    // has *ended*, and the envelope is a late straggler to drop. This
-    // replaces the ever-growing closed-TxnId set with `clients` words.
+    // channel sender per client), so a protocol envelope whose seq is at
+    // or below the watermark and whose instance is not open belongs to an
+    // *ended* (or crash-lost) transaction — a late straggler to drop; the
+    // recovery path resolves crash-lost ones via client retries.
     let mut begun: Vec<u64> = vec![0; done_txs.len()];
     let mut log: Vec<NodeRecord> = Vec::new();
-    let mut decided: Vec<(u64, u64)> = Vec::new();
+    let mut decided: Vec<(TxnId, u64)> = Vec::new();
+    // Decisions applied and not yet End-ed: answers StatusQ, deduplicates
+    // retried Begins, survives into the recovery path via the WAL.
+    let mut decided_map: HashMap<TxnId, u64> = HashMap::new();
     // Reused batch buffers: inbound drain, per-peer outbound envelopes,
     // per-client decision replies, and the self-delivery queue.
     let mut inbox: Vec<ToNode<P::Msg>> = Vec::with_capacity(NODE_BATCH);
     let mut outbox: Vec<Vec<ToNode<P::Msg>>> = (0..n).map(|_| Vec::new()).collect();
     let mut done_out: Vec<Vec<Done>> = (0..done_txs.len()).map(|_| Vec::new()).collect();
     let mut selfq: VecDeque<(TxnId, P::Msg)> = VecDeque::new();
+    // Envelopes held back by Fate::Delay, released at their due instant.
+    let mut delayed: BinaryHeap<DelayedEnv<P::Msg>> = BinaryHeap::new();
+    // Per-destination envelope counters feeding the policy's seeded RNG.
+    let mut net_seq: Vec<u64> = vec![0; n];
     let mut spurious_wakeups = 0usize;
+    let mut dropped_messages = 0usize;
+    let mut delayed_messages = 0usize;
+    let mut crashed = false;
+    let mut skip_wait = false;
     let mut shutdown = false;
 
     // Route one NodeLoop effect: remote sends are *staged* into the
-    // per-peer outbox (flushed once per iteration as a batch), self-sends
-    // go through the in-memory queue without touching any channel, and
-    // decisions are buffered and applied after the engine call returns.
+    // per-peer outbox (flushed once per iteration as a batch, through the
+    // fault policy), self-sends go through the in-memory queue without
+    // touching any channel, and decisions are buffered and applied after
+    // the engine call returns. `Send.to` is an instance-local *rank*,
+    // translated to a global node id through the transaction's metadata.
     macro_rules! sink {
         () => {
             |ev: NodeEvent<P::Msg>| match ev {
                 NodeEvent::Send { instance, to, msg } => {
-                    if to == me {
+                    let Some(m) = meta.get(instance) else { return };
+                    let Some(&global) = m.parts.get(to) else {
+                        return;
+                    };
+                    if global == me {
                         selfq.push_back((instance, msg));
                     } else {
-                        outbox[to].push(ToNode::Net {
+                        outbox[global].push(ToNode::Net {
                             txn: instance,
                             from: me,
                             msg,
@@ -485,24 +803,175 @@ where
     }
 
     while !shutdown {
-        // 1. Drain: park until the exact next timer deadline (or
-        //    indefinitely when no timer is pending — an inbound envelope
-        //    or Shutdown wakes us), then take the whole backlog in one
-        //    lock acquisition.
-        inbox.clear();
-        let got = match node.next_due() {
-            Some(due) => {
-                let wait = due.saturating_duration_since(Instant::now());
-                match rx.recv_batch_timeout(&mut inbox, NODE_BATCH, wait) {
-                    Ok(k) => k,
-                    Err(RecvTimeoutError::Timeout) => 0,
-                    Err(RecvTimeoutError::Disconnected) => break,
+        // 0. Scheduled crash: drop all volatile state, go dark until the
+        //    restart offset, then recover from the write-ahead log.
+        if let Some(w) = window {
+            if !crashed && Instant::now() >= epoch + w.down_after {
+                crashed = true;
+                node.reset();
+                meta = Slab::new();
+                pending = Slab::new();
+                decided.clear();
+                decided_map.clear();
+                selfq.clear();
+                delayed.clear();
+                for b in outbox.iter_mut() {
+                    b.clear();
                 }
+                for b in done_out.iter_mut() {
+                    b.clear();
+                }
+                log.clear();
+                shard = Shard::new(me);
+                begun.iter_mut().for_each(|w| *w = 0);
+
+                // Dead window: every envelope sent to a dead node is lost.
+                let up_at = w.up_after.map(|u| epoch + u);
+                'dead: loop {
+                    inbox.clear();
+                    let got = match up_at {
+                        Some(t) => {
+                            let left = t.saturating_duration_since(Instant::now());
+                            if left.is_zero() {
+                                break 'dead;
+                            }
+                            match rx.recv_batch_timeout(&mut inbox, NODE_BATCH, left) {
+                                Ok(k) => k,
+                                Err(RecvTimeoutError::Timeout) => 0,
+                                Err(RecvTimeoutError::Disconnected) => {
+                                    shutdown = true;
+                                    break 'dead;
+                                }
+                            }
+                        }
+                        None => match rx.recv_batch(&mut inbox, NODE_BATCH) {
+                            Ok(k) => k,
+                            Err(RecvError) => {
+                                shutdown = true;
+                                break 'dead;
+                            }
+                        },
+                    };
+                    if got > 0 && inbox.drain(..).any(|e| matches!(e, ToNode::Shutdown)) {
+                        shutdown = true;
+                        break 'dead;
+                    }
+                }
+                if shutdown {
+                    break;
+                }
+                // Discard whatever piled up while dead (it was addressed to
+                // a dead node), then recover.
+                inbox.clear();
+                while rx.try_drain(&mut inbox, NODE_BATCH) > 0 {
+                    if inbox.drain(..).any(|e| matches!(e, ToNode::Shutdown)) {
+                        shutdown = true;
+                    }
+                }
+                if shutdown {
+                    break;
+                }
+                if let Some(wal) = &wal {
+                    let rec = wal.lock().expect("wal poisoned").replay(me);
+                    shard = rec.shard;
+                    let now = Instant::now();
+                    for d in &rec.decided {
+                        decided_map.insert(d.txn.id, d.value);
+                        if let Some(w) = begun.get_mut(d.client) {
+                            *w = (*w).max(txn_seq(d.txn.id));
+                        }
+                        log.push(NodeRecord {
+                            txn: Arc::clone(&d.txn),
+                            client: d.client,
+                            vote: d.vote,
+                            decision: d.value,
+                        });
+                        // Re-report: the pre-crash Done may never have been
+                        // flushed (clients deduplicate).
+                        if let Some(buf) = done_out.get_mut(d.client) {
+                            buf.push(Done {
+                                txn: d.txn.id,
+                                node: me,
+                                decision: d.value,
+                            });
+                        }
+                    }
+                    for p in rec.in_flight {
+                        let parts = participants_of(&p.txn, n);
+                        let Some(my_rank) = parts.iter().position(|&q| q == me) else {
+                            continue;
+                        };
+                        let k = parts.len();
+                        let f_eff = f.min(k - 1);
+                        if let Some(w) = begun.get_mut(p.client) {
+                            *w = (*w).max(txn_seq(p.txn.id));
+                        }
+                        let id = p.txn.id;
+                        // Ask peers whether the instance decided while we
+                        // were down; re-join it either way with the
+                        // *logged* vote (never re-validated — peers may
+                        // have acted on it).
+                        for &q in parts.iter().filter(|&&q| q != me) {
+                            outbox[q].push(ToNode::StatusQ { txn: id, from: me });
+                        }
+                        meta.insert(
+                            id,
+                            TxnMeta {
+                                txn: p.txn,
+                                client: p.client,
+                                vote: p.vote,
+                                parts,
+                                my_rank,
+                            },
+                        );
+                        node.open_as(
+                            id,
+                            P::new(my_rank, k, f_eff, p.vote),
+                            my_rank,
+                            k,
+                            now,
+                            &mut sink!(),
+                        );
+                    }
+                }
+                skip_wait = true; // flush recovery traffic immediately
             }
-            None => match rx.recv_batch(&mut inbox, NODE_BATCH) {
-                Ok(k) => k,
-                Err(RecvError) => break,
-            },
+        }
+
+        // 1. Drain: park until the exact next deadline — earliest pending
+        //    timer, delayed-envelope release or scheduled crash; or
+        //    indefinitely when none is pending (an inbound envelope or
+        //    Shutdown wakes us) — then take the whole backlog in one lock
+        //    acquisition.
+        inbox.clear();
+        let mut wake_at: Option<Instant> = node.next_due();
+        if let Some(d) = delayed.peek() {
+            wake_at = Some(wake_at.map_or(d.due, |w| w.min(d.due)));
+        }
+        if let Some(w) = window {
+            if !crashed {
+                let at = epoch + w.down_after;
+                wake_at = Some(wake_at.map_or(at, |x| x.min(at)));
+            }
+        }
+        let got = if skip_wait {
+            skip_wait = false;
+            rx.try_drain(&mut inbox, NODE_BATCH)
+        } else {
+            match wake_at {
+                Some(due) => {
+                    let wait = due.saturating_duration_since(Instant::now());
+                    match rx.recv_batch_timeout(&mut inbox, NODE_BATCH, wait) {
+                        Ok(k) => k,
+                        Err(RecvTimeoutError::Timeout) => 0,
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    }
+                }
+                None => match rx.recv_batch(&mut inbox, NODE_BATCH) {
+                    Ok(k) => k,
+                    Err(RecvError) => break,
+                },
+            }
         };
 
         // 2. Dispatch every envelope through the demultiplexer. One clock
@@ -513,42 +982,143 @@ where
         for env in inbox.drain(..) {
             match env {
                 ToNode::Begin { txn, client } => {
-                    let vote = if txn.touches(me) {
-                        shard.prepare(&txn)
-                    } else {
-                        true
-                    };
                     let id = txn.id;
                     debug_assert_eq!(txn_client(id), client, "TxnId encoding drifted");
-                    if let Some(w) = begun.get_mut(client) {
-                        *w = (*w).max(txn_seq(id));
-                    }
-                    meta.insert(id, (txn, client, vote));
-                    node.open(id, P::new(me, n, f, vote), now, &mut sink!());
-                    if let Some(early) = pending.remove(id) {
-                        for (from, msg) in early {
-                            node.deliver(id, from, msg, now, &mut sink!());
+                    if let Some(m) = meta.get(id) {
+                        // A client retry of a live instance. Decided: just
+                        // re-report. Undecided: cooperative termination —
+                        // ask the other participants whether they decided
+                        // (a partition may have eaten the outcome; for 2PC
+                        // this is the only way a blocked participant ever
+                        // learns a decision the coordinator reached).
+                        match decided_map.get(&id) {
+                            Some(&v) => {
+                                if let Some(buf) = done_out.get_mut(client) {
+                                    buf.push(Done {
+                                        txn: id,
+                                        node: me,
+                                        decision: v,
+                                    });
+                                }
+                            }
+                            None => {
+                                for &q in m.parts.iter().filter(|&&q| q != me) {
+                                    outbox[q].push(ToNode::StatusQ { txn: id, from: me });
+                                }
+                            }
+                        }
+                    } else if let Some(&v) = decided_map.get(&id) {
+                        // Decided before a crash, recovered from the WAL.
+                        if let Some(buf) = done_out.get_mut(client) {
+                            buf.push(Done {
+                                txn: id,
+                                node: me,
+                                decision: v,
+                            });
+                        }
+                    } else {
+                        let parts = participants_of(&txn, n);
+                        let Some(my_rank) = parts.iter().position(|&q| q == me) else {
+                            continue; // not a participant: not ours to vote on
+                        };
+                        let vote = if txn.touches(me) {
+                            shard.prepare(&txn)
+                        } else {
+                            true
+                        };
+                        if let Some(wal) = &wal {
+                            wal.lock().expect("wal poisoned").log_prepare(
+                                Arc::clone(&txn),
+                                client,
+                                vote,
+                            );
+                        }
+                        if let Some(w) = begun.get_mut(client) {
+                            *w = (*w).max(txn_seq(id));
+                        }
+                        let k = parts.len();
+                        let f_eff = f.min(k - 1);
+                        let parts_c = parts.clone();
+                        meta.insert(
+                            id,
+                            TxnMeta {
+                                txn,
+                                client,
+                                vote,
+                                parts,
+                                my_rank,
+                            },
+                        );
+                        node.open_as(
+                            id,
+                            P::new(my_rank, k, f_eff, vote),
+                            my_rank,
+                            k,
+                            now,
+                            &mut sink!(),
+                        );
+                        if let Some(early) = pending.remove(id) {
+                            for (from_global, msg) in early {
+                                if let Some(rk) = parts_c.iter().position(|&q| q == from_global) {
+                                    let _ = node.deliver(id, rk, msg, now, &mut sink!());
+                                }
+                            }
                         }
                     }
                 }
                 ToNode::Net { txn, from, msg } => {
-                    // `offer` resolves the instance in one slab probe and
-                    // hands the message back if it is not open — which
-                    // means either "Begin not here yet" (seq above the
-                    // client's watermark: buffer it) or "already ended"
-                    // (at or below: a late straggler, dropped).
-                    if let Err(msg) = node.offer(txn, from, msg, now, &mut sink!()) {
-                        let early = begun.get(txn_client(txn)).is_none_or(|&w| txn_seq(txn) > w);
-                        if early {
-                            match pending.get_mut(txn) {
-                                Some(buf) => buf.push((from, msg)),
-                                None => {
-                                    let mut buf = InlineVec::new();
-                                    buf.push((from, msg));
-                                    pending.insert(txn, buf);
+                    // Translate the sender's global id to its instance
+                    // rank; `offer` then resolves the instance in one slab
+                    // probe. A miss with metadata present means the
+                    // instance already concluded locally (e.g. a StatusA
+                    // adoption closed it) — the straggler is moot. Without
+                    // metadata it is either early (seq above the client's
+                    // watermark: buffer it) or ended (drop it).
+                    let rank = meta
+                        .get(txn)
+                        .and_then(|m| m.parts.iter().position(|&q| q == from));
+                    match rank {
+                        Some(rk) => {
+                            let _ = node.offer(txn, rk, msg, now, &mut sink!());
+                        }
+                        None if !meta.contains(txn) => {
+                            let early =
+                                begun.get(txn_client(txn)).is_none_or(|&w| txn_seq(txn) > w);
+                            if early {
+                                match pending.get_mut(txn) {
+                                    Some(buf) => buf.push((from, msg)),
+                                    None => {
+                                        let mut buf = InlineVec::new();
+                                        buf.push((from, msg));
+                                        pending.insert(txn, buf);
+                                    }
                                 }
                             }
                         }
+                        None => {} // sender is not a participant: drop
+                    }
+                }
+                ToNode::StatusQ { txn, from } => {
+                    if let Some(&v) = decided_map.get(&txn) {
+                        if from < n && from != me {
+                            outbox[from].push(ToNode::StatusA { txn, value: v });
+                        }
+                    }
+                    // Undecided or unknown: stay silent; the querier keeps
+                    // its own protocol instance (or its client's retries)
+                    // as the fallback.
+                }
+                ToNode::StatusA { txn, value } => {
+                    // Adopt a peer's decision for an open, undecided
+                    // instance. Agreement makes this safe; the automaton is
+                    // closed so it cannot decide a second time later.
+                    if meta.contains(txn)
+                        && !decided_map.contains_key(&txn)
+                        && !decided.iter().any(|&(t, _)| t == txn)
+                        && node.has(txn)
+                    {
+                        node.close(txn);
+                        decided.push((txn, value));
                     }
                 }
                 ToNode::End { txn } => {
@@ -564,51 +1134,152 @@ where
                             &mut log,
                             &mut done_out,
                             me,
+                            &wal,
+                            &mut decided_map,
                         );
                     }
                     node.close(txn);
                     meta.remove(txn);
                     pending.remove(txn);
+                    decided_map.remove(&txn);
                 }
                 ToNode::Shutdown => shutdown = true,
             }
         }
 
         // 3. Self-deliveries and due timers, to quiescence: a delivery can
-        //    set a timer already due, a fired timer can self-send.
+        //    set a timer already due, a fired timer can self-send. Timers
+        //    fire **one at a time** with the self-queue drained between
+        //    fires: a starved thread can owe a protocol both its 1U and 2U
+        //    timers at once, and the 2U handler must see the self-sends
+        //    the 1U handler produced (per-process causality — the split
+        //    INBAC decisions of ISSUE-5's chaos bring-up came from firing
+        //    them back to back).
         let mut fired_any = false;
         loop {
             let now = Instant::now();
             while let Some((txn, msg)) = selfq.pop_front() {
                 // A miss means the instance ended mid-batch; the message
                 // is then moot (the old dropped-late-envelope semantics).
-                let _ = node.deliver(txn, me, msg, now, &mut sink!());
+                let rank = meta.get(txn).map(|m| m.my_rank);
+                if let Some(rk) = rank {
+                    let _ = node.deliver(txn, rk, msg, now, &mut sink!());
+                }
             }
-            let fired = node.fire_due(now, &mut sink!());
-            fired_any |= fired > 0;
-            if fired == 0 && selfq.is_empty() {
+            if node.fire_next(now, &mut sink!()) {
+                fired_any = true;
+            } else if selfq.is_empty() {
                 break;
             }
-        }
-        if got == 0 && !fired_any && !shutdown {
-            spurious_wakeups += 1;
         }
 
         // 4. Apply buffered decisions outside the engine borrow and stage
         //    the per-client replies.
-        apply_decisions(&mut decided, &meta, &mut shard, &mut log, &mut done_out, me);
+        apply_decisions(
+            &mut decided,
+            &meta,
+            &mut shard,
+            &mut log,
+            &mut done_out,
+            me,
+            &wal,
+            &mut decided_map,
+        );
 
-        // 5. Flush: one send_batch (one lock, at most one wakeup) per
-        //    destination that has traffic this iteration.
+        // 5. Flush. Delay-released envelopes first (already judged by the
+        //    policy — they bypass it), then one send_batch (one lock, at
+        //    most one wakeup) per destination with traffic this iteration,
+        //    each envelope passing through the fault policy.
+        let flush_now = Instant::now();
+        let mut released = 0usize;
+        let mut flushed = 0usize;
+        while delayed.peek().is_some_and(|d| d.due <= flush_now) {
+            let d = delayed.pop().expect("peeked");
+            wire.fetch_add(1, Ordering::Relaxed);
+            let _ = txs[d.to].send(d.env);
+            released += 1;
+        }
+        let elapsed = flush_now.saturating_duration_since(epoch);
         for (to, batch) in outbox.iter_mut().enumerate() {
-            if !batch.is_empty() {
-                wire.fetch_add(batch.len(), Ordering::Relaxed);
-                let _ = txs[to].send_batch(batch.drain(..));
+            if batch.is_empty() {
+                continue;
+            }
+            match &policy {
+                None => {
+                    wire.fetch_add(batch.len(), Ordering::Relaxed);
+                    flushed += batch.len();
+                    let _ = txs[to].send_batch(batch.drain(..));
+                }
+                Some(pol) => {
+                    let mut staged: Vec<ToNode<P::Msg>> = Vec::with_capacity(batch.len());
+                    for env in batch.drain(..) {
+                        let seq = net_seq[to];
+                        net_seq[to] += 1;
+                        match pol.fate(me, to, elapsed, seq) {
+                            Fate::Deliver => staged.push(env),
+                            Fate::Drop => dropped_messages += 1,
+                            Fate::Delay(d) => {
+                                delayed_messages += 1;
+                                delayed.push(DelayedEnv {
+                                    due: flush_now + d,
+                                    seq,
+                                    to,
+                                    env,
+                                });
+                            }
+                        }
+                    }
+                    if !staged.is_empty() {
+                        wire.fetch_add(staged.len(), Ordering::Relaxed);
+                        flushed += staged.len();
+                        let _ = txs[to].send_batch(staged.drain(..));
+                    }
+                }
             }
         }
         for (client, batch) in done_out.iter_mut().enumerate() {
             if !batch.is_empty() {
+                flushed += batch.len();
                 let _ = done_txs[client].send_batch(batch.drain(..));
+            }
+        }
+
+        // 6. Accounting: a wakeup that moved nothing — no inbound batch,
+        //    no fired timer, no outbound flush (the recovery iteration
+        //    flushes StatusQ/Done batches with got == 0, which is real
+        //    work) — was spurious, unless it woke us for a scheduled
+        //    crash the next loop top handles.
+        let crash_pending =
+            window.is_some_and(|w| !crashed && Instant::now() >= epoch + w.down_after);
+        if got == 0 && !fired_any && released == 0 && flushed == 0 && !shutdown && !crash_pending {
+            spurious_wakeups += 1;
+        }
+    }
+    // A node that dies without restarting still answers the audit with its
+    // durable state: what the WAL can rebuild *is* its state. In-flight
+    // yes-vote locks are durably recorded (a future restart would re-hold
+    // them) but are *released* in this final report: those transactions
+    // are already counted as stalled at the client, and the audit's
+    // lock-leak check is about resolved transactions, not ones a
+    // never-recovering node took to its grave.
+    if crashed && log.is_empty() && meta.is_empty() {
+        if let Some(wal) = &wal {
+            let rec = wal.lock().expect("wal poisoned").replay(me);
+            if shard.locked() == 0 && shard.total() == 0 && log.is_empty() {
+                shard = rec.shard;
+                for p in &rec.in_flight {
+                    shard.finish(&p.txn, false);
+                }
+                log = rec
+                    .decided
+                    .iter()
+                    .map(|d| NodeRecord {
+                        txn: Arc::clone(&d.txn),
+                        client: d.client,
+                        vote: d.vote,
+                        decision: d.value,
+                    })
+                    .collect();
             }
         }
     }
@@ -616,13 +1287,32 @@ where
         shard,
         log,
         spurious_wakeups,
+        dropped_messages,
+        delayed_messages,
     }
 }
 
-/// One closed-loop client: submit, await all `n` decisions, record, repeat.
+/// One outstanding transaction at a client.
+struct PendingTxn {
+    txn: Arc<Transaction>,
+    parts: Vec<usize>,
+    decisions: Vec<Option<u64>>,
+    got: usize,
+    t0: Instant,
+    retries: u32,
+    next_retry: Instant,
+    deadline: Instant,
+}
+
+/// One closed-loop client: submit, await all participant decisions with
+/// bounded, retrying waits, record, repeat. Unresolved transactions are
+/// parked (background retries) so a dead node blocks one transaction, not
+/// the whole load stream; abandonment at `txn_deadline` is the last resort
+/// and counts as a stall.
 fn client_main<P>(
     client: usize,
     cfg: &ServiceConfig,
+    epoch: Instant,
     txs: Vec<Sender<ToNode<P::Msg>>>,
     rx: Receiver<Done>,
 ) -> ClientReturn
@@ -638,79 +1328,164 @@ where
     }
     .generator();
 
-    let mut records = Vec::with_capacity(cfg.txns_per_client);
+    let total = cfg.txns_per_client;
+    let mut submitted = 0usize;
+    let mut outstanding: Vec<PendingTxn> = Vec::new();
+    let mut records = Vec::with_capacity(total);
+    let mut events: Vec<TxnEvent> = Vec::with_capacity(total);
     let mut latency = LatencyHistogram::new();
     let mut stalled = 0usize;
+    let mut retries = 0usize;
+    let mut reply_timeouts = 0usize;
     let mut dbuf: Vec<Done> = Vec::with_capacity(CLIENT_BATCH);
-    // The previous transaction's id: its End rides in the same batch as
-    // the next Begin, halving the client's channel operations per txn.
-    let mut end_prev: Option<TxnId> = None;
+    let mut next_allowed = Instant::now();
 
-    for i in 0..cfg.txns_per_client {
-        let mut txn = gen.next_txn();
-        txn.id = ServiceConfig::txn_id(client, i);
-        let txn = Arc::new(txn);
-
-        let t0 = Instant::now();
-        for tx in &txs {
-            let begin = ToNode::Begin {
-                txn: Arc::clone(&txn),
-                client,
-            };
-            match end_prev {
-                Some(prev) => {
-                    let _ = tx.send_batch([ToNode::End { txn: prev }, begin]);
-                }
-                None => {
-                    let _ = tx.send(begin);
-                }
-            }
-        }
-        end_prev = Some(txn.id);
-        let deadline = t0 + cfg.txn_deadline;
-        let mut decisions: Vec<Option<u64>> = vec![None; cfg.n];
-        let mut got = 0usize;
-        // Block on the exact remaining deadline and drain replies in
-        // batches — no per-message re-poll, no spurious wakeups while the
-        // service is idle.
-        'collect: while got < cfg.n {
-            let left = deadline.saturating_duration_since(Instant::now());
-            if left.is_zero() {
+    loop {
+        // Submit while the closed loop is open: every outstanding
+        // transaction is parked, there is room, and pacing allows it.
+        loop {
+            let now = Instant::now();
+            let gate_open = submitted < total
+                && outstanding.len() < cfg.max_outstanding
+                && outstanding.iter().all(|p| p.retries >= cfg.park_retries);
+            if !gate_open || now < next_allowed {
                 break;
             }
-            // (dbuf is empty here: the Ok arm below always drains it.)
-            match rx.recv_batch_timeout(&mut dbuf, CLIENT_BATCH, left) {
-                Ok(_) => {
-                    for d in dbuf.drain(..) {
-                        if d.txn == txn.id && decisions[d.node].is_none() {
-                            decisions[d.node] = Some(d.decision);
-                            got += 1;
-                        }
-                        // else: straggler reply of an already-stalled txn
-                    }
-                }
-                Err(RecvTimeoutError::Timeout) => break 'collect,
-                Err(RecvTimeoutError::Disconnected) => break 'collect,
+            let mut t = gen.next_txn();
+            t.id = ServiceConfig::txn_id(client, submitted);
+            let txn = Arc::new(t);
+            let parts = participants_of(&txn, cfg.n);
+            for &p in &parts {
+                let _ = txs[p].send(ToNode::Begin {
+                    txn: Arc::clone(&txn),
+                    client,
+                });
+            }
+            let k = parts.len();
+            outstanding.push(PendingTxn {
+                txn,
+                parts,
+                decisions: vec![None; k],
+                got: 0,
+                t0: now,
+                retries: 0,
+                next_retry: now + cfg.reply_timeout,
+                deadline: now + cfg.txn_deadline,
+            });
+            submitted += 1;
+            if let Some(p) = cfg.pacing {
+                next_allowed = now + p;
             }
         }
-        let lat = t0.elapsed();
-        if got == cfg.n {
-            latency.record_duration(lat);
-        } else {
-            stalled += 1;
+        if submitted == total && outstanding.is_empty() {
+            break;
         }
-        records.push(ClientRecord { txn, decisions });
-    }
-    // Garbage-collect the last transaction's instances.
-    if let Some(prev) = end_prev {
-        for tx in &txs {
-            let _ = tx.send(ToNode::End { txn: prev });
+
+        // Park on the earliest deadline among: any outstanding retry or
+        // abandonment, and the pacing gate (only when it is what blocks
+        // submission).
+        let mut due: Option<Instant> = outstanding
+            .iter()
+            .map(|p| p.next_retry.min(p.deadline))
+            .min();
+        let submit_blocked_on_time = submitted < total
+            && outstanding.len() < cfg.max_outstanding
+            && outstanding.iter().all(|p| p.retries >= cfg.park_retries);
+        if submit_blocked_on_time {
+            due = Some(due.map_or(next_allowed, |d| d.min(next_allowed)));
+        }
+        let wait = due
+            .expect("the loop only continues with work pending")
+            .saturating_duration_since(Instant::now());
+        match rx.recv_batch_timeout(&mut dbuf, CLIENT_BATCH, wait) {
+            Ok(_) => {}
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => {}
+        }
+
+        // Fold in replies (duplicates from retries/recovery are ignored).
+        for d in dbuf.drain(..) {
+            let Some(i) = outstanding.iter().position(|p| p.txn.id == d.txn) else {
+                continue; // straggler of a completed or abandoned txn
+            };
+            let p = &mut outstanding[i];
+            if let Some(slot) = p.parts.iter().position(|&q| q == d.node) {
+                if p.decisions[slot].is_none() {
+                    p.decisions[slot] = Some(d.decision);
+                    p.got += 1;
+                }
+            }
+            if p.got == p.parts.len() {
+                let p = outstanding.swap_remove(i);
+                let lat = p.t0.elapsed();
+                latency.record_duration(lat);
+                let committed = p.decisions[0] == Some(COMMIT);
+                events.push(TxnEvent {
+                    id: p.txn.id,
+                    client,
+                    participants: p.parts.len(),
+                    submitted_at: p.t0.saturating_duration_since(epoch),
+                    decided_at: Some(p.t0.saturating_duration_since(epoch) + lat),
+                    committed: Some(committed),
+                    retries: p.retries,
+                });
+                for &q in &p.parts {
+                    let _ = txs[q].send(ToNode::End { txn: p.txn.id });
+                }
+                records.push(ClientRecord {
+                    txn: p.txn,
+                    decisions: p.decisions,
+                });
+            }
+        }
+
+        // Expired waits: re-send Begin (bounded, counted) or abandon at
+        // the hard deadline.
+        let now = Instant::now();
+        let mut i = 0;
+        while i < outstanding.len() {
+            if now >= outstanding[i].deadline {
+                let p = outstanding.swap_remove(i);
+                stalled += 1;
+                reply_timeouts += 1;
+                events.push(TxnEvent {
+                    id: p.txn.id,
+                    client,
+                    participants: p.parts.len(),
+                    submitted_at: p.t0.saturating_duration_since(epoch),
+                    decided_at: None,
+                    committed: None,
+                    retries: p.retries,
+                });
+                records.push(ClientRecord {
+                    txn: p.txn,
+                    decisions: p.decisions,
+                });
+                continue;
+            }
+            if now >= outstanding[i].next_retry {
+                let p = &mut outstanding[i];
+                reply_timeouts += 1;
+                retries += 1;
+                p.retries += 1;
+                p.next_retry = now + cfg.reply_timeout;
+                for &q in &p.parts {
+                    let _ = txs[q].send(ToNode::Begin {
+                        txn: Arc::clone(&p.txn),
+                        client,
+                    });
+                }
+            }
+            i += 1;
         }
     }
     ClientReturn {
         records,
+        events,
         latency,
         stalled,
+        retries,
+        reply_timeouts,
     }
 }
 
@@ -724,11 +1499,16 @@ fn aggregate(
 ) -> ServiceOutcome {
     let mut latency = LatencyHistogram::new();
     let mut stalled = 0;
+    let mut retries = 0;
+    let mut reply_timeouts = 0;
     let mut txns = 0;
     let mut committed = 0;
     let mut aborted = 0;
     let mut violations = Vec::new();
+    let mut txn_events = Vec::new();
     let spurious_wakeups = node_returns.iter().map(|r| r.spurious_wakeups).sum();
+    let dropped_messages = node_returns.iter().map(|r| r.dropped_messages).sum();
+    let delayed_messages = node_returns.iter().map(|r| r.delayed_messages).sum();
 
     // Cross-node view: txn -> (votes, decisions) as logged by each node.
     let mut by_txn: HashMap<TxnId, (Vec<bool>, Vec<u64>)> = HashMap::new();
@@ -740,14 +1520,19 @@ fn aggregate(
         }
     }
 
-    for cr in &client_returns {
+    for cr in client_returns {
         latency.merge(&cr.latency);
         stalled += cr.stalled;
+        retries += cr.retries;
+        reply_timeouts += cr.reply_timeouts;
+        txn_events.extend(cr.events);
         for rec in &cr.records {
             let full = rec.decisions.iter().all(|d| d.is_some());
             if !full {
                 continue; // counted in `stalled`
             }
+            // One decision slot per participant, sized by the client.
+            let k = rec.decisions.len();
             txns += 1;
             let mut vals: Vec<u64> = rec.decisions.iter().flatten().copied().collect();
             vals.sort_unstable();
@@ -764,12 +1549,12 @@ fn aggregate(
             }
             match by_txn.get(&rec.txn.id) {
                 Some((votes, decisions)) => {
-                    if votes.len() != cfg.n {
+                    if votes.len() != k {
                         violations.push(format!(
-                            "txn {}: {} of {} nodes logged a decision",
+                            "txn {}: {} of {} participants logged a decision",
                             rec.txn.id,
                             votes.len(),
-                            cfg.n
+                            k
                         ));
                     }
                     if decisions.iter().any(|&d| d != vals[0]) {
@@ -811,9 +1596,14 @@ fn aggregate(
         elapsed,
         latency,
         wire_messages: wire.load(Ordering::Relaxed),
+        dropped_messages,
+        delayed_messages,
+        retries,
+        reply_timeouts,
         spurious_wakeups,
         shards,
         node_logs,
+        txn_events,
         violations,
     }
 }
@@ -829,6 +1619,30 @@ mod tests {
             .unit(Duration::from_millis(10))
     }
 
+    fn bare_env<P: CommitProtocol>(
+        me: ProcessId,
+        n: usize,
+        rx: Receiver<ToNode<P::Msg>>,
+        txs: Vec<Sender<ToNode<P::Msg>>>,
+        done_txs: Vec<Sender<Done>>,
+        wire: Arc<AtomicUsize>,
+    ) -> NodeEnv<P> {
+        NodeEnv {
+            me,
+            n,
+            f: 1,
+            unit: Duration::from_millis(5),
+            epoch: Instant::now(),
+            rx,
+            txs,
+            done_txs,
+            wire,
+            policy: None,
+            window: None,
+            wal: None,
+        }
+    }
+
     #[test]
     fn inbac_serves_uniform_load_safely() {
         let out = run_service(&quick(ProtocolKind::Inbac));
@@ -838,11 +1652,12 @@ mod tests {
         assert!(out.committed + out.aborted == 10);
         assert_eq!(out.latency.count(), 10);
         assert!(out.wire_messages > 0);
+        assert_eq!(out.retries, 0, "healthy runs never need Begin retries");
+        assert_eq!(out.reply_timeouts, 0);
     }
 
     /// A decision and the `End` that garbage-collects its transaction can
-    /// land in the **same drained batch** (the txn stalled at the client,
-    /// whose End rides with the next Begin). The decision must still be
+    /// land in the **same drained batch**. The decision must still be
     /// applied — logged, reported, shard finished — before the metadata
     /// goes away.
     #[test]
@@ -870,18 +1685,8 @@ mod tests {
         let wire = Arc::new(AtomicUsize::new(0));
         let handle = {
             let txs = vec![tx0.clone(), tx1];
-            std::thread::spawn(move || {
-                node_main::<DecideOnMsg>(
-                    0,
-                    2,
-                    1,
-                    Duration::from_millis(5),
-                    rx0,
-                    txs,
-                    vec![done_tx],
-                    wire,
-                )
-            })
+            let env = bare_env::<DecideOnMsg>(0, 2, rx0, txs, vec![done_tx], wire);
+            std::thread::spawn(move || node_main::<DecideOnMsg>(env))
         };
 
         let id = ServiceConfig::txn_id(0, 0);
@@ -935,18 +1740,8 @@ mod tests {
             .map(|(me, rx)| {
                 let txs = node_txs.clone();
                 let wire = Arc::clone(&wire);
-                std::thread::spawn(move || {
-                    node_main::<P>(
-                        me,
-                        n,
-                        1,
-                        Duration::from_millis(5),
-                        rx,
-                        txs,
-                        Vec::new(), // no clients
-                        wire,
-                    )
-                })
+                let env = bare_env::<P>(me, n, rx, txs, Vec::new(), wire);
+                std::thread::spawn(move || node_main::<P>(env))
             })
             .collect();
         std::thread::sleep(Duration::from_millis(50));
@@ -982,6 +1777,31 @@ mod tests {
             for k in 0..cfg.keys_per_shard {
                 assert_eq!(live.read(k), replayed.read(k), "shard {} key {k}", live.id);
             }
+        }
+    }
+
+    #[test]
+    fn participants_scope_to_touched_shards_with_whole_cluster_fallback() {
+        use ac_txn::Key;
+        let t = Transaction::new(1)
+            .with_write(Key::new(2, 0), 5)
+            .with_write(Key::new(0, 1), 6);
+        assert_eq!(participants_of(&t, 4), vec![0, 2]);
+        let single = Transaction::new(2).with_write(Key::new(1, 0), 5);
+        assert_eq!(participants_of(&single, 4), vec![0, 1, 2, 3]);
+        let empty = Transaction::new(3);
+        assert_eq!(participants_of(&empty, 3), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn txn_events_cover_every_transaction_with_timestamps() {
+        let out = run_service(&quick(ProtocolKind::TwoPc));
+        assert_eq!(out.txn_events.len(), 10);
+        for ev in &out.txn_events {
+            assert!(ev.decided_at.is_some(), "txn {} unresolved", ev.id);
+            assert!(ev.decided_at.unwrap() >= ev.submitted_at);
+            assert_eq!(ev.retries, 0);
+            assert!(ev.participants >= 2);
         }
     }
 }

@@ -2,27 +2,32 @@
 //!
 //! ```text
 //! repro [--json] [--jobs N] [--out PATH] [--quick] \
-//!       [table1|table2|table3|table4|table5|fig1|ablations|exhaustive|bench|load|all]
+//!       [table1|table2|table3|table4|table5|fig1|ablations|exhaustive|bench|load|chaos|all]
 //! repro bench-check <path>
 //! repro perf --against <path> [--quick] [--json] [--jobs N] [--out PATH]
 //! ```
 //!
 //! With no argument, runs everything. `--json` emits machine-readable
 //! reports instead of aligned text. `--jobs N` sets the worker-thread count
-//! of the explorer-backed targets (`exhaustive`, `bench`, `load`, `all`);
-//! the default is 1 (sequential). `bench` additionally writes the
+//! of the explorer-backed targets (`exhaustive`, `bench`, `load`, `chaos`,
+//! `all`); the default is 1 (sequential). `bench` additionally writes the
 //! machine-readable schema-v1 baseline to `--out` (default
 //! `BENCH_baseline.json`); `load` runs the live `ac-cluster` service sweep
 //! (protocol × workload × concurrency, `--quick` shrinks it for smoke
 //! jobs) and writes the schema-v2 baseline including the `service`
-//! section; `bench-check <path>` validates a previously written baseline
-//! of either schema version — CI's bench-smoke and load-smoke jobs run
-//! these. `perf --against <path>` re-measures the live sweep and diffs it
-//! against a committed baseline: counter-exact regressions (message
-//! counts, commit rates, safety/stall counters, explorer soundness) fail
-//! the run, wall-clock drift only warns; the machine-readable comparison
-//! is written to `--out` (default `PERF_comparison.json`) — CI's
-//! perf-smoke job runs this.
+//! section; `chaos` additionally runs the availability-under-failure sweep
+//! ({2PC, Paxos-Commit, INBAC} × {crash-coordinator, crash-participant,
+//! partition-heal, lossy-10} through `ac-chaos`, with safety audits on
+//! every faulted run) and writes the schema-v3 baseline including the
+//! `chaos` section; `bench-check <path>` validates a previously written
+//! baseline of any schema version — CI's bench-smoke, load-smoke and
+//! chaos-smoke jobs run these. `perf --against <path>` re-measures the
+//! live sweep and diffs it against a committed baseline: counter-exact
+//! regressions (message counts, commit rates, safety/stall counters,
+//! explorer soundness, a dirty committed chaos section) fail the run,
+//! wall-clock drift only warns; the machine-readable comparison is written
+//! to `--out` (default `PERF_comparison.json`) — CI's perf-smoke job runs
+//! this.
 
 use std::path::PathBuf;
 
@@ -48,7 +53,7 @@ fn run_one(id: &str, jobs: usize) -> Option<Vec<Report>> {
 fn usage_exit() -> ! {
     eprintln!(
         "usage: repro [--json] [--jobs N] [--out PATH] [--quick] \
-         [table1|table2|table3|table4|table5|fig1|ablations|exhaustive|bench|load|all]\n\
+         [table1|table2|table3|table4|table5|fig1|ablations|exhaustive|bench|load|chaos|all]\n\
          \x20      repro bench-check <path>\n\
          \x20      repro perf --against <path> [--quick] [--json] [--jobs N] [--out PATH]"
     );
@@ -159,7 +164,7 @@ fn main() {
             Ok(()) => {
                 println!(
                     "{path}: valid bench baseline (all six Table-5 protocols present; \
-                     schema v1 or v2 with a clean service section)"
+                     schema v1, v2 or v3 with clean service/chaos sections)"
                 );
                 return;
             }
@@ -174,11 +179,13 @@ fn main() {
 
     // `bench`: measure, print, and write the machine-readable baseline.
     // `load`: additionally run the live service sweep (schema v2).
-    if id == "bench" || id == "load" {
-        let (report, baseline) = if id == "bench" {
-            experiments::bench_baseline(jobs)
-        } else {
-            experiments::load_baseline(quick, jobs)
+    // `chaos`: additionally run the availability-under-failure sweep
+    // (schema v3).
+    if id == "bench" || id == "load" || id == "chaos" {
+        let (report, baseline) = match id {
+            "bench" => experiments::bench_baseline(jobs),
+            "load" => experiments::load_baseline(quick, jobs),
+            _ => experiments::chaos_baseline(quick, jobs),
         };
         if json {
             println!("{}", report.to_json());
@@ -204,7 +211,7 @@ fn main() {
     let Some(reports) = run_one(id, jobs) else {
         eprintln!(
             "unknown experiment `{id}`; expected one of \
-             table1 table2 table3 table4 table5 fig1 ablations exhaustive bench load perf all"
+             table1 table2 table3 table4 table5 fig1 ablations exhaustive bench load chaos perf all"
         );
         std::process::exit(2);
     };

@@ -160,6 +160,38 @@ pub fn perf_compare(
         ok: true,
     });
 
+    // --- Chaos section (schema v3): the committed availability numbers
+    // are not re-measured here (`repro chaos` owns that), but a baseline
+    // whose faulted runs were not clean must never pass the gate. These
+    // checks are static: both columns show the committed value (nothing
+    // was re-measured), and `ok` demands it be zero.
+    if against_schema >= 3 {
+        let chaos_entries = against["chaos"]["entries"].as_array().unwrap_or(&empty);
+        for e in chaos_entries {
+            let label = format!(
+                "chaos {}/{}",
+                e["protocol"].as_str().unwrap_or("?"),
+                e["scenario"].as_str().unwrap_or("?")
+            );
+            for (metric, key) in [
+                (
+                    "safety_violations",
+                    "safety violations (committed, must be 0)",
+                ),
+                ("stalled", "unresolved txns (committed, must be 0)"),
+            ] {
+                let committed = f(&e[metric]).unwrap_or(f64::NAN);
+                checks.push(PerfCheck {
+                    gate: "exact".into(),
+                    key: format!("{label} {key}"),
+                    against: committed,
+                    current: committed,
+                    ok: e[metric].as_u64() == Some(0),
+                });
+            }
+        }
+    }
+
     // --- Service entries: match on (protocol, workload, clients). ---
     let service = current
         .service

@@ -274,6 +274,83 @@ pub struct ServiceEntry {
     pub spurious_wakeups: Option<usize>,
 }
 
+/// The chaos scenarios a schema-v3 `chaos` section must cover, per
+/// protocol: the ISSUE-5 sweep axes. The single source of truth shared by
+/// the `repro chaos` emitter and the validator.
+pub fn chaos_scenario_names() -> [&'static str; 4] {
+    [
+        "crash-coordinator",
+        "crash-participant",
+        "partition-heal",
+        "lossy-10",
+    ]
+}
+
+/// One measured cell of the chaos sweep: a (protocol, scenario) pair run
+/// through `ac-chaos` with availability bucketing against the fault
+/// window.
+#[derive(Clone, Debug, Serialize)]
+pub struct ChaosEntry {
+    /// Protocol display name.
+    pub protocol: String,
+    /// Scenario name ([`chaos_scenario_names`]).
+    pub scenario: String,
+    /// Transactions fully served.
+    pub txns: usize,
+    /// Transactions committed.
+    pub committed: usize,
+    /// Transactions aborted.
+    pub aborted: usize,
+    /// Transactions never resolved (must be 0: every fault in the sweep
+    /// heals and recovery must drain the backlog).
+    pub stalled: usize,
+    /// Safety violations found by the post-run audit (must be 0 — the
+    /// audit runs on every faulted execution).
+    pub safety_violations: usize,
+    /// Transactions first submitted inside the fault window.
+    pub submitted_during_fault: usize,
+    /// Of those, fully decided before the heal.
+    pub decided_during_fault: usize,
+    /// Transactions committed inside the window — the availability signal.
+    pub committed_during_fault: usize,
+    /// Transactions committed after the heal.
+    pub committed_after_heal: usize,
+    /// Committed-ops/s while the fault was live.
+    pub ops_during_fault: f64,
+    /// Committed-ops/s from the heal to the end of the run.
+    pub ops_after_heal: f64,
+    /// `100 · decided/submitted` within the window (100 if idle).
+    pub availability_pct: f64,
+    /// Transactions the client parked (blocked past its closed-loop wait).
+    pub blocked: usize,
+    /// Worst heal→decision gap of a blocked transaction, milliseconds.
+    pub recovery_ms: f64,
+    /// Client `Begin` re-sends.
+    pub retries: usize,
+    /// Envelopes the fault layer dropped.
+    pub dropped_messages: usize,
+    /// Protocol messages that crossed node boundaries.
+    pub wire_messages: usize,
+}
+
+/// The schema-v3 `chaos` section: availability under failure, per
+/// (protocol, scenario).
+#[derive(Clone, Debug, Serialize)]
+pub struct ChaosBaseline {
+    /// Number of nodes (= shards).
+    pub n: usize,
+    /// Crash-resilience parameter.
+    pub f: usize,
+    /// Wall-clock length of one virtual delay unit, microseconds.
+    pub unit_micros: u64,
+    /// Fault window start, virtual units.
+    pub fault_from_units: u64,
+    /// Fault window end (heal), virtual units.
+    pub fault_until_units: u64,
+    /// One entry per (protocol, scenario) pair.
+    pub entries: Vec<ChaosEntry>,
+}
+
 /// The schema-v2 `service` section: the live `ac-cluster` transaction
 /// service measured under closed-loop load.
 #[derive(Clone, Debug, Serialize)]
@@ -295,9 +372,11 @@ pub struct ServiceBaseline {
 /// semantics are documented field-by-field in the README ("The bench
 /// baseline" section).
 ///
-/// Two schema versions exist: **v1** (`repro bench`) carries the simulator
-/// numbers only; **v2** (`repro load`) additionally carries the live
-/// [`ServiceBaseline`]. The validator accepts both.
+/// Three schema versions exist: **v1** (`repro bench`) carries the
+/// simulator numbers only; **v2** (`repro load`) additionally carries the
+/// live [`ServiceBaseline`]; **v3** (`repro chaos`) additionally carries
+/// the [`ChaosBaseline`] availability-under-failure section. The validator
+/// accepts all three.
 #[derive(Clone, Debug, Serialize)]
 pub struct BenchBaseline {
     /// Format version; bump on breaking layout changes.
@@ -308,9 +387,11 @@ pub struct BenchBaseline {
     pub protocols: Vec<ProtocolBaseline>,
     /// Explorer wall-clock numbers.
     pub explorer: ExplorerBaseline,
-    /// Live-service numbers (schema v2; `None` serializes as `null` in a
+    /// Live-service numbers (schema v2+; `None` serializes as `null` in a
     /// v1 baseline).
     pub service: Option<ServiceBaseline>,
+    /// Availability-under-failure numbers (schema v3).
+    pub chaos: Option<ChaosBaseline>,
 }
 
 impl BenchBaseline {
@@ -325,13 +406,16 @@ impl BenchBaseline {
     }
 
     /// Validate a serialized baseline: parses as JSON, carries a known
-    /// schema version (1 or 2), covers **all six Table-5 protocols**, and
-    /// reports a non-empty, counterexample-free exploration. A v2 baseline
-    /// must additionally carry a `service` section covering every
+    /// schema version (1, 2 or 3), covers **all six Table-5 protocols**,
+    /// and reports a non-empty, counterexample-free exploration. A v2+
+    /// baseline must additionally carry a `service` section covering every
     /// [`service_protocol_names`] protocol at ≥ 2 concurrency levels with
-    /// zero safety violations and zero stalls. Returns a list of problems
-    /// (empty = valid). This is what CI's bench-smoke and load-smoke jobs
-    /// run via `repro bench-check`.
+    /// zero safety violations and zero stalls. A v3 baseline must
+    /// additionally carry a `chaos` section covering every
+    /// (service protocol × [`chaos_scenario_names`] scenario) pair, each
+    /// with a clean safety audit and zero unresolved transactions. Returns
+    /// a list of problems (empty = valid). This is what CI's bench-smoke,
+    /// load-smoke and chaos-smoke jobs run via `repro bench-check`.
     pub fn validate_json(text: &str) -> Result<(), Vec<String>> {
         let mut problems = Vec::new();
         let v: serde_json::Value = match serde_json::from_str(text) {
@@ -339,9 +423,9 @@ impl BenchBaseline {
             Err(e) => return Err(vec![format!("not valid JSON: {e:?}")]),
         };
         let schema = v["schema_version"].as_u64();
-        if schema != Some(1) && schema != Some(2) {
+        if !matches!(schema, Some(1) | Some(2) | Some(3)) {
             problems.push(format!(
-                "schema_version must be 1 or 2, got {:?}",
+                "schema_version must be 1, 2 or 3, got {:?}",
                 v["schema_version"]
             ));
         }
@@ -381,13 +465,57 @@ impl BenchBaseline {
                 problems.push(format!("explorer.{key} must be a positive number"));
             }
         }
-        if schema == Some(2) {
+        if matches!(schema, Some(2) | Some(3)) {
             Self::validate_service(&v["service"], &mut problems);
+        }
+        if schema == Some(3) {
+            Self::validate_chaos(&v["chaos"], &mut problems);
         }
         if problems.is_empty() {
             Ok(())
         } else {
             Err(problems)
+        }
+    }
+
+    /// Schema-v3 `chaos` section rules (see [`BenchBaseline::validate_json`]).
+    fn validate_chaos(chaos: &serde_json::Value, problems: &mut Vec<String>) {
+        let empty = Vec::new();
+        let entries = chaos["entries"].as_array().unwrap_or(&empty);
+        if entries.is_empty() {
+            problems.push("schema v3 requires a non-empty chaos.entries".into());
+            return;
+        }
+        for protocol in service_protocol_names() {
+            for scenario in chaos_scenario_names() {
+                if !entries.iter().any(|e| {
+                    e["protocol"].as_str() == Some(protocol)
+                        && e["scenario"].as_str() == Some(scenario)
+                }) {
+                    problems.push(format!("chaos must measure {protocol} under {scenario}"));
+                }
+            }
+        }
+        for e in entries {
+            let label = format!("chaos entry {:?}/{:?}", e["protocol"], e["scenario"]);
+            if e["safety_violations"].as_u64() != Some(0) {
+                problems.push(format!(
+                    "{label}: safety audit must be clean on every faulted run"
+                ));
+            }
+            if e["stalled"].as_u64() != Some(0) {
+                problems.push(format!(
+                    "{label}: every transaction must resolve after the heal"
+                ));
+            }
+            for key in ["availability_pct", "ops_after_heal"] {
+                if e[key].as_f64().is_none_or(|x| x < 0.0) {
+                    problems.push(format!("{label}: {key} must be a non-negative number"));
+                }
+            }
+            if e["txns"].as_u64().is_none_or(|x| x == 0) {
+                problems.push(format!("{label}: txns must be > 0"));
+            }
         }
     }
 
@@ -503,6 +631,7 @@ mod tests {
                 speedup: 2.0,
             },
             service: None,
+            chaos: None,
         }
     }
 
@@ -543,10 +672,100 @@ mod tests {
         b
     }
 
+    fn sample_v3_baseline() -> BenchBaseline {
+        let mut b = sample_v2_baseline();
+        b.schema_version = 3;
+        let mut entries = Vec::new();
+        for protocol in service_protocol_names() {
+            for scenario in chaos_scenario_names() {
+                entries.push(ChaosEntry {
+                    protocol: protocol.to_string(),
+                    scenario: scenario.to_string(),
+                    txns: 40,
+                    committed: 20,
+                    aborted: 20,
+                    stalled: 0,
+                    safety_violations: 0,
+                    submitted_during_fault: 12,
+                    decided_during_fault: 10,
+                    committed_during_fault: 3,
+                    committed_after_heal: 9,
+                    ops_during_fault: 15.0,
+                    ops_after_heal: 60.0,
+                    availability_pct: 83.3,
+                    blocked: if protocol == "2PC" { 5 } else { 0 },
+                    recovery_ms: 40.0,
+                    retries: 6,
+                    dropped_messages: 30,
+                    wire_messages: 900,
+                });
+            }
+        }
+        b.chaos = Some(ChaosBaseline {
+            n: 4,
+            f: 1,
+            unit_micros: 5_000,
+            fault_from_units: 10,
+            fault_until_units: 50,
+            entries,
+        });
+        b
+    }
+
     #[test]
     fn baseline_round_trips_and_validates() {
         let b = sample_baseline();
         assert_eq!(BenchBaseline::validate_json(&b.to_json()), Ok(()));
+    }
+
+    #[test]
+    fn v3_baseline_round_trips_and_validates() {
+        let b = sample_v3_baseline();
+        assert_eq!(BenchBaseline::validate_json(&b.to_json()), Ok(()));
+    }
+
+    #[test]
+    fn v3_requires_full_scenario_coverage_and_clean_audits() {
+        let mut b = sample_v3_baseline();
+        {
+            let chaos = b.chaos.as_mut().unwrap();
+            chaos
+                .entries
+                .retain(|e| !(e.protocol == "INBAC" && e.scenario == "partition-heal"));
+            chaos.entries[0].safety_violations = 1;
+            chaos.entries[1].stalled = 3;
+        }
+        let problems = BenchBaseline::validate_json(&b.to_json()).unwrap_err();
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("INBAC") && p.contains("partition-heal")),
+            "{problems:?}"
+        );
+        assert!(
+            problems.iter().any(|p| p.contains("safety audit")),
+            "{problems:?}"
+        );
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("resolve after the heal")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn v3_requires_a_chaos_section() {
+        let mut b = sample_v3_baseline();
+        b.chaos = None;
+        let problems = BenchBaseline::validate_json(&b.to_json()).unwrap_err();
+        assert!(
+            problems.iter().any(|p| p.contains("chaos.entries")),
+            "{problems:?}"
+        );
+        // ...while a v2 baseline without one stays valid.
+        let v2 = sample_v2_baseline();
+        assert_eq!(BenchBaseline::validate_json(&v2.to_json()), Ok(()));
     }
 
     #[test]
@@ -645,14 +864,17 @@ mod tests {
 
     #[test]
     fn v1_baselines_stay_valid_without_service() {
-        // The committed pre-upgrade format lacked the `service` key
-        // entirely (not `"service": null`, which is what serializing
-        // `None` produces) — strip the key to validate the real shape.
+        // The committed pre-upgrade format lacked the `service` (and now
+        // `chaos`) keys entirely (not `"…": null`, which is what
+        // serializing `None` produces) — strip them to validate the real
+        // shape.
         let json = sample_baseline().to_json();
-        let stripped = json.replace(",\n  \"service\": null", "");
+        let stripped = json
+            .replace(",\n  \"service\": null", "")
+            .replace(",\n  \"chaos\": null", "");
         assert!(
-            !stripped.contains("service") && stripped != json,
-            "fixture no longer serializes a null service key:\n{json}"
+            !stripped.contains("service") && !stripped.contains("chaos") && stripped != json,
+            "fixture no longer serializes null optional sections:\n{json}"
         );
         assert_eq!(BenchBaseline::validate_json(&stripped), Ok(()));
         // `"service": null` (a freshly emitted v1) must also stay valid.

@@ -190,6 +190,14 @@ struct Slot<A: Automaton> {
     automaton: A,
     epoch: Instant,
     decided: Option<u64>,
+    /// The identity this instance's `Ctx` is built with: its process id
+    /// and group size — **not** necessarily the loop's. A host scoping a
+    /// protocol instance to a participant subset (`ac-cluster`'s
+    /// transaction groups) opens it with its instance-local rank and
+    /// group size, so `ctx.broadcast_others()` and friends address ranks
+    /// within the group rather than global node ids.
+    me: ProcessId,
+    n: usize,
 }
 
 /// One node's event engine: many concurrent protocol instances multiplexed
@@ -285,27 +293,50 @@ impl<A: Automaton> NodeLoop<A> {
     }
 
     /// Open a new instance: install `automaton` with epoch `now` and run
-    /// its start event. Effects go to `sink`.
+    /// its start event. Effects go to `sink`. The instance runs with the
+    /// loop's own `(me, n)` identity — use [`NodeLoop::open_as`] for
+    /// instances scoped to a participant subset.
     pub fn open(
         &mut self,
         instance: InstanceId,
+        automaton: A,
+        now: Instant,
+        sink: &mut impl FnMut(NodeEvent<A::Msg>),
+    ) {
+        self.open_as(instance, automaton, self.me, self.n, now, sink);
+    }
+
+    /// [`NodeLoop::open`] with an explicit per-instance identity: the
+    /// automaton's `Ctx` carries `(me, n)` — its **instance-local rank and
+    /// group size** — for every event of its lifetime, so
+    /// `ctx.broadcast_others()` (and any `ctx.me()`/`ctx.n()` use)
+    /// addresses ranks within the group. Hosts translate rank-addressed
+    /// `NodeEvent::Send`s back to transport endpoints.
+    ///
+    /// Getting this wrong is subtle: with the loop's global identity, a
+    /// broadcast-to-others from a node whose *global id* happens to be a
+    /// valid rank silently skips that rank's peer (found live as
+    /// Paxos-Commit outcome announcements vanishing for exactly the
+    /// transaction groups led by node 1).
+    pub fn open_as(
+        &mut self,
+        instance: InstanceId,
         mut automaton: A,
+        me: ProcessId,
+        n: usize,
         now: Instant,
         sink: &mut impl FnMut(NodeEvent<A::Msg>),
     ) {
         debug_assert!(!self.slots.contains(instance), "instance reopened");
-        let mut ctx = Ctx::with_actions(
-            Time::ZERO,
-            self.me,
-            self.n,
-            false,
-            std::mem::take(&mut self.scratch),
-        );
+        let mut ctx =
+            Ctx::with_actions(Time::ZERO, me, n, false, std::mem::take(&mut self.scratch));
         automaton.on_start(&mut ctx);
         let mut slot = Slot {
             automaton,
             epoch: now,
             decided: None,
+            me,
+            n,
         };
         self.scratch = drain_actions(
             instance,
@@ -350,8 +381,8 @@ impl<A: Automaton> NodeLoop<A> {
         };
         let mut ctx = Ctx::with_actions(
             self.clock.virtual_now(slot.epoch, now),
-            self.me,
-            self.n,
+            slot.me,
+            slot.n,
             false,
             std::mem::take(&mut self.scratch),
         );
@@ -362,8 +393,32 @@ impl<A: Automaton> NodeLoop<A> {
 
     /// Fire every timer due at or before `now` (timers of closed instances
     /// are silently discarded). Returns how many fired.
+    ///
+    /// Caution: several overdue timers fire **back to back** with no
+    /// chance for the host to deliver the messages earlier fires produced
+    /// (a starved thread can owe both of a protocol's phase timers at
+    /// once, and a 2U handler must see the self-broadcast its 1U handler
+    /// sent). Hosts that route self-sends through their own queue should
+    /// use [`NodeLoop::fire_next`] and interleave deliveries between
+    /// fires — `ac-cluster`'s node loop and [`run_threads`] both do.
     pub fn fire_due(&mut self, now: Instant, sink: &mut impl FnMut(NodeEvent<A::Msg>)) -> usize {
         let mut fired = 0;
+        while self.fire_next(now, sink) {
+            fired += 1;
+        }
+        fired
+    }
+
+    /// Fire **at most one** timer — the earliest due at or before `now` —
+    /// returning whether one fired. Stale timers of closed instances are
+    /// discarded on the way (they do not count as a fire).
+    ///
+    /// This is the causality-preserving primitive: firing one timer at a
+    /// time lets the host deliver the self-sends that fire produced before
+    /// the next (possibly equally overdue) timer of the same process runs,
+    /// matching the simulator's order where same-timestamp deliveries
+    /// precede later timers.
+    pub fn fire_next(&mut self, now: Instant, sink: &mut impl FnMut(NodeEvent<A::Msg>)) -> bool {
         while self.timers.peek().is_some_and(|t| t.due <= now) {
             let t = self.timers.pop().expect("peeked");
             let Some(slot) = self.slots.get_mut(t.instance) else {
@@ -371,8 +426,8 @@ impl<A: Automaton> NodeLoop<A> {
             };
             let mut ctx = Ctx::with_actions(
                 self.clock.virtual_now(slot.epoch, now),
-                self.me,
-                self.n,
+                slot.me,
+                slot.n,
                 false,
                 std::mem::take(&mut self.scratch),
             );
@@ -385,9 +440,9 @@ impl<A: Automaton> NodeLoop<A> {
                 &mut ctx,
                 sink,
             );
-            fired += 1;
+            return true;
         }
-        fired
+        false
     }
 
     /// The wall-clock instant of the earliest pending timer (possibly a
@@ -400,6 +455,17 @@ impl<A: Automaton> NodeLoop<A> {
     /// discarded lazily. Returns its decision, if it had one.
     pub fn close(&mut self, instance: InstanceId) -> Option<u64> {
         self.slots.remove(instance).and_then(|s| s.decided)
+    }
+
+    /// Drop **all** instances and pending timers — the crash/restart hook.
+    ///
+    /// A crashed node loses its volatile state wholesale; the host rebuilds
+    /// what durable storage (e.g. `ac_txn::Wal`) can recover by re-`open`ing
+    /// instances with fresh automata and epochs. The recycled actions
+    /// buffer survives (it carries no state).
+    pub fn reset(&mut self) {
+        self.slots = Slab::new();
+        self.timers.clear();
     }
 }
 
@@ -471,13 +537,18 @@ where
                 if now >= deadline {
                     return;
                 }
-                // Fire due timers first (delivery-priority is a simulator
-                // refinement; on real clocks due timers are simply late),
-                // then park until the exact next deadline: the earliest
-                // pending timer or the run's hard stop, whichever is
-                // sooner. No idle-poll tick — an inbound message or the
-                // completion Wake interrupts the wait.
-                node.fire_due(now, &mut sink);
+                // Fire at most one due timer per iteration: self-sends
+                // travel through this process's own channel, and a later
+                // timer of the same process must see the messages an
+                // earlier one produced (per-process causality; a starved
+                // thread can owe several phase timers at once). Then park
+                // until the exact next deadline: the earliest pending
+                // timer or the run's hard stop, whichever is sooner — a
+                // still-due timer makes the wait zero, so the drain below
+                // picks up any self-send first and the next iteration
+                // fires the next timer. No idle-poll tick — an inbound
+                // message or the completion Wake interrupts the wait.
+                node.fire_next(now, &mut sink);
                 // A timer we just fired may have been the run's last
                 // decision (ours); re-check before parking — no peer will
                 // wake us, the Wake fan-out goes to the *others*.
@@ -641,6 +712,140 @@ mod tests {
         }
         assert_eq!(events, vec![(1, 10)]);
         assert!(node.has(1) && !node.has(2));
+    }
+
+    /// Broadcast-to-others automaton: on start, sends to every *other*
+    /// process of its group.
+    struct Announcer;
+    impl Automaton for Announcer {
+        type Msg = u64;
+        fn on_start(&mut self, ctx: &mut Ctx<u64>) {
+            ctx.broadcast_others(9);
+        }
+        fn on_message(&mut self, _: ProcessId, _: u64, _: &mut Ctx<u64>) {}
+        fn on_timer(&mut self, _: u32, _: &mut Ctx<u64>) {}
+    }
+
+    /// The ISSUE-5 routing regression: an instance scoped to a 2-rank
+    /// group, opened as rank 0 on a node whose **global id is 1** — with
+    /// the loop's identity, `broadcast_others` would skip "process 1",
+    /// i.e. the group's rank 1, and the peer silently misses the message.
+    /// `open_as` pins the instance-local identity instead.
+    #[test]
+    fn open_as_scopes_ctx_identity_to_the_instance_rank() {
+        let clock = UnitClock::new(Duration::from_millis(5));
+        // The loop belongs to global node 1; the instance is rank 0 of a
+        // 2-participant group.
+        let mut node: NodeLoop<Announcer> = NodeLoop::new(1, 4, clock);
+        let mut sends = Vec::new();
+        {
+            let mut sink = |ev: NodeEvent<u64>| {
+                if let NodeEvent::Send { to, .. } = ev {
+                    sends.push(to);
+                }
+            };
+            node.open_as(7, Announcer, 0, 2, Instant::now(), &mut sink);
+        }
+        assert_eq!(sends, vec![1], "rank 0 of 2 must address exactly rank 1");
+
+        // The unscoped open keeps the loop's identity (single-instance
+        // hosts like run_threads rely on it).
+        let mut sends = Vec::new();
+        {
+            let mut sink = |ev: NodeEvent<u64>| {
+                if let NodeEvent::Send { to, .. } = ev {
+                    sends.push(to);
+                }
+            };
+            node.open(8, Announcer, Instant::now(), &mut sink);
+        }
+        assert_eq!(sends, vec![0, 2, 3], "loop identity: node 1 of 4");
+    }
+
+    /// Two-phase automaton mirroring INBAC's hazard: the 1U timer
+    /// self-sends an "ack", the 2U timer decides 1 iff the ack arrived.
+    /// When a starved thread owes both timers at once, firing them back to
+    /// back (fire_due) violates per-process causality and decides 0;
+    /// interleaving self-deliveries between single fires (fire_next, as
+    /// the hosts do) preserves it and decides 1.
+    struct TwoPhase {
+        acked: bool,
+    }
+    impl Automaton for TwoPhase {
+        type Msg = ();
+        fn on_start(&mut self, ctx: &mut Ctx<()>) {
+            ctx.set_timer(Time::units(1), 1);
+            ctx.set_timer(Time::units(2), 2);
+        }
+        fn on_message(&mut self, _: ProcessId, _: (), _ctx: &mut Ctx<()>) {
+            self.acked = true;
+        }
+        fn on_timer(&mut self, tag: u32, ctx: &mut Ctx<()>) {
+            match tag {
+                1 => ctx.send(ctx.me(), ()),
+                _ => ctx.decide(u64::from(self.acked)),
+            }
+        }
+    }
+
+    #[test]
+    fn fire_next_preserves_causality_when_several_timers_are_overdue() {
+        let clock = UnitClock::new(Duration::from_millis(1));
+        let t0 = Instant::now();
+        // The thread "wakes up" with both the 1U and 2U timers overdue.
+        let late = t0 + Duration::from_millis(10);
+
+        // The host pattern: drain self-sends between single fires.
+        let mut node: NodeLoop<TwoPhase> = NodeLoop::new(0, 1, clock);
+        let mut selfq: Vec<()> = Vec::new();
+        let mut decision = None;
+        {
+            let mut sink = |ev: NodeEvent<()>| match ev {
+                NodeEvent::Send { .. } => selfq.push(()),
+                NodeEvent::Decided { value, .. } => decision = Some(value),
+            };
+            node.open(1, TwoPhase { acked: false }, t0, &mut sink);
+        }
+        loop {
+            while let Some(()) = selfq.pop() {
+                let mut sink = |ev: NodeEvent<()>| match ev {
+                    NodeEvent::Send { .. } => {}
+                    NodeEvent::Decided { value, .. } => decision = Some(value),
+                };
+                node.deliver(1, 0, (), late, &mut sink);
+            }
+            let mut sink = |ev: NodeEvent<()>| match ev {
+                NodeEvent::Send { .. } => selfq.push(()),
+                NodeEvent::Decided { value, .. } => decision = Some(value),
+            };
+            if !node.fire_next(late, &mut sink) && selfq.is_empty() {
+                break;
+            }
+        }
+        assert_eq!(
+            decision,
+            Some(1),
+            "the 2U handler must see the 1U handler's self-send"
+        );
+    }
+
+    #[test]
+    fn reset_drops_instances_and_timers_for_restart() {
+        let clock = UnitClock::new(Duration::from_millis(5));
+        let mut node: NodeLoop<TimedDecider> = NodeLoop::new(0, 1, clock);
+        let mut sink = |_: NodeEvent<()>| {};
+        let t0 = Instant::now();
+        node.open(1, TimedDecider { value: 1 }, t0, &mut sink);
+        node.open(2, TimedDecider { value: 2 }, t0, &mut sink);
+        assert_eq!(node.open_instances(), 2);
+        assert!(node.next_due().is_some());
+        node.reset();
+        assert_eq!(node.open_instances(), 0);
+        assert!(node.next_due().is_none(), "timers must not survive a crash");
+        // A restarted host re-opens a recovered instance with a new epoch.
+        node.open(1, TimedDecider { value: 10 }, Instant::now(), &mut sink);
+        assert!(node.has(1));
+        assert_eq!(node.open_instances(), 1);
     }
 
     #[test]

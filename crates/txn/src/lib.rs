@@ -15,16 +15,21 @@
 //!   conflict patterns;
 //! * [`cluster`] — glues shards to any [`ac_commit::CommitProtocol`]: one
 //!   simulated commit round per transaction, with latency (in message
-//!   delays) and abort accounting.
+//!   delays) and abort accounting;
+//! * [`wal`] — a per-shard write-ahead log (prepare/decision records) with
+//!   replay-idempotent recovery, the durability substrate of the live
+//!   service's crash/restart path (`ac-chaos`).
 
 #![deny(missing_docs)]
 
 pub mod cluster;
 pub mod store;
 pub mod txn;
+pub mod wal;
 pub mod workload;
 
 pub use cluster::{Cluster, CommitStats};
 pub use store::{Shard, Version};
 pub use txn::{Key, Transaction, TxnId, WriteOp};
+pub use wal::{DecidedTxn, PreparedTxn, Recovery, Wal, WalRecord};
 pub use workload::{Workload, WorkloadConfig};

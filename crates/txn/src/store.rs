@@ -88,6 +88,21 @@ impl Shard {
         }
     }
 
+    /// Re-take `txn`'s write locks **without validation** (recovery path).
+    ///
+    /// Used when replaying a write-ahead log: the vote was already cast in
+    /// the original execution, so re-validating reads against the recovered
+    /// state would be wrong (a concurrent commit may have legitimately
+    /// advanced a read version *after* this transaction validated).
+    /// Idempotent — re-locking keys this transaction already owns is a
+    /// no-op.
+    pub fn relock(&mut self, txn: &Transaction) {
+        let my = |key: &Key| key.shard == self.id;
+        for key in txn.writes.keys().filter(|k| my(k)) {
+            self.locks.insert(key.k, txn.id);
+        }
+    }
+
     /// Number of currently held locks (diagnostics).
     pub fn locked(&self) -> usize {
         self.locks.len()

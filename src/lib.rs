@@ -1,5 +1,6 @@
 //! Umbrella crate: re-exports the workspace for examples and integration
 //! tests. See README.md for the tour.
+pub use ac_chaos as chaos;
 pub use ac_cluster as cluster;
 pub use ac_commit as commit;
 pub use ac_consensus as consensus;

@@ -1,0 +1,362 @@
+//! ISSUE-5 tentpole end-to-end coverage: live fault injection, crash +
+//! WAL recovery, cooperative termination, and sim-vs-live agreement under
+//! the *same* crash schedule.
+//!
+//! The scenarios mirror the paper's §6.2 story measured in wall-clock:
+//! Paxos-Commit and INBAC keep deciding (and keep committing transactions
+//! whose participants stayed up) through a participant crash, while 2PC's
+//! transactions coordinated by the crashed node block until it restarts,
+//! recovers from its write-ahead log and aborts them.
+
+use std::time::Duration;
+
+use ac_chaos::{run_chaos, ChaosConfig, ChaosPlan};
+use ac_cluster::{participants_of, run_service_faulted, FaultSpec, ServiceConfig};
+use ac_commit::protocols::ProtocolKind;
+use ac_commit::Scenario;
+use ac_net::{Crash, FaultPlan};
+use ac_txn::workload::{Workload, WorkloadConfig};
+
+/// A chaos-tuned service: span-3 transactions on 4 shards (so 1 in 4 draws
+/// avoids any given node), paced submission, bounded retrying waits.
+fn chaos_cfg(kind: ProtocolKind) -> ServiceConfig {
+    ServiceConfig::new(4, 1, kind)
+        .clients(3)
+        .txns_per_client(14)
+        .workload(Workload::Uniform { span: 3 })
+        .unit(Duration::from_millis(5))
+        .keys_per_shard(64)
+        .seed(23)
+        .pacing(Duration::from_millis(8))
+        .reply_timeout(Duration::from_millis(60))
+        .park_retries(1)
+        .txn_deadline(Duration::from_secs(6))
+}
+
+/// Crash window in units: [10, 50) = [50 ms, 250 ms) at unit 5 ms.
+const DOWN: u64 = 10;
+const UP: u64 = 50;
+
+#[test]
+fn paxos_commit_keeps_committing_through_a_participant_crash() {
+    let cfg = ChaosConfig {
+        service: chaos_cfg(ProtocolKind::PaxosCommit),
+        plan: ChaosPlan::none(4).crash(1, DOWN, Some(UP)),
+    };
+    let out = run_chaos(&cfg);
+    assert!(
+        out.service.is_safe(),
+        "audit failed: {:?}",
+        out.service.violations
+    );
+    assert_eq!(
+        out.service.stalled, 0,
+        "everything must resolve after the restart"
+    );
+    assert!(
+        out.stats.committed_during_fault > 0,
+        "availability during the fault window must be > 0: {:?}",
+        out.stats
+    );
+    assert!(out.stats.unresolved == 0);
+    // Serializability still holds across the crash/recovery.
+    let rebuilt = out.service.replay();
+    for (live, replayed) in out.service.shards.iter().zip(&rebuilt) {
+        for k in 0..cfg.service.keys_per_shard {
+            assert_eq!(live.read(k), replayed.read(k), "shard {} key {k}", live.id);
+        }
+    }
+}
+
+#[test]
+fn two_pc_blocks_on_coordinator_crash_until_restart_unblocks_it() {
+    // Node 3 is the highest shard, hence the 2PC coordinator of every
+    // transaction that touches it (ranks are ascending shard ids).
+    let cfg = ChaosConfig {
+        service: chaos_cfg(ProtocolKind::TwoPc),
+        plan: ChaosPlan::none(4).crash(3, DOWN, Some(UP)),
+    };
+    let out = run_chaos(&cfg);
+    assert!(
+        out.service.is_safe(),
+        "audit failed: {:?}",
+        out.service.violations
+    );
+    assert!(
+        out.stats.blocked > 0,
+        "2PC must report blocked txns under a crashed coordinator: {:?}",
+        out.stats
+    );
+    assert_eq!(
+        out.service.stalled, 0,
+        "restart + retry must eventually unblock every blocked txn"
+    );
+    assert!(
+        out.stats.time_to_unblock > Duration::ZERO,
+        "blocked txns resolve only after the restart: {:?}",
+        out.stats
+    );
+    assert!(
+        out.service.retries > 0,
+        "unblocking rides on client retries"
+    );
+}
+
+#[test]
+fn inbac_decides_through_a_participant_crash_and_recovers() {
+    let cfg = ChaosConfig {
+        service: chaos_cfg(ProtocolKind::Inbac),
+        plan: ChaosPlan::none(4).crash(1, DOWN, Some(UP)),
+    };
+    let out = run_chaos(&cfg);
+    assert!(
+        out.service.is_safe(),
+        "audit failed: {:?}",
+        out.service.violations
+    );
+    assert_eq!(out.service.stalled, 0);
+    assert!(
+        out.stats.committed_during_fault > 0,
+        "INBAC's f-tolerant path keeps committing: {:?}",
+        out.stats
+    );
+}
+
+#[test]
+fn partition_heals_and_every_transaction_resolves() {
+    for kind in [ProtocolKind::PaxosCommit, ProtocolKind::TwoPc] {
+        let cfg = ChaosConfig {
+            service: chaos_cfg(kind),
+            plan: ChaosPlan::none(4).partition(vec![0, 1], DOWN, UP, true),
+        };
+        let out = run_chaos(&cfg);
+        assert!(
+            out.service.is_safe(),
+            "{}: audit failed: {:?}",
+            kind.name(),
+            out.service.violations
+        );
+        assert_eq!(
+            out.service.stalled,
+            0,
+            "{}: post-heal retries must resolve",
+            kind.name()
+        );
+        assert!(
+            out.stats.committed_after_heal > 0,
+            "{}: the service must recover throughput after the heal: {:?}",
+            kind.name(),
+            out.stats
+        );
+        assert!(
+            out.service.dropped_messages > 0,
+            "{}: the partition must actually cut traffic",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn lossy_links_degrade_but_never_corrupt() {
+    let cfg = ChaosConfig {
+        service: chaos_cfg(ProtocolKind::PaxosCommit),
+        plan: ChaosPlan::none(4).lossy(0, 10_000, 100).seed(5),
+    };
+    let out = run_chaos(&cfg);
+    assert!(
+        out.service.is_safe(),
+        "audit failed: {:?}",
+        out.service.violations
+    );
+    assert_eq!(out.service.stalled, 0);
+    assert!(out.service.committed > 0);
+    assert!(out.service.dropped_messages > 0, "10% loss must bite");
+}
+
+/// Same crash schedule, same protocol, same decisions: a crash schedule
+/// expressed once as an `ac_net::FaultPlan` drives the simulator directly
+/// and, converted through `ChaosPlan::from_fault_plan`, the live cluster.
+/// Span-`n` transactions make the live participant set the whole cluster,
+/// so instance ranks coincide with the simulator's process ids.
+#[test]
+fn sim_and_live_agree_under_the_same_crash_schedule() {
+    let n = 4;
+    let sim_plan = FaultPlan::none(n).with_crash(1, Crash::initially());
+    let chaos_plan = ChaosPlan::from_fault_plan(&sim_plan);
+    // The conversion must round-trip (crash-only schedules are exactly
+    // representable in both vocabularies).
+    assert_eq!(
+        chaos_plan.to_fault_plan().unwrap().crashed_ids(),
+        sim_plan.crashed_ids()
+    );
+
+    for kind in [ProtocolKind::Inbac, ProtocolKind::PaxosCommit] {
+        let service = ServiceConfig::new(n, 1, kind)
+            .clients(1)
+            .txns_per_client(2)
+            .workload(Workload::Uniform { span: n })
+            .unit(Duration::from_millis(10))
+            .keys_per_shard(32)
+            .seed(41)
+            .reply_timeout(Duration::from_millis(150))
+            .park_retries(1)
+            .txn_deadline(Duration::from_millis(800));
+        let cfg = ChaosConfig {
+            service: service.clone(),
+            plan: chaos_plan.clone(),
+        };
+        let out = run_chaos(&cfg);
+        assert!(
+            out.service.is_safe(),
+            "{}: audit failed: {:?}",
+            kind.name(),
+            out.service.violations
+        );
+        // Node 1 is dead for the whole run and never restarts, so every
+        // transaction misses one decision and is abandoned at its
+        // deadline — the *survivors'* decisions are what must agree.
+        assert_eq!(out.service.stalled, 2, "{}", kind.name());
+
+        // Reconstruct the submitted stream and run the simulator under
+        // the *original* FaultPlan with the survivors' actual votes.
+        let mut gen = WorkloadConfig {
+            shards: n,
+            keys_per_shard: service.keys_per_shard,
+            workload: service.workload.clone(),
+            seed: service.client_seed(0),
+        }
+        .generator();
+        let mut txns = gen.take_txns(service.txns_per_client);
+        for (i, t) in txns.iter_mut().enumerate() {
+            t.id = ServiceConfig::txn_id(0, i);
+        }
+
+        for t in &txns {
+            assert_eq!(participants_of(t, n).len(), n, "span-n txn covers all");
+            // All survivors voted yes (sequential aborts leave no locks),
+            // the dead node proposes nothing: the paper's validity says
+            // the decision must be 0 in every such execution.
+            let sc = Scenario::nice(n, 1)
+                .votes(&vec![true; n])
+                .crash(1, sim_plan.crash_of(1).unwrap());
+            let sim_out = kind.run(&sc);
+            let sim_vals = sim_out.decided_values();
+            assert_eq!(sim_vals, vec![0], "{}: simulator decision", kind.name());
+
+            // Every live survivor that logged the txn decided the same
+            // value the simulator's processes did.
+            let mut live_decisions = Vec::new();
+            for (node, log) in out.service.node_logs.iter().enumerate() {
+                if let Some(rec) = log.iter().find(|r| r.txn.id == t.id) {
+                    assert_ne!(node, 1, "the dead node cannot have logged anything");
+                    live_decisions.push(rec.decision);
+                }
+            }
+            assert!(
+                !live_decisions.is_empty(),
+                "{}: survivors must decide txn {}",
+                kind.name(),
+                t.id
+            );
+            assert!(
+                live_decisions.iter().all(|&d| d == sim_vals[0]),
+                "{}: live survivors decided {live_decisions:?}, sim decided {:?}",
+                kind.name(),
+                sim_vals
+            );
+        }
+
+        // No effects anywhere: everything aborted in both worlds.
+        assert_eq!(out.service.total_value(), 0);
+        for shard in &out.service.shards {
+            assert_eq!(
+                shard.locked(),
+                0,
+                "{}: aborts must release locks",
+                kind.name()
+            );
+        }
+    }
+}
+
+/// A node that crashes and **never restarts** must still leave a clean
+/// audit: its durable (WAL-rebuilt) state answers for it, transactions it
+/// took to its grave are counted stalled — not as lock leaks — and the
+/// f-tolerant survivors decide everything else.
+#[test]
+fn crash_without_restart_keeps_the_audit_clean() {
+    let cfg = ChaosConfig {
+        service: chaos_cfg(ProtocolKind::PaxosCommit)
+            .txns_per_client(10)
+            .txn_deadline(Duration::from_millis(1200)),
+        plan: ChaosPlan::none(4).crash(1, DOWN, None),
+    };
+    let out = run_chaos(&cfg);
+    assert!(
+        out.service.is_safe(),
+        "a dead-forever node must not fail the audit: {:?}",
+        out.service.violations
+    );
+    assert!(
+        out.service.stalled > 0,
+        "txns waiting on the dead node are abandoned, not hung"
+    );
+    assert!(
+        out.service.committed > 0,
+        "txns avoiding the dead shard keep committing"
+    );
+}
+
+/// WAL recovery carries decisions across the crash: a run where the
+/// crashed node had already applied decisions must surface them again in
+/// its post-restart audit log (rebuilt from the WAL, not from lost
+/// memory), keeping the cross-node audit complete.
+#[test]
+fn recovered_node_rebuilds_its_decision_log_from_the_wal() {
+    let service = chaos_cfg(ProtocolKind::PaxosCommit).txns_per_client(16);
+    let cfg = ChaosConfig {
+        service,
+        // Crash late enough that node 2 decided a batch before dying.
+        plan: ChaosPlan::none(4).crash(2, 30, Some(60)),
+    };
+    let out = run_chaos(&cfg);
+    assert!(
+        out.service.is_safe(),
+        "audit failed: {:?}",
+        out.service.violations
+    );
+    assert_eq!(out.service.stalled, 0);
+    assert!(
+        !out.service.node_logs[2].is_empty(),
+        "node 2's audit log must survive the crash via the WAL"
+    );
+    // And it still replays sequentially to the final shard state.
+    let rebuilt = out.service.replay();
+    for k in 0..cfg.service.keys_per_shard {
+        assert_eq!(
+            out.service.shards[2].read(k),
+            rebuilt[2].read(k),
+            "key {k} diverged across crash recovery"
+        );
+    }
+}
+
+/// The run_service_faulted surface also works without any chaos plan —
+/// durability alone must not change outcomes.
+#[test]
+fn durable_failure_free_run_matches_the_default_path() {
+    let cfg = ServiceConfig::new(4, 1, ProtocolKind::Inbac)
+        .clients(2)
+        .txns_per_client(6)
+        .unit(Duration::from_millis(10));
+    let spec = FaultSpec {
+        policy: None,
+        crashes: vec![None; 4],
+        durable: true,
+    };
+    let out = run_service_faulted(&cfg, &spec);
+    assert!(out.is_safe(), "{:?}", out.violations);
+    assert_eq!(out.stalled, 0);
+    assert_eq!(out.txns, 12);
+    assert_eq!(out.retries, 0);
+}
