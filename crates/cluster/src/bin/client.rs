@@ -1,0 +1,55 @@
+//! `ac-client --spec FILE` — the load-driving side of a real loopback
+//! cluster.
+//!
+//! Runs the spec's closed-loop client workload against the `ac-node`
+//! processes listed in the spec, shuts the nodes down when the workload
+//! finishes, and prints one audit line:
+//!
+//! ```text
+//! client audit txns=50 committed=47 aborted=3 stalled=0 retries=0 split=0
+//! ```
+//!
+//! Exits nonzero if any transaction stalled or observed a split
+//! decision — both violate the service's safety/liveness contract on a
+//! healthy cluster.
+
+use std::process::exit;
+
+use ac_cluster::spec::ClusterSpec;
+
+fn usage() -> ! {
+    eprintln!("usage: ac-client --spec FILE");
+    exit(2)
+}
+
+fn main() {
+    let mut spec_path = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--spec" => spec_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    let spec_path = spec_path.unwrap_or_else(|| usage());
+    let text = match std::fs::read_to_string(&spec_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("ac-client: cannot read {spec_path}: {e}");
+            exit(2);
+        }
+    };
+    let spec = match ClusterSpec::parse(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ac-client: bad spec {spec_path}: {e}");
+            exit(2);
+        }
+    };
+    let summary = ac_cluster::proc::run_client(&spec);
+    println!("{}", summary.render());
+    if summary.stalled > 0 || summary.split > 0 {
+        exit(1);
+    }
+}

@@ -1,0 +1,65 @@
+//! `ac-node --spec FILE --id N` — one node of a real loopback cluster.
+//!
+//! Binds the address the spec assigns to node `N`, serves protocol and
+//! client traffic over TCP until the client sends `Shutdown`, then
+//! prints one audit line:
+//!
+//! ```text
+//! node 2 audit total=0 locked=0 decided=50 orphaned=0
+//! ```
+
+use std::process::exit;
+
+use ac_cluster::spec::ClusterSpec;
+
+fn usage() -> ! {
+    eprintln!("usage: ac-node --spec FILE --id N");
+    exit(2)
+}
+
+fn main() {
+    let mut spec_path = None;
+    let mut id = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--spec" => spec_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--id" => {
+                id = Some(
+                    args.next()
+                        .and_then(|v| v.parse::<usize>().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    let (spec_path, id) = match (spec_path, id) {
+        (Some(s), Some(i)) => (s, i),
+        _ => usage(),
+    };
+    let text = match std::fs::read_to_string(&spec_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("ac-node: cannot read {spec_path}: {e}");
+            exit(2);
+        }
+    };
+    let spec = match ClusterSpec::parse(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ac-node: bad spec {spec_path}: {e}");
+            exit(2);
+        }
+    };
+    if id >= spec.n() {
+        eprintln!(
+            "ac-node: --id {id} out of range (spec has {} nodes)",
+            spec.n()
+        );
+        exit(2);
+    }
+    let summary = ac_cluster::proc::run_node(&spec, id);
+    println!("{}", summary.render());
+}

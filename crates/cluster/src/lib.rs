@@ -26,13 +26,21 @@
 
 #![deny(missing_docs)]
 
+pub mod codec;
 pub mod histogram;
 pub mod inline;
+pub mod proc;
 pub mod service;
+pub mod spec;
+pub mod transport;
 
+pub use codec::{AnyFrame, FrameDecoder, MAX_FRAME};
 pub use histogram::LatencyHistogram;
 pub use inline::InlineVec;
 pub use service::{
-    participants_of, run_service, run_service_faulted, CrashWindow, Fate, FaultSpec, NetPolicy,
-    NodeRecord, ServiceConfig, ServiceOutcome, TxnEvent,
+    participants_of, run_service, run_service_faulted, CrashWindow, Done, Fate, FaultSpec,
+    NetPolicy, NodeRecord, ServiceConfig, ServiceOutcome, ToNode, TransportKind, TxnEvent,
+    ORPHAN_CAP,
 };
+pub use spec::ClusterSpec;
+pub use transport::{ChannelTransport, ClientRegistry, TcpNode, TcpTransport, Transport};

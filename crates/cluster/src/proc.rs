@@ -1,0 +1,291 @@
+//! Multi-process cluster drivers: the code behind the `ac-node` and
+//! `ac-client` binaries.
+//!
+//! A real cluster is `n` `ac-node` processes plus one `ac-client`
+//! process, all reading the same [`ClusterSpec`] file. Every hop is TCP:
+//!
+//! * node→node protocol traffic uses [`TcpTransport`] exactly as the
+//!   in-process TCP mode does;
+//! * client→node control traffic (`Begin`/`End`, final `Shutdown`) uses
+//!   a [`TcpTransport`] whose post-connect hook first sends a `Hello`
+//!   frame naming the client and spawns a reader for the reverse
+//!   direction;
+//! * node→client `Done` reports travel back down the client's own
+//!   connection: the node's [`TcpNode`] records the write half under the
+//!   `Hello`'d client id, and a per-client forwarder thread frames the
+//!   `Done`s the node loop emits.
+//!
+//! The node and client loops themselves are the unchanged
+//! `service::node_main` / `service::client_main` — processes differ from
+//! threads only below the transport seam.
+
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::sync::atomic::AtomicUsize;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use ac_commit::problem::COMMIT;
+use ac_commit::CommitProtocol;
+use ac_sim::Wire;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::codec::{write_frame, AnyFrame, FrameDecoder};
+use crate::service::{client_main, node_main, with_protocol, Done, NodeEnv, ToNode};
+use crate::spec::ClusterSpec;
+use crate::transport::{ClientRegistry, OnConnect, TcpNode, TcpTransport, Transport};
+
+/// What a node process reports when it exits (printed as the audit line
+/// the multi-process smoke test parses).
+#[derive(Clone, Debug)]
+pub struct NodeSummary {
+    /// This node's id.
+    pub me: usize,
+    /// Final sum of the shard's values (a transfer workload must keep
+    /// the sum *across nodes* at zero).
+    pub total: i64,
+    /// Write locks still held at exit (must be 0).
+    pub locked: usize,
+    /// Decisions this node applied and logged.
+    pub decided: usize,
+    /// Early envelopes dropped by the bounded pre-open buffer (must be 0).
+    pub orphaned: usize,
+}
+
+impl NodeSummary {
+    /// The parseable audit line.
+    pub fn render(&self) -> String {
+        format!(
+            "node {} audit total={} locked={} decided={} orphaned={}",
+            self.me, self.total, self.locked, self.decided, self.orphaned
+        )
+    }
+}
+
+/// What the client process reports when it exits.
+#[derive(Clone, Debug)]
+pub struct ClientSummary {
+    /// Transactions fully served (all participant decisions arrived).
+    pub txns: usize,
+    /// Committed transactions.
+    pub committed: usize,
+    /// Aborted transactions.
+    pub aborted: usize,
+    /// Transactions abandoned at their deadline (must be 0).
+    pub stalled: usize,
+    /// `Begin` re-sends across all clients.
+    pub retries: usize,
+    /// Transactions whose participants reported different decisions
+    /// (must be 0 — atomic commitment).
+    pub split: usize,
+}
+
+impl ClientSummary {
+    /// The parseable audit line.
+    pub fn render(&self) -> String {
+        format!(
+            "client audit txns={} committed={} aborted={} stalled={} retries={} split={}",
+            self.txns, self.committed, self.aborted, self.stalled, self.retries, self.split
+        )
+    }
+}
+
+/// Run node `me` of the spec'd cluster until a `Shutdown` frame arrives.
+pub fn run_node(spec: &ClusterSpec, me: usize) -> NodeSummary {
+    assert!(
+        me < spec.n(),
+        "node id {me} out of range (n = {})",
+        spec.n()
+    );
+    with_protocol!(spec.kind, P => run_node_p::<P>(spec, me))
+}
+
+fn run_node_p<P>(spec: &ClusterSpec, me: usize) -> NodeSummary
+where
+    P: CommitProtocol + Send + 'static,
+    P::Msg: Wire + Send + 'static,
+{
+    let (inbox_tx, inbox_rx) = unbounded::<ToNode<P::Msg>>();
+    let registry: ClientRegistry = Arc::new(Mutex::new(HashMap::new()));
+    let tcp = TcpNode::bind(spec.nodes[me], inbox_tx, Some(Arc::clone(&registry)))
+        .unwrap_or_else(|e| panic!("node {me}: cannot bind {}: {e}", spec.nodes[me]));
+
+    // One Done-forwarder per client: drains the node loop's reply channel
+    // and frames each report down the client's registered connection.
+    let mut done_txs: Vec<Sender<Done>> = Vec::new();
+    let mut forwarders = Vec::new();
+    for c in 0..spec.clients {
+        let (dtx, drx) = unbounded::<Done>();
+        done_txs.push(dtx);
+        let reg = Arc::clone(&registry);
+        forwarders.push(std::thread::spawn(move || done_forwarder(c, drx, reg)));
+    }
+
+    let env = NodeEnv::<P> {
+        me,
+        n: spec.n(),
+        f: spec.f,
+        unit: spec.unit,
+        epoch: Instant::now(),
+        rx: inbox_rx,
+        transport: Box::new(TcpTransport::new(spec.nodes.clone())),
+        done_txs,
+        wire: Arc::new(AtomicUsize::new(0)),
+        policy: None,
+        window: None,
+        wal: None,
+    };
+    let ret = node_main::<P>(env);
+    // node_main dropped its Done senders on return; the forwarders drain
+    // what is left and exit.
+    for h in forwarders {
+        let _ = h.join();
+    }
+    tcp.shutdown();
+    NodeSummary {
+        me,
+        total: ret.shard.total(),
+        locked: ret.shard.locked(),
+        decided: ret.log.len(),
+        orphaned: ret.orphaned_envelopes,
+    }
+}
+
+/// Frame `Done` reports down client `client`'s registered connection.
+/// Reports arriving before the client's `Hello` are held back briefly;
+/// a client that never registers (or whose connection broke) costs the
+/// reports, not the node — exactly a lossy link in the fault model.
+fn done_forwarder(client: usize, rx: Receiver<Done>, reg: ClientRegistry) {
+    let mut backlog: Vec<Done> = Vec::new();
+    let mut buf = Vec::new();
+    while let Ok(d) = rx.recv() {
+        backlog.push(d);
+        for _attempt in 0..250 {
+            let stream = reg
+                .lock()
+                .expect("registry poisoned")
+                .get(&client)
+                .and_then(|s| s.try_clone().ok());
+            match stream {
+                Some(mut s) => {
+                    buf.clear();
+                    for d in &backlog {
+                        write_frame::<()>(&AnyFrame::Done(*d), &mut buf);
+                    }
+                    if s.write_all(&buf).is_ok() {
+                        backlog.clear();
+                    }
+                    // Written or broken: either way stop retrying now;
+                    // a rebroken connection re-registers on reconnect.
+                    break;
+                }
+                None => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    }
+}
+
+/// One client connection's read loop: decode frames, forward the `Done`s.
+fn done_reader<M: Wire>(mut stream: TcpStream, out: Sender<Done>) {
+    use std::io::Read as _;
+    let mut dec = FrameDecoder::new();
+    let mut chunk = vec![0u8; 64 * 1024];
+    loop {
+        let n = match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => return,
+            Ok(n) => n,
+        };
+        dec.feed(&chunk[..n]);
+        loop {
+            match dec.next_frame::<M>() {
+                Ok(Some(AnyFrame::Done(d))) => {
+                    if out.send(d).is_err() {
+                        return;
+                    }
+                }
+                Ok(Some(_)) => {} // nodes never send these to a client
+                Ok(None) => break,
+                Err(_) => {
+                    if dec.is_poisoned() {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Run the spec'd client workload end-to-end, then shut the nodes down.
+pub fn run_client(spec: &ClusterSpec) -> ClientSummary {
+    with_protocol!(spec.kind, P => run_client_p::<P>(spec))
+}
+
+fn run_client_p<P>(spec: &ClusterSpec) -> ClientSummary
+where
+    P: CommitProtocol + Send + 'static,
+    P::Msg: Wire + Send + 'static,
+{
+    let cfg = spec.service_config();
+    let epoch = Instant::now();
+    let handles: Vec<_> = (0..spec.clients)
+        .map(|c| {
+            let (dtx, drx) = unbounded::<Done>();
+            // On every (re)connect to a node: say hello so Done frames
+            // can route back, then read them off the same stream.
+            let hook: OnConnect = Arc::new(move |_to, stream: &TcpStream| {
+                let mut hello = Vec::new();
+                write_frame::<()>(&AnyFrame::Hello { client: c }, &mut hello);
+                if let Ok(mut w) = stream.try_clone() {
+                    let _ = w.write_all(&hello);
+                }
+                if let Ok(r) = stream.try_clone() {
+                    let dtx = dtx.clone();
+                    std::thread::spawn(move || done_reader::<P::Msg>(r, dtx));
+                }
+            });
+            let transport = TcpTransport::new(spec.nodes.clone()).on_connect(hook);
+            let cfg = cfg.clone();
+            std::thread::spawn(move || client_main::<P>(c, &cfg, epoch, Box::new(transport), drx))
+        })
+        .collect();
+
+    let mut summary = ClientSummary {
+        txns: 0,
+        committed: 0,
+        aborted: 0,
+        stalled: 0,
+        retries: 0,
+        split: 0,
+    };
+    for h in handles {
+        let ret = h.join().expect("client thread panicked");
+        summary.stalled += ret.stalled;
+        summary.retries += ret.retries;
+        for rec in &ret.records {
+            if rec.decisions.iter().any(|d| d.is_none()) {
+                continue; // counted in `stalled`
+            }
+            let mut vals: Vec<u64> = rec.decisions.iter().flatten().copied().collect();
+            vals.sort_unstable();
+            vals.dedup();
+            if vals.len() != 1 {
+                summary.split += 1;
+                continue;
+            }
+            summary.txns += 1;
+            if vals[0] == COMMIT {
+                summary.committed += 1;
+            } else {
+                summary.aborted += 1;
+            }
+        }
+    }
+
+    // The run is over: tear the nodes down over the wire.
+    let mut shut = TcpTransport::new(spec.nodes.clone());
+    for p in 0..spec.n() {
+        Transport::<P::Msg>::send(&mut shut, p, ToNode::Shutdown);
+    }
+    summary
+}

@@ -88,6 +88,7 @@ use crossbeam::channel::{unbounded, Receiver, RecvError, RecvTimeoutError, Sende
 
 use crate::histogram::LatencyHistogram;
 use crate::inline::InlineVec;
+use crate::transport::{ChannelTransport, TcpNode, TcpTransport, Transport};
 
 /// Upper bound on envelopes drained per node-loop iteration. Bounds the
 /// latency a long backlog can add to timer firing while still amortizing
@@ -96,6 +97,13 @@ const NODE_BATCH: usize = 256;
 
 /// Upper bound on decision replies a client drains per iteration.
 const CLIENT_BATCH: usize = 64;
+
+/// Upper bound on protocol envelopes buffered per not-yet-opened
+/// instance (envelopes that outran their `Begin`). Any protocol round
+/// sends at most a handful of envelopes per peer, so a full buffer means
+/// something pathological; overflow is dropped and counted in
+/// [`ServiceOutcome::orphaned_envelopes`].
+pub const ORPHAN_CAP: usize = 128;
 
 /// The shards participating in `txn`'s commit — its protocol group. A
 /// transaction touching fewer than two shards falls back to the whole
@@ -171,6 +179,37 @@ impl FaultSpec {
     }
 }
 
+/// Which transport carries node-to-node envelopes (see
+/// [`crate::transport`]). Client↔node control traffic stays in-process
+/// either way when the whole service runs in one process; the `ac-node`
+/// / `ac-client` binaries put it on TCP too.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum TransportKind {
+    /// In-process crossbeam channels (the fast/test path).
+    Channel,
+    /// Real TCP sockets on loopback, framed by [`crate::codec`].
+    Tcp,
+}
+
+impl TransportKind {
+    /// Parse a CLI spelling (`channel` | `tcp`).
+    pub fn parse(s: &str) -> Option<TransportKind> {
+        match s {
+            "channel" => Some(TransportKind::Channel),
+            "tcp" => Some(TransportKind::Tcp),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TransportKind::Channel => "channel",
+            TransportKind::Tcp => "tcp",
+        }
+    }
+}
+
 /// Configuration of one live service run.
 #[derive(Clone, Debug)]
 pub struct ServiceConfig {
@@ -216,6 +255,8 @@ pub struct ServiceConfig {
     /// runs pace the load so the stream is still flowing when the fault
     /// window opens.
     pub pacing: Option<Duration>,
+    /// Which transport carries node-to-node envelopes.
+    pub transport: TransportKind,
 }
 
 impl ServiceConfig {
@@ -238,6 +279,7 @@ impl ServiceConfig {
             park_retries: 3,
             max_outstanding: 16,
             pacing: None,
+            transport: TransportKind::Channel,
         }
     }
 
@@ -301,6 +343,12 @@ impl ServiceConfig {
         self
     }
 
+    /// Set the node-to-node transport (builder style).
+    pub fn transport(mut self, t: TransportKind) -> ServiceConfig {
+        self.transport = t;
+        self
+    }
+
     /// The workload seed client `client` draws from (exposed so tests can
     /// regenerate the exact transaction stream a client submitted).
     pub fn client_seed(&self, client: usize) -> u64 {
@@ -331,11 +379,11 @@ pub struct NodeRecord {
 
 /// Outcome of one client transaction as the client observed it.
 #[derive(Clone, Debug)]
-struct ClientRecord {
-    txn: Arc<Transaction>,
+pub(crate) struct ClientRecord {
+    pub(crate) txn: Arc<Transaction>,
     /// Decision reported by each participant, in participant-rank order
     /// (None = never arrived before abandonment).
-    decisions: Vec<Option<u64>>,
+    pub(crate) decisions: Vec<Option<u64>>,
 }
 
 /// One transaction's timeline as the client observed it, relative to the
@@ -395,6 +443,13 @@ pub struct ServiceOutcome {
     /// Node-loop wakeups that found neither a message nor a due timer
     /// (0 = every wakeup did useful work; idle nodes park indefinitely).
     pub spurious_wakeups: usize,
+    /// Early protocol envelopes (arrived before their `Begin`) dropped
+    /// because an instance's bounded pre-open buffer was full. 0 in any
+    /// healthy run — the buffer holds [`ORPHAN_CAP`] envelopes and no
+    /// protocol in the suite sends nearly that many per instance, so a
+    /// non-zero count means envelopes outran their `Begin` pathologically
+    /// (a reordering transport or a flood from a confused peer).
+    pub orphaned_envelopes: usize,
     /// Final shard states.
     pub shards: Vec<Shard>,
     /// Each node's apply log, in its local apply order.
@@ -450,40 +505,63 @@ impl ServiceOutcome {
 
 /// Everything a node can receive: client control traffic, protocol
 /// envelopes `(TxnId, from, msg)`, and service-level recovery traffic.
-enum ToNode<M> {
+/// Public because it is the [`crate::transport::Transport`] alphabet —
+/// every variant is wire-encodable via [`crate::codec`].
+#[derive(Debug)]
+pub enum ToNode<M> {
+    /// A client submits (or re-submits) a transaction to a participant.
     Begin {
+        /// The transaction body.
         txn: Arc<Transaction>,
+        /// The submitting client.
         client: usize,
     },
+    /// A protocol envelope between two participants of an instance.
     Net {
+        /// The instance (= transaction) id.
         txn: TxnId,
+        /// The sending node (global id, translated to an instance rank
+        /// at the demux boundary).
         from: ProcessId,
+        /// The protocol message.
         msg: M,
     },
     /// Cooperative termination: "has `txn` decided at your node?" Sent by a
     /// recovered node for its in-flight transactions and by any node whose
     /// open instance is the target of a client retry.
     StatusQ {
+        /// The queried transaction.
         txn: TxnId,
+        /// The asking node.
         from: ProcessId,
     },
     /// The answer: a decision this node applied (protocol agreement makes
     /// adopting it safe).
     StatusA {
+        /// The decided transaction.
         txn: TxnId,
+        /// The decided value (1 = commit).
         value: u64,
     },
+    /// The submitting client saw every participant decision; the
+    /// instance can be garbage-collected.
     End {
+        /// The finished transaction.
         txn: TxnId,
     },
+    /// Tear the node down (end of run).
     Shutdown,
 }
 
 /// A node's decision report to the submitting client.
-struct Done {
-    txn: TxnId,
-    node: ProcessId,
-    decision: u64,
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Done {
+    /// The decided transaction.
+    pub txn: TxnId,
+    /// The reporting participant.
+    pub node: ProcessId,
+    /// The decided value (1 = commit).
+    pub decision: u64,
 }
 
 /// Per-open-transaction node state: body, routing and the local vote.
@@ -523,22 +601,23 @@ impl<M> Ord for DelayedEnv<M> {
     }
 }
 
-struct NodeReturn {
-    shard: Shard,
-    log: Vec<NodeRecord>,
+pub(crate) struct NodeReturn {
+    pub(crate) shard: Shard,
+    pub(crate) log: Vec<NodeRecord>,
     /// Wakeups that found neither a message nor a due timer.
-    spurious_wakeups: usize,
-    dropped_messages: usize,
-    delayed_messages: usize,
+    pub(crate) spurious_wakeups: usize,
+    pub(crate) dropped_messages: usize,
+    pub(crate) delayed_messages: usize,
+    pub(crate) orphaned_envelopes: usize,
 }
 
-struct ClientReturn {
-    records: Vec<ClientRecord>,
-    events: Vec<TxnEvent>,
-    latency: LatencyHistogram,
-    stalled: usize,
-    retries: usize,
-    reply_timeouts: usize,
+pub(crate) struct ClientReturn {
+    pub(crate) records: Vec<ClientRecord>,
+    pub(crate) events: Vec<TxnEvent>,
+    pub(crate) latency: LatencyHistogram,
+    pub(crate) stalled: usize,
+    pub(crate) retries: usize,
+    pub(crate) reply_timeouts: usize,
 }
 
 /// Run the configured service end-to-end, failure-free, and audit it.
@@ -546,50 +625,104 @@ pub fn run_service(cfg: &ServiceConfig) -> ServiceOutcome {
     run_service_faulted(cfg, &FaultSpec::none(cfg.n))
 }
 
+/// Dispatch on a [`ProtocolKind`] to monomorphized code: `$p` is bound
+/// to the protocol type inside `$body`. Shared by the in-process engine
+/// and the `ac-node`/`ac-client` process drivers.
+macro_rules! with_protocol {
+    ($kind:expr, $p:ident => $body:expr) => {{
+        use ac_commit::protocols::*;
+        match $kind {
+            ProtocolKind::Inbac => {
+                type $p = Inbac;
+                $body
+            }
+            ProtocolKind::InbacFastAbort => {
+                type $p = InbacFastAbort;
+                $body
+            }
+            ProtocolKind::Nbac1 => {
+                type $p = Nbac1;
+                $body
+            }
+            ProtocolKind::Nbac0 => {
+                type $p = Nbac0;
+                $body
+            }
+            ProtocolKind::ANbac => {
+                type $p = ANbac;
+                $body
+            }
+            ProtocolKind::AvNbacDelayOpt => {
+                type $p = AvNbacDelayOpt;
+                $body
+            }
+            ProtocolKind::AvNbacMsgOpt => {
+                type $p = AvNbacMsgOpt;
+                $body
+            }
+            ProtocolKind::ChainNbac => {
+                type $p = ChainNbac;
+                $body
+            }
+            ProtocolKind::Nbac2n2 => {
+                type $p = Nbac2n2;
+                $body
+            }
+            ProtocolKind::Nbac2n2f => {
+                type $p = Nbac2n2f;
+                $body
+            }
+            ProtocolKind::TwoPc => {
+                type $p = TwoPc;
+                $body
+            }
+            ProtocolKind::ThreePc => {
+                type $p = ThreePc;
+                $body
+            }
+            ProtocolKind::PaxosCommit => {
+                type $p = PaxosCommit;
+                $body
+            }
+            ProtocolKind::FasterPaxosCommit => {
+                type $p = FasterPaxosCommit;
+                $body
+            }
+        }
+    }};
+}
+pub(crate) use with_protocol;
+
 /// Run the configured service under a fault specification (see the module
 /// docs' "Failure injection" section). Dispatches on `cfg.kind` to the
 /// generic engine — any protocol of the suite can serve.
 pub fn run_service_faulted(cfg: &ServiceConfig, spec: &FaultSpec) -> ServiceOutcome {
-    use ac_commit::protocols::*;
-    match cfg.kind {
-        ProtocolKind::Inbac => serve::<Inbac>(cfg, spec),
-        ProtocolKind::InbacFastAbort => serve::<InbacFastAbort>(cfg, spec),
-        ProtocolKind::Nbac1 => serve::<Nbac1>(cfg, spec),
-        ProtocolKind::Nbac0 => serve::<Nbac0>(cfg, spec),
-        ProtocolKind::ANbac => serve::<ANbac>(cfg, spec),
-        ProtocolKind::AvNbacDelayOpt => serve::<AvNbacDelayOpt>(cfg, spec),
-        ProtocolKind::AvNbacMsgOpt => serve::<AvNbacMsgOpt>(cfg, spec),
-        ProtocolKind::ChainNbac => serve::<ChainNbac>(cfg, spec),
-        ProtocolKind::Nbac2n2 => serve::<Nbac2n2>(cfg, spec),
-        ProtocolKind::Nbac2n2f => serve::<Nbac2n2f>(cfg, spec),
-        ProtocolKind::TwoPc => serve::<TwoPc>(cfg, spec),
-        ProtocolKind::ThreePc => serve::<ThreePc>(cfg, spec),
-        ProtocolKind::PaxosCommit => serve::<PaxosCommit>(cfg, spec),
-        ProtocolKind::FasterPaxosCommit => serve::<FasterPaxosCommit>(cfg, spec),
-    }
+    with_protocol!(cfg.kind, P => serve::<P>(cfg, spec))
 }
 
 /// Everything one node thread needs (bundled so crash/restart state rides
 /// along without a dozen loose parameters).
-struct NodeEnv<P: CommitProtocol> {
-    me: ProcessId,
-    n: usize,
-    f: usize,
-    unit: Duration,
-    epoch: Instant,
-    rx: Receiver<ToNode<P::Msg>>,
-    txs: Vec<Sender<ToNode<P::Msg>>>,
-    done_txs: Vec<Sender<Done>>,
-    wire: Arc<AtomicUsize>,
-    policy: Option<Arc<dyn NetPolicy>>,
-    window: Option<CrashWindow>,
-    wal: Option<Arc<Mutex<Wal>>>,
+pub(crate) struct NodeEnv<P: CommitProtocol> {
+    pub(crate) me: ProcessId,
+    pub(crate) n: usize,
+    pub(crate) f: usize,
+    pub(crate) unit: Duration,
+    pub(crate) epoch: Instant,
+    pub(crate) rx: Receiver<ToNode<P::Msg>>,
+    /// The node-to-node seam: everything the flush step emits goes
+    /// through here ([`ChannelTransport`] or [`TcpTransport`]).
+    pub(crate) transport: Box<dyn Transport<P::Msg>>,
+    pub(crate) done_txs: Vec<Sender<Done>>,
+    pub(crate) wire: Arc<AtomicUsize>,
+    pub(crate) policy: Option<Arc<dyn NetPolicy>>,
+    pub(crate) window: Option<CrashWindow>,
+    pub(crate) wal: Option<Arc<Mutex<Wal>>>,
 }
 
 fn serve<P>(cfg: &ServiceConfig, spec: &FaultSpec) -> ServiceOutcome
 where
     P: CommitProtocol + Send + 'static,
-    P::Msg: Send + 'static,
+    P::Msg: ac_sim::Wire + Send + 'static,
 {
     assert!(cfg.n >= 2 && cfg.f >= 1 && cfg.f < cfg.n, "invalid (n, f)");
     assert!(cfg.clients >= 1);
@@ -603,6 +736,29 @@ where
     let client_ch: Vec<_> = (0..cfg.clients).map(|_| unbounded::<Done>()).collect();
     let (done_txs, done_rxs): (Vec<_>, Vec<_>) = client_ch.into_iter().unzip();
     let wire = Arc::new(AtomicUsize::new(0));
+
+    // In TCP mode each node gets a loopback listener whose reader
+    // threads feed its ordinary inbox channel; senders dial the listener
+    // addresses. Decision replies (node→client) and `Shutdown` stay on
+    // in-process channels: the clients are the measurement harness, and
+    // teardown must reach a node even if its sockets are wedged. The
+    // `ac-node`/`ac-client` binaries put those on TCP too.
+    let tcp_nodes: Vec<TcpNode> = match cfg.transport {
+        TransportKind::Channel => Vec::new(),
+        TransportKind::Tcp => (0..n)
+            .map(|me| {
+                TcpNode::bind("127.0.0.1:0", node_txs[me].clone(), None)
+                    .expect("bind loopback listener")
+            })
+            .collect(),
+    };
+    let addrs: Vec<std::net::SocketAddr> = tcp_nodes.iter().map(|t| t.addr()).collect();
+    let make_transport = |_who: &str| -> Box<dyn Transport<P::Msg>> {
+        match cfg.transport {
+            TransportKind::Channel => Box::new(ChannelTransport::new(node_txs.clone())),
+            TransportKind::Tcp => Box::new(TcpTransport::new(addrs.clone())),
+        }
+    };
 
     // Write-ahead logs live *outside* the node threads — the in-process
     // stand-in for durable storage that survives a crash.
@@ -623,7 +779,7 @@ where
                 unit: cfg.unit,
                 epoch,
                 rx,
-                txs: node_txs.clone(),
+                transport: make_transport("node"),
                 done_txs: done_txs.clone(),
                 wire: Arc::clone(&wire),
                 policy: spec.policy.clone(),
@@ -638,9 +794,9 @@ where
         .into_iter()
         .enumerate()
         .map(|(client, rx)| {
-            let txs = node_txs.clone();
+            let transport = make_transport("client");
             let cfg = cfg.clone();
-            std::thread::spawn(move || client_main::<P>(client, &cfg, epoch, txs, rx))
+            std::thread::spawn(move || client_main::<P>(client, &cfg, epoch, transport, rx))
         })
         .collect();
 
@@ -658,6 +814,9 @@ where
         .into_iter()
         .map(|h| h.join().expect("node thread panicked"))
         .collect();
+    for t in tcp_nodes {
+        t.shutdown();
+    }
 
     aggregate(cfg, client_returns, node_returns, elapsed, &wire)
 }
@@ -718,7 +877,7 @@ fn apply_decisions(
 /// One node thread: shard owner + instance demultiplexer, batched
 /// drain-then-dispatch, with fault-policy flush and crash/restart (see the
 /// module docs).
-fn node_main<P>(env: NodeEnv<P>) -> NodeReturn
+pub(crate) fn node_main<P>(env: NodeEnv<P>) -> NodeReturn
 where
     P: CommitProtocol,
     P::Msg: Send + 'static,
@@ -730,7 +889,7 @@ where
         unit,
         epoch,
         rx,
-        txs,
+        mut transport,
         done_txs,
         wire,
         policy,
@@ -769,6 +928,7 @@ where
     let mut spurious_wakeups = 0usize;
     let mut dropped_messages = 0usize;
     let mut delayed_messages = 0usize;
+    let mut orphaned_envelopes = 0usize;
     let mut crashed = false;
     let mut skip_wait = false;
     let mut shutdown = false;
@@ -1086,6 +1246,13 @@ where
                                 begun.get(txn_client(txn)).is_none_or(|&w| txn_seq(txn) > w);
                             if early {
                                 match pending.get_mut(txn) {
+                                    Some(buf) if buf.len() >= ORPHAN_CAP => {
+                                        // Bounded pre-open buffering: a
+                                        // flood of envelopes outrunning
+                                        // their Begin must not grow
+                                        // memory without limit.
+                                        orphaned_envelopes += 1;
+                                    }
                                     Some(buf) => buf.push((from, msg)),
                                     None => {
                                         let mut buf = InlineVec::new();
@@ -1196,7 +1363,7 @@ where
         while delayed.peek().is_some_and(|d| d.due <= flush_now) {
             let d = delayed.pop().expect("peeked");
             wire.fetch_add(1, Ordering::Relaxed);
-            let _ = txs[d.to].send(d.env);
+            transport.send(d.to, d.env);
             released += 1;
         }
         let elapsed = flush_now.saturating_duration_since(epoch);
@@ -1208,7 +1375,7 @@ where
                 None => {
                     wire.fetch_add(batch.len(), Ordering::Relaxed);
                     flushed += batch.len();
-                    let _ = txs[to].send_batch(batch.drain(..));
+                    transport.send_batch(to, batch);
                 }
                 Some(pol) => {
                     let mut staged: Vec<ToNode<P::Msg>> = Vec::with_capacity(batch.len());
@@ -1232,7 +1399,7 @@ where
                     if !staged.is_empty() {
                         wire.fetch_add(staged.len(), Ordering::Relaxed);
                         flushed += staged.len();
-                        let _ = txs[to].send_batch(staged.drain(..));
+                        transport.send_batch(to, &mut staged);
                     }
                 }
             }
@@ -1289,6 +1456,7 @@ where
         spurious_wakeups,
         dropped_messages,
         delayed_messages,
+        orphaned_envelopes,
     }
 }
 
@@ -1309,11 +1477,11 @@ struct PendingTxn {
 /// parked (background retries) so a dead node blocks one transaction, not
 /// the whole load stream; abandonment at `txn_deadline` is the last resort
 /// and counts as a stall.
-fn client_main<P>(
+pub(crate) fn client_main<P>(
     client: usize,
     cfg: &ServiceConfig,
     epoch: Instant,
-    txs: Vec<Sender<ToNode<P::Msg>>>,
+    mut transport: Box<dyn Transport<P::Msg>>,
     rx: Receiver<Done>,
 ) -> ClientReturn
 where
@@ -1356,10 +1524,13 @@ where
             let txn = Arc::new(t);
             let parts = participants_of(&txn, cfg.n);
             for &p in &parts {
-                let _ = txs[p].send(ToNode::Begin {
-                    txn: Arc::clone(&txn),
-                    client,
-                });
+                transport.send(
+                    p,
+                    ToNode::Begin {
+                        txn: Arc::clone(&txn),
+                        client,
+                    },
+                );
             }
             let k = parts.len();
             outstanding.push(PendingTxn {
@@ -1430,7 +1601,7 @@ where
                     retries: p.retries,
                 });
                 for &q in &p.parts {
-                    let _ = txs[q].send(ToNode::End { txn: p.txn.id });
+                    transport.send(q, ToNode::End { txn: p.txn.id });
                 }
                 records.push(ClientRecord {
                     txn: p.txn,
@@ -1470,10 +1641,13 @@ where
                 p.retries += 1;
                 p.next_retry = now + cfg.reply_timeout;
                 for &q in &p.parts {
-                    let _ = txs[q].send(ToNode::Begin {
-                        txn: Arc::clone(&p.txn),
-                        client,
-                    });
+                    transport.send(
+                        q,
+                        ToNode::Begin {
+                            txn: Arc::clone(&p.txn),
+                            client,
+                        },
+                    );
                 }
             }
             i += 1;
@@ -1509,6 +1683,7 @@ fn aggregate(
     let spurious_wakeups = node_returns.iter().map(|r| r.spurious_wakeups).sum();
     let dropped_messages = node_returns.iter().map(|r| r.dropped_messages).sum();
     let delayed_messages = node_returns.iter().map(|r| r.delayed_messages).sum();
+    let orphaned_envelopes = node_returns.iter().map(|r| r.orphaned_envelopes).sum();
 
     // Cross-node view: txn -> (votes, decisions) as logged by each node.
     let mut by_txn: HashMap<TxnId, (Vec<bool>, Vec<u64>)> = HashMap::new();
@@ -1601,6 +1776,7 @@ fn aggregate(
         retries,
         reply_timeouts,
         spurious_wakeups,
+        orphaned_envelopes,
         shards,
         node_logs,
         txn_events,
@@ -1626,7 +1802,10 @@ mod tests {
         txs: Vec<Sender<ToNode<P::Msg>>>,
         done_txs: Vec<Sender<Done>>,
         wire: Arc<AtomicUsize>,
-    ) -> NodeEnv<P> {
+    ) -> NodeEnv<P>
+    where
+        P::Msg: Send + 'static,
+    {
         NodeEnv {
             me,
             n,
@@ -1634,7 +1813,7 @@ mod tests {
             unit: Duration::from_millis(5),
             epoch: Instant::now(),
             rx,
-            txs,
+            transport: Box::new(ChannelTransport::new(txs)),
             done_txs,
             wire,
             policy: None,

@@ -1,0 +1,382 @@
+//! The node-to-node transport seam and its two implementations.
+//!
+//! [`node_main`](crate::service)'s flush step stages outbound envelopes
+//! per destination and hands each destination's batch to a [`Transport`].
+//! Everything above the seam — fault policy, delay heap, wire counters,
+//! batching — is transport-agnostic; everything below is how bytes (or
+//! in-process values) actually move:
+//!
+//! * [`ChannelTransport`] — the original fast path: one unbounded
+//!   crossbeam channel per node, `send_batch` is one lock acquisition.
+//! * [`TcpTransport`] — a per-peer TCP connection manager: envelopes are
+//!   framed by [`crate::codec`] and written to a lazily-established
+//!   socket, with reconnect-on-failure. Its receiving counterpart is
+//!   [`TcpNode`]: a listener whose per-connection reader threads decode
+//!   frames and forward them into the node's ordinary inbox channel, so
+//!   the node loop itself never knows which transport fed it.
+//!
+//! ## Reconnect state machine (per peer)
+//!
+//! ```text
+//!            connect ok                   write error
+//! Unconnected ────────────► Connected ─────────────────┐
+//!     ▲  │ connect fails        ▲                      │
+//!     │  ▼                      │ reconnect ok         ▼
+//!   Backoff (500 ms) ◄────────── ─────────────── Reconnecting
+//!                                 reconnect fails: envelope dropped,
+//!                                 peer enters Backoff
+//! ```
+//!
+//! The *first* connection attempt to a peer retries for several seconds
+//! (multi-process clusters start their nodes concurrently); once a peer
+//! has been reached, a failed send performs exactly one reconnect
+//! attempt and otherwise **drops the envelope** — a down peer behaves
+//! like a crashed process, which is precisely the fault domain the
+//! protocols are built for.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use ac_sim::{ProcessId, Wire};
+use crossbeam::channel::Sender;
+
+use crate::codec::{write_frame, AnyFrame, FrameDecoder};
+use crate::service::ToNode;
+
+/// How long a peer stays in backoff after a failed (re)connect before
+/// the next send attempts again.
+const RECONNECT_BACKOFF: Duration = Duration::from_millis(500);
+/// First-contact patience: attempts × gap ≈ 3 s, covering the startup
+/// skew of a multi-process cluster.
+const INITIAL_ATTEMPTS: u32 = 30;
+const INITIAL_GAP: Duration = Duration::from_millis(100);
+/// Reader-thread receive buffer.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// Where a node's outbound envelopes go. Implementations must preserve
+/// per-sender FIFO order on a healthy link and must never block
+/// indefinitely; delivery is at-most-once (loss on a broken link is the
+/// crash fault domain, duplication is never allowed).
+pub trait Transport<M>: Send {
+    /// Send one envelope to node `to`.
+    fn send(&mut self, to: ProcessId, env: ToNode<M>);
+
+    /// Send a batch to node `to`, equivalent to sending each envelope in
+    /// order (implementations may amortize: one lock, one syscall).
+    fn send_batch(&mut self, to: ProcessId, batch: &mut Vec<ToNode<M>>) {
+        for env in batch.drain(..) {
+            self.send(to, env);
+        }
+    }
+}
+
+/// The in-process transport: envelopes move over unbounded crossbeam
+/// channels, exactly as the service always worked.
+pub struct ChannelTransport<M> {
+    txs: Vec<Sender<ToNode<M>>>,
+}
+
+impl<M> ChannelTransport<M> {
+    /// A transport over the given per-node inbox senders.
+    pub fn new(txs: Vec<Sender<ToNode<M>>>) -> ChannelTransport<M> {
+        ChannelTransport { txs }
+    }
+}
+
+impl<M: Send> Transport<M> for ChannelTransport<M> {
+    fn send(&mut self, to: ProcessId, env: ToNode<M>) {
+        let _ = self.txs[to].send(env);
+    }
+
+    fn send_batch(&mut self, to: ProcessId, batch: &mut Vec<ToNode<M>>) {
+        let _ = self.txs[to].send_batch(batch.drain(..));
+    }
+}
+
+/// Called with `(peer, stream)` after every successful (re)connect,
+/// before any envelope is written. Multi-process clients use it to send
+/// their `Hello` handshake and spawn the `Done`-frame reader.
+pub type OnConnect = Arc<dyn Fn(ProcessId, &TcpStream) + Send + Sync>;
+
+enum PeerState {
+    /// Never reached yet: first contact gets the long retry loop.
+    Fresh,
+    Connected(TcpStream),
+    /// Unreachable; do not retry before the stored instant.
+    Backoff(Instant),
+    /// Was reachable before; next send makes one reconnect attempt.
+    Lost,
+}
+
+/// The socket transport: one lazily-connected TCP stream per peer,
+/// frames encoded by [`crate::codec`], reconnect-on-failure (see the
+/// module docs for the state machine).
+pub struct TcpTransport {
+    peers: Vec<SocketAddr>,
+    state: Vec<PeerState>,
+    scratch: Vec<u8>,
+    on_connect: Option<OnConnect>,
+}
+
+impl TcpTransport {
+    /// A transport that will dial `peers[to]` for destination `to`.
+    pub fn new(peers: Vec<SocketAddr>) -> TcpTransport {
+        let state = peers.iter().map(|_| PeerState::Fresh).collect();
+        TcpTransport {
+            peers,
+            state,
+            scratch: Vec::new(),
+            on_connect: None,
+        }
+    }
+
+    /// Install a post-connect hook (builder style).
+    pub fn on_connect(mut self, hook: OnConnect) -> TcpTransport {
+        self.on_connect = Some(hook);
+        self
+    }
+
+    fn dial(&self, to: ProcessId, attempts: u32) -> Option<TcpStream> {
+        for i in 0..attempts {
+            if let Ok(s) = TcpStream::connect(self.peers[to]) {
+                let _ = s.set_nodelay(true);
+                if let Some(hook) = &self.on_connect {
+                    hook(to, &s);
+                }
+                return Some(s);
+            }
+            if i + 1 < attempts {
+                std::thread::sleep(INITIAL_GAP);
+            }
+        }
+        None
+    }
+
+    /// The connected stream for `to`, establishing it if the state
+    /// machine allows an attempt now.
+    fn conn(&mut self, to: ProcessId) -> Option<&mut TcpStream> {
+        let attempts = match &self.state[to] {
+            PeerState::Connected(_) => {
+                // Reborrow dance: checked above, return below.
+                match &mut self.state[to] {
+                    PeerState::Connected(s) => return Some(s),
+                    _ => unreachable!(),
+                }
+            }
+            PeerState::Fresh => INITIAL_ATTEMPTS,
+            PeerState::Lost => 1,
+            PeerState::Backoff(until) => {
+                if Instant::now() < *until {
+                    return None;
+                }
+                1
+            }
+        };
+        match self.dial(to, attempts) {
+            Some(s) => {
+                self.state[to] = PeerState::Connected(s);
+                match &mut self.state[to] {
+                    PeerState::Connected(s) => Some(s),
+                    _ => unreachable!(),
+                }
+            }
+            None => {
+                self.state[to] = PeerState::Backoff(Instant::now() + RECONNECT_BACKOFF);
+                None
+            }
+        }
+    }
+
+    /// Write the scratch buffer to `to`, with one reconnect-and-retry on
+    /// a write error. Returns whether the bytes were handed to the OS.
+    fn flush_scratch(&mut self, to: ProcessId) -> bool {
+        let scratch = std::mem::take(&mut self.scratch);
+        let mut sent = false;
+        for _ in 0..2 {
+            let Some(s) = self.conn(to) else { break };
+            if s.write_all(&scratch).is_ok() {
+                sent = true;
+                break;
+            }
+            // Broken pipe: drop the stream, allow one immediate retry.
+            self.state[to] = PeerState::Lost;
+        }
+        self.scratch = scratch;
+        sent
+    }
+}
+
+impl<M: Wire + Send> Transport<M> for TcpTransport {
+    fn send(&mut self, to: ProcessId, env: ToNode<M>) {
+        self.scratch.clear();
+        write_frame(&AnyFrame::Node(env), &mut self.scratch);
+        self.flush_scratch(to);
+    }
+
+    fn send_batch(&mut self, to: ProcessId, batch: &mut Vec<ToNode<M>>) {
+        self.scratch.clear();
+        for env in batch.drain(..) {
+            write_frame(&AnyFrame::Node(env), &mut self.scratch);
+        }
+        self.flush_scratch(to);
+    }
+}
+
+/// Write halves of client connections, keyed by client id — populated by
+/// [`TcpNode`] when a `Hello` frame arrives, read by the `Done`
+/// forwarders of a multi-process node.
+pub type ClientRegistry = Arc<Mutex<HashMap<usize, TcpStream>>>;
+
+/// The receiving side of the TCP transport: a listener plus per-connection
+/// reader threads that decode frames and forward node-inbox envelopes
+/// into an ordinary crossbeam channel. The node loop stays byte-blind.
+pub struct TcpNode {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_handle: Option<std::thread::JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+    readers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+impl TcpNode {
+    /// Bind `addr` and start forwarding decoded envelopes into `inbox`.
+    /// `clients`, when given, is populated with the write half of every
+    /// connection that announces itself with a `Hello` frame.
+    pub fn bind<M, A>(
+        addr: A,
+        inbox: Sender<ToNode<M>>,
+        clients: Option<ClientRegistry>,
+    ) -> std::io::Result<TcpNode>
+    where
+        M: Wire + Send + 'static,
+        A: ToSocketAddrs,
+    {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let readers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
+            Arc::new(Mutex::new(Vec::new()));
+
+        let accept_handle = {
+            let stop = Arc::clone(&stop);
+            let conns = Arc::clone(&conns);
+            let readers = Arc::clone(&readers);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let _ = stream.set_nodelay(true);
+                    conns
+                        .lock()
+                        .expect("conn list poisoned")
+                        .push(stream.try_clone().expect("stream clone"));
+                    let inbox = inbox.clone();
+                    let clients = clients.clone();
+                    let reader = std::thread::spawn(move || {
+                        read_loop::<M>(stream, inbox, clients);
+                    });
+                    readers.lock().expect("reader list poisoned").push(reader);
+                }
+            })
+        };
+
+        Ok(TcpNode {
+            addr,
+            stop,
+            accept_handle: Some(accept_handle),
+            conns,
+            readers,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Forcibly close every accepted connection while keeping the
+    /// listener alive — the "link bounce" the conformance suite uses to
+    /// exercise sender reconnects.
+    pub fn drop_connections(&self) {
+        let mut conns = self.conns.lock().expect("conn list poisoned");
+        for c in conns.drain(..) {
+            let _ = c.shutdown(Shutdown::Both);
+        }
+    }
+
+    /// Stop accepting, close every connection, join all threads.
+    pub fn shutdown(mut self) {
+        self.teardown();
+    }
+
+    fn teardown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        self.drop_connections();
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        let readers = std::mem::take(&mut *self.readers.lock().expect("reader list poisoned"));
+        for h in readers {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for TcpNode {
+    fn drop(&mut self) {
+        if self.accept_handle.is_some() {
+            self.teardown();
+        }
+    }
+}
+
+/// One connection's read loop: accumulate chunks, decode frames, route.
+/// Exits on EOF, read error, or a poisoned frame stream.
+fn read_loop<M: Wire + Send + 'static>(
+    mut stream: TcpStream,
+    inbox: Sender<ToNode<M>>,
+    clients: Option<ClientRegistry>,
+) {
+    let mut dec = FrameDecoder::new();
+    let mut chunk = vec![0u8; READ_CHUNK];
+    loop {
+        let n = match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => return,
+            Ok(n) => n,
+        };
+        dec.feed(&chunk[..n]);
+        loop {
+            match dec.next_frame::<M>() {
+                Ok(Some(AnyFrame::Node(env))) => {
+                    if inbox.send(env).is_err() {
+                        return; // node gone: drop the connection
+                    }
+                }
+                Ok(Some(AnyFrame::Hello { client })) => {
+                    if let (Some(reg), Ok(half)) = (&clients, stream.try_clone()) {
+                        reg.lock().expect("registry poisoned").insert(client, half);
+                    }
+                }
+                Ok(Some(AnyFrame::Done(_))) => {} // not a node-bound frame
+                Ok(None) => break,
+                // Malformed body: that frame is skipped, keep decoding.
+                // Poisoned stream: frame boundary lost — drop the
+                // connection (the peer will reconnect with a fresh one).
+                Err(_) => {
+                    if dec.is_poisoned() {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Multi-process smoke test (ISSUE-6 satellite): a real cluster of four
+//! `ac-node` OS processes plus one `ac-client` process on loopback,
+//! driving a transfer workload over TCP end to end. The test parses each
+//! process's audit line and checks the global contract: value conserved
+//! across shards, no locks left, no orphaned envelopes, no stalls, no
+//! split decisions.
+
+use std::collections::HashMap;
+use std::io::Read as _;
+use std::net::TcpListener;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const N: usize = 4;
+const CLIENTS: usize = 2;
+const TXNS: usize = 15;
+
+/// Reserve `n` loopback ports by binding port 0 and dropping the
+/// listeners. A race with another process re-grabbing the port is
+/// possible but vanishingly rare; the spawn below fails loudly if so.
+fn free_ports(n: usize) -> Vec<u16> {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind :0"))
+        .collect();
+    listeners
+        .iter()
+        .map(|l| l.local_addr().unwrap().port())
+        .collect()
+}
+
+fn spec_text(ports: &[u16]) -> String {
+    let mut s = format!(
+        "protocol = 2PC\nf = 1\nunit_ms = 5\nkeys_per_shard = 64\n\
+         clients = {CLIENTS}\ntxns_per_client = {TXNS}\n\
+         workload = transfer:5\nseed = 11\n"
+    );
+    for (i, p) in ports.iter().enumerate() {
+        s.push_str(&format!("node {i} = 127.0.0.1:{p}\n"));
+    }
+    s
+}
+
+/// Wait for `child` with a deadline; kill it on expiry so a wedged
+/// process fails the test instead of hanging the suite.
+fn wait_with_deadline(child: &mut Child, what: &str, deadline: Instant) -> String {
+    loop {
+        match child.try_wait().expect("try_wait") {
+            Some(status) => {
+                let mut out = String::new();
+                child
+                    .stdout
+                    .take()
+                    .expect("stdout piped")
+                    .read_to_string(&mut out)
+                    .expect("read stdout");
+                assert!(status.success(), "{what} exited with {status}: {out}");
+                return out;
+            }
+            None if Instant::now() > deadline => {
+                let _ = child.kill();
+                panic!("{what} did not exit before the deadline");
+            }
+            None => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+}
+
+/// Parse `key=value` pairs from an audit line tail.
+fn fields(line: &str) -> HashMap<String, i64> {
+    line.split_whitespace()
+        .filter_map(|tok| tok.split_once('='))
+        .map(|(k, v)| (k.to_string(), v.parse().expect("numeric audit field")))
+        .collect()
+}
+
+#[test]
+fn four_process_cluster_serves_a_transfer_workload() {
+    let ports = free_ports(N);
+    let spec_path = std::env::temp_dir().join(format!("ac-proc-smoke-{}.spec", std::process::id()));
+    std::fs::write(&spec_path, spec_text(&ports)).expect("write spec");
+
+    let mut nodes: Vec<Child> = (0..N)
+        .map(|i| {
+            Command::new(env!("CARGO_BIN_EXE_ac-node"))
+                .arg("--spec")
+                .arg(&spec_path)
+                .arg("--id")
+                .arg(i.to_string())
+                .stdout(Stdio::piped())
+                .spawn()
+                .expect("spawn ac-node")
+        })
+        .collect();
+    let mut client = Command::new(env!("CARGO_BIN_EXE_ac-client"))
+        .arg("--spec")
+        .arg(&spec_path)
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn ac-client");
+
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let client_out = wait_with_deadline(&mut client, "ac-client", deadline);
+    let node_outs: Vec<String> = nodes
+        .iter_mut()
+        .enumerate()
+        .map(|(i, n)| wait_with_deadline(n, &format!("ac-node {i}"), deadline))
+        .collect();
+    let _ = std::fs::remove_file(&spec_path);
+
+    // Client contract: every transaction decided, atomically.
+    let cline = client_out
+        .lines()
+        .find(|l| l.starts_with("client audit"))
+        .unwrap_or_else(|| panic!("no client audit line in: {client_out}"));
+    let c = fields(cline);
+    assert_eq!(c["stalled"], 0, "stalled transactions: {cline}");
+    assert_eq!(c["split"], 0, "split decisions: {cline}");
+    assert_eq!(
+        c["txns"],
+        (CLIENTS * TXNS) as i64,
+        "transactions lost: {cline}"
+    );
+    assert_eq!(c["committed"] + c["aborted"], c["txns"], "{cline}");
+
+    // Node contract: transfers conserve value across the cluster, all
+    // locks released, nothing orphaned.
+    let mut grand_total = 0i64;
+    for (i, out) in node_outs.iter().enumerate() {
+        let line = out
+            .lines()
+            .find(|l| l.starts_with(&format!("node {i} audit")))
+            .unwrap_or_else(|| panic!("no audit line from node {i}: {out}"));
+        let f = fields(line);
+        grand_total += f["total"];
+        assert_eq!(f["locked"], 0, "node {i} left locks held: {line}");
+        assert_eq!(f["orphaned"], 0, "node {i} orphaned envelopes: {line}");
+    }
+    assert_eq!(grand_total, 0, "transfer workload must conserve value");
+}

@@ -1,0 +1,78 @@
+//! The in-process service over the real-socket transport (ISSUE-6
+//! tentpole): `run_service` with `TransportKind::Tcp` sends every
+//! node-to-node and client-to-node envelope through the length-prefixed
+//! wire codec and loopback TCP, and must deliver the same contract the
+//! channel transport does — clean audit, no stalls, no split decisions,
+//! zero orphaned envelopes, conserved transfers.
+
+use ac_cluster::{run_service, ServiceConfig, TransportKind};
+use ac_commit::protocols::ProtocolKind;
+use ac_txn::workload::Workload;
+
+fn tcp_config(kind: ProtocolKind) -> ServiceConfig {
+    ServiceConfig::new(4, 1, kind)
+        .clients(3)
+        .txns_per_client(20)
+        .workload(Workload::Transfer { amount: 5 })
+        .seed(7)
+        .transport(TransportKind::Tcp)
+}
+
+#[test]
+fn two_pc_transfer_load_conserves_value_over_tcp() {
+    let out = run_service(&tcp_config(ProtocolKind::TwoPc));
+    assert!(out.is_safe(), "audit violations: {:?}", out.violations);
+    assert_eq!(out.stalled, 0, "stalled transactions over TCP");
+    assert_eq!(out.orphaned_envelopes, 0, "orphaned envelopes over TCP");
+    assert_eq!(out.txns, 3 * 20);
+    let total: i64 = out.shards.iter().map(|s| s.total()).sum();
+    assert_eq!(total, 0, "transfers must conserve value");
+}
+
+#[test]
+fn paxos_commit_and_inbac_serve_load_over_tcp() {
+    for kind in [ProtocolKind::PaxosCommit, ProtocolKind::Inbac] {
+        let out = run_service(&tcp_config(kind));
+        assert!(
+            out.is_safe(),
+            "{kind:?}: audit violations: {:?}",
+            out.violations
+        );
+        assert_eq!(out.stalled, 0, "{kind:?}: stalled transactions over TCP");
+        assert_eq!(out.orphaned_envelopes, 0, "{kind:?}: orphaned envelopes");
+        assert_eq!(out.txns, 3 * 20, "{kind:?}: lost transactions");
+    }
+}
+
+/// With one closed-loop client the load is serial, so commit/abort
+/// decisions are a pure function of the seeded workload — they must be
+/// identical whether envelopes ride channels or sockets. (Concurrent
+/// clients race for locks, so their decisions legitimately vary with
+/// timing; the conflict-free slice is where transports must agree
+/// exactly.)
+#[test]
+fn channel_and_tcp_reach_identical_decisions() {
+    for kind in [ProtocolKind::TwoPc, ProtocolKind::PaxosCommit] {
+        let over_channel = run_service(
+            &tcp_config(kind)
+                .clients(1)
+                .transport(TransportKind::Channel),
+        );
+        let over_tcp = run_service(&tcp_config(kind).clients(1));
+        assert!(over_channel.is_safe() && over_tcp.is_safe());
+        let key = |o: &ac_cluster::ServiceOutcome| {
+            let mut decisions: Vec<(u64, bool)> = o
+                .txn_events
+                .iter()
+                .filter_map(|e| e.committed.map(|c| (e.id, c)))
+                .collect();
+            decisions.sort_unstable();
+            decisions
+        };
+        assert_eq!(
+            key(&over_channel),
+            key(&over_tcp),
+            "{kind:?}: decisions diverged between channel and TCP"
+        );
+    }
+}

@@ -20,6 +20,7 @@ pub mod nbac_2n2f;
 pub mod paxos_commit;
 pub mod three_pc;
 pub mod two_pc;
+mod wire;
 
 pub use anbac::ANbac;
 pub use avnbac::{AvNbacDelayOpt, AvNbacMsgOpt};

@@ -1,6 +1,6 @@
 //! Single-decree Paxos with a rotating coordinator.
 
-use ac_sim::{Ctx, ProcessId, Time, U};
+use ac_sim::{Ctx, ProcessId, Time, Wire, WireError, U};
 
 /// Timer tags at or above this value belong to the consensus sub-automaton;
 /// embedding protocols must keep their own tags below it.
@@ -49,6 +49,60 @@ pub enum PaxosMsg {
         /// The decided value.
         val: u64,
     },
+}
+
+impl Wire for PaxosMsg {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            PaxosMsg::Prepare { bal } => {
+                buf.push(0);
+                bal.encode(buf);
+            }
+            PaxosMsg::Promise { bal, accepted } => {
+                buf.push(1);
+                bal.encode(buf);
+                accepted.encode(buf);
+            }
+            PaxosMsg::Accept { bal, val } => {
+                buf.push(2);
+                bal.encode(buf);
+                val.encode(buf);
+            }
+            PaxosMsg::Accepted { bal, val } => {
+                buf.push(3);
+                bal.encode(buf);
+                val.encode(buf);
+            }
+            PaxosMsg::Decide { val } => {
+                buf.push(4);
+                val.encode(buf);
+            }
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(buf)? {
+            0 => Ok(PaxosMsg::Prepare {
+                bal: u64::decode(buf)?,
+            }),
+            1 => Ok(PaxosMsg::Promise {
+                bal: u64::decode(buf)?,
+                accepted: Option::decode(buf)?,
+            }),
+            2 => Ok(PaxosMsg::Accept {
+                bal: u64::decode(buf)?,
+                val: u64::decode(buf)?,
+            }),
+            3 => Ok(PaxosMsg::Accepted {
+                bal: u64::decode(buf)?,
+                val: u64::decode(buf)?,
+            }),
+            4 => Ok(PaxosMsg::Decide {
+                val: u64::decode(buf)?,
+            }),
+            _ => Err(WireError::Invalid("PaxosMsg tag")),
+        }
+    }
 }
 
 /// The effect interface the consensus module needs from its host.

@@ -1,7 +1,7 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--json] [--jobs N] [--out PATH] [--quick] \
+//! repro [--json] [--jobs N] [--out PATH] [--quick] [--transport channel|tcp] \
 //!       [table1|table2|table3|table4|table5|fig1|ablations|exhaustive|bench|load|chaos|all]
 //! repro bench-check <path>
 //! repro perf --against <path> [--quick] [--json] [--jobs N] [--out PATH]
@@ -15,7 +15,10 @@
 //! `BENCH_baseline.json`); `load` runs the live `ac-cluster` service sweep
 //! (protocol × workload × concurrency, `--quick` shrinks it for smoke
 //! jobs) and writes the schema-v2 baseline including the `service`
-//! section; `chaos` additionally runs the availability-under-failure sweep
+//! section; `--transport tcp` routes the `load`/`chaos` sweeps through
+//! the real-socket transport (length-prefixed wire codec over loopback
+//! TCP) instead of in-process channels, and the baseline records which
+//! transport measured it; `chaos` additionally runs the availability-under-failure sweep
 //! ({2PC, Paxos-Commit, INBAC} × {crash-coordinator, crash-participant,
 //! partition-heal, lossy-10} through `ac-chaos`, with safety audits on
 //! every faulted run) and writes the schema-v3 baseline including the
@@ -52,7 +55,7 @@ fn run_one(id: &str, jobs: usize) -> Option<Vec<Report>> {
 
 fn usage_exit() -> ! {
     eprintln!(
-        "usage: repro [--json] [--jobs N] [--out PATH] [--quick] \
+        "usage: repro [--json] [--jobs N] [--out PATH] [--quick] [--transport channel|tcp] \
          [table1|table2|table3|table4|table5|fig1|ablations|exhaustive|bench|load|chaos|all]\n\
          \x20      repro bench-check <path>\n\
          \x20      repro perf --against <path> [--quick] [--json] [--jobs N] [--out PATH]"
@@ -65,6 +68,7 @@ fn main() {
     let json = args.iter().any(|a| a == "--json");
     let mut jobs = 1usize;
     let mut quick = false;
+    let mut transport = ac_cluster::TransportKind::Channel;
     let mut out: Option<PathBuf> = None;
     let mut against: Option<PathBuf> = None;
     let mut targets: Vec<String> = Vec::new();
@@ -86,6 +90,17 @@ fn main() {
                     usage_exit();
                 };
                 out = Some(PathBuf::from(p));
+            }
+            "--transport" => {
+                let Some(t) = it
+                    .next()
+                    .as_deref()
+                    .and_then(ac_cluster::TransportKind::parse)
+                else {
+                    eprintln!("--transport requires `channel` or `tcp`");
+                    usage_exit();
+                };
+                transport = t;
             }
             "--against" => {
                 let Some(p) = it.next() else {
@@ -184,8 +199,8 @@ fn main() {
     if id == "bench" || id == "load" || id == "chaos" {
         let (report, baseline) = match id {
             "bench" => experiments::bench_baseline(jobs),
-            "load" => experiments::load_baseline(quick, jobs),
-            _ => experiments::chaos_baseline(quick, jobs),
+            "load" => experiments::load_baseline_with(quick, jobs, transport),
+            _ => experiments::chaos_baseline_with(quick, jobs, transport),
         };
         if json {
             println!("{}", report.to_json());

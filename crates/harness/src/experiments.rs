@@ -780,6 +780,19 @@ pub const SERVICE_UNIT: std::time::Duration = std::time::Duration::from_millis(5
 /// explorer leg of the baseline (the service spawns its own `n + c`
 /// threads per combination regardless).
 pub fn load_baseline(quick: bool, jobs: usize) -> (Report, BenchBaseline) {
+    load_baseline_with(quick, jobs, ac_cluster::TransportKind::Channel)
+}
+
+/// [`load_baseline`] with an explicit transport: `Channel` is the fast
+/// in-process path, `Tcp` routes every envelope through the wire codec
+/// and loopback sockets (`repro load --transport tcp`). The safety gate
+/// additionally requires zero orphaned envelopes — over any transport, a
+/// healthy run never overflows an instance's pre-open buffer.
+pub fn load_baseline_with(
+    quick: bool,
+    jobs: usize,
+    transport: ac_cluster::TransportKind,
+) -> (Report, BenchBaseline) {
     use crate::report::{service_protocols, ServiceBaseline, ServiceEntry};
     use ac_cluster::{run_service, ServiceConfig};
     use ac_txn::Workload;
@@ -806,9 +819,10 @@ pub fn load_baseline(quick: bool, jobs: usize) -> (Report, BenchBaseline) {
 
     let mut t = Table::new(
         format!(
-            "Live service sweep at n={n}, f={f}, unit={}ms ({} txns/client, closed loop)",
+            "Live service sweep at n={n}, f={f}, unit={}ms ({} txns/client, closed loop, {} transport)",
             SERVICE_UNIT.as_millis(),
-            txns_per_client
+            txns_per_client,
+            transport.name()
         ),
         &[
             "protocol", "workload", "clients", "txns", "commit%", "tput t/s", "p50 ms", "p90 ms",
@@ -825,9 +839,10 @@ pub fn load_baseline(quick: bool, jobs: usize) -> (Report, BenchBaseline) {
                     .workload(workload.clone())
                     .unit(SERVICE_UNIT)
                     .keys_per_shard(32)
-                    .seed(7);
+                    .seed(7)
+                    .transport(transport);
                 let out = run_service(&cfg);
-                let ok = out.is_safe() && out.stalled == 0;
+                let ok = out.is_safe() && out.stalled == 0 && out.orphaned_envelopes == 0;
                 let verdict = r.compare(ok).to_string();
                 let ms = |v: u64| v as f64 / 1e6;
                 t.row(vec![
@@ -886,6 +901,7 @@ pub fn load_baseline(quick: bool, jobs: usize) -> (Report, BenchBaseline) {
     baseline.service = Some(ServiceBaseline {
         n,
         f,
+        transport: Some(transport.name().into()),
         unit_micros: SERVICE_UNIT.as_micros() as u64,
         entries,
     });
@@ -951,11 +967,23 @@ fn chaos_plan(scenario: &str, n: usize) -> ac_chaos::ChaosPlan {
 /// while 2PC reports blocked transactions under a crashed coordinator
 /// that only resolve after the restart.
 pub fn chaos_baseline(quick: bool, jobs: usize) -> (Report, BenchBaseline) {
+    chaos_baseline_with(quick, jobs, ac_cluster::TransportKind::Channel)
+}
+
+/// [`chaos_baseline`] with an explicit transport (`repro chaos
+/// --transport tcp`): the fault policy decides envelope fates *before*
+/// the transport sees them, so the same crash/partition/lossy plans run
+/// unchanged over sockets.
+pub fn chaos_baseline_with(
+    quick: bool,
+    jobs: usize,
+    transport: ac_cluster::TransportKind,
+) -> (Report, BenchBaseline) {
     use crate::report::{chaos_scenario_names, service_protocols, ChaosBaseline, ChaosEntry};
     use ac_chaos::{run_chaos, ChaosConfig};
 
     let (n, f) = CHAOS_GRID;
-    let (mut r, mut baseline) = load_baseline(quick, jobs);
+    let (mut r, mut baseline) = load_baseline_with(quick, jobs, transport);
     r.id = "chaos".into();
 
     let mut t = Table::new(
@@ -983,7 +1011,7 @@ pub fn chaos_baseline(quick: bool, jobs: usize) -> (Report, BenchBaseline) {
     for kind in service_protocols() {
         for scenario in chaos_scenario_names() {
             let cfg = ChaosConfig {
-                service: chaos_service(kind, quick),
+                service: chaos_service(kind, quick).transport(transport),
                 plan: chaos_plan(scenario, n),
             };
             let out = run_chaos(&cfg);
@@ -1065,6 +1093,7 @@ pub fn chaos_baseline(quick: bool, jobs: usize) -> (Report, BenchBaseline) {
     baseline.chaos = Some(ChaosBaseline {
         n,
         f,
+        transport: Some(transport.name().into()),
         unit_micros: SERVICE_UNIT.as_micros() as u64,
         fault_from_units: CHAOS_WINDOW_UNITS.0,
         fault_until_units: CHAOS_WINDOW_UNITS.1,

@@ -341,6 +341,9 @@ pub struct ChaosBaseline {
     pub n: usize,
     /// Crash-resilience parameter.
     pub f: usize,
+    /// Transport the sweep ran over (`"channel"` or `"tcp"`; `None` in
+    /// baselines written before the transport seam existed = channel).
+    pub transport: Option<String>,
     /// Wall-clock length of one virtual delay unit, microseconds.
     pub unit_micros: u64,
     /// Fault window start, virtual units.
@@ -359,6 +362,9 @@ pub struct ServiceBaseline {
     pub n: usize,
     /// Crash-resilience parameter.
     pub f: usize,
+    /// Transport the sweep ran over (`"channel"` or `"tcp"`; `None` in
+    /// baselines written before the transport seam existed = channel).
+    pub transport: Option<String>,
     /// Wall-clock length of one virtual delay unit, microseconds.
     pub unit_micros: u64,
     /// One entry per (protocol, workload, concurrency) combination.
@@ -478,6 +484,19 @@ impl BenchBaseline {
         }
     }
 
+    /// The optional `transport` marker: absent/null (legacy baselines,
+    /// meaning channel) or one of the two known transport names.
+    fn check_transport(section: &str, t: &serde_json::Value, problems: &mut Vec<String>) {
+        if matches!(t, serde_json::Value::Null) {
+            return;
+        }
+        if !matches!(t.as_str(), Some("channel") | Some("tcp")) {
+            problems.push(format!(
+                "{section}.transport must be \"channel\" or \"tcp\" when present, got {t:?}"
+            ));
+        }
+    }
+
     /// Schema-v3 `chaos` section rules (see [`BenchBaseline::validate_json`]).
     fn validate_chaos(chaos: &serde_json::Value, problems: &mut Vec<String>) {
         let empty = Vec::new();
@@ -486,6 +505,7 @@ impl BenchBaseline {
             problems.push("schema v3 requires a non-empty chaos.entries".into());
             return;
         }
+        Self::check_transport("chaos", &chaos["transport"], problems);
         for protocol in service_protocol_names() {
             for scenario in chaos_scenario_names() {
                 if !entries.iter().any(|e| {
@@ -527,6 +547,7 @@ impl BenchBaseline {
             problems.push("schema v2 requires a non-empty service.entries".into());
             return;
         }
+        Self::check_transport("service", &service["transport"], problems);
         for want in service_protocol_names() {
             let mut clients: Vec<u64> = entries
                 .iter()
@@ -666,6 +687,9 @@ mod tests {
         b.service = Some(ServiceBaseline {
             n: 4,
             f: 1,
+            // Legacy shape: pre-transport baselines carry no field here
+            // and must keep validating.
+            transport: None,
             unit_micros: 5_000,
             entries,
         });
@@ -704,6 +728,7 @@ mod tests {
         b.chaos = Some(ChaosBaseline {
             n: 4,
             f: 1,
+            transport: Some("tcp".into()),
             unit_micros: 5_000,
             fault_from_units: 10,
             fault_until_units: 50,

@@ -22,11 +22,13 @@ pub mod automaton;
 pub mod event;
 pub mod time;
 pub mod trace;
+pub mod wire;
 
 pub use automaton::{Action, Automaton, Ctx};
 pub use event::{Event, EventClass, EventKey, EventQueue, ScheduledEvent};
 pub use time::{Time, U};
 pub use trace::{TraceEntry, TraceKind};
+pub use wire::{Wire, WireError};
 
 /// Identifier of a process. Internally processes are `0..n`; the paper's
 /// `P1..Pn` correspond to ids `0..n-1` (display helpers add 1).

@@ -1,0 +1,273 @@
+//! Binary wire encoding for protocol and service messages.
+//!
+//! The live service can run its node-to-node links over real sockets
+//! (`ac-cluster`'s TCP transport); everything that crosses such a link
+//! implements [`Wire`]. The format is deliberately small and fixed:
+//!
+//! * integers are **little-endian fixed width** (`u64` → 8 bytes, …);
+//! * `usize` is encoded as `u64` (the simulator's `ProcessId` is `usize`);
+//! * `bool` is one byte, `0` or `1` (any other value is a decode error);
+//! * `Option<T>` is a presence byte followed by the payload;
+//! * `Vec<T>` is a `u32` element count followed by the elements;
+//! * enums are a leading tag byte followed by the variant's fields.
+//!
+//! Decoding consumes from the front of a `&[u8]` slice and never panics:
+//! short input yields [`WireError::Truncated`], out-of-range tags or
+//! malformed payloads yield [`WireError::Invalid`]. Framing (length
+//! prefixes, partial reads, resynchronization) is the transport's job —
+//! this module only defines the body encoding.
+//!
+//! The trait lives here, at the bottom of the crate graph, so that each
+//! crate can implement it for the message types it owns (`ac-consensus`
+//! for `PaxosMsg`, `ac-commit` for the protocol messages, `ac-txn` for
+//! transactions) without orphan-rule friction.
+
+use std::fmt;
+
+/// Why a [`Wire::decode`] call failed.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The input ended before the value was complete.
+    Truncated,
+    /// The input was long enough but malformed (bad tag, bad bool byte,
+    /// length out of sanity range). Carries a static description of what
+    /// was being decoded.
+    Invalid(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "wire input truncated"),
+            WireError::Invalid(what) => write!(f, "malformed wire value: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Sanity cap on decoded collection lengths: a `Vec` longer than this is
+/// treated as garbage rather than attempted (prevents huge allocations
+/// from corrupt or adversarial length fields).
+pub const MAX_WIRE_ELEMS: u32 = 1 << 20;
+
+/// A value with a binary wire encoding. See the module docs for the
+/// format rules; implementations must guarantee that
+/// `decode(encode(v)) == v` and that `decode` consumes exactly the bytes
+/// `encode` produced (so values concatenate).
+pub trait Wire: Sized {
+    /// Append this value's encoding to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+
+    /// Decode a value from the front of `buf`, advancing it past the
+    /// consumed bytes. On error `buf`'s position is unspecified.
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError>;
+
+    /// Convenience: encode into a fresh buffer.
+    fn to_wire(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.encode(&mut buf);
+        buf
+    }
+
+    /// Convenience: decode a value that must occupy `bytes` exactly;
+    /// trailing bytes are an error.
+    fn from_wire(mut bytes: &[u8]) -> Result<Self, WireError> {
+        let v = Self::decode(&mut bytes)?;
+        if bytes.is_empty() {
+            Ok(v)
+        } else {
+            Err(WireError::Invalid("trailing bytes after value"))
+        }
+    }
+}
+
+/// Take `n` bytes off the front of `buf`, or fail with `Truncated`.
+pub fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8], WireError> {
+    if buf.len() < n {
+        return Err(WireError::Truncated);
+    }
+    let (head, rest) = buf.split_at(n);
+    *buf = rest;
+    Ok(head)
+}
+
+macro_rules! int_wire {
+    ($($t:ty),*) => {$(
+        impl Wire for $t {
+            fn encode(&self, buf: &mut Vec<u8>) {
+                buf.extend_from_slice(&self.to_le_bytes());
+            }
+            fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+                let raw = take(buf, std::mem::size_of::<$t>())?;
+                Ok(<$t>::from_le_bytes(raw.try_into().unwrap()))
+            }
+        }
+    )*};
+}
+
+int_wire!(u8, u16, u32, u64, i64);
+
+impl Wire for usize {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (*self as u64).encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        let v = u64::decode(buf)?;
+        usize::try_from(v).map_err(|_| WireError::Invalid("usize out of range"))
+    }
+}
+
+impl Wire for bool {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(*self as u8);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(buf)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::Invalid("bool byte not 0 or 1")),
+        }
+    }
+}
+
+impl Wire for () {
+    fn encode(&self, _buf: &mut Vec<u8>) {}
+    fn decode(_buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(())
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            None => buf.push(0),
+            Some(v) => {
+                buf.push(1);
+                v.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(buf)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(buf)?)),
+            _ => Err(WireError::Invalid("option byte not 0 or 1")),
+        }
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (self.len() as u32).encode(buf);
+        for v in self {
+            v.encode(buf);
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        let n = u32::decode(buf)?;
+        if n > MAX_WIRE_ELEMS {
+            return Err(WireError::Invalid("vec length over sanity cap"));
+        }
+        let mut out = Vec::with_capacity(n.min(1024) as usize);
+        for _ in 0..n {
+            out.push(T::decode(buf)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok((A::decode(buf)?, B::decode(buf)?))
+    }
+}
+
+impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+        self.2.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok((A::decode(buf)?, B::decode(buf)?, C::decode(buf)?))
+    }
+}
+
+impl Wire for String {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (self.len() as u32).encode(buf);
+        buf.extend_from_slice(self.as_bytes());
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        let n = u32::decode(buf)?;
+        if n > MAX_WIRE_ELEMS {
+            return Err(WireError::Invalid("string length over sanity cap"));
+        }
+        let raw = take(buf, n as usize)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| WireError::Invalid("string not UTF-8"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip_and_concatenate() {
+        let mut buf = Vec::new();
+        42u8.encode(&mut buf);
+        7u32.encode(&mut buf);
+        u64::MAX.encode(&mut buf);
+        (-5i64).encode(&mut buf);
+        true.encode(&mut buf);
+        Some(3usize).encode(&mut buf);
+        vec![1u64, 2, 3].encode(&mut buf);
+        "hi".to_string().encode(&mut buf);
+
+        let mut s = &buf[..];
+        assert_eq!(u8::decode(&mut s).unwrap(), 42);
+        assert_eq!(u32::decode(&mut s).unwrap(), 7);
+        assert_eq!(u64::decode(&mut s).unwrap(), u64::MAX);
+        assert_eq!(i64::decode(&mut s).unwrap(), -5);
+        assert!(bool::decode(&mut s).unwrap());
+        assert_eq!(Option::<usize>::decode(&mut s).unwrap(), Some(3));
+        assert_eq!(Vec::<u64>::decode(&mut s).unwrap(), vec![1, 2, 3]);
+        assert_eq!(String::decode(&mut s).unwrap(), "hi");
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn truncated_input_errors_cleanly() {
+        let buf = 12345u64.to_wire();
+        for cut in 0..buf.len() {
+            let mut s = &buf[..cut];
+            assert_eq!(u64::decode(&mut s), Err(WireError::Truncated));
+        }
+    }
+
+    #[test]
+    fn malformed_bytes_are_invalid_not_panics() {
+        let mut s: &[u8] = &[2];
+        assert!(matches!(bool::decode(&mut s), Err(WireError::Invalid(_))));
+        // A vec length over the sanity cap must not attempt allocation.
+        let mut buf = Vec::new();
+        (MAX_WIRE_ELEMS + 1).encode(&mut buf);
+        let mut s = &buf[..];
+        assert!(matches!(
+            Vec::<u64>::decode(&mut s),
+            Err(WireError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn from_wire_rejects_trailing_bytes() {
+        let mut buf = 1u32.to_wire();
+        buf.push(0);
+        assert!(matches!(u32::from_wire(&buf), Err(WireError::Invalid(_))));
+    }
+}

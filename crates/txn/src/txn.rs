@@ -2,6 +2,8 @@
 
 use std::collections::BTreeMap;
 
+use ac_sim::{Wire, WireError};
+
 /// A key: `(shard, key-within-shard)`. Sharding is explicit so workloads can
 //  control cross-shard spans precisely.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -92,6 +94,65 @@ impl Transaction {
             .keys()
             .chain(self.writes.keys())
             .any(|k| k.shard == shard)
+    }
+}
+
+impl Wire for Key {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.shard.encode(buf);
+        self.k.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(Key {
+            shard: usize::decode(buf)?,
+            k: u64::decode(buf)?,
+        })
+    }
+}
+
+impl Wire for WriteOp {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            WriteOp::Put(v) => {
+                buf.push(0);
+                v.encode(buf);
+            }
+            WriteOp::Add(d) => {
+                buf.push(1);
+                d.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(buf)? {
+            0 => Ok(WriteOp::Put(i64::decode(buf)?)),
+            1 => Ok(WriteOp::Add(i64::decode(buf)?)),
+            _ => Err(WireError::Invalid("WriteOp tag")),
+        }
+    }
+}
+
+impl Wire for Transaction {
+    // Maps ride the `Vec<(K, V)>` encoding; `BTreeMap` iteration is
+    // ordered, so equal transactions encode to equal bytes.
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.id.encode(buf);
+        (self.reads.len() as u32).encode(buf);
+        for (k, v) in &self.reads {
+            k.encode(buf);
+            v.encode(buf);
+        }
+        (self.writes.len() as u32).encode(buf);
+        for (k, w) in &self.writes {
+            k.encode(buf);
+            w.encode(buf);
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        let id = TxnId::decode(buf)?;
+        let reads = Vec::<(Key, u64)>::decode(buf)?.into_iter().collect();
+        let writes = Vec::<(Key, WriteOp)>::decode(buf)?.into_iter().collect();
+        Ok(Transaction { id, reads, writes })
     }
 }
 

@@ -11,7 +11,7 @@
 use std::time::Duration;
 
 use ac_chaos::{run_chaos, ChaosConfig, ChaosPlan};
-use ac_cluster::{participants_of, run_service_faulted, FaultSpec, ServiceConfig};
+use ac_cluster::{participants_of, run_service_faulted, FaultSpec, ServiceConfig, TransportKind};
 use ac_commit::protocols::ProtocolKind;
 use ac_commit::Scenario;
 use ac_net::{Crash, FaultPlan};
@@ -173,11 +173,15 @@ fn lossy_links_degrade_but_never_corrupt() {
     assert!(out.service.dropped_messages > 0, "10% loss must bite");
 }
 
-/// Same crash schedule, same protocol, same decisions: a crash schedule
-/// expressed once as an `ac_net::FaultPlan` drives the simulator directly
-/// and, converted through `ChaosPlan::from_fault_plan`, the live cluster.
-/// Span-`n` transactions make the live participant set the whole cluster,
-/// so instance ranks coincide with the simulator's process ids.
+/// Same crash schedule, same protocol, same decisions — across **three**
+/// execution modes: a crash schedule expressed once as an
+/// `ac_net::FaultPlan` drives the simulator directly and, converted
+/// through `ChaosPlan::from_fault_plan`, the live cluster over in-process
+/// channels *and* over the real-socket TCP transport. Span-`n`
+/// transactions make the live participant set the whole cluster, so
+/// instance ranks coincide with the simulator's process ids. Survivor
+/// decisions and final shard state must be identical in all three modes
+/// (for 2PC, PaxosCommit and INBAC alike).
 #[test]
 fn sim_and_live_agree_under_the_same_crash_schedule() {
     let n = 4;
@@ -190,91 +194,110 @@ fn sim_and_live_agree_under_the_same_crash_schedule() {
         sim_plan.crashed_ids()
     );
 
-    for kind in [ProtocolKind::Inbac, ProtocolKind::PaxosCommit] {
-        let service = ServiceConfig::new(n, 1, kind)
-            .clients(1)
-            .txns_per_client(2)
-            .workload(Workload::Uniform { span: n })
-            .unit(Duration::from_millis(10))
-            .keys_per_shard(32)
-            .seed(41)
-            .reply_timeout(Duration::from_millis(150))
-            .park_retries(1)
-            .txn_deadline(Duration::from_millis(800));
-        let cfg = ChaosConfig {
-            service: service.clone(),
-            plan: chaos_plan.clone(),
-        };
-        let out = run_chaos(&cfg);
-        assert!(
-            out.service.is_safe(),
-            "{}: audit failed: {:?}",
-            kind.name(),
-            out.service.violations
-        );
-        // Node 1 is dead for the whole run and never restarts, so every
-        // transaction misses one decision and is abandoned at its
-        // deadline — the *survivors'* decisions are what must agree.
-        assert_eq!(out.service.stalled, 2, "{}", kind.name());
+    for kind in [
+        ProtocolKind::Inbac,
+        ProtocolKind::PaxosCommit,
+        ProtocolKind::TwoPc,
+    ] {
+        // Survivor decision maps and final totals per transport, compared
+        // at the end: the wire must not change any outcome.
+        let mut modes: Vec<(&'static str, Vec<(u64, u64)>, i64)> = Vec::new();
+        for transport in [TransportKind::Channel, TransportKind::Tcp] {
+            let service = ServiceConfig::new(n, 1, kind)
+                .clients(1)
+                .txns_per_client(2)
+                .workload(Workload::Uniform { span: n })
+                .unit(Duration::from_millis(10))
+                .keys_per_shard(32)
+                .seed(41)
+                .reply_timeout(Duration::from_millis(150))
+                .park_retries(1)
+                .txn_deadline(Duration::from_millis(800))
+                .transport(transport);
+            let cfg = ChaosConfig {
+                service: service.clone(),
+                plan: chaos_plan.clone(),
+            };
+            let out = run_chaos(&cfg);
+            let label = format!("{}/{}", kind.name(), transport.name());
+            assert!(
+                out.service.is_safe(),
+                "{label}: audit failed: {:?}",
+                out.service.violations
+            );
+            // Node 1 is dead for the whole run and never restarts, so every
+            // transaction misses one decision and is abandoned at its
+            // deadline — the *survivors'* decisions are what must agree.
+            assert_eq!(out.service.stalled, 2, "{label}");
 
-        // Reconstruct the submitted stream and run the simulator under
-        // the *original* FaultPlan with the survivors' actual votes.
-        let mut gen = WorkloadConfig {
-            shards: n,
-            keys_per_shard: service.keys_per_shard,
-            workload: service.workload.clone(),
-            seed: service.client_seed(0),
-        }
-        .generator();
-        let mut txns = gen.take_txns(service.txns_per_client);
-        for (i, t) in txns.iter_mut().enumerate() {
-            t.id = ServiceConfig::txn_id(0, i);
-        }
-
-        for t in &txns {
-            assert_eq!(participants_of(t, n).len(), n, "span-n txn covers all");
-            // All survivors voted yes (sequential aborts leave no locks),
-            // the dead node proposes nothing: the paper's validity says
-            // the decision must be 0 in every such execution.
-            let sc = Scenario::nice(n, 1)
-                .votes(&vec![true; n])
-                .crash(1, sim_plan.crash_of(1).unwrap());
-            let sim_out = kind.run(&sc);
-            let sim_vals = sim_out.decided_values();
-            assert_eq!(sim_vals, vec![0], "{}: simulator decision", kind.name());
-
-            // Every live survivor that logged the txn decided the same
-            // value the simulator's processes did.
-            let mut live_decisions = Vec::new();
-            for (node, log) in out.service.node_logs.iter().enumerate() {
-                if let Some(rec) = log.iter().find(|r| r.txn.id == t.id) {
-                    assert_ne!(node, 1, "the dead node cannot have logged anything");
-                    live_decisions.push(rec.decision);
-                }
+            // Reconstruct the submitted stream and run the simulator under
+            // the *original* FaultPlan with the survivors' actual votes.
+            let mut gen = WorkloadConfig {
+                shards: n,
+                keys_per_shard: service.keys_per_shard,
+                workload: service.workload.clone(),
+                seed: service.client_seed(0),
             }
-            assert!(
-                !live_decisions.is_empty(),
-                "{}: survivors must decide txn {}",
-                kind.name(),
-                t.id
-            );
-            assert!(
-                live_decisions.iter().all(|&d| d == sim_vals[0]),
-                "{}: live survivors decided {live_decisions:?}, sim decided {:?}",
-                kind.name(),
-                sim_vals
-            );
-        }
+            .generator();
+            let mut txns = gen.take_txns(service.txns_per_client);
+            for (i, t) in txns.iter_mut().enumerate() {
+                t.id = ServiceConfig::txn_id(0, i);
+            }
 
-        // No effects anywhere: everything aborted in both worlds.
-        assert_eq!(out.service.total_value(), 0);
-        for shard in &out.service.shards {
+            let mut decided: Vec<(u64, u64)> = Vec::new();
+            for t in &txns {
+                assert_eq!(participants_of(t, n).len(), n, "span-n txn covers all");
+                // All survivors voted yes (sequential aborts leave no locks),
+                // the dead node proposes nothing: the paper's validity says
+                // the decision must be 0 in every such execution.
+                let sc = Scenario::nice(n, 1)
+                    .votes(&vec![true; n])
+                    .crash(1, sim_plan.crash_of(1).unwrap());
+                let sim_out = kind.run(&sc);
+                let sim_vals = sim_out.decided_values();
+                assert_eq!(sim_vals, vec![0], "{label}: simulator decision");
+
+                // Every live survivor that logged the txn decided the same
+                // value the simulator's processes did.
+                let mut live_decisions = Vec::new();
+                for (node, log) in out.service.node_logs.iter().enumerate() {
+                    if let Some(rec) = log.iter().find(|r| r.txn.id == t.id) {
+                        assert_ne!(node, 1, "the dead node cannot have logged anything");
+                        live_decisions.push(rec.decision);
+                    }
+                }
+                assert!(
+                    !live_decisions.is_empty(),
+                    "{label}: survivors must decide txn {}",
+                    t.id
+                );
+                assert!(
+                    live_decisions.iter().all(|&d| d == sim_vals[0]),
+                    "{label}: live survivors decided {live_decisions:?}, sim decided {:?}",
+                    sim_vals
+                );
+                decided.push((t.id, live_decisions[0]));
+            }
+
+            // No effects anywhere: everything aborted in both worlds.
+            assert_eq!(out.service.total_value(), 0);
+            for shard in &out.service.shards {
+                assert_eq!(shard.locked(), 0, "{label}: aborts must release locks");
+            }
+            modes.push((transport.name(), decided, out.service.total_value()));
+        }
+        // Channel and TCP agree with each other (and, transitively, with
+        // the simulator checked above) on every survivor decision and on
+        // the final shard state.
+        let (base_name, base_decisions, base_total) = &modes[0];
+        for (name, decisions, total) in &modes[1..] {
             assert_eq!(
-                shard.locked(),
-                0,
-                "{}: aborts must release locks",
+                decisions,
+                base_decisions,
+                "{}: survivor decisions diverged between {base_name} and {name}",
                 kind.name()
             );
+            assert_eq!(total, base_total, "{}: final state diverged", kind.name());
         }
     }
 }
