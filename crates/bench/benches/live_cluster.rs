@@ -1,5 +1,6 @@
 //! Bench for the live `ac-cluster` service: 2PC vs INBAC vs Paxos-Commit
-//! serving a contended (skewed) workload end-to-end over real channels.
+//! vs logless D1CC serving a contended (skewed) workload end-to-end over
+//! real channels.
 //! Prints the throughput/latency comparison first, then times whole
 //! service runs under criterion.
 
@@ -10,10 +11,11 @@ use ac_commit::protocols::ProtocolKind;
 use ac_txn::Workload;
 use criterion::{black_box, Criterion};
 
-const KINDS: [ProtocolKind; 3] = [
+const KINDS: [ProtocolKind; 4] = [
     ProtocolKind::TwoPc,
     ProtocolKind::Inbac,
     ProtocolKind::PaxosCommit,
+    ProtocolKind::D1cc,
 ];
 
 fn contended(kind: ProtocolKind, clients: usize, txns_per_client: usize) -> ServiceConfig {

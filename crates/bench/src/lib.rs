@@ -30,8 +30,8 @@ pub fn run_explorer(kind: ProtocolKind, n: usize, f: usize, jobs: usize) -> usiz
     report.executions
 }
 
-/// The six Table-5 protocols (delegates to the canonical list in
+/// The seven Table-5 protocols (delegates to the canonical list in
 /// [`ProtocolKind::table5`]).
-pub fn table5_protocols() -> [ProtocolKind; 6] {
+pub fn table5_protocols() -> [ProtocolKind; 7] {
     ProtocolKind::table5()
 }

@@ -135,6 +135,7 @@ where
         policy: None,
         window: None,
         wal: None,
+        logless: spec.kind.logless(),
     };
     let ret = node_main::<P>(env);
     // node_main dropped its Done senders on return; the forwarders drain

@@ -443,6 +443,13 @@ pub struct ServiceOutcome {
     /// Node-loop wakeups that found neither a message nor a due timer
     /// (0 = every wakeup did useful work; idle nodes park indefinitely).
     pub spurious_wakeups: usize,
+    /// Prepare records forced to the write-ahead log on the `Begin`
+    /// critical path, across all nodes. Zero when the run has no WAL
+    /// (healthy, non-durable) — and zero **even with a WAL** for a
+    /// logless protocol ([`ProtocolKind::logless`]), which journals the
+    /// prepare lazily alongside the decision because the outcome is
+    /// reconstructible from the votes replicated to its peers.
+    pub wal_prepare_forces: usize,
     /// Early protocol envelopes (arrived before their `Begin`) dropped
     /// because an instance's bounded pre-open buffer was full. 0 in any
     /// healthy run — the buffer holds [`ORPHAN_CAP`] envelopes and no
@@ -609,6 +616,8 @@ pub(crate) struct NodeReturn {
     pub(crate) dropped_messages: usize,
     pub(crate) delayed_messages: usize,
     pub(crate) orphaned_envelopes: usize,
+    /// Prepare records forced to the WAL on the Begin critical path.
+    pub(crate) wal_prepare_forces: usize,
 }
 
 pub(crate) struct ClientReturn {
@@ -642,6 +651,10 @@ macro_rules! with_protocol {
             }
             ProtocolKind::Nbac1 => {
                 type $p = Nbac1;
+                $body
+            }
+            ProtocolKind::D1cc => {
+                type $p = D1cc;
                 $body
             }
             ProtocolKind::Nbac0 => {
@@ -717,6 +730,11 @@ pub(crate) struct NodeEnv<P: CommitProtocol> {
     pub(crate) policy: Option<Arc<dyn NetPolicy>>,
     pub(crate) window: Option<CrashWindow>,
     pub(crate) wal: Option<Arc<Mutex<Wal>>>,
+    /// Logless protocol ([`ProtocolKind::logless`]): skip the Begin-path
+    /// Prepare force and journal the prepare alongside the decision
+    /// instead — the decision is reconstructible from peer votes, so
+    /// nothing needs to be durable before the vote leaves the node.
+    pub(crate) logless: bool,
 }
 
 fn serve<P>(cfg: &ServiceConfig, spec: &FaultSpec) -> ServiceOutcome
@@ -785,6 +803,7 @@ where
                 policy: spec.policy.clone(),
                 window: spec.crashes[me],
                 wal: wals[me].clone(),
+                logless: cfg.kind.logless(),
             };
             std::thread::spawn(move || node_main::<P>(env))
         })
@@ -846,21 +865,43 @@ fn apply_decisions(
     me: ProcessId,
     wal: &Option<Arc<Mutex<Wal>>>,
     decided_map: &mut HashMap<TxnId, u64>,
+    logless: bool,
 ) {
     for (txn_id, value) in decided.drain(..) {
         if decided_map.contains_key(&txn_id) {
             continue; // duplicate (e.g. StatusA raced the protocol decide)
         }
         if let Some(m) = meta.get(txn_id) {
-            shard.finish(&m.txn, value == COMMIT);
+            let commit = value == COMMIT;
+            // Logless vote reconstruction: a commit proves every
+            // participant voted yes (commit validity), so journal yes even
+            // if this node's *current* vote is a post-restart re-validation
+            // that said no — the protocol decided on the pre-crash yes its
+            // peers hold, not on the re-validation.
+            let vote = if logless { m.vote || commit } else { m.vote };
+            if logless && commit && !m.vote {
+                // Same restart corner: the re-validation refused the locks,
+                // but the commit was decided from the pre-crash yes-vote.
+                // Re-take the locks so `finish` applies the writes — the
+                // exact move WAL replay makes for a logged yes-vote.
+                shard.relock(&m.txn);
+            }
+            shard.finish(&m.txn, commit);
             if let Some(wal) = wal {
-                wal.lock().expect("wal poisoned").log_decide(txn_id, value);
+                let mut wal = wal.lock().expect("wal poisoned");
+                if logless {
+                    // The deferred prepare record: written together with
+                    // the decision, after the outcome is known — a journal
+                    // entry, not a critical-path force.
+                    wal.log_prepare(Arc::clone(&m.txn), m.client, vote);
+                }
+                wal.log_decide(txn_id, value);
             }
             decided_map.insert(txn_id, value);
             log.push(NodeRecord {
                 txn: Arc::clone(&m.txn),
                 client: m.client,
-                vote: m.vote,
+                vote,
                 decision: value,
             });
             if let Some(buf) = done_out.get_mut(m.client) {
@@ -895,6 +936,7 @@ where
         policy,
         window,
         wal,
+        logless,
     } = env;
     let mut node: NodeLoop<P> = NodeLoop::new(me, n, UnitClock::new(unit));
     let mut shard = Shard::new(me);
@@ -929,6 +971,7 @@ where
     let mut dropped_messages = 0usize;
     let mut delayed_messages = 0usize;
     let mut orphaned_envelopes = 0usize;
+    let mut wal_prepare_forces = 0usize;
     let mut crashed = false;
     let mut skip_wait = false;
     let mut shutdown = false;
@@ -1186,12 +1229,21 @@ where
                         } else {
                             true
                         };
-                        if let Some(wal) = &wal {
-                            wal.lock().expect("wal poisoned").log_prepare(
-                                Arc::clone(&txn),
-                                client,
-                                vote,
-                            );
+                        // The classic commit-latency tax: the vote must be
+                        // durable before it can influence a decision. A
+                        // logless protocol replicates the vote to its peers
+                        // instead and skips this force entirely — the
+                        // prepare is journaled later, alongside the
+                        // decision, off the critical path.
+                        if !logless {
+                            if let Some(wal) = &wal {
+                                wal.lock().expect("wal poisoned").log_prepare(
+                                    Arc::clone(&txn),
+                                    client,
+                                    vote,
+                                );
+                                wal_prepare_forces += 1;
+                            }
                         }
                         if let Some(w) = begun.get_mut(client) {
                             *w = (*w).max(txn_seq(id));
@@ -1303,6 +1355,7 @@ where
                             me,
                             &wal,
                             &mut decided_map,
+                            logless,
                         );
                     }
                     node.close(txn);
@@ -1351,6 +1404,7 @@ where
             me,
             &wal,
             &mut decided_map,
+            logless,
         );
 
         // 5. Flush. Delay-released envelopes first (already judged by the
@@ -1457,6 +1511,7 @@ where
         dropped_messages,
         delayed_messages,
         orphaned_envelopes,
+        wal_prepare_forces,
     }
 }
 
@@ -1684,6 +1739,7 @@ fn aggregate(
     let dropped_messages = node_returns.iter().map(|r| r.dropped_messages).sum();
     let delayed_messages = node_returns.iter().map(|r| r.delayed_messages).sum();
     let orphaned_envelopes = node_returns.iter().map(|r| r.orphaned_envelopes).sum();
+    let wal_prepare_forces = node_returns.iter().map(|r| r.wal_prepare_forces).sum();
 
     // Cross-node view: txn -> (votes, decisions) as logged by each node.
     let mut by_txn: HashMap<TxnId, (Vec<bool>, Vec<u64>)> = HashMap::new();
@@ -1777,6 +1833,7 @@ fn aggregate(
         reply_timeouts,
         spurious_wakeups,
         orphaned_envelopes,
+        wal_prepare_forces,
         shards,
         node_logs,
         txn_events,
@@ -1819,6 +1876,7 @@ mod tests {
             policy: None,
             window: None,
             wal: None,
+            logless: false,
         }
     }
 

@@ -1,12 +1,13 @@
 //! Wire-codec property battery (ISSUE-6 satellite).
 //!
-//! Coverage map — every one of the 14 [`ProtocolKind`]s resolves to one
-//! of the eleven message alphabets (plus the embedded [`PaxosMsg`]):
+//! Coverage map — every one of the 15 [`ProtocolKind`]s resolves to one
+//! of the twelve message alphabets (plus the embedded [`PaxosMsg`]):
 //!
 //! | kinds | alphabet |
 //! |---|---|
 //! | INBAC, INBAC+fast-abort, INBAC/unbundled | `InbacMsg` |
 //! | 1NBAC | `Nbac1Msg` |
+//! | D1CC | `D1ccMsg` |
 //! | 0NBAC | `Nbac0Msg` |
 //! | aNBAC | `ANbacMsg` |
 //! | avNBAC(delay), avNBAC(msg) | `AvMsg` |
@@ -31,6 +32,7 @@ use ac_cluster::{AnyFrame, Done, FrameDecoder, ToNode};
 use ac_commit::protocols::anbac::ANbacMsg;
 use ac_commit::protocols::avnbac::AvMsg;
 use ac_commit::protocols::chain_nbac::ChainMsg;
+use ac_commit::protocols::d1cc::D1ccMsg;
 use ac_commit::protocols::inbac::InbacMsg;
 use ac_commit::protocols::nbac0::Nbac0Msg;
 use ac_commit::protocols::nbac1::Nbac1Msg;
@@ -135,6 +137,14 @@ fn nbac1(r: &mut Rng) -> Nbac1Msg {
         0 => Nbac1Msg::V(r.flag()),
         1 => Nbac1Msg::D(r.flag()),
         _ => Nbac1Msg::Cons(paxos(r)),
+    }
+}
+
+fn d1cc(r: &mut Rng) -> D1ccMsg {
+    if r.flag() {
+        D1ccMsg::V(r.flag())
+    } else {
+        D1ccMsg::D(r.flag())
     }
 }
 
@@ -285,7 +295,7 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     /// Every protocol alphabet round-trips byte-exactly — this is the
-    /// codec contract the TCP transport rides on for all 14 kinds.
+    /// codec contract the TCP transport rides on for all 15 kinds.
     #[test]
     fn every_protocol_message_round_trips(seed in any::<u64>()) {
         let r = &mut Rng(seed);
@@ -297,6 +307,7 @@ proptest! {
             roundtrip(&ChainMsg(r.flag()))?;
             roundtrip(&nbac0(r))?;
             roundtrip(&nbac1(r))?;
+            roundtrip(&d1cc(r))?;
             roundtrip(&b2n2(r))?;
             roundtrip(&c2n2f(r))?;
             roundtrip(&pcmsg(r))?;
@@ -334,6 +345,68 @@ proptest! {
         frames_roundtrip(&frames, step)?;      // fragmented
         frames_roundtrip(&frames, 1)?;         // one byte at a time
         frames_roundtrip(&frames, usize::MAX)?; // all at once
+    }
+
+    /// The D1CC alphabet through the full framing battery (ISSUE-7
+    /// satellite): its envelopes survive arbitrary fragmentation, a
+    /// truncated final frame parks cleanly and completes when the tail
+    /// arrives, and garbage decoded *as* `D1ccMsg` errors without
+    /// panicking (its two one-byte-tag variants make almost all random
+    /// payloads invalid).
+    #[test]
+    fn d1cc_frames_survive_fragmentation_and_truncation(
+        seed in any::<u64>(),
+        step in 1usize..48,
+    ) {
+        let r = &mut Rng(seed);
+        let mut frames: Vec<AnyFrame<D1ccMsg>> = Vec::new();
+        for _ in 0..6 {
+            let msg = d1cc(r);
+            frames.push(AnyFrame::Node(envelope(r, msg)));
+        }
+        frames_roundtrip(&frames, step)?;
+        frames_roundtrip(&frames, 1)?;
+
+        // Truncation parks, completion resumes.
+        let mut bytes = Vec::new();
+        ac_cluster::codec::write_frame(&frames[0], &mut bytes);
+        let complete_len = bytes.len();
+        ac_cluster::codec::write_frame(
+            &AnyFrame::Node(ToNode::Net { txn: r.next(), from: 2, msg: d1cc(r) }),
+            &mut bytes,
+        );
+        let cut = complete_len + (r.below((bytes.len() - complete_len) as u64) as usize);
+        let mut dec = FrameDecoder::new();
+        dec.feed(&bytes[..cut]);
+        prop_assert!(matches!(dec.next_frame::<D1ccMsg>(), Ok(Some(_))), "complete frame lost");
+        prop_assert!(matches!(dec.next_frame::<D1ccMsg>(), Ok(None)), "truncated frame must park");
+        dec.feed(&bytes[cut..]);
+        prop_assert!(matches!(dec.next_frame::<D1ccMsg>(), Ok(Some(_))), "parked frame never completed");
+        prop_assert_eq!(dec.pending(), 0);
+    }
+
+    /// Garbage fed to a decoder read as the D1CC alphabet never panics —
+    /// resynchronize or poison, nothing else.
+    #[test]
+    fn d1cc_garbage_never_panics(
+        garbage in proptest::collection::vec(any::<u8>(), 0..512),
+        step in 1usize..64,
+    ) {
+        let mut dec = FrameDecoder::new();
+        for chunk in garbage.chunks(step) {
+            dec.feed(chunk);
+            for _ in 0..garbage.len() + 4 {
+                match dec.next_frame::<D1ccMsg>() {
+                    Ok(Some(_)) => {}
+                    Ok(None) => break,
+                    Err(_) => {
+                        if dec.is_poisoned() {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
     }
 
     /// A truncated final frame parks cleanly: all complete frames come

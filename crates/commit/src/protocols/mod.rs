@@ -12,6 +12,7 @@ use ac_sim::Time;
 pub mod anbac;
 pub mod avnbac;
 pub mod chain_nbac;
+pub mod d1cc;
 pub mod inbac;
 pub mod nbac0;
 pub mod nbac1;
@@ -25,6 +26,7 @@ mod wire;
 pub use anbac::ANbac;
 pub use avnbac::{AvNbacDelayOpt, AvNbacMsgOpt};
 pub use chain_nbac::ChainNbac;
+pub use d1cc::D1cc;
 pub use inbac::{Inbac, InbacFastAbort, InbacUnbundledAck};
 pub use nbac0::Nbac0;
 pub use nbac1::Nbac1;
@@ -57,6 +59,10 @@ pub enum ProtocolKind {
     InbacFastAbort,
     /// 1NBAC — one-delay, consensus-backed (Theorem 3).
     Nbac1,
+    /// D1CC — logless decentralized one-phase commit (Cornus/EasyCommit
+    /// lineage): vote replication before the decision point, no consensus
+    /// module, no coordinator log.
+    D1cc,
     /// 0NBAC — zero-delay in the all-Yes nice execution.
     Nbac0,
     /// aNBAC — asynchronous, always runs consensus.
@@ -83,12 +89,13 @@ pub enum ProtocolKind {
 
 impl ProtocolKind {
     /// Every protocol, in Table-1 presentation order.
-    pub fn all() -> [ProtocolKind; 14] {
+    pub fn all() -> [ProtocolKind; 15] {
         use ProtocolKind::*;
         [
             Inbac,
             InbacFastAbort,
             Nbac1,
+            D1cc,
             Nbac0,
             ANbac,
             AvNbacDelayOpt,
@@ -103,12 +110,14 @@ impl ProtocolKind {
         ]
     }
 
-    /// The six protocols of Table 5's head-to-head sweep, in presentation
-    /// order. The single source of truth for that list: the harness's
-    /// bench baseline, its validator and `ac-bench` all derive from it.
-    pub fn table5() -> [ProtocolKind; 6] {
+    /// The seven protocols of Table 5's head-to-head sweep, in
+    /// presentation order. The single source of truth for that list: the
+    /// harness's bench baseline, its validator and `ac-bench` all derive
+    /// from it.
+    pub fn table5() -> [ProtocolKind; 7] {
         [
             ProtocolKind::Nbac1,
+            ProtocolKind::D1cc,
             ProtocolKind::ChainNbac,
             ProtocolKind::Inbac,
             ProtocolKind::TwoPc,
@@ -123,6 +132,7 @@ impl ProtocolKind {
             ProtocolKind::Inbac => Inbac::NAME,
             ProtocolKind::InbacFastAbort => InbacFastAbort::NAME,
             ProtocolKind::Nbac1 => Nbac1::NAME,
+            ProtocolKind::D1cc => D1cc::NAME,
             ProtocolKind::Nbac0 => Nbac0::NAME,
             ProtocolKind::ANbac => ANbac::NAME,
             ProtocolKind::AvNbacDelayOpt => AvNbacDelayOpt::NAME,
@@ -142,7 +152,7 @@ impl ProtocolKind {
         use PropSet as P;
         match self {
             ProtocolKind::Inbac | ProtocolKind::InbacFastAbort => Cell::new(P::AVT, P::AVT),
-            ProtocolKind::Nbac1 => Cell::new(P::AVT, P::VT),
+            ProtocolKind::Nbac1 | ProtocolKind::D1cc => Cell::new(P::AVT, P::VT),
             ProtocolKind::Nbac0 => Cell::new(P::AT, P::AT),
             ProtocolKind::ANbac => Cell::new(P::AV, P::A),
             ProtocolKind::AvNbacDelayOpt | ProtocolKind::AvNbacMsgOpt => Cell::new(P::AV, P::AV),
@@ -173,6 +183,15 @@ impl ProtocolKind {
         )
     }
 
+    /// Whether the protocol is **logless**: the decision is reconstructable
+    /// from votes replicated to peers, so a recovering participant asks the
+    /// cluster instead of reading a local prepare record. The live service
+    /// skips the critical-path `Prepare` WAL force for these protocols and
+    /// journals the vote only alongside the decision (off the commit path).
+    pub fn logless(self) -> bool {
+        matches!(self, ProtocolKind::D1cc)
+    }
+
     /// Expected nice-execution complexity `(delays, messages)` per the
     /// paper's tables (Tables 2, 3, 5 and the Appendix protocol text),
     /// under this library's measurement conventions (see EXPERIMENTS.md
@@ -180,7 +199,7 @@ impl ProtocolKind {
     pub fn nice_complexity_formula(self, n: u64, f: u64) -> (u64, u64) {
         match self {
             ProtocolKind::Inbac | ProtocolKind::InbacFastAbort => (2, 2 * f * n),
-            ProtocolKind::Nbac1 => (1, n * n - n),
+            ProtocolKind::Nbac1 | ProtocolKind::D1cc => (1, n * n - n),
             ProtocolKind::Nbac0 => (1, 0),
             ProtocolKind::ANbac => (n + 2 * f, n - 1 + f),
             ProtocolKind::AvNbacDelayOpt => (1, n * n - n),
@@ -226,6 +245,7 @@ impl ProtocolKind {
             ProtocolKind::Inbac => scenario.run::<Inbac>(),
             ProtocolKind::InbacFastAbort => scenario.run::<InbacFastAbort>(),
             ProtocolKind::Nbac1 => scenario.run::<Nbac1>(),
+            ProtocolKind::D1cc => scenario.run::<D1cc>(),
             ProtocolKind::Nbac0 => scenario.run::<Nbac0>(),
             ProtocolKind::ANbac => scenario.run::<ANbac>(),
             ProtocolKind::AvNbacDelayOpt => scenario.run::<AvNbacDelayOpt>(),

@@ -1,6 +1,6 @@
 //! [`Wire`] encodings for every protocol's message alphabet.
 //!
-//! One module implements the codec for all eleven `Msg` types so the tag
+//! One module implements the codec for all twelve `Msg` types so the tag
 //! assignments live side by side; the format rules are in
 //! [`ac_sim::wire`]. Each enum encodes as a leading tag byte followed by
 //! the variant's fields; the tags are part of the wire contract and must
@@ -12,6 +12,7 @@ use ac_sim::{Wire, WireError};
 use super::anbac::ANbacMsg;
 use super::avnbac::AvMsg;
 use super::chain_nbac::ChainMsg;
+use super::d1cc::D1ccMsg;
 use super::inbac::InbacMsg;
 use super::nbac0::Nbac0Msg;
 use super::nbac1::Nbac1Msg;
@@ -110,6 +111,28 @@ impl Wire for ChainMsg {
     }
     fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
         Ok(ChainMsg(bool::decode(buf)?))
+    }
+}
+
+impl Wire for D1ccMsg {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            D1ccMsg::V(v) => {
+                buf.push(0);
+                v.encode(buf);
+            }
+            D1ccMsg::D(v) => {
+                buf.push(1);
+                v.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(buf)? {
+            0 => Ok(D1ccMsg::V(bool::decode(buf)?)),
+            1 => Ok(D1ccMsg::D(bool::decode(buf)?)),
+            _ => Err(WireError::Invalid("D1ccMsg tag")),
+        }
     }
 }
 

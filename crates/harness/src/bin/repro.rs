@@ -19,7 +19,7 @@
 //! the real-socket transport (length-prefixed wire codec over loopback
 //! TCP) instead of in-process channels, and the baseline records which
 //! transport measured it; `chaos` additionally runs the availability-under-failure sweep
-//! ({2PC, Paxos-Commit, INBAC} × {crash-coordinator, crash-participant,
+//! ({2PC, Paxos-Commit, INBAC, D1CC} × {crash-coordinator, crash-participant,
 //! partition-heal, lossy-10} through `ac-chaos`, with safety audits on
 //! every faulted run) and writes the schema-v3 baseline including the
 //! `chaos` section; `bench-check <path>` validates a previously written
@@ -178,7 +178,7 @@ fn main() {
         match BenchBaseline::validate_json(&text) {
             Ok(()) => {
                 println!(
-                    "{path}: valid bench baseline (all six Table-5 protocols present; \
+                    "{path}: valid bench baseline (all seven Table-5 protocols present; \
                      schema v1, v2 or v3 with clean service/chaos sections)"
                 );
                 return;

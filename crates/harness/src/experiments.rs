@@ -956,16 +956,16 @@ fn chaos_plan(scenario: &str, n: usize) -> ac_chaos::ChaosPlan {
 }
 
 /// **Chaos baseline** — the availability-under-failure sweep:
-/// {2PC, Paxos-Commit, INBAC} × {crash-coordinator, crash-participant,
-/// partition-heal, lossy-10}, each run through `ac-chaos` with a post-run
-/// safety audit, emitted as the schema-v3 `chaos` section on top of
-/// everything the v2 baseline carries.
+/// {2PC, Paxos-Commit, INBAC, D1CC} × {crash-coordinator,
+/// crash-participant, partition-heal, lossy-10}, each run through
+/// `ac-chaos` with a post-run safety audit, emitted as the schema-v3
+/// `chaos` section on top of everything the v2 baseline carries.
 ///
 /// The wall-clock face of the paper's trade-off, asserted as comparisons:
-/// the f-tolerant protocols (Paxos-Commit, INBAC) keep **committing**
-/// through a single crash (availability > 0 inside the fault window),
-/// while 2PC reports blocked transactions under a crashed coordinator
-/// that only resolve after the restart.
+/// the f-tolerant protocols (Paxos-Commit, INBAC, logless D1CC) keep
+/// **committing** through a single crash (availability > 0 inside the
+/// fault window), while 2PC reports blocked transactions under a crashed
+/// coordinator that only resolve after the restart.
 pub fn chaos_baseline(quick: bool, jobs: usize) -> (Report, BenchBaseline) {
     chaos_baseline_with(quick, jobs, ac_cluster::TransportKind::Channel)
 }
@@ -1017,22 +1017,27 @@ pub fn chaos_baseline_with(
             let out = run_chaos(&cfg);
             let s = &out.stats;
             let svc = &out.service;
-            // Universal gates: clean audit, everything resolved. Crash and
-            // partition scenarios must additionally show the service
-            // recovering throughput after the heal; a lossy window merely
-            // degrades — a short stream can legitimately finish inside it.
+            // Universal gates: clean audit, everything resolved. When a
+            // crash or partition parked transactions, the service must
+            // additionally show throughput recovering after the heal. Two
+            // faults legitimately drain a short stream inside the window
+            // instead: a lossy link (parks resolve via in-window retries),
+            // and a never-blocking protocol (logless D1CC timeout-aborts
+            // straight through a partition, so nothing is left to recover).
             let clean = svc.is_safe() && svc.stalled == 0 && s.unresolved == 0;
-            let recovered = scenario == "lossy-10" || s.committed_after_heal > 0;
+            let recovered = scenario == "lossy-10" || s.blocked == 0 || s.committed_after_heal > 0;
             // The paper-facing contrast, asserted where it is robust:
             // f-tolerant protocols keep committing through a single
             // crash; 2PC blocks under a crashed coordinator (and its
             // blocked txns resolve only after the restart).
             let contrast = match (kind.name(), scenario) {
-                ("PaxosCommit" | "INBAC", "crash-participant" | "crash-coordinator") => {
+                ("PaxosCommit" | "INBAC" | "D1CC", "crash-participant" | "crash-coordinator") => {
                     s.committed_during_fault > 0
                 }
                 ("2PC", "crash-coordinator") => s.blocked > 0,
-                ("2PC" | "PaxosCommit" | "INBAC", "lossy-10") => s.committed_during_fault > 0,
+                ("2PC" | "PaxosCommit" | "INBAC" | "D1CC", "lossy-10") => {
+                    s.committed_during_fault > 0
+                }
                 _ => true,
             };
             let ok = clean && recovered && contrast;
@@ -1185,10 +1190,10 @@ mod tests {
         assert!(r.all_matched(), "{}", r.render());
         assert_eq!(baseline.schema_version, 3);
         let chaos = baseline.chaos.as_ref().expect("chaos section present");
-        assert_eq!(chaos.entries.len(), 12, "3 protocols x 4 scenarios");
+        assert_eq!(chaos.entries.len(), 16, "4 protocols x 4 scenarios");
         // The acceptance contrast, re-checked on the emitted numbers:
-        // Paxos-Commit commits through a participant crash, 2PC blocks
-        // under a crashed coordinator.
+        // Paxos-Commit and logless D1CC commit through a participant
+        // crash, 2PC blocks under a crashed coordinator.
         let find = |p: &str, s: &str| {
             chaos
                 .entries
@@ -1197,6 +1202,7 @@ mod tests {
                 .unwrap()
         };
         assert!(find("PaxosCommit", "crash-participant").committed_during_fault > 0);
+        assert!(find("D1CC", "crash-participant").committed_during_fault > 0);
         assert!(find("2PC", "crash-coordinator").blocked > 0);
         assert!(chaos.entries.iter().all(|e| e.safety_violations == 0));
         assert!(chaos.entries.iter().all(|e| e.stalled == 0));

@@ -156,11 +156,12 @@ impl Report {
     }
 }
 
-/// The protocol names a valid bench baseline must cover: the six of the
-/// paper's Table 5 (the headline comparison sweep), derived from the
-/// canonical [`ac_commit::protocols::ProtocolKind::table5`] list so a
-/// protocol rename cannot desynchronize the emitter from the validator.
-pub fn table5_protocol_names() -> [&'static str; 6] {
+/// The protocol names a valid bench baseline must cover: the seven of the
+/// paper's Table 5 (the headline comparison sweep, plus the logless D1CC
+/// contender), derived from the canonical
+/// [`ac_commit::protocols::ProtocolKind::table5`] list so a protocol
+/// rename cannot desynchronize the emitter from the validator.
+pub fn table5_protocol_names() -> [&'static str; 7] {
     ac_commit::protocols::ProtocolKind::table5().map(|k| k.name())
 }
 
@@ -214,21 +215,23 @@ pub struct ExplorerBaseline {
 }
 
 /// The protocols the schema-v2 `service` section must cover: the
-/// head-to-head trio of the live-load comparison (2PC vs Paxos-Commit vs
-/// INBAC — blocking baseline, consensus-upfront, indulgent fast-path).
-/// The single source of truth for that list: the `load` sweep emitter and
-/// the validator both derive from it, so they cannot desynchronize.
-pub fn service_protocols() -> [ac_commit::protocols::ProtocolKind; 3] {
+/// head-to-head comparison of the live load (2PC vs Paxos-Commit vs INBAC
+/// vs D1CC — blocking baseline, consensus-upfront, indulgent fast-path,
+/// logless one-phase). The single source of truth for that list: the
+/// `load` sweep emitter, the chaos sweep emitter and the validator all
+/// derive from it, so they cannot desynchronize.
+pub fn service_protocols() -> [ac_commit::protocols::ProtocolKind; 4] {
     use ac_commit::protocols::ProtocolKind;
     [
         ProtocolKind::TwoPc,
         ProtocolKind::PaxosCommit,
         ProtocolKind::Inbac,
+        ProtocolKind::D1cc,
     ]
 }
 
 /// Display names of [`service_protocols`] (what the validator matches on).
-pub fn service_protocol_names() -> [&'static str; 3] {
+pub fn service_protocol_names() -> [&'static str; 4] {
     service_protocols().map(|k| k.name())
 }
 
@@ -412,7 +415,7 @@ impl BenchBaseline {
     }
 
     /// Validate a serialized baseline: parses as JSON, carries a known
-    /// schema version (1, 2 or 3), covers **all six Table-5 protocols**,
+    /// schema version (1, 2 or 3), covers **all seven Table-5 protocols**,
     /// and reports a non-empty, counterexample-free exploration. A v2+
     /// baseline must additionally carry a `service` section covering every
     /// [`service_protocol_names`] protocol at ≥ 2 concurrency levels with

@@ -5,8 +5,13 @@
 //! check the guarantees of the protocol's Table-1 cell. This complements
 //! the per-module unit tests with complete coverage of the small model.
 
+use ac_commit::checker::{check, Violation};
 use ac_commit::explorer::{explore, ExplorerConfig};
 use ac_commit::protocols::ProtocolKind;
+use ac_commit::runner::Scenario;
+use ac_commit::taxonomy::{Cell, PropSet};
+use ac_net::DelayRule;
+use ac_sim::{Time, U};
 
 fn config(n: usize, f: usize, max_time: u64) -> ExplorerConfig {
     ExplorerConfig {
@@ -58,6 +63,52 @@ fn safety_only_protocols_hold_with_f2_and_one_crash() {
 }
 
 #[test]
+fn d1cc_crash_space_is_also_clean_against_the_full_nbac_cell() {
+    // Within the crash-failure space, D1CC solves full NBAC — exploring it
+    // against the *indulgent* cell (strictly stronger than its declared
+    // (AVT, VT)) still finds nothing. The protocol's weakness is not in
+    // this space at all; it is the network-failure indulgence boundary
+    // pinned by `d1cc_is_not_indulgent_under_network_failure`.
+    use ac_commit::explorer::explore_against;
+    let cfg = ExplorerConfig {
+        n: 4,
+        f: 2,
+        crash_times: vec![0, 1, 2, 3],
+        partial_sends: vec![1, 2],
+        max_crashes: 2,
+        horizon_units: 500,
+    };
+    let report = explore_against(ProtocolKind::D1cc, Cell::INDULGENT, &cfg);
+    report.assert_ok("D1CC double-crash space vs indulgent cell");
+    assert!(report.executions > 10_000, "{}", report.executions);
+}
+
+#[test]
+fn d1cc_is_not_indulgent_under_network_failure() {
+    // The counterexample that justifies D1CC's cell: delay every message
+    // addressed to P4 past its f+1 timeout. The other three assemble the
+    // full vote vector and commit at one delay; P4 times out to Abort
+    // before any [D] reaches it. Validity and termination hold (its own
+    // cell passes) but agreement does not (the indulgent cell fails) —
+    // exactly the (AVT, VT) column of Table 1.
+    let sc = Scenario::nice(4, 1).rule(DelayRule {
+        from: None,
+        to: Some(3),
+        window: (Time::ZERO, Time::units(2)),
+        delay: 3 * U,
+    });
+    let out = sc.run::<ac_commit::protocols::D1cc>();
+    assert_eq!(out.decided_values(), vec![0, 1], "decisions must split");
+    check(&out, &sc.votes, ProtocolKind::D1cc.cell()).assert_ok("own cell holds");
+    let too_strong = check(&out, &sc.votes, Cell::new(PropSet::AVT, PropSet::AVT));
+    assert!(!too_strong.ok(), "agreement must be violated");
+    assert!(too_strong
+        .violations
+        .iter()
+        .any(|v| matches!(v, Violation::Agreement { .. })));
+}
+
+#[test]
 fn double_crashes_respect_safety_for_indulgent_protocols() {
     // Two crashes out of n=5 (still a minority): INBAC and (2n−2+f)NBAC
     // must keep full NBAC; run the double-crash explorer on a coarser time
@@ -66,6 +117,10 @@ fn double_crashes_respect_safety_for_indulgent_protocols() {
         ProtocolKind::Inbac,
         ProtocolKind::Nbac2n2f,
         ProtocolKind::PaxosCommit,
+        // D1CC is consensus-free, but its relay-before-decide step makes
+        // the decision a reliable broadcast: each partial crash can eat at
+        // most one relay round, and the f+1 timeout outlasts f of them.
+        ProtocolKind::D1cc,
     ] {
         let cfg = ExplorerConfig {
             n: 5,

@@ -46,6 +46,7 @@ fn run_jittered(
         ProtocolKind::Inbac => build::<Inbac>(n, f, votes, crash, seed),
         ProtocolKind::InbacFastAbort => build::<InbacFastAbort>(n, f, votes, crash, seed),
         ProtocolKind::Nbac1 => build::<Nbac1>(n, f, votes, crash, seed),
+        ProtocolKind::D1cc => build::<D1cc>(n, f, votes, crash, seed),
         ProtocolKind::Nbac0 => build::<Nbac0>(n, f, votes, crash, seed),
         ProtocolKind::ANbac => build::<ANbac>(n, f, votes, crash, seed),
         ProtocolKind::AvNbacDelayOpt => build::<AvNbacDelayOpt>(n, f, votes, crash, seed),

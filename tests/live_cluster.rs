@@ -128,18 +128,58 @@ fn live_decisions_match_the_simulator_for_every_table5_protocol() {
 }
 
 /// The same agreement with every envelope on real sockets (ISSUE-6): the
-/// wire codec and the TCP transport must be decision-invisible. The three
+/// wire codec and the TCP transport must be decision-invisible. The four
 /// headline protocols cover the timer-driven (2PC), consensus-based
-/// (PaxosCommit) and paper-main (INBAC) families.
+/// (PaxosCommit), paper-main (INBAC) and logless one-phase (D1CC)
+/// families.
 #[test]
 fn live_decisions_match_the_simulator_over_tcp() {
     for kind in [
         ProtocolKind::TwoPc,
         ProtocolKind::PaxosCommit,
         ProtocolKind::Inbac,
+        ProtocolKind::D1cc,
     ] {
         check_live_matches_sim(kind, TransportKind::Tcp);
     }
+}
+
+/// The logless claim, counter-verified (ISSUE-7 satellite): a healthy
+/// durable D1CC run performs **zero** Prepare-record WAL forces on the
+/// Begin critical path — the vote is replicated to peers instead and the
+/// prepare is journaled lazily alongside the decision — while 2PC under
+/// the identical durable configuration forces one Prepare per opened
+/// instance. The audit (which cross-checks every commit against the
+/// journaled votes) must stay clean either way.
+#[test]
+fn d1cc_forces_no_critical_path_wal_writes() {
+    use ac_cluster::{run_service_faulted, FaultSpec};
+    let durable = FaultSpec {
+        policy: None,
+        crashes: vec![None; 4],
+        durable: true,
+    };
+    let cfg = |kind| base(kind).clients(3).txns_per_client(8).seed(17);
+
+    let d1cc = run_service_faulted(&cfg(ProtocolKind::D1cc), &durable);
+    assert!(d1cc.is_safe(), "D1CC audit failed: {:?}", d1cc.violations);
+    assert_eq!(d1cc.stalled, 0);
+    assert!(d1cc.committed > 0, "some transactions must commit");
+    assert_eq!(
+        d1cc.wal_prepare_forces, 0,
+        "logless D1CC must never force a Prepare record on the critical path"
+    );
+
+    let two_pc = run_service_faulted(&cfg(ProtocolKind::TwoPc), &durable);
+    assert!(
+        two_pc.is_safe(),
+        "2PC audit failed: {:?}",
+        two_pc.violations
+    );
+    assert!(
+        two_pc.wal_prepare_forces > 0,
+        "the logging baseline must pay the Prepare force D1CC avoids"
+    );
 }
 
 fn check_live_matches_sim(kind: ProtocolKind, transport: TransportKind) {

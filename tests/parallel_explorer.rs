@@ -47,6 +47,29 @@ fn parallel_merge_preserves_counterexample_order() {
 }
 
 #[test]
+fn parallel_equals_sequential_for_d1cc_on_an_adversarial_space() {
+    // D1CC's hard schedules are double partial crashes (vote truncation
+    // followed by a truncated [D] broadcast — the relay chain). Pin the
+    // parallel engine on that space: identical report, zero violations,
+    // exact run count.
+    let cfg = ExplorerConfig {
+        n: 4,
+        f: 2,
+        crash_times: vec![0, 1, 2],
+        partial_sends: vec![1, 2],
+        max_crashes: 2,
+        horizon_units: 400,
+    };
+    let seq = explore_jobs(ProtocolKind::D1cc, &cfg, 1);
+    assert!(seq.ok(), "D1CC must survive its double-crash space");
+    assert_eq!(seq.executions, ScheduleSpace::new(&cfg).len());
+    for jobs in [2, 4, 8] {
+        let par = explore_jobs(ProtocolKind::D1cc, &cfg, jobs);
+        assert_eq!(seq, par, "jobs={jobs}");
+    }
+}
+
+#[test]
 fn oversubscribed_pools_are_still_deterministic() {
     // More workers than chunks: most threads exit without work.
     let cfg = ExplorerConfig {
@@ -91,6 +114,10 @@ proptest! {
 
         let seq = explore_jobs(ProtocolKind::Inbac, &cfg, 1);
         let par = explore_jobs(ProtocolKind::Inbac, &cfg, jobs);
+        prop_assert_eq!(seq, par);
+
+        let seq = explore_jobs(ProtocolKind::D1cc, &cfg, 1);
+        let par = explore_jobs(ProtocolKind::D1cc, &cfg, jobs);
         prop_assert_eq!(seq, par);
 
         let too_strong = Cell::new(PropSet::AVT, PropSet::AV);
