@@ -7,7 +7,7 @@
 //! │ len: u32 LE│ body (len bytes)             │
 //! └────────────┴──────────────────────────────┘
 //! body = tag: u8, then the variant's fields in ac_sim::wire encoding:
-//!   0  Begin    txn: Transaction, client: u64
+//!   0  Begin    txn: Transaction, client: u64, retry: bool
 //!   1  Net      txn: u64, from: u64, msg: M
 //!   2  StatusQ  txn: u64, from: u64
 //!   3  StatusA  txn: u64, value: u64
@@ -68,10 +68,11 @@ pub fn write_frame<M: Wire>(frame: &AnyFrame<M>, out: &mut Vec<u8>) {
     out.extend_from_slice(&[0; 4]); // length, patched below
     match frame {
         AnyFrame::Node(env) => match env {
-            ToNode::Begin { txn, client } => {
+            ToNode::Begin { txn, client, retry } => {
                 out.push(0);
                 txn.encode(out);
                 client.encode(out);
+                retry.encode(out);
             }
             ToNode::Net { txn, from, msg } => {
                 out.push(1);
@@ -117,6 +118,7 @@ pub fn decode_body<M: Wire>(mut body: &[u8]) -> Result<AnyFrame<M>, WireError> {
         0 => AnyFrame::Node(ToNode::Begin {
             txn: Arc::new(Transaction::decode(buf)?),
             client: usize::decode(buf)?,
+            retry: bool::decode(buf)?,
         }),
         1 => AnyFrame::Node(ToNode::Net {
             txn: u64::decode(buf)?,

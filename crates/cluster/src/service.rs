@@ -522,6 +522,14 @@ pub enum ToNode<M> {
         txn: Arc<Transaction>,
         /// The submitting client.
         client: usize,
+        /// `true` on a re-send after an expired reply wait. A logless
+        /// node that has **no record** of a retried transaction must not
+        /// validate and vote afresh: its original vote may have died
+        /// with a crash, and a contradictory re-vote could split the
+        /// decision against peers that already assembled the original —
+        /// it recovers the outcome from its peers instead
+        /// (ask-before-revote, see the `Begin` handler).
+        retry: bool,
     },
     /// A protocol envelope between two participants of an instance.
     Net {
@@ -855,9 +863,22 @@ fn txn_seq(id: TxnId) -> u64 {
 /// the per-client reply batches. Called once per node-loop iteration, and
 /// additionally before an `End` garbage-collects a transaction's metadata
 /// (a decision and its `End` can land in the same drained batch).
+///
+/// A logless commit for a crash-recovered transaction (no local
+/// yes-vote, so no locks held) must re-take its write locks before the
+/// writes can apply — but only when they are **free**. A different live
+/// transaction may have prepared (voted yes, taken a lock) at this node
+/// since the restart; overwriting its lock would make its own later
+/// `finish` silently skip its writes — a lost update diverging the live
+/// shard from the sequential replay. Such commits wait in `deferred`
+/// until the owner decides and releases the lock (every protocol in the
+/// suite terminates by timeout, so it does) and are re-examined on every
+/// call. Startup WAL replay is the only place an unconditional
+/// [`Shard::relock`] is sound: it runs before any live traffic.
 #[allow(clippy::too_many_arguments)]
 fn apply_decisions(
     decided: &mut Vec<(TxnId, u64)>,
+    deferred: &mut Vec<(TxnId, u64)>,
     meta: &Slab<TxnMeta>,
     shard: &mut Shard,
     log: &mut Vec<NodeRecord>,
@@ -867,23 +888,37 @@ fn apply_decisions(
     decided_map: &mut HashMap<TxnId, u64>,
     logless: bool,
 ) {
-    for (txn_id, value) in decided.drain(..) {
-        if decided_map.contains_key(&txn_id) {
-            continue; // duplicate (e.g. StatusA raced the protocol decide)
-        }
-        if let Some(m) = meta.get(txn_id) {
+    // Deferred decisions are re-examined ahead of the new batch: the
+    // lock owner that blocked them may have finished since.
+    if !deferred.is_empty() {
+        deferred.extend(decided.drain(..));
+        std::mem::swap(decided, deferred);
+    }
+    loop {
+        let mut progress = false;
+        let mut blocked: Vec<(TxnId, u64)> = Vec::new();
+        for (txn_id, value) in decided.drain(..) {
+            if decided_map.contains_key(&txn_id) {
+                continue; // duplicate (e.g. StatusA raced the protocol decide)
+            }
+            let Some(m) = meta.get(txn_id) else {
+                continue;
+            };
             let commit = value == COMMIT;
             // Logless vote reconstruction: a commit proves every
             // participant voted yes (commit validity), so journal yes even
-            // if this node's *current* vote is a post-restart re-validation
-            // that said no — the protocol decided on the pre-crash yes its
-            // peers hold, not on the re-validation.
+            // if this node re-joined the transaction voteless after a
+            // crash — the protocol decided on the pre-crash yes its peers
+            // hold.
             let vote = if logless { m.vote || commit } else { m.vote };
             if logless && commit && !m.vote {
-                // Same restart corner: the re-validation refused the locks,
-                // but the commit was decided from the pre-crash yes-vote.
-                // Re-take the locks so `finish` applies the writes — the
-                // exact move WAL replay makes for a logged yes-vote.
+                // The pre-crash yes-vote's locks died with the crash and
+                // the re-joined transaction holds none. Re-take them only
+                // if no live transaction owns one (see the fn docs).
+                if shard.foreign_lock_owner(&m.txn).is_some() {
+                    blocked.push((txn_id, value));
+                    continue;
+                }
                 shard.relock(&m.txn);
             }
             shard.finish(&m.txn, commit);
@@ -911,7 +946,15 @@ fn apply_decisions(
                     decision: value,
                 });
             }
+            progress = true;
         }
+        // An apply in this pass may have released the very lock a
+        // blocked decision waits on — retry until quiescent.
+        if blocked.is_empty() || !progress {
+            *deferred = blocked;
+            break;
+        }
+        *decided = blocked;
     }
 }
 
@@ -954,6 +997,9 @@ where
     let mut begun: Vec<u64> = vec![0; done_txs.len()];
     let mut log: Vec<NodeRecord> = Vec::new();
     let mut decided: Vec<(TxnId, u64)> = Vec::new();
+    // Logless recovered commits waiting for a live lock owner to finish
+    // before they can relock and apply (see `apply_decisions`).
+    let mut deferred: Vec<(TxnId, u64)> = Vec::new();
     // Decisions applied and not yet End-ed: answers StatusQ, deduplicates
     // retried Begins, survives into the recovery path via the WAL.
     let mut decided_map: HashMap<TxnId, u64> = HashMap::new();
@@ -1015,6 +1061,7 @@ where
                 meta = Slab::new();
                 pending = Slab::new();
                 decided.clear();
+                deferred.clear();
                 decided_map.clear();
                 selfq.clear();
                 delayed.clear();
@@ -1184,7 +1231,7 @@ where
         let now = Instant::now();
         for env in inbox.drain(..) {
             match env {
-                ToNode::Begin { txn, client } => {
+                ToNode::Begin { txn, client, retry } => {
                     let id = txn.id;
                     debug_assert_eq!(txn_client(id), client, "TxnId encoding drifted");
                     if let Some(m) = meta.get(id) {
@@ -1224,6 +1271,43 @@ where
                         let Some(my_rank) = parts.iter().position(|&q| q == me) else {
                             continue; // not a participant: not ours to vote on
                         };
+                        if logless && retry {
+                            // Ask-before-revote (the Cornus recovery
+                            // rule). A *retried* Begin with no local
+                            // record means this node either crashed
+                            // after voting — the logless vote was
+                            // volatile and is gone — or was down when
+                            // the original Begin arrived. Either way,
+                            // validating afresh could broadcast a vote
+                            // contradicting a pre-crash yes that peers
+                            // already assembled into a commit: a split
+                            // decision. So the node never re-votes. It
+                            // re-joins the transaction voteless and
+                            // with no protocol instance, asks the
+                            // peers, and adopts whatever decision the
+                            // surviving vote vectors produced
+                            // (`StatusA`). Peers missing this node's
+                            // vote timeout-abort on their own, so some
+                            // peer always has an answer for a later
+                            // retry round.
+                            if let Some(w) = begun.get_mut(client) {
+                                *w = (*w).max(txn_seq(id));
+                            }
+                            for &q in parts.iter().filter(|&&q| q != me) {
+                                outbox[q].push(ToNode::StatusQ { txn: id, from: me });
+                            }
+                            meta.insert(
+                                id,
+                                TxnMeta {
+                                    txn,
+                                    client,
+                                    vote: false,
+                                    parts,
+                                    my_rank,
+                                },
+                            );
+                            continue;
+                        }
                         let vote = if txn.touches(me) {
                             shard.prepare(&txn)
                         } else {
@@ -1329,12 +1413,15 @@ where
                 }
                 ToNode::StatusA { txn, value } => {
                     // Adopt a peer's decision for an open, undecided
-                    // instance. Agreement makes this safe; the automaton is
-                    // closed so it cannot decide a second time later.
+                    // instance — or for a voteless recovered transaction
+                    // that deliberately has no instance at all (the
+                    // logless ask-before-revote path). Agreement makes
+                    // adoption safe; closing the automaton (when one
+                    // exists) keeps it from deciding a second time later.
                     if meta.contains(txn)
                         && !decided_map.contains_key(&txn)
                         && !decided.iter().any(|&(t, _)| t == txn)
-                        && node.has(txn)
+                        && !deferred.iter().any(|&(t, _)| t == txn)
                     {
                         node.close(txn);
                         decided.push((txn, value));
@@ -1348,6 +1435,7 @@ where
                     if !decided.is_empty() {
                         apply_decisions(
                             &mut decided,
+                            &mut deferred,
                             &meta,
                             &mut shard,
                             &mut log,
@@ -1397,6 +1485,7 @@ where
         //    the per-client replies.
         apply_decisions(
             &mut decided,
+            &mut deferred,
             &meta,
             &mut shard,
             &mut log,
@@ -1584,6 +1673,7 @@ where
                     ToNode::Begin {
                         txn: Arc::clone(&txn),
                         client,
+                        retry: false,
                     },
                 );
             }
@@ -1701,6 +1791,7 @@ where
                         ToNode::Begin {
                             txn: Arc::clone(&p.txn),
                             client,
+                            retry: true,
                         },
                     );
                 }
@@ -1931,6 +2022,7 @@ mod tests {
             .send(ToNode::Begin {
                 txn: Arc::new(Transaction::new(id)),
                 client: 0,
+                retry: false,
             })
             .is_ok());
         std::thread::sleep(Duration::from_millis(20)); // Begin processed alone
@@ -1955,6 +2047,103 @@ mod tests {
         assert_eq!(ret.log.len(), 1, "decision must be logged");
         assert_eq!(ret.log[0].decision, COMMIT);
         assert_eq!(ret.shard.locked(), 0, "no lock may leak");
+    }
+
+    /// A crash-recovered logless commit re-joined voteless holds no write
+    /// locks; if a **live** transaction prepared on one of its keys since
+    /// the restart, re-taking the lock unconditionally would let the live
+    /// owner's later `finish` silently skip its writes — a lost update.
+    /// The commit must instead wait in `deferred` until the lock is free,
+    /// then apply.
+    #[test]
+    fn recovered_logless_commit_defers_instead_of_stealing_live_locks() {
+        use ac_txn::{Key, Version};
+
+        let mut shard = Shard::new(0);
+        let mut meta: Slab<TxnMeta> = Slab::new();
+
+        // Live txn B prepared here: voted yes, holds the lock on key 7.
+        let b_id = ServiceConfig::txn_id(0, 2);
+        let txn_b = Arc::new(Transaction::new(b_id).with_write(Key::new(0, 7), 5));
+        assert!(shard.prepare(&txn_b));
+        meta.insert(
+            b_id,
+            TxnMeta {
+                txn: Arc::clone(&txn_b),
+                client: 0,
+                vote: true,
+                parts: vec![0],
+                my_rank: 0,
+            },
+        );
+
+        // Txn A re-joined voteless after a crash (pre-crash yes-vote's
+        // locks died with the process); the protocol decided Commit on
+        // the yes its peers still hold.
+        let a_id = ServiceConfig::txn_id(0, 1);
+        let txn_a = Arc::new(Transaction::new(a_id).with_write(Key::new(0, 7), 9));
+        meta.insert(
+            a_id,
+            TxnMeta {
+                txn: Arc::clone(&txn_a),
+                client: 0,
+                vote: false,
+                parts: vec![0],
+                my_rank: 0,
+            },
+        );
+
+        let mut decided = vec![(a_id, COMMIT)];
+        let mut deferred = Vec::new();
+        let mut log = Vec::new();
+        let mut done_out: Vec<Vec<Done>> = vec![Vec::new()];
+        let mut decided_map = HashMap::new();
+        apply_decisions(
+            &mut decided,
+            &mut deferred,
+            &meta,
+            &mut shard,
+            &mut log,
+            &mut done_out,
+            0,
+            &None,
+            &mut decided_map,
+            true,
+        );
+        assert_eq!(deferred, vec![(a_id, COMMIT)], "A must wait on B's lock");
+        assert!(log.is_empty(), "a deferred commit is not logged yet");
+        assert_eq!(shard.read(7), Version::default(), "no write applied yet");
+
+        // B's own decision lands: it applies and releases the lock, and
+        // the same call drains the deferred A behind it.
+        decided.push((b_id, COMMIT));
+        apply_decisions(
+            &mut decided,
+            &mut deferred,
+            &meta,
+            &mut shard,
+            &mut log,
+            &mut done_out,
+            0,
+            &None,
+            &mut decided_map,
+            true,
+        );
+        assert!(deferred.is_empty(), "the freed lock unblocks A");
+        assert_eq!(
+            log.iter().map(|r| r.txn.id).collect::<Vec<_>>(),
+            vec![b_id, a_id],
+            "apply order: the live owner first, the recovered commit after"
+        );
+        assert_eq!(
+            shard.read(7),
+            Version {
+                value: 9,
+                version: 2
+            },
+            "both writes applied — neither update lost"
+        );
+        assert_eq!(shard.locked(), 0, "no lock may leak");
     }
 
     /// ISSUE-4 satellite: an idle service must perform **zero** spurious

@@ -234,6 +234,7 @@ fn envelope<M>(r: &mut Rng, msg: M) -> ToNode<M> {
         0 => ToNode::Begin {
             txn: Arc::new(txn(r)),
             client: r.below(32) as usize,
+            retry: r.flag(),
         },
         1 => ToNode::Net {
             txn: r.next(),

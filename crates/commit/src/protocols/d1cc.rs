@@ -99,13 +99,24 @@ impl Automaton for D1cc {
         match msg {
             D1ccMsg::V(v) => {
                 if self.decided {
-                    // A vote arriving after the decision is a recovering
-                    // peer re-replicating: answer with the decision so it
-                    // can reconstruct the outcome from its peers (the
-                    // logless substitute for reading a coordinator log).
+                    // A vote arriving after the decision is a straggler
+                    // (delayed link, or a confused recovering peer):
+                    // answer with the decision so its sender can
+                    // reconstruct the outcome (the logless substitute
+                    // for reading a coordinator log).
                     if from != ctx.me() {
                         ctx.send(from, D1ccMsg::D(self.decision));
                     }
+                    return;
+                }
+                if self.got[from] {
+                    // First vote binds. A sender whose vote is already in
+                    // the vector must not mutate it: folding a duplicate
+                    // — in the live service, a crash-restarted peer
+                    // re-voting differently after losing its volatile
+                    // vote — into a partially assembled vector would let
+                    // this process decide Abort from a `no` while a peer
+                    // holding the original all-yes vector decides Commit.
                     return;
                 }
                 self.got[from] = true;
@@ -220,6 +231,26 @@ mod tests {
         for p in 1..4 {
             assert_eq!(out.decisions[p].unwrap().0, Time::units(2));
         }
+    }
+
+    #[test]
+    fn duplicate_vote_from_one_sender_cannot_flip_an_assembled_vector() {
+        // P1 of 3 holds yes-votes from itself and P2 when a
+        // crash-restarted P2 re-votes no (its volatile yes died with it).
+        // First vote binds: the duplicate is ignored, so when P3's yes
+        // lands the vector is still all-yes and P1 commits — the same
+        // decision a peer reached from the original votes. Folding the
+        // re-vote in would decide Abort here against that peer's Commit.
+        let mut p = D1cc::new(0, 3, 1, true);
+        let mut ctx = Ctx::new(Time::ZERO, 0, 3, false);
+        p.on_start(&mut ctx);
+        p.on_message(0, D1ccMsg::V(true), &mut ctx);
+        p.on_message(1, D1ccMsg::V(true), &mut ctx);
+        p.on_message(1, D1ccMsg::V(false), &mut ctx); // contradictory re-vote
+        assert!(!p.decided, "two distinct senders so far, not three");
+        p.on_message(2, D1ccMsg::V(true), &mut ctx);
+        assert!(p.decided);
+        assert!(p.decision, "the re-vote must not poison the vector");
     }
 
     #[test]

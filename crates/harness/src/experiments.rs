@@ -1023,9 +1023,14 @@ pub fn chaos_baseline_with(
             // faults legitimately drain a short stream inside the window
             // instead: a lossy link (parks resolve via in-window retries),
             // and a never-blocking protocol (logless D1CC timeout-aborts
-            // straight through a partition, so nothing is left to recover).
+            // straight through a partition, so nothing is left to
+            // recover). The no-blocking exemption is scoped to logless
+            // protocols only: a blocking protocol that unexpectedly
+            // parked nothing must still demonstrate post-heal commits.
             let clean = svc.is_safe() && svc.stalled == 0 && s.unresolved == 0;
-            let recovered = scenario == "lossy-10" || s.blocked == 0 || s.committed_after_heal > 0;
+            let recovered = scenario == "lossy-10"
+                || (kind.logless() && s.blocked == 0)
+                || s.committed_after_heal > 0;
             // The paper-facing contrast, asserted where it is robust:
             // f-tolerant protocols keep committing through a single
             // crash; 2PC blocks under a crashed coordinator (and its

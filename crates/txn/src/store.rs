@@ -96,11 +96,31 @@ impl Shard {
     /// advanced a read version *after* this transaction validated).
     /// Idempotent — re-locking keys this transaction already owns is a
     /// no-op.
+    ///
+    /// Relocking **overwrites** conflicting locks, which is only sound
+    /// when no concurrent transaction can hold one — i.e. at startup
+    /// replay, before any live traffic. A caller relocking mid-stream
+    /// (a logless node re-applying a recovered commit while new
+    /// transactions prepare against the same shard) must first check
+    /// [`Shard::foreign_lock_owner`] and wait until it returns `None`,
+    /// or a live prepared transaction's lock would be silently stolen
+    /// and its writes dropped at [`Shard::finish`].
     pub fn relock(&mut self, txn: &Transaction) {
         let my = |key: &Key| key.shard == self.id;
         for key in txn.writes.keys().filter(|k| my(k)) {
             self.locks.insert(key.k, txn.id);
         }
+    }
+
+    /// The owner of the first of `txn`'s write locks (on this shard) held
+    /// by a *different* transaction, if any. `None` means every lock
+    /// `txn` needs is free or already its own, so [`Shard::relock`] is
+    /// safe even against live traffic.
+    pub fn foreign_lock_owner(&self, txn: &Transaction) -> Option<TxnId> {
+        txn.writes
+            .keys()
+            .filter(|k| k.shard == self.id)
+            .find_map(|k| self.locks.get(&k.k).copied().filter(|&o| o != txn.id))
     }
 
     /// Number of currently held locks (diagnostics).
@@ -174,6 +194,27 @@ mod tests {
         assert!(!s.prepare(&b), "b must be refused while a holds the lock");
         s.finish(&a, true);
         assert!(s.prepare(&b), "lock released after finish");
+    }
+
+    #[test]
+    fn foreign_lock_owner_reports_live_conflicts_only() {
+        let mut s = Shard::new(0);
+        let a = txn_writing(1, 0, 9, 1);
+        let b = txn_writing(2, 0, 9, 2);
+        assert_eq!(
+            s.foreign_lock_owner(&a),
+            None,
+            "free locks conflict with nobody"
+        );
+        assert!(s.prepare(&a));
+        assert_eq!(s.foreign_lock_owner(&a), None, "own locks are not foreign");
+        assert_eq!(s.foreign_lock_owner(&b), Some(1), "a's lock blocks b");
+        s.finish(&a, true);
+        assert_eq!(s.foreign_lock_owner(&b), None, "released after finish");
+        // Keys on other shards never conflict here.
+        let elsewhere = txn_writing(3, 5, 9, 7);
+        assert!(s.prepare(&b));
+        assert_eq!(s.foreign_lock_owner(&elsewhere), None);
     }
 
     #[test]

@@ -385,10 +385,13 @@ fn d1cc_commits_through_a_crash_at_least_as_available_as_paxos_commit() {
 /// after applying decisions rebuilds its audit log from the jointly
 /// journaled Prepare+Decide records, and transactions in flight at the
 /// crash — which left **nothing** in its WAL — are reconstructed from
-/// peer votes: the client's retried `Begin` re-replicates a vote, and any
-/// decided peer answers it with the `[D]` reply. The cross-node audit
-/// (every commit backed by `n` yes-votes, no split decisions, no lock
-/// leaks) must come out clean with zero critical-path forces.
+/// peers under the ask-before-revote rule: the client's retried `Begin`
+/// re-joins the transaction **voteless**, the node asks its peers with
+/// `StatusQ` (never re-validating, so a contradictory re-vote can't
+/// split the decision), and decided peers answer `StatusA` with the
+/// outcome. The cross-node audit (every commit backed by `n` yes-votes,
+/// no split decisions, no lock leaks) must come out clean with zero
+/// critical-path forces.
 #[test]
 fn d1cc_restart_reconstructs_decisions_from_peer_votes() {
     let service = chaos_cfg(ProtocolKind::D1cc).txns_per_client(16);
