@@ -182,6 +182,9 @@ mod tests {
             decided_at: decided_ms.map(Duration::from_millis),
             committed,
             retries,
+            first_protocol_at: None,
+            votes_held_at: None,
+            journaled_at: None,
         }
     }
 

@@ -1,4 +1,5 @@
-//! `ac-node --spec FILE --id N` — one node of a real loopback cluster.
+//! `ac-node --spec FILE --id N [--metrics PORT]` — one node of a real
+//! loopback cluster.
 //!
 //! Binds the address the spec assigns to node `N`, serves protocol and
 //! client traffic over TCP until the client sends `Shutdown`, then
@@ -7,19 +8,58 @@
 //! ```text
 //! node 2 audit total=0 locked=0 decided=50 orphaned=0
 //! ```
+//!
+//! With `--metrics PORT` the node also binds `127.0.0.1:PORT` and
+//! answers every connection with a Prometheus text exposition of its
+//! live stage meters (`ac_stage_count` / `ac_stage_nanos_total`,
+//! labelled `node="N"`), so `curl` or a scraper can watch where the
+//! node's time goes while the run is in flight.
 
+use std::io::{Read, Write};
+use std::net::TcpListener;
 use std::process::exit;
+use std::sync::Arc;
 
 use ac_cluster::spec::ClusterSpec;
+use ac_obs::ObsMeters;
 
 fn usage() -> ! {
-    eprintln!("usage: ac-node --spec FILE --id N");
+    eprintln!("usage: ac-node --spec FILE --id N [--metrics PORT]");
     exit(2)
+}
+
+/// Serve the meter registry as Prometheus text on `127.0.0.1:port`,
+/// one short-lived connection at a time. Runs until the process exits —
+/// the node's audit line, not this endpoint, is the run's final word.
+fn serve_metrics(port: u16, id: usize, meters: Arc<ObsMeters>) {
+    let listener = match TcpListener::bind(("127.0.0.1", port)) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("ac-node: cannot bind metrics port {port}: {e}");
+            exit(2);
+        }
+    };
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(mut stream) = stream else { continue };
+            // Drain whatever request line arrived; the response is the
+            // same regardless (there is only one resource to GET).
+            let mut buf = [0u8; 1024];
+            let _ = stream.read(&mut buf);
+            let body = meters.render_prometheus(&format!("node=\"{id}\""));
+            let resp = format!(
+                "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            );
+            let _ = stream.write_all(resp.as_bytes());
+        }
+    });
 }
 
 fn main() {
     let mut spec_path = None;
     let mut id = None;
+    let mut metrics_port: Option<u16> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -28,6 +68,13 @@ fn main() {
                 id = Some(
                     args.next()
                         .and_then(|v| v.parse::<usize>().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--metrics" => {
+                metrics_port = Some(
+                    args.next()
+                        .and_then(|v| v.parse::<u16>().ok())
                         .unwrap_or_else(|| usage()),
                 )
             }
@@ -60,6 +107,11 @@ fn main() {
         );
         exit(2);
     }
-    let summary = ac_cluster::proc::run_node(&spec, id);
+    let meters = metrics_port.map(|port| {
+        let m = Arc::new(ObsMeters::new());
+        serve_metrics(port, id, Arc::clone(&m));
+        m
+    });
+    let summary = ac_cluster::proc::run_node(&spec, id, meters);
     println!("{}", summary.render());
 }

@@ -20,22 +20,28 @@
 //!   [`FaultSpec`] (a [`NetPolicy`] deciding per-envelope [`Fate`]s plus
 //!   per-node [`CrashWindow`]s), nodes write-ahead-log prepares/decisions
 //!   to [`ac_txn::Wal`] and recover from it on restart, and clients use
-//!   bounded, retrying reply waits instead of blocking on dead nodes;
-//! * [`histogram`] — a dependency-free log-bucketed
-//!   [`LatencyHistogram`] (p50/p90/p99/max) with exact merge semantics.
+//!   bounded, retrying reply waits instead of blocking on dead nodes.
+//!
+//! Latency reporting uses `ac-obs`: the log-bucketed
+//! [`LatencyHistogram`] (p50/p90/p99/p99.9/max, exact merge semantics,
+//! re-exported here for compatibility), per-stage meters and the per-txn
+//! flight recorder every node thread carries (see
+//! [`ServiceOutcome::attribution`](service::ServiceOutcome)).
 
 #![deny(missing_docs)]
 
 pub mod codec;
-pub mod histogram;
 pub mod inline;
 pub mod proc;
 pub mod service;
 pub mod spec;
 pub mod transport;
 
+pub use ac_obs::{
+    Attribution, LatencyHistogram, ObsMeters, Stage, StageHistograms, TxnTimeline,
+    ATTRIBUTION_STAGES,
+};
 pub use codec::{AnyFrame, FrameDecoder, MAX_FRAME};
-pub use histogram::LatencyHistogram;
 pub use inline::InlineVec;
 pub use service::{
     participants_of, run_service, run_service_faulted, CrashWindow, Done, Fate, FaultSpec,

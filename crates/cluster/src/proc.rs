@@ -28,6 +28,7 @@ use std::time::{Duration, Instant};
 
 use ac_commit::problem::COMMIT;
 use ac_commit::CommitProtocol;
+use ac_obs::{NodeObs, ObsMeters};
 use ac_sim::Wire;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
@@ -92,16 +93,18 @@ impl ClientSummary {
 }
 
 /// Run node `me` of the spec'd cluster until a `Shutdown` frame arrives.
-pub fn run_node(spec: &ClusterSpec, me: usize) -> NodeSummary {
+/// `meters`, when given, is the shared stage-meter registry the node
+/// thread records into — the `ac-node --metrics` endpoint reads it live.
+pub fn run_node(spec: &ClusterSpec, me: usize, meters: Option<Arc<ObsMeters>>) -> NodeSummary {
     assert!(
         me < spec.n(),
         "node id {me} out of range (n = {})",
         spec.n()
     );
-    with_protocol!(spec.kind, P => run_node_p::<P>(spec, me))
+    with_protocol!(spec.kind, P => run_node_p::<P>(spec, me, meters))
 }
 
-fn run_node_p<P>(spec: &ClusterSpec, me: usize) -> NodeSummary
+fn run_node_p<P>(spec: &ClusterSpec, me: usize, meters: Option<Arc<ObsMeters>>) -> NodeSummary
 where
     P: CommitProtocol + Send + 'static,
     P::Msg: Wire + Send + 'static,
@@ -136,6 +139,10 @@ where
         window: None,
         wal: None,
         logless: spec.kind.logless(),
+        obs: match meters {
+            Some(m) => NodeObs::with_meters(m),
+            None => NodeObs::new(),
+        },
     };
     let ret = node_main::<P>(env);
     // node_main dropped its Done senders on return; the forwarders drain

@@ -86,7 +86,11 @@ use ac_txn::workload::{Workload, WorkloadConfig};
 use ac_txn::{Shard, Transaction, TxnId, Wal};
 use crossbeam::channel::{unbounded, Receiver, RecvError, RecvTimeoutError, Sender};
 
-use crate::histogram::LatencyHistogram;
+use ac_obs::{
+    lifecycles, Attribution, FlightEvent, FlightStage, LatencyHistogram, NodeObs, ObsMeters, Stage,
+    StageHistograms,
+};
+
 use crate::inline::InlineVec;
 use crate::transport::{ChannelTransport, TcpNode, TcpTransport, Transport};
 
@@ -97,6 +101,11 @@ const NODE_BATCH: usize = 256;
 
 /// Upper bound on decision replies a client drains per iteration.
 const CLIENT_BATCH: usize = 64;
+
+/// How many of the slowest reconstructed transaction timelines the run's
+/// [`Attribution`] keeps (the p99.9-straggler material `repro trace`
+/// renders).
+const SLOWEST_KEPT: usize = 5;
 
 /// Upper bound on protocol envelopes buffered per not-yet-opened
 /// instance (envelopes that outran their `Begin`). Any protocol round
@@ -406,6 +415,16 @@ pub struct TxnEvent {
     pub committed: Option<bool>,
     /// `Begin` re-sends this transaction needed.
     pub retries: u32,
+    /// Earliest `Begin` dispatch at any participant — the first protocol
+    /// event (from the flight recorder; `None` when the transaction was
+    /// unsampled or its events were lost to ring wrap-around).
+    pub first_protocol_at: Option<Duration>,
+    /// Latest participant lock acquisition: every vote cast, all write
+    /// locks of yes-votes held.
+    pub votes_held_at: Option<Duration>,
+    /// Latest participant decision apply (the decision is journaled at
+    /// every participant from this point).
+    pub journaled_at: Option<Duration>,
 }
 
 /// Aggregated result of a [`run_service`] run.
@@ -463,6 +482,15 @@ pub struct ServiceOutcome {
     pub node_logs: Vec<Vec<NodeRecord>>,
     /// Per-transaction timelines, grouped by client, submission order.
     pub txn_events: Vec<TxnEvent>,
+    /// Per-stage seam meters (count, total nanos), merged across every
+    /// node and client thread.
+    pub stage_meters: ObsMeters,
+    /// Per-stage seam latency histograms, merged across every thread
+    /// (merge ≡ recording the concatenation).
+    pub stage_hists: StageHistograms,
+    /// Per-transaction latency attribution: the five-stage telescoping
+    /// decomposition of every covered commit (see [`ac_obs::Attribution`]).
+    pub attribution: Attribution,
     /// Safety violations found by the post-run audit (empty = safe).
     pub violations: Vec<String>,
 }
@@ -626,6 +654,9 @@ pub(crate) struct NodeReturn {
     pub(crate) orphaned_envelopes: usize,
     /// Prepare records forced to the WAL on the Begin critical path.
     pub(crate) wal_prepare_forces: usize,
+    /// The thread's observability bundle (meters, stage histograms,
+    /// flight recorder), merged by [`aggregate`].
+    pub(crate) obs: NodeObs,
 }
 
 pub(crate) struct ClientReturn {
@@ -635,6 +666,8 @@ pub(crate) struct ClientReturn {
     pub(crate) stalled: usize,
     pub(crate) retries: usize,
     pub(crate) reply_timeouts: usize,
+    /// Client-side observability (the `ClientQueueWait` seam).
+    pub(crate) obs: NodeObs,
 }
 
 /// Run the configured service end-to-end, failure-free, and audit it.
@@ -743,6 +776,10 @@ pub(crate) struct NodeEnv<P: CommitProtocol> {
     /// instead — the decision is reconstructible from peer votes, so
     /// nothing needs to be durable before the vote leaves the node.
     pub(crate) logless: bool,
+    /// The thread's observability bundle. Multi-process hosts pass
+    /// [`NodeObs::with_meters`] so a live `--metrics` endpoint can read
+    /// the shared registry; the in-process service uses a private one.
+    pub(crate) obs: NodeObs,
 }
 
 fn serve<P>(cfg: &ServiceConfig, spec: &FaultSpec) -> ServiceOutcome
@@ -812,6 +849,7 @@ where
                 window: spec.crashes[me],
                 wal: wals[me].clone(),
                 logless: cfg.kind.logless(),
+                obs: NodeObs::new(),
             };
             std::thread::spawn(move || node_main::<P>(env))
         })
@@ -887,6 +925,8 @@ fn apply_decisions(
     wal: &Option<Arc<Mutex<Wal>>>,
     decided_map: &mut HashMap<TxnId, u64>,
     logless: bool,
+    obs: &mut NodeObs,
+    epoch: Instant,
 ) {
     // Deferred decisions are re-examined ahead of the new batch: the
     // lock owner that blocked them may have finished since.
@@ -923,15 +963,25 @@ fn apply_decisions(
             }
             shard.finish(&m.txn, commit);
             if let Some(wal) = wal {
-                let mut wal = wal.lock().expect("wal poisoned");
-                if logless {
-                    // The deferred prepare record: written together with
-                    // the decision, after the outcome is known — a journal
-                    // entry, not a critical-path force.
-                    wal.log_prepare(Arc::clone(&m.txn), m.client, vote);
+                let t0 = Instant::now();
+                {
+                    let mut wal = wal.lock().expect("wal poisoned");
+                    if logless {
+                        // The deferred prepare record: written together with
+                        // the decision, after the outcome is known — a journal
+                        // entry, not a critical-path force.
+                        wal.log_prepare(Arc::clone(&m.txn), m.client, vote);
+                    }
+                    wal.log_decide(txn_id, value);
                 }
-                wal.log_decide(txn_id, value);
+                obs.record(Stage::WalJournal, t0.elapsed());
             }
+            obs.flight.record(
+                txn_id,
+                me as u32,
+                FlightStage::Decided,
+                Instant::now().saturating_duration_since(epoch),
+            );
             decided_map.insert(txn_id, value);
             log.push(NodeRecord {
                 txn: Arc::clone(&m.txn),
@@ -980,6 +1030,7 @@ where
         window,
         wal,
         logless,
+        mut obs,
     } = env;
     let mut node: NodeLoop<P> = NodeLoop::new(me, n, UnitClock::new(unit));
     let mut shard = Shard::new(me);
@@ -1308,11 +1359,26 @@ where
                             );
                             continue;
                         }
+                        obs.flight.record(
+                            id,
+                            me as u32,
+                            FlightStage::Dispatch,
+                            now.saturating_duration_since(epoch),
+                        );
                         let vote = if txn.touches(me) {
-                            shard.prepare(&txn)
+                            let t0 = Instant::now();
+                            let v = shard.prepare(&txn);
+                            obs.record(Stage::LockAcquire, t0.elapsed());
+                            v
                         } else {
                             true
                         };
+                        obs.flight.record(
+                            id,
+                            me as u32,
+                            FlightStage::LockAcquired,
+                            Instant::now().saturating_duration_since(epoch),
+                        );
                         // The classic commit-latency tax: the vote must be
                         // durable before it can influence a decision. A
                         // logless protocol replicates the vote to its peers
@@ -1321,10 +1387,18 @@ where
                         // decision, off the critical path.
                         if !logless {
                             if let Some(wal) = &wal {
+                                let t0 = Instant::now();
                                 wal.lock().expect("wal poisoned").log_prepare(
                                     Arc::clone(&txn),
                                     client,
                                     vote,
+                                );
+                                obs.record(Stage::WalForce, t0.elapsed());
+                                obs.flight.record(
+                                    id,
+                                    me as u32,
+                                    FlightStage::WalForced,
+                                    Instant::now().saturating_duration_since(epoch),
                                 );
                                 wal_prepare_forces += 1;
                             }
@@ -1444,6 +1518,8 @@ where
                             &wal,
                             &mut decided_map,
                             logless,
+                            &mut obs,
+                            epoch,
                         );
                     }
                     node.close(txn);
@@ -1453,6 +1529,11 @@ where
                 }
                 ToNode::Shutdown => shutdown = true,
             }
+        }
+        if got > 0 {
+            // Backlog residency: how long the drained batch sat between
+            // leaving the inbox and finishing protocol dispatch.
+            obs.record(Stage::DrainGap, now.elapsed());
         }
 
         // 3. Self-deliveries and due timers, to quiescence: a delivery can
@@ -1494,6 +1575,8 @@ where
             &wal,
             &mut decided_map,
             logless,
+            &mut obs,
+            epoch,
         );
 
         // 5. Flush. Delay-released envelopes first (already judged by the
@@ -1553,6 +1636,9 @@ where
                 let _ = done_txs[client].send_batch(batch.drain(..));
             }
         }
+        if released + flushed > 0 {
+            obs.record(Stage::Flush, flush_now.elapsed());
+        }
 
         // 6. Accounting: a wakeup that moved nothing — no inbound batch,
         //    no fired timer, no outbound flush (the recovery iteration
@@ -1593,6 +1679,15 @@ where
             }
         }
     }
+    // Fold in the self-metered layers: lock residency from the shard,
+    // timer lag from the demux loop, socket-write time from the
+    // transport. These are bulk counters (no per-op histogram).
+    let (holds, hold_nanos) = shard.lock_hold_stats();
+    obs.meters.add_many(Stage::LockHold, holds, hold_nanos);
+    let (fires, lag_nanos) = node.timer_stats();
+    obs.meters.add_many(Stage::TimerFire, fires, lag_nanos);
+    let (writes, write_nanos) = transport.io_stats();
+    obs.meters.add_many(Stage::TcpWrite, writes, write_nanos);
     NodeReturn {
         shard,
         log,
@@ -1601,6 +1696,7 @@ where
         delayed_messages,
         orphaned_envelopes,
         wal_prepare_forces,
+        obs,
     }
 }
 
@@ -1651,6 +1747,7 @@ where
     let mut reply_timeouts = 0usize;
     let mut dbuf: Vec<Done> = Vec::with_capacity(CLIENT_BATCH);
     let mut next_allowed = Instant::now();
+    let mut obs = NodeObs::new();
 
     loop {
         // Submit while the closed loop is open: every outstanding
@@ -1713,11 +1810,13 @@ where
         let wait = due
             .expect("the loop only continues with work pending")
             .saturating_duration_since(Instant::now());
+        let t0 = Instant::now();
         match rx.recv_batch_timeout(&mut dbuf, CLIENT_BATCH, wait) {
             Ok(_) => {}
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => {}
         }
+        obs.record(Stage::ClientQueueWait, t0.elapsed());
 
         // Fold in replies (duplicates from retries/recovery are ignored).
         for d in dbuf.drain(..) {
@@ -1744,6 +1843,10 @@ where
                     decided_at: Some(p.t0.saturating_duration_since(epoch) + lat),
                     committed: Some(committed),
                     retries: p.retries,
+                    // Filled by `aggregate` from the merged flight events.
+                    first_protocol_at: None,
+                    votes_held_at: None,
+                    journaled_at: None,
                 });
                 for &q in &p.parts {
                     transport.send(q, ToNode::End { txn: p.txn.id });
@@ -1772,6 +1875,9 @@ where
                     decided_at: None,
                     committed: None,
                     retries: p.retries,
+                    first_protocol_at: None,
+                    votes_held_at: None,
+                    journaled_at: None,
                 });
                 records.push(ClientRecord {
                     txn: p.txn,
@@ -1806,6 +1912,7 @@ where
         stalled,
         retries,
         reply_timeouts,
+        obs,
     }
 }
 
@@ -1832,6 +1939,20 @@ fn aggregate(
     let orphaned_envelopes = node_returns.iter().map(|r| r.orphaned_envelopes).sum();
     let wal_prepare_forces = node_returns.iter().map(|r| r.wal_prepare_forces).sum();
 
+    // Merge the observability bundles: meters and histograms fold exactly
+    // (merge ≡ recording the concatenation); flight events concatenate
+    // into one cross-node record.
+    let stage_meters = ObsMeters::new();
+    let mut stage_hists = StageHistograms::new();
+    let mut flight: Vec<FlightEvent> = Vec::new();
+    let mut dropped_events = 0u64;
+    for r in &node_returns {
+        stage_meters.merge(&r.obs.meters);
+        stage_hists.merge(&r.obs.hists);
+        dropped_events += r.obs.flight.dropped();
+        flight.extend_from_slice(r.obs.flight.events());
+    }
+
     // Cross-node view: txn -> (votes, decisions) as logged by each node.
     let mut by_txn: HashMap<TxnId, (Vec<bool>, Vec<u64>)> = HashMap::new();
     for ret in &node_returns {
@@ -1844,6 +1965,8 @@ fn aggregate(
 
     for cr in client_returns {
         latency.merge(&cr.latency);
+        stage_meters.merge(&cr.obs.meters);
+        stage_hists.merge(&cr.obs.hists);
         stalled += cr.stalled;
         retries += cr.retries;
         reply_timeouts += cr.reply_timeouts;
@@ -1908,6 +2031,26 @@ fn aggregate(
     let (shards, node_logs): (Vec<Shard>, Vec<Vec<NodeRecord>>) =
         node_returns.into_iter().map(|r| (r.shard, r.log)).unzip();
 
+    // Per-txn lifecycle stamps and the five-stage attribution, from the
+    // merged flight record plus the clients' submit/reply endpoints.
+    let nanos = |d: Duration| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+    let lcs = lifecycles(&flight);
+    for ev in &mut txn_events {
+        if let Some(l) = lcs.get(&ev.id) {
+            ev.first_protocol_at = l.first_protocol_nanos.map(Duration::from_nanos);
+            ev.votes_held_at = l.votes_held_nanos.map(Duration::from_nanos);
+            ev.journaled_at = l.journaled_nanos.map(Duration::from_nanos);
+        }
+    }
+    let decided_list: Vec<(u64, u64, u64)> = txn_events
+        .iter()
+        .filter_map(|e| {
+            e.decided_at
+                .map(|d| (e.id, nanos(e.submitted_at), nanos(d)))
+        })
+        .collect();
+    let attribution = Attribution::compute(&decided_list, &flight, SLOWEST_KEPT, dropped_events);
+
     ServiceOutcome {
         kind: cfg.kind,
         clients: cfg.clients,
@@ -1928,6 +2071,9 @@ fn aggregate(
         shards,
         node_logs,
         txn_events,
+        stage_meters,
+        stage_hists,
+        attribution,
         violations,
     }
 }
@@ -1968,6 +2114,7 @@ mod tests {
             window: None,
             wal: None,
             logless: false,
+            obs: NodeObs::new(),
         }
     }
 
@@ -2098,6 +2245,8 @@ mod tests {
         let mut log = Vec::new();
         let mut done_out: Vec<Vec<Done>> = vec![Vec::new()];
         let mut decided_map = HashMap::new();
+        let mut obs = NodeObs::new();
+        let epoch = Instant::now();
         apply_decisions(
             &mut decided,
             &mut deferred,
@@ -2109,6 +2258,8 @@ mod tests {
             &None,
             &mut decided_map,
             true,
+            &mut obs,
+            epoch,
         );
         assert_eq!(deferred, vec![(a_id, COMMIT)], "A must wait on B's lock");
         assert!(log.is_empty(), "a deferred commit is not logged yet");
@@ -2128,6 +2279,8 @@ mod tests {
             &None,
             &mut decided_map,
             true,
+            &mut obs,
+            epoch,
         );
         assert!(deferred.is_empty(), "the freed lock unblocks A");
         assert_eq!(
@@ -2229,5 +2382,44 @@ mod tests {
             assert_eq!(ev.retries, 0);
             assert!(ev.participants >= 2);
         }
+    }
+
+    /// The tentpole's end-to-end check at unit scale: a healthy run must
+    /// attribute (nearly) every transaction, the five stage shares must
+    /// telescope to ~100 % of end-to-end p50, the lifecycle stamps must
+    /// be filled and ordered, and the seam meters must have seen the
+    /// load.
+    #[test]
+    fn attribution_telescopes_and_lifecycle_stamps_fill_on_a_live_run() {
+        let out = run_service(&quick(ProtocolKind::PaxosCommit));
+        assert!(out.is_safe(), "{:?}", out.violations);
+        let a = &out.attribution;
+        assert_eq!(a.total, 10);
+        assert_eq!(a.covered, 10, "every decided txn must reconstruct");
+        assert_eq!(a.dropped_events, 0);
+        assert!(
+            (a.share_sum_pct() - 100.0).abs() < 1e-6,
+            "stage shares must telescope to 100%, got {}",
+            a.share_sum_pct()
+        );
+        assert_eq!(a.e2e.count(), 10);
+        assert!(!a.slowest.is_empty() && a.slowest.len() <= SLOWEST_KEPT);
+        assert!(a.slowest[0].e2e_nanos() >= a.slowest[a.slowest.len() - 1].e2e_nanos());
+        // No WAL in a healthy run: the wal stage carries zero time.
+        assert_eq!(a.stages[2].sum(), 0);
+        for ev in &out.txn_events {
+            let first = ev.first_protocol_at.expect("dispatch stamp");
+            let held = ev.votes_held_at.expect("votes-held stamp");
+            let journaled = ev.journaled_at.expect("journal stamp");
+            assert!(ev.submitted_at <= first, "txn {}", ev.id);
+            assert!(first <= held && held <= journaled, "txn {}", ev.id);
+        }
+        // The seam meters saw the run: every Begin timed a lock acquire,
+        // every client wait was metered, decisions flushed.
+        assert!(out.stage_meters.get(Stage::LockAcquire).0 > 0);
+        assert!(out.stage_meters.get(Stage::ClientQueueWait).0 > 0);
+        assert!(out.stage_meters.get(Stage::Flush).0 > 0);
+        assert_eq!(out.stage_meters.get(Stage::WalForce).0, 0, "no WAL here");
+        assert!(out.stage_hists.get(Stage::DrainGap).count() > 0);
     }
 }

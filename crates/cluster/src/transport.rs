@@ -72,6 +72,14 @@ pub trait Transport<M>: Send {
             self.send(to, env);
         }
     }
+
+    /// `(writes, total nanoseconds)` this transport spent handing bytes
+    /// to the OS. The TCP transport times every socket `write_all`; the
+    /// channel transport is a lock handoff and reports zero (observability
+    /// — the `tcp_write` seam meter).
+    fn io_stats(&self) -> (u64, u64) {
+        (0, 0)
+    }
 }
 
 /// The in-process transport: envelopes move over unbounded crossbeam
@@ -120,6 +128,11 @@ pub struct TcpTransport {
     state: Vec<PeerState>,
     scratch: Vec<u8>,
     on_connect: Option<OnConnect>,
+    /// Socket-write self-metering: `write_all` calls and their summed
+    /// duration (connection establishment is deliberately excluded — a
+    /// first-contact dial retries for seconds and is not write time).
+    io_writes: u64,
+    io_nanos: u64,
 }
 
 impl TcpTransport {
@@ -131,6 +144,8 @@ impl TcpTransport {
             state,
             scratch: Vec::new(),
             on_connect: None,
+            io_writes: 0,
+            io_nanos: 0,
         }
     }
 
@@ -198,7 +213,13 @@ impl TcpTransport {
         let mut sent = false;
         for _ in 0..2 {
             let Some(s) = self.conn(to) else { break };
-            if s.write_all(&scratch).is_ok() {
+            let t0 = Instant::now();
+            let ok = s.write_all(&scratch).is_ok();
+            self.io_writes += 1;
+            self.io_nanos = self
+                .io_nanos
+                .saturating_add(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            if ok {
                 sent = true;
                 break;
             }
@@ -223,6 +244,10 @@ impl<M: Wire + Send> Transport<M> for TcpTransport {
             write_frame(&AnyFrame::Node(env), &mut self.scratch);
         }
         self.flush_scratch(to);
+    }
+
+    fn io_stats(&self) -> (u64, u64) {
+        (self.io_writes, self.io_nanos)
     }
 }
 

@@ -1,8 +1,11 @@
-//! Property-based coverage for `LatencyHistogram` (the ISSUE-3 satellite):
-//! percentiles are monotone, bounded by the true extremes, and `merge`
-//! is exactly equivalent to recording the concatenated sample streams.
+//! Property-based coverage for `LatencyHistogram` (the ISSUE-3 satellite,
+//! p99.9 and per-stage merge added by ISSUE 8): percentiles are monotone,
+//! bounded by the true extremes, and `merge` is exactly equivalent to
+//! recording the concatenated sample streams — including when the
+//! histograms are the per-node, per-stage sets the observability layer
+//! folds together at the end of a run.
 
-use ac_cluster::LatencyHistogram;
+use ac_cluster::{LatencyHistogram, Stage, StageHistograms};
 use proptest::prelude::*;
 
 fn hist_of(samples: &[u64]) -> LatencyHistogram {
@@ -17,14 +20,15 @@ proptest! {
     #[test]
     fn percentiles_are_monotone_in_q(samples in proptest::collection::vec(any::<u64>(), 1..200)) {
         let h = hist_of(&samples);
-        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0];
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1.0];
         let ps: Vec<u64> = qs.iter().map(|&q| h.percentile(q)).collect();
         for w in ps.windows(2) {
             prop_assert!(w[0] <= w[1], "percentiles not monotone: {ps:?}");
         }
         prop_assert!(h.p50() <= h.p90());
         prop_assert!(h.p90() <= h.p99());
-        prop_assert!(h.p99() <= h.max());
+        prop_assert!(h.p99() <= h.p999());
+        prop_assert!(h.p999() <= h.max());
     }
 
     #[test]
@@ -37,7 +41,7 @@ proptest! {
         prop_assert_eq!(h.min(), lo);
         prop_assert_eq!(h.max(), hi);
         prop_assert_eq!(h.count(), samples.len() as u64);
-        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+        for q in [0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
             let p = h.percentile(q);
             prop_assert!(p >= lo && p <= hi, "p({q}) = {p} outside [{lo}, {hi}]");
         }
@@ -56,8 +60,41 @@ proptest! {
         prop_assert_eq!(merged.min(), whole.min());
         prop_assert_eq!(merged.max(), whole.max());
         prop_assert_eq!(merged.mean(), whole.mean());
-        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
             prop_assert_eq!(merged.percentile(q), whole.percentile(q), "q = {}", q);
+        }
+        prop_assert_eq!(merged.p999(), whole.p999());
+        prop_assert_eq!(merged.sum(), whole.sum());
+    }
+
+    #[test]
+    fn per_node_stage_histograms_merge_like_one_recorder(
+        xs in proptest::collection::vec((0usize..Stage::COUNT, any::<u64>()), 0..100),
+        ys in proptest::collection::vec((0usize..Stage::COUNT, any::<u64>()), 0..100),
+    ) {
+        // Two node threads record disjoint sample streams into their own
+        // per-stage histograms; the run-end merge must be exactly what
+        // one recorder would have seen.
+        let record = |h: &mut StageHistograms, samples: &[(usize, u64)]| {
+            for &(i, v) in samples {
+                h.record(Stage::ALL[i], v);
+            }
+        };
+        let mut merged = StageHistograms::new();
+        record(&mut merged, &xs);
+        let mut other = StageHistograms::new();
+        record(&mut other, &ys);
+        merged.merge(&other);
+        let mut whole = StageHistograms::new();
+        record(&mut whole, &xs);
+        record(&mut whole, &ys);
+        for s in Stage::ALL {
+            let (m, w) = (merged.get(s), whole.get(s));
+            prop_assert_eq!(m.count(), w.count(), "stage {}", s.name());
+            prop_assert_eq!(m.sum(), w.sum(), "stage {}", s.name());
+            for q in [0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+                prop_assert_eq!(m.percentile(q), w.percentile(q), "stage {} q {}", s.name(), q);
+            }
         }
     }
 

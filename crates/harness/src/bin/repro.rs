@@ -4,6 +4,7 @@
 //! repro [--json] [--jobs N] [--out PATH] [--quick] [--transport channel|tcp] \
 //!       [table1|table2|table3|table4|table5|fig1|ablations|exhaustive|bench|load|chaos|all]
 //! repro bench-check <path>
+//! repro trace [<path>]
 //! repro perf --against <path> [--quick] [--json] [--jobs N] [--out PATH]
 //! ```
 //!
@@ -22,9 +23,15 @@
 //! ({2PC, Paxos-Commit, INBAC, D1CC} × {crash-coordinator, crash-participant,
 //! partition-heal, lossy-10} through `ac-chaos`, with safety audits on
 //! every faulted run) and writes the schema-v3 baseline including the
-//! `chaos` section; `bench-check <path>` validates a previously written
-//! baseline of any schema version — CI's bench-smoke, load-smoke and
-//! chaos-smoke jobs run these. `perf --against <path>` re-measures the
+//! `chaos` section; since schema v4 the `load`/`chaos` baselines also
+//! carry the per-stage latency **attribution** section (every Table-5
+//! protocol on both transports, stage shares telescoping to end-to-end
+//! latency) with the slowest-transaction timelines embedded;
+//! `trace [<path>]` renders those embedded straggler timelines (default
+//! path `BENCH_baseline.json`) through the same renderer the simulator's
+//! traces use; `bench-check <path>` validates a previously written
+//! baseline of any schema version — CI's bench-smoke, load-smoke,
+//! chaos-smoke and trace-smoke jobs run these. `perf --against <path>` re-measures the
 //! live sweep and diffs it against a committed baseline: counter-exact
 //! regressions (message counts, commit rates, safety/stall counters,
 //! explorer soundness, a dirty committed chaos section) fail the run,
@@ -58,6 +65,7 @@ fn usage_exit() -> ! {
         "usage: repro [--json] [--jobs N] [--out PATH] [--quick] [--transport channel|tcp] \
          [table1|table2|table3|table4|table5|fig1|ablations|exhaustive|bench|load|chaos|all]\n\
          \x20      repro bench-check <path>\n\
+         \x20      repro trace [<path>]\n\
          \x20      repro perf --against <path> [--quick] [--json] [--jobs N] [--out PATH]"
     );
     std::process::exit(2);
@@ -179,7 +187,7 @@ fn main() {
             Ok(()) => {
                 println!(
                     "{path}: valid bench baseline (all seven Table-5 protocols present; \
-                     schema v1, v2 or v3 with clean service/chaos sections)"
+                     schema v1-v4 with clean service/chaos/attribution sections)"
                 );
                 return;
             }
@@ -190,6 +198,73 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+
+    // `trace [<path>]`: render the slowest-transaction timelines embedded
+    // in a schema-v4 baseline's attribution section — where every
+    // microsecond of the worst commits went, one line per lifecycle step,
+    // in the same format the simulator's protocol traces print.
+    if id == "trace" {
+        let default_path = "BENCH_baseline.json".to_string();
+        let path = targets.get(1).unwrap_or(&default_path);
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let v: serde_json::Value = match serde_json::from_str(&text) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("{path}: not valid JSON: {e:?}");
+                std::process::exit(1);
+            }
+        };
+        let empty = Vec::new();
+        let entries = v["attribution"]["entries"].as_array().unwrap_or(&empty);
+        if entries.is_empty() {
+            eprintln!(
+                "{path}: no attribution section (schema v4, written by \
+                 `repro load` / `repro chaos`) — nothing to trace"
+            );
+            std::process::exit(1);
+        }
+        for e in entries {
+            let protocol = e["protocol"].as_str().unwrap_or("?");
+            let transport = e["transport"].as_str().unwrap_or("?");
+            let slowest = e["slowest"].as_array().unwrap_or(&empty);
+            println!(
+                "## {protocol} over {transport} — slowest {} of {} txns \
+                 (coverage {:.0}%, e2e p50 {:.2} ms)",
+                slowest.len(),
+                e["txns"].as_u64().unwrap_or(0),
+                e["coverage_pct"].as_f64().unwrap_or(0.0),
+                e["e2e_p50_micros"].as_f64().unwrap_or(0.0) / 1e3,
+            );
+            for s in slowest {
+                println!(
+                    "\ntxn {:#x}: {:.2} ms end-to-end",
+                    s["txn"].as_u64().unwrap_or(0),
+                    s["e2e_micros"].as_f64().unwrap_or(0.0) / 1e3,
+                );
+                let rows: Vec<ac_sim::TimelineRow> = s["steps"]
+                    .as_array()
+                    .unwrap_or(&empty)
+                    .iter()
+                    .map(|step| {
+                        ac_sim::TimelineRow::new(
+                            format!("{:.2}ms", step["at_micros"].as_f64().unwrap_or(0.0) / 1e3),
+                            step["actor"].as_str().unwrap_or("?"),
+                            step["label"].as_str().unwrap_or("?"),
+                        )
+                    })
+                    .collect();
+                print!("{}", ac_sim::render_timeline(&rows));
+            }
+            println!();
+        }
+        return;
     }
 
     // `bench`: measure, print, and write the machine-readable baseline.
@@ -226,7 +301,8 @@ fn main() {
     let Some(reports) = run_one(id, jobs) else {
         eprintln!(
             "unknown experiment `{id}`; expected one of \
-             table1 table2 table3 table4 table5 fig1 ablations exhaustive bench load chaos perf all"
+             table1 table2 table3 table4 table5 fig1 ablations exhaustive bench load chaos \
+             trace perf all"
         );
         std::process::exit(2);
     };

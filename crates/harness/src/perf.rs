@@ -192,6 +192,40 @@ pub fn perf_compare(
         }
     }
 
+    // --- Attribution section (schema v4): like the chaos gates, static
+    // checks on the committed numbers — a baseline whose stage shares do
+    // not telescope to the end-to-end time (±5 %) or that covered no
+    // transactions was produced by a broken flight recorder and must
+    // never pass. ---
+    if against_schema >= 4 {
+        let attr_entries = against["attribution"]["entries"]
+            .as_array()
+            .unwrap_or(&empty);
+        for e in attr_entries {
+            let label = format!(
+                "attribution {}/{}",
+                e["protocol"].as_str().unwrap_or("?"),
+                e["transport"].as_str().unwrap_or("?")
+            );
+            let share_sum = f(&e["share_sum_pct"]).unwrap_or(f64::NAN);
+            checks.push(PerfCheck {
+                gate: "exact".into(),
+                key: format!("{label} stage-share sum (committed, 100±5%)"),
+                against: share_sum,
+                current: share_sum,
+                ok: (95.0..=105.0).contains(&share_sum),
+            });
+            let coverage = f(&e["coverage_pct"]).unwrap_or(f64::NAN);
+            checks.push(PerfCheck {
+                gate: "exact".into(),
+                key: format!("{label} timeline coverage (committed, >0%)"),
+                against: coverage,
+                current: coverage,
+                ok: coverage > 0.0,
+            });
+        }
+    }
+
     // --- Service entries: match on (protocol, workload, clients). ---
     let service = current
         .service
@@ -254,6 +288,11 @@ pub fn perf_compare(
             ),
             ("p50 µs", e.p50_micros, f(&base["p50_micros"])),
             ("p99 µs", e.p99_micros, f(&base["p99_micros"])),
+            (
+                "p99.9 µs",
+                e.p999_micros.unwrap_or(f64::NAN),
+                e.p999_micros.and(f(&base["p999_micros"])),
+            ),
         ] {
             if let Some(b) = b {
                 checks.push(PerfCheck {

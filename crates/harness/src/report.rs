@@ -262,6 +262,10 @@ pub struct ServiceEntry {
     pub p90_micros: f64,
     /// 99th-percentile latency, microseconds.
     pub p99_micros: f64,
+    /// 99.9th-percentile latency, microseconds — the straggler tail the
+    /// flight recorder explains (optional: baselines written before the
+    /// observability layer lack it).
+    pub p999_micros: Option<f64>,
     /// Maximum latency, microseconds.
     pub max_micros: f64,
     /// Safety violations found by the post-run audit (must be 0).
@@ -357,6 +361,101 @@ pub struct ChaosBaseline {
     pub entries: Vec<ChaosEntry>,
 }
 
+/// The transports the schema-v4 `attribution` section must cover for
+/// every Table-5 protocol.
+pub fn attribution_transport_names() -> [&'static str; 2] {
+    ["channel", "tcp"]
+}
+
+/// The five canonical attribution stages, telescoping order (re-exported
+/// so emitter and validator share `ac-obs`'s single source of truth).
+pub fn attribution_stage_names() -> [&'static str; 5] {
+    ac_cluster::ATTRIBUTION_STAGES
+}
+
+/// One stage row of an attribution entry: where this slice of every
+/// commit's end-to-end latency went.
+#[derive(Clone, Debug, Serialize)]
+pub struct AttributionStageEntry {
+    /// Stage name ([`attribution_stage_names`]).
+    pub stage: String,
+    /// Median stage residency, microseconds.
+    pub p50_micros: f64,
+    /// 99th-percentile stage residency, microseconds.
+    pub p99_micros: f64,
+    /// Share of total end-to-end time spent in this stage, per cent.
+    pub share_pct: f64,
+}
+
+/// One step of an embedded slowest-transaction timeline (the shape
+/// `repro trace` renders through `ac_sim`'s shared timeline renderer).
+#[derive(Clone, Debug, Serialize)]
+pub struct TimelineStep {
+    /// Microseconds past the run epoch.
+    pub at_micros: f64,
+    /// Acting entity (`client`, `P3`, ...).
+    pub actor: String,
+    /// What happened.
+    pub label: String,
+}
+
+/// One reconstructed straggler: a slowest-covered transaction's full
+/// lifecycle timeline, embedded in the baseline for `repro trace`.
+#[derive(Clone, Debug, Serialize)]
+pub struct SlowTxn {
+    /// Transaction id.
+    pub txn: u64,
+    /// End-to-end latency, microseconds.
+    pub e2e_micros: f64,
+    /// Lifecycle steps in time order.
+    pub steps: Vec<TimelineStep>,
+}
+
+/// One measured cell of the attribution sweep: a (protocol, transport)
+/// pair's per-stage latency decomposition. Stage durations telescope to
+/// the end-to-end latency exactly per transaction, so `share_sum_pct`
+/// is 100 by construction whenever coverage is complete — the validator
+/// gates it to ±5 %.
+#[derive(Clone, Debug, Serialize)]
+pub struct AttributionEntry {
+    /// Protocol display name ([`table5_protocol_names`]).
+    pub protocol: String,
+    /// Transport name (`"channel"` or `"tcp"`).
+    pub transport: String,
+    /// Decided transactions considered.
+    pub txns: usize,
+    /// `100 · covered / considered` — share of decided transactions with
+    /// a complete reconstructed timeline.
+    pub coverage_pct: f64,
+    /// Sum of the five stage shares (must be within [95, 105]).
+    pub share_sum_pct: f64,
+    /// Median end-to-end latency of the covered transactions, µs.
+    pub e2e_p50_micros: f64,
+    /// 99.9th-percentile end-to-end latency, µs.
+    pub e2e_p999_micros: f64,
+    /// Flight events lost to ring wrap-around (0 at sweep scale).
+    pub dropped_events: u64,
+    /// One row per [`attribution_stage_names`] stage, same order.
+    pub stages: Vec<AttributionStageEntry>,
+    /// Slowest covered timelines, descending end-to-end latency.
+    pub slowest: Vec<SlowTxn>,
+}
+
+/// The schema-v4 `attribution` section: per-stage latency decomposition
+/// of every Table-5 protocol on both transports.
+#[derive(Clone, Debug, Serialize)]
+pub struct AttributionBaseline {
+    /// Number of nodes (= shards).
+    pub n: usize,
+    /// Crash-resilience parameter.
+    pub f: usize,
+    /// Wall-clock length of one virtual delay unit, microseconds.
+    pub unit_micros: u64,
+    /// One entry per (protocol, transport) pair,
+    /// [`table5_protocol_names`] × [`attribution_transport_names`].
+    pub entries: Vec<AttributionEntry>,
+}
+
 /// The schema-v2 `service` section: the live `ac-cluster` transaction
 /// service measured under closed-loop load.
 #[derive(Clone, Debug, Serialize)]
@@ -381,11 +480,15 @@ pub struct ServiceBaseline {
 /// semantics are documented field-by-field in the README ("The bench
 /// baseline" section).
 ///
-/// Three schema versions exist: **v1** (`repro bench`) carries the
-/// simulator numbers only; **v2** (`repro load`) additionally carries the
-/// live [`ServiceBaseline`]; **v3** (`repro chaos`) additionally carries
-/// the [`ChaosBaseline`] availability-under-failure section. The validator
-/// accepts all three.
+/// Four schema versions exist: **v1** (`repro bench`) carries the
+/// simulator numbers only; **v2** (legacy `repro load`) additionally
+/// carries the live [`ServiceBaseline`]; **v3** (legacy `repro chaos`)
+/// additionally carries the [`ChaosBaseline`]
+/// availability-under-failure section; **v4** (current `repro load` /
+/// `repro chaos`) additionally carries the [`AttributionBaseline`]
+/// per-stage latency decomposition (the `chaos` section stays optional
+/// in v4 — `repro load` emits without it, `repro chaos` with it). The
+/// validator accepts all four.
 #[derive(Clone, Debug, Serialize)]
 pub struct BenchBaseline {
     /// Format version; bump on breaking layout changes.
@@ -399,8 +502,10 @@ pub struct BenchBaseline {
     /// Live-service numbers (schema v2+; `None` serializes as `null` in a
     /// v1 baseline).
     pub service: Option<ServiceBaseline>,
-    /// Availability-under-failure numbers (schema v3).
+    /// Availability-under-failure numbers (schema v3; optional in v4).
     pub chaos: Option<ChaosBaseline>,
+    /// Per-stage latency attribution (schema v4).
+    pub attribution: Option<AttributionBaseline>,
 }
 
 impl BenchBaseline {
@@ -415,16 +520,21 @@ impl BenchBaseline {
     }
 
     /// Validate a serialized baseline: parses as JSON, carries a known
-    /// schema version (1, 2 or 3), covers **all seven Table-5 protocols**,
+    /// schema version (1–4), covers **all seven Table-5 protocols**,
     /// and reports a non-empty, counterexample-free exploration. A v2+
     /// baseline must additionally carry a `service` section covering every
     /// [`service_protocol_names`] protocol at ≥ 2 concurrency levels with
     /// zero safety violations and zero stalls. A v3 baseline must
     /// additionally carry a `chaos` section covering every
     /// (service protocol × [`chaos_scenario_names`] scenario) pair, each
-    /// with a clean safety audit and zero unresolved transactions. Returns
-    /// a list of problems (empty = valid). This is what CI's bench-smoke,
-    /// load-smoke and chaos-smoke jobs run via `repro bench-check`.
+    /// with a clean safety audit and zero unresolved transactions. A v4
+    /// baseline must additionally carry an `attribution` section covering
+    /// every ([`table5_protocol_names`] ×
+    /// [`attribution_transport_names`]) pair with positive coverage and
+    /// stage shares summing to 100 ± 5 % (its `chaos` section is
+    /// optional but validated when present). Returns a list of problems
+    /// (empty = valid). This is what CI's bench-smoke, load-smoke,
+    /// chaos-smoke and trace-smoke jobs run via `repro bench-check`.
     pub fn validate_json(text: &str) -> Result<(), Vec<String>> {
         let mut problems = Vec::new();
         let v: serde_json::Value = match serde_json::from_str(text) {
@@ -432,9 +542,9 @@ impl BenchBaseline {
             Err(e) => return Err(vec![format!("not valid JSON: {e:?}")]),
         };
         let schema = v["schema_version"].as_u64();
-        if !matches!(schema, Some(1) | Some(2) | Some(3)) {
+        if !matches!(schema, Some(1) | Some(2) | Some(3) | Some(4)) {
             problems.push(format!(
-                "schema_version must be 1, 2 or 3, got {:?}",
+                "schema_version must be 1, 2, 3 or 4, got {:?}",
                 v["schema_version"]
             ));
         }
@@ -474,11 +584,16 @@ impl BenchBaseline {
                 problems.push(format!("explorer.{key} must be a positive number"));
             }
         }
-        if matches!(schema, Some(2) | Some(3)) {
+        if matches!(schema, Some(2) | Some(3) | Some(4)) {
             Self::validate_service(&v["service"], &mut problems);
         }
-        if schema == Some(3) {
+        if schema == Some(3)
+            || (schema == Some(4) && !matches!(v["chaos"], serde_json::Value::Null))
+        {
             Self::validate_chaos(&v["chaos"], &mut problems);
+        }
+        if schema == Some(4) {
+            Self::validate_attribution(&v["attribution"], &mut problems);
         }
         if problems.is_empty() {
             Ok(())
@@ -497,6 +612,62 @@ impl BenchBaseline {
             problems.push(format!(
                 "{section}.transport must be \"channel\" or \"tcp\" when present, got {t:?}"
             ));
+        }
+    }
+
+    /// Schema-v4 `attribution` section rules (see
+    /// [`BenchBaseline::validate_json`]): full Table-5 × transport
+    /// coverage, all five canonical stages per entry, positive timeline
+    /// coverage, and stage shares summing to 100 ± 5 % of the measured
+    /// end-to-end time.
+    fn validate_attribution(attr: &serde_json::Value, problems: &mut Vec<String>) {
+        let empty = Vec::new();
+        let entries = attr["entries"].as_array().unwrap_or(&empty);
+        if entries.is_empty() {
+            problems.push("schema v4 requires a non-empty attribution.entries".into());
+            return;
+        }
+        for protocol in table5_protocol_names() {
+            for transport in attribution_transport_names() {
+                if !entries.iter().any(|e| {
+                    e["protocol"].as_str() == Some(protocol)
+                        && e["transport"].as_str() == Some(transport)
+                }) {
+                    problems.push(format!(
+                        "attribution must cover {protocol} over {transport}"
+                    ));
+                }
+            }
+        }
+        for e in entries {
+            let label = format!("attribution entry {:?}/{:?}", e["protocol"], e["transport"]);
+            match e["share_sum_pct"].as_f64() {
+                Some(s) if (95.0..=105.0).contains(&s) => {}
+                other => problems.push(format!(
+                    "{label}: stage shares must sum to 100 ± 5 % of the \
+                     end-to-end time, got {other:?}"
+                )),
+            }
+            if e["coverage_pct"].as_f64().is_none_or(|c| c <= 0.0) {
+                problems.push(format!(
+                    "{label}: coverage_pct must be positive (no transaction \
+                     reconstructed means nothing was attributed)"
+                ));
+            }
+            if e["e2e_p50_micros"].as_f64().is_none_or(|x| x <= 0.0) {
+                problems.push(format!("{label}: e2e_p50_micros must be positive"));
+            }
+            let stage_rows = e["stages"].as_array().unwrap_or(&empty);
+            for want in attribution_stage_names() {
+                let found = stage_rows.iter().any(|s| {
+                    s["stage"].as_str() == Some(want)
+                        && s["share_pct"].as_f64().is_some_and(|x| x >= 0.0)
+                        && s["p50_micros"].as_f64().is_some_and(|x| x >= 0.0)
+                });
+                if !found {
+                    problems.push(format!("{label}: missing (or malformed) stage {want}"));
+                }
+            }
         }
     }
 
@@ -590,7 +761,12 @@ impl BenchBaseline {
             // Optional perf fields (absent in pre-upgrade baselines): when
             // present they must at least be well-formed non-negative
             // numbers.
-            for key in ["wire_per_txn", "wire_messages", "spurious_wakeups"] {
+            for key in [
+                "wire_per_txn",
+                "wire_messages",
+                "spurious_wakeups",
+                "p999_micros",
+            ] {
                 if let Some(x) = e[key].as_f64() {
                     if x < 0.0 {
                         problems.push(format!("{label}: {key} must be >= 0"));
@@ -656,6 +832,7 @@ mod tests {
             },
             service: None,
             chaos: None,
+            attribution: None,
         }
     }
 
@@ -677,6 +854,7 @@ mod tests {
                     p50_micros: 10_000.0,
                     p90_micros: 12_000.0,
                     p99_micros: 15_000.0,
+                    p999_micros: (clients == 2).then_some(18_000.0),
                     max_micros: 20_000.0,
                     safety_violations: 0,
                     // One entry with perf fields, one without: both shapes
@@ -738,6 +916,129 @@ mod tests {
             entries,
         });
         b
+    }
+
+    fn sample_attribution_entry(protocol: &str, transport: &str) -> AttributionEntry {
+        AttributionEntry {
+            protocol: protocol.to_string(),
+            transport: transport.to_string(),
+            txns: 16,
+            coverage_pct: 100.0,
+            share_sum_pct: 100.0,
+            e2e_p50_micros: 10_500.0,
+            e2e_p999_micros: 22_000.0,
+            dropped_events: 0,
+            stages: attribution_stage_names()
+                .iter()
+                .map(|s| AttributionStageEntry {
+                    stage: s.to_string(),
+                    p50_micros: 2_100.0,
+                    p99_micros: 4_400.0,
+                    share_pct: 20.0,
+                })
+                .collect(),
+            slowest: vec![SlowTxn {
+                txn: 0x42,
+                e2e_micros: 22_000.0,
+                steps: vec![
+                    TimelineStep {
+                        at_micros: 0.0,
+                        actor: "client".into(),
+                        label: "submit txn 0x42".into(),
+                    },
+                    TimelineStep {
+                        at_micros: 22_000.0,
+                        actor: "client".into(),
+                        label: "all replies in".into(),
+                    },
+                ],
+            }],
+        }
+    }
+
+    fn sample_v4_baseline() -> BenchBaseline {
+        let mut b = sample_v3_baseline();
+        b.schema_version = 4;
+        let mut entries = Vec::new();
+        for protocol in table5_protocol_names() {
+            for transport in attribution_transport_names() {
+                entries.push(sample_attribution_entry(protocol, transport));
+            }
+        }
+        b.attribution = Some(AttributionBaseline {
+            n: 4,
+            f: 1,
+            unit_micros: 5_000,
+            entries,
+        });
+        b
+    }
+
+    #[test]
+    fn v4_baseline_round_trips_and_validates() {
+        let b = sample_v4_baseline();
+        assert_eq!(BenchBaseline::validate_json(&b.to_json()), Ok(()));
+        // The `repro load` shape — attribution present, chaos absent —
+        // is a first-class v4 baseline too.
+        let mut load_shaped = sample_v4_baseline();
+        load_shaped.chaos = None;
+        assert_eq!(BenchBaseline::validate_json(&load_shaped.to_json()), Ok(()));
+    }
+
+    #[test]
+    fn v4_requires_an_attribution_section() {
+        let mut b = sample_v4_baseline();
+        b.attribution = None;
+        let problems = BenchBaseline::validate_json(&b.to_json()).unwrap_err();
+        assert!(
+            problems.iter().any(|p| p.contains("attribution.entries")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn v4_gates_coverage_shares_and_full_protocol_transport_grid() {
+        let mut b = sample_v4_baseline();
+        {
+            let attr = b.attribution.as_mut().unwrap();
+            attr.entries
+                .retain(|e| !(e.protocol == "INBAC" && e.transport == "tcp"));
+            attr.entries[0].share_sum_pct = 80.0;
+            attr.entries[1].coverage_pct = 0.0;
+            attr.entries[2].stages.remove(2); // drop the "wal" stage row
+        }
+        let problems = BenchBaseline::validate_json(&b.to_json()).unwrap_err();
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("INBAC") && p.contains("tcp")),
+            "{problems:?}"
+        );
+        assert!(
+            problems.iter().any(|p| p.contains("100 ± 5")),
+            "{problems:?}"
+        );
+        assert!(
+            problems.iter().any(|p| p.contains("coverage_pct")),
+            "{problems:?}"
+        );
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("missing (or malformed) stage wal")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn v4_still_validates_a_dirty_chaos_section_when_present() {
+        let mut b = sample_v4_baseline();
+        b.chaos.as_mut().unwrap().entries[0].safety_violations = 1;
+        let problems = BenchBaseline::validate_json(&b.to_json()).unwrap_err();
+        assert!(
+            problems.iter().any(|p| p.contains("safety audit")),
+            "{problems:?}"
+        );
     }
 
     #[test]
@@ -899,9 +1200,13 @@ mod tests {
         let json = sample_baseline().to_json();
         let stripped = json
             .replace(",\n  \"service\": null", "")
-            .replace(",\n  \"chaos\": null", "");
+            .replace(",\n  \"chaos\": null", "")
+            .replace(",\n  \"attribution\": null", "");
         assert!(
-            !stripped.contains("service") && !stripped.contains("chaos") && stripped != json,
+            !stripped.contains("service")
+                && !stripped.contains("chaos")
+                && !stripped.contains("attribution")
+                && stripped != json,
             "fixture no longer serializes null optional sections:\n{json}"
         );
         assert_eq!(BenchBaseline::validate_json(&stripped), Ok(()));

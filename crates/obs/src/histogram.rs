@@ -1,13 +1,14 @@
 //! A dependency-free log-bucketed latency histogram.
 //!
-//! Systems papers report tail latency as percentiles (p50/p90/p99/max);
-//! storing every sample is wasteful and merging per-thread recordings
-//! becomes O(samples). This histogram keeps HDR-style log buckets — 16
-//! linear sub-buckets per power of two, i.e. ≤ 6.25 % relative error —
-//! over the full `u64` nanosecond range, in a fixed 976-slot table.
-//! Recording is O(1), merging is a vector add, and percentile queries are
-//! exact functions of the bucket counts (so `merge(a, b)` reports exactly
-//! the percentiles of recording the concatenated samples).
+//! Systems papers report tail latency as percentiles (p50/p90/p99/p99.9/
+//! max); storing every sample is wasteful and merging per-thread
+//! recordings becomes O(samples). This histogram keeps HDR-style log
+//! buckets — 16 linear sub-buckets per power of two, i.e. ≤ 6.25 %
+//! relative error — over the full `u64` nanosecond range, in a fixed
+//! 976-slot table. Recording is O(1), merging is a vector add, and
+//! percentile queries are exact functions of the bucket counts (so
+//! `merge(a, b)` reports exactly the percentiles of recording the
+//! concatenated samples).
 
 use std::time::Duration;
 
@@ -51,7 +52,7 @@ fn bucket_upper(i: usize) -> u64 {
 /// nanoseconds), with exact count/sum/min/max side-cars.
 ///
 /// ```
-/// use ac_cluster::LatencyHistogram;
+/// use ac_obs::LatencyHistogram;
 ///
 /// let mut h = LatencyHistogram::new();
 /// for v in [100u64, 200, 300, 400, 1_000_000] {
@@ -60,7 +61,7 @@ fn bucket_upper(i: usize) -> u64 {
 /// assert_eq!(h.count(), 5);
 /// assert!(h.p50() >= 200 && h.p50() <= 320);
 /// assert_eq!(h.max(), 1_000_000); // max is exact
-/// assert!(h.p50() <= h.p90() && h.p90() <= h.p99());
+/// assert!(h.p50() <= h.p90() && h.p90() <= h.p99() && h.p99() <= h.p999());
 /// ```
 #[derive(Clone, Debug)]
 pub struct LatencyHistogram {
@@ -106,6 +107,13 @@ impl LatencyHistogram {
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Exact sum of all recorded samples (0 when empty). With nanosecond
+    /// samples this is the total time spent in the measured stage, which
+    /// is what share-of-total attribution divides.
+    pub fn sum(&self) -> u128 {
+        self.sum
     }
 
     /// Exact smallest recorded sample (0 when empty).
@@ -167,6 +175,13 @@ impl LatencyHistogram {
         self.percentile(0.99)
     }
 
+    /// 99.9th percentile — the straggler tail the ROADMAP's saturation
+    /// item asks for. At small sample counts (< 1000) this is simply the
+    /// max, by the ceiling rule of [`LatencyHistogram::percentile`].
+    pub fn p999(&self) -> u64 {
+        self.percentile(0.999)
+    }
+
     /// Fold `other` into `self`. Exactly equivalent to having recorded the
     /// concatenation of both sample streams into one histogram.
     pub fn merge(&mut self, other: &LatencyHistogram) {
@@ -183,11 +198,12 @@ impl LatencyHistogram {
     pub fn summary_millis(&self) -> String {
         let ms = |v: u64| v as f64 / 1e6;
         format!(
-            "n={} p50={:.2}ms p90={:.2}ms p99={:.2}ms max={:.2}ms",
+            "n={} p50={:.2}ms p90={:.2}ms p99={:.2}ms p99.9={:.2}ms max={:.2}ms",
             self.count,
             ms(self.p50()),
             ms(self.p90()),
             ms(self.p99()),
+            ms(self.p999()),
             ms(self.max())
         )
     }
@@ -224,6 +240,7 @@ mod tests {
         assert_eq!((h.min(), h.max()), (0, 0));
         assert_eq!(h.percentile(0.5), 0);
         assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.sum(), 0);
     }
 
     #[test]
@@ -231,7 +248,7 @@ mod tests {
         for v in [0u64, 5, 15, 16, 1_000, 123_456_789] {
             let mut h = LatencyHistogram::new();
             h.record(v);
-            for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            for q in [0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
                 assert_eq!(h.percentile(q), v, "v={v} q={q}");
             }
         }
@@ -253,11 +270,26 @@ mod tests {
         for v in [3u64, 17, 17, 90, 1_000, 5_000, 5_001, 1_000_000] {
             h.record(v);
         }
-        let (p50, p90, p99) = (h.p50(), h.p90(), h.p99());
-        assert!(p50 <= p90 && p90 <= p99 && p99 <= h.max());
+        let (p50, p90, p99, p999) = (h.p50(), h.p90(), h.p99(), h.p999());
+        assert!(p50 <= p90 && p90 <= p99 && p99 <= p999 && p999 <= h.max());
         assert!(h.min() <= p50);
         assert_eq!(h.max(), 1_000_000);
         assert_eq!(h.min(), 3);
+    }
+
+    #[test]
+    fn p999_separates_from_p99_at_scale() {
+        // 1_000 samples at 100ns with 5 stragglers at ~1ms: p99 stays on
+        // the floor, p99.9 reaches into the straggler band.
+        let mut h = LatencyHistogram::new();
+        for _ in 0..1_000 {
+            h.record(100);
+        }
+        for _ in 0..5 {
+            h.record(1_000_000);
+        }
+        assert!(h.p99() < 200, "p99={}", h.p99());
+        assert!(h.p999() >= 900_000, "p999={}", h.p999());
     }
 
     #[test]
@@ -278,7 +310,7 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.count(), whole.count());
         assert_eq!((a.min(), a.max()), (whole.min(), whole.max()));
-        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
             assert_eq!(a.percentile(q), whole.percentile(q), "q={q}");
         }
         assert_eq!(a.counts, whole.counts);

@@ -1,0 +1,36 @@
+//! # ac-obs — always-on, allocation-free observability
+//!
+//! The paper's central claim — protocol delay bounds dominate commit
+//! latency ("How Fast can a Distributed Transaction Commit?", PODS 2017)
+//! — is a claim about *where the microseconds go*. This crate is the
+//! measurement layer that turns the claim into data:
+//!
+//! * [`histogram`] — the dependency-free log-bucketed
+//!   [`LatencyHistogram`] (p50/p90/p99/p99.9/max) with exact merge
+//!   semantics, shared by every layer that reports latency;
+//! * [`stage`] — the per-thread instruments: a fixed-slot atomic
+//!   [`ObsMeters`] registry (what a live `--metrics` endpoint reads),
+//!   per-[`Stage`] histograms, and the bounded per-node
+//!   [`FlightRecorder`] of `(txn, stage, timestamp)` lifecycle events;
+//! * [`attribution`] — the per-transaction telescoping decomposition of
+//!   end-to-end latency into channel / lock / WAL / protocol / transport
+//!   stages, exact by construction (stages sum to the measured latency
+//!   per transaction, so shares sum to 100 %).
+//!
+//! Everything here is passive: recording never blocks, never allocates
+//! on the hot path after setup, and never wakes a thread — the service's
+//! zero-spurious-wakeup and counter-exact perf invariants hold with the
+//! instruments on, which is why they are always on.
+
+#![deny(missing_docs)]
+
+pub mod attribution;
+pub mod histogram;
+pub mod stage;
+
+pub use attribution::{lifecycles, Attribution, Lifecycle, TxnTimeline, ATTRIBUTION_STAGES};
+pub use histogram::LatencyHistogram;
+pub use stage::{
+    FlightEvent, FlightRecorder, FlightStage, NodeObs, ObsMeters, Stage, StageHistograms,
+    FLIGHT_CAP,
+};

@@ -1,0 +1,450 @@
+//! The always-on per-thread instruments: fixed-slot atomic stage meters,
+//! per-stage latency histograms, and the bounded per-txn flight recorder.
+//!
+//! Every node (and client) thread owns one [`NodeObs`]. Recording is
+//! allocation-free on the hot path: meters are two relaxed atomic adds,
+//! histograms are an O(1) bucket increment, and the flight recorder
+//! writes into a pre-allocated ring. The shared [`ObsMeters`] handle is
+//! what a `--metrics` exposition endpoint reads while the run is live;
+//! histograms and flight events are thread-local and merged at run end
+//! (merge ≡ recording the concatenation, see
+//! [`LatencyHistogram::merge`]).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::histogram::LatencyHistogram;
+
+/// The instrumented stages of the service stack, one fixed meter slot
+/// each. These are the *seam meters* (how long did each pass through a
+/// seam take); the per-txn lifecycle decomposition lives in
+/// [`crate::attribution`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Stage {
+    /// Client-side closed-loop wait: blocked time between submitting a
+    /// transaction and draining its replies from the done channel.
+    ClientQueueWait = 0,
+    /// `Shard::prepare` call time on the `Begin` path (read validation +
+    /// write-lock acquisition; wound-free, so this is pure CPU).
+    LockAcquire = 1,
+    /// Write-lock residency: first lock taken at prepare until release at
+    /// `Shard::finish` (reported by the shard's own self-metering).
+    LockHold = 2,
+    /// WAL `Prepare` force on the `Begin` critical path.
+    WalForce = 3,
+    /// WAL `Decide` journaling in the apply step (for logless protocols
+    /// this slot carries the single deferred prepare+decide append).
+    WalJournal = 4,
+    /// Per-peer `send_batch` flush in the node loop's flush step.
+    Flush = 5,
+    /// Socket write time inside the TCP transport (0 over channels).
+    TcpWrite = 6,
+    /// Inbox drain-to-dispatch gap: time between draining a batch off the
+    /// inbox and finishing its dispatch into the protocol demux.
+    DrainGap = 7,
+    /// Timer lag: how far past its deadline each protocol timer fired.
+    TimerFire = 8,
+}
+
+impl Stage {
+    /// Number of meter slots.
+    pub const COUNT: usize = 9;
+
+    /// Every stage, slot order.
+    pub const ALL: [Stage; Stage::COUNT] = [
+        Stage::ClientQueueWait,
+        Stage::LockAcquire,
+        Stage::LockHold,
+        Stage::WalForce,
+        Stage::WalJournal,
+        Stage::Flush,
+        Stage::TcpWrite,
+        Stage::DrainGap,
+        Stage::TimerFire,
+    ];
+
+    /// Stable snake_case name (metric label / JSON key).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::ClientQueueWait => "client_queue_wait",
+            Stage::LockAcquire => "lock_acquire",
+            Stage::LockHold => "lock_hold",
+            Stage::WalForce => "wal_force",
+            Stage::WalJournal => "wal_journal",
+            Stage::Flush => "flush",
+            Stage::TcpWrite => "tcp_write",
+            Stage::DrainGap => "drain_gap",
+            Stage::TimerFire => "timer_fire",
+        }
+    }
+}
+
+/// Fixed-slot atomic meters: one `(count, total_nanos)` pair per
+/// [`Stage`]. Shared (`Arc`) between the owning thread and any live
+/// exposition reader; all accesses are relaxed — the meters are
+/// monotone counters, not a synchronization protocol.
+#[derive(Debug, Default)]
+pub struct ObsMeters {
+    counts: [AtomicU64; Stage::COUNT],
+    nanos: [AtomicU64; Stage::COUNT],
+}
+
+impl Clone for ObsMeters {
+    /// A relaxed snapshot (the meters are monotone counters; a clone
+    /// taken mid-run is a consistent-enough point-in-time view).
+    fn clone(&self) -> ObsMeters {
+        let m = ObsMeters::new();
+        m.merge(self);
+        m
+    }
+}
+
+impl ObsMeters {
+    /// Fresh zeroed meters.
+    pub fn new() -> ObsMeters {
+        ObsMeters::default()
+    }
+
+    /// Add one completed operation of `nanos` to `stage`'s slot.
+    #[inline]
+    pub fn add(&self, stage: Stage, nanos: u64) {
+        self.counts[stage as usize].fetch_add(1, Ordering::Relaxed);
+        self.nanos[stage as usize].fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Bulk-add `count` operations totalling `nanos` (used to fold in
+    /// self-metered layers like the shard's lock-hold tracker).
+    #[inline]
+    pub fn add_many(&self, stage: Stage, count: u64, nanos: u64) {
+        if count > 0 {
+            self.counts[stage as usize].fetch_add(count, Ordering::Relaxed);
+            self.nanos[stage as usize].fetch_add(nanos, Ordering::Relaxed);
+        }
+    }
+
+    /// `(count, total_nanos)` snapshot of one stage.
+    pub fn get(&self, stage: Stage) -> (u64, u64) {
+        (
+            self.counts[stage as usize].load(Ordering::Relaxed),
+            self.nanos[stage as usize].load(Ordering::Relaxed),
+        )
+    }
+
+    /// Fold a snapshot of `other` into `self`.
+    pub fn merge(&self, other: &ObsMeters) {
+        for s in Stage::ALL {
+            let (c, n) = other.get(s);
+            self.counts[s as usize].fetch_add(c, Ordering::Relaxed);
+            self.nanos[s as usize].fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Prometheus text exposition (version 0.0.4): two counter families,
+    /// `ac_stage_count` and `ac_stage_nanos_total`, one sample per stage.
+    /// `labels` is spliced into every sample's label set (e.g.
+    /// `node="2"`); pass `""` for none.
+    pub fn render_prometheus(&self, labels: &str) -> String {
+        let mut out = String::new();
+        let sep = if labels.is_empty() { "" } else { "," };
+        out.push_str("# HELP ac_stage_count Completed operations per instrumented stage.\n");
+        out.push_str("# TYPE ac_stage_count counter\n");
+        for s in Stage::ALL {
+            let (c, _) = self.get(s);
+            out.push_str(&format!(
+                "ac_stage_count{{stage=\"{}\"{sep}{labels}}} {c}\n",
+                s.name()
+            ));
+        }
+        out.push_str(
+            "# HELP ac_stage_nanos_total Time spent per instrumented stage, nanoseconds.\n",
+        );
+        out.push_str("# TYPE ac_stage_nanos_total counter\n");
+        for s in Stage::ALL {
+            let (_, n) = self.get(s);
+            out.push_str(&format!(
+                "ac_stage_nanos_total{{stage=\"{}\"{sep}{labels}}} {n}\n",
+                s.name()
+            ));
+        }
+        out
+    }
+}
+
+/// One [`LatencyHistogram`] per [`Stage`], thread-local (no atomics on
+/// the recording path).
+#[derive(Clone, Debug)]
+pub struct StageHistograms {
+    hists: Vec<LatencyHistogram>,
+}
+
+impl Default for StageHistograms {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StageHistograms {
+    /// Empty histograms for every stage.
+    pub fn new() -> StageHistograms {
+        StageHistograms {
+            hists: (0..Stage::COUNT).map(|_| LatencyHistogram::new()).collect(),
+        }
+    }
+
+    /// Record one `nanos` sample into `stage`'s histogram.
+    #[inline]
+    pub fn record(&mut self, stage: Stage, nanos: u64) {
+        self.hists[stage as usize].record(nanos);
+    }
+
+    /// The histogram of one stage.
+    pub fn get(&self, stage: Stage) -> &LatencyHistogram {
+        &self.hists[stage as usize]
+    }
+
+    /// Fold `other` in (exact, see [`LatencyHistogram::merge`]).
+    pub fn merge(&mut self, other: &StageHistograms) {
+        for (a, b) in self.hists.iter_mut().zip(&other.hists) {
+            a.merge(b);
+        }
+    }
+}
+
+/// Lifecycle points the flight recorder captures, node-side. (Client-side
+/// submit/reply timestamps already live on the service's `TxnEvent`.)
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FlightStage {
+    /// A fresh `Begin` for this transaction was dispatched on this node.
+    Dispatch,
+    /// This node's shard finished `prepare` (write locks held, vote cast).
+    LockAcquired,
+    /// This node forced the WAL `Prepare` record.
+    WalForced,
+    /// This node applied the decision (and journaled it, when logging).
+    Decided,
+}
+
+impl FlightStage {
+    /// Stable lowercase name for timeline rendering.
+    pub fn name(self) -> &'static str {
+        match self {
+            FlightStage::Dispatch => "dispatch",
+            FlightStage::LockAcquired => "locks-held",
+            FlightStage::WalForced => "wal-forced",
+            FlightStage::Decided => "decided",
+        }
+    }
+}
+
+/// One flight-recorder event: transaction `txn` reached `stage` on node
+/// `node` at `at_nanos` past the run epoch.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Transaction id.
+    pub txn: u64,
+    /// Recording node.
+    pub node: u32,
+    /// Which lifecycle point.
+    pub stage: FlightStage,
+    /// Nanoseconds since the run epoch.
+    pub at_nanos: u64,
+}
+
+/// A bounded per-node ring buffer of [`FlightEvent`]s.
+///
+/// Sampling is keyed on the transaction id (`txn % sample_mod == 0`) so
+/// every node records the *same* transactions and their timelines stay
+/// reconstructible end-to-end; `sample_mod = 1` (the default) records
+/// everything, which is what test- and baseline-scale runs use. When the
+/// ring wraps, the oldest events are overwritten and counted in
+/// [`FlightRecorder::dropped`].
+#[derive(Clone, Debug)]
+pub struct FlightRecorder {
+    events: Vec<FlightEvent>,
+    cap: usize,
+    next: usize,
+    wrapped: bool,
+    dropped: u64,
+    sample_mod: u64,
+}
+
+/// Default ring capacity: 64k events ≈ 1.5 MiB per node, enough for
+/// ~16k fully-recorded transactions per node between wraps.
+pub const FLIGHT_CAP: usize = 65_536;
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        Self::new(FLIGHT_CAP, 1)
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder holding at most `cap` events, sampling transactions
+    /// whose id is divisible by `sample_mod` (0 is treated as 1).
+    pub fn new(cap: usize, sample_mod: u64) -> FlightRecorder {
+        FlightRecorder {
+            events: Vec::with_capacity(cap),
+            cap: cap.max(1),
+            next: 0,
+            wrapped: false,
+            dropped: 0,
+            sample_mod: sample_mod.max(1),
+        }
+    }
+
+    /// Whether `txn` is in the sample.
+    #[inline]
+    pub fn sampled(&self, txn: u64) -> bool {
+        txn % self.sample_mod == 0
+    }
+
+    /// Record `txn` reaching `stage` on `node` at `at` past the epoch.
+    /// No-op for unsampled transactions.
+    #[inline]
+    pub fn record(&mut self, txn: u64, node: u32, stage: FlightStage, at: Duration) {
+        if !self.sampled(txn) {
+            return;
+        }
+        let ev = FlightEvent {
+            txn,
+            node,
+            stage,
+            at_nanos: u64::try_from(at.as_nanos()).unwrap_or(u64::MAX),
+        };
+        if self.events.len() < self.cap {
+            self.events.push(ev);
+        } else {
+            self.events[self.next] = ev;
+            self.wrapped = true;
+            self.dropped += 1;
+        }
+        self.next = (self.next + 1) % self.cap;
+    }
+
+    /// Events overwritten by ring wrap-around (0 when the ring never
+    /// filled; surfaced so attribution can report its coverage honestly).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// All retained events (unordered when the ring has wrapped).
+    pub fn events(&self) -> &[FlightEvent] {
+        &self.events
+    }
+
+    /// Drain the retained events out of the recorder.
+    pub fn into_events(self) -> Vec<FlightEvent> {
+        self.events
+    }
+}
+
+/// The per-thread observability bundle: shared atomic meters, local
+/// stage histograms, local flight recorder. One per node thread and one
+/// per client thread; merged by the service at run end.
+#[derive(Debug, Default)]
+pub struct NodeObs {
+    /// Shared meter slots (live exposition reads these).
+    pub meters: Arc<ObsMeters>,
+    /// Thread-local per-stage histograms.
+    pub hists: StageHistograms,
+    /// Thread-local flight recorder.
+    pub flight: FlightRecorder,
+}
+
+impl NodeObs {
+    /// A fresh bundle with its own meters and a default-capacity,
+    /// sample-everything recorder.
+    pub fn new() -> NodeObs {
+        NodeObs::default()
+    }
+
+    /// A fresh bundle sharing `meters` (multi-thread processes point all
+    /// threads at one exposition registry).
+    pub fn with_meters(meters: Arc<ObsMeters>) -> NodeObs {
+        NodeObs {
+            meters,
+            ..NodeObs::default()
+        }
+    }
+
+    /// Record one completed `stage` operation of duration `d` into both
+    /// the shared meter and the local histogram.
+    #[inline]
+    pub fn record(&mut self, stage: Stage, d: Duration) {
+        let nanos = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        self.meters.add(stage, nanos);
+        self.hists.record(stage, nanos);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meters_accumulate_and_merge() {
+        let a = ObsMeters::new();
+        a.add(Stage::LockAcquire, 100);
+        a.add(Stage::LockAcquire, 50);
+        a.add_many(Stage::WalForce, 3, 900);
+        a.add_many(Stage::Flush, 0, 0); // no-op
+        assert_eq!(a.get(Stage::LockAcquire), (2, 150));
+        assert_eq!(a.get(Stage::WalForce), (3, 900));
+        assert_eq!(a.get(Stage::Flush), (0, 0));
+        let b = ObsMeters::new();
+        b.add(Stage::LockAcquire, 1);
+        b.merge(&a);
+        assert_eq!(b.get(Stage::LockAcquire), (3, 151));
+    }
+
+    #[test]
+    fn prometheus_exposition_lists_every_stage() {
+        let m = ObsMeters::new();
+        m.add(Stage::TimerFire, 42);
+        let text = m.render_prometheus("node=\"3\"");
+        for s in Stage::ALL {
+            assert!(
+                text.contains(&format!("stage=\"{}\"", s.name())),
+                "missing {}: {text}",
+                s.name()
+            );
+        }
+        assert!(text.contains("ac_stage_nanos_total{stage=\"timer_fire\",node=\"3\"} 42"));
+        assert!(text.contains("# TYPE ac_stage_count counter"));
+        // No-label form keeps valid brace syntax.
+        let bare = ObsMeters::new().render_prometheus("");
+        assert!(bare.contains("ac_stage_count{stage=\"client_queue_wait\"} 0"));
+    }
+
+    #[test]
+    fn flight_recorder_samples_by_txn_id_and_wraps() {
+        let mut r = FlightRecorder::new(4, 2);
+        for txn in 0..6u64 {
+            r.record(txn, 0, FlightStage::Dispatch, Duration::from_nanos(txn));
+        }
+        // Only even txns sampled: 0, 2, 4 -> 3 events, no wrap.
+        assert_eq!(r.events().len(), 3);
+        assert_eq!(r.dropped(), 0);
+        for txn in 6..12u64 {
+            r.record(txn, 1, FlightStage::Decided, Duration::from_nanos(txn));
+        }
+        // 3 more sampled events (6, 8, 10) into a 4-slot ring: wraps.
+        assert_eq!(r.events().len(), 4);
+        assert_eq!(r.dropped(), 2);
+        assert!(r.events().iter().any(|e| e.txn == 10));
+        assert!(!r.sampled(11));
+    }
+
+    #[test]
+    fn node_obs_records_into_meter_and_histogram() {
+        let mut obs = NodeObs::new();
+        obs.record(Stage::DrainGap, Duration::from_nanos(500));
+        obs.record(Stage::DrainGap, Duration::from_nanos(700));
+        assert_eq!(obs.meters.get(Stage::DrainGap), (2, 1200));
+        assert_eq!(obs.hists.get(Stage::DrainGap).count(), 2);
+        assert_eq!(obs.hists.get(Stage::DrainGap).max(), 700);
+        assert_eq!(obs.hists.get(Stage::LockHold).count(), 0);
+    }
+}

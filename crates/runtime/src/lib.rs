@@ -223,6 +223,11 @@ pub struct NodeLoop<A: Automaton> {
     /// Recycled actions buffer, threaded through every `Ctx` so per-event
     /// effect collection allocates nothing in steady state.
     scratch: Vec<Action<<A as Automaton>::Msg>>,
+    /// Timer-dispatch self-metering: fired timers and their summed lag
+    /// past the deadline (observability — timer lag is the node loop's
+    /// contribution to protocol-phase residency).
+    timer_fires: u64,
+    timer_lag_nanos: u64,
 }
 
 /// Drain `ctx`'s actions and hand its buffer back for recycling.
@@ -264,6 +269,8 @@ impl<A: Automaton> NodeLoop<A> {
             slots: Slab::new(),
             timers: BinaryHeap::new(),
             scratch: Vec::new(),
+            timer_fires: 0,
+            timer_lag_nanos: 0,
         }
     }
 
@@ -424,6 +431,10 @@ impl<A: Automaton> NodeLoop<A> {
             let Some(slot) = self.slots.get_mut(t.instance) else {
                 continue; // stale timer of a closed instance
             };
+            self.timer_fires += 1;
+            self.timer_lag_nanos = self.timer_lag_nanos.saturating_add(
+                u64::try_from(now.saturating_duration_since(t.due).as_nanos()).unwrap_or(u64::MAX),
+            );
             let mut ctx = Ctx::with_actions(
                 self.clock.virtual_now(slot.epoch, now),
                 slot.me,
@@ -449,6 +460,15 @@ impl<A: Automaton> NodeLoop<A> {
     /// stale one of a closed instance — the wake-up is then a cheap no-op).
     pub fn next_due(&self) -> Option<Instant> {
         self.timers.peek().map(|t| t.due)
+    }
+
+    /// `(fired timers, total lag nanoseconds past their deadlines)` over
+    /// the loop's lifetime (stale timers of closed instances do not
+    /// count; the meter survives [`NodeLoop::reset`], like any counter a
+    /// restarted node would expose). Hosts diff consecutive reads to
+    /// attribute per-fire lag.
+    pub fn timer_stats(&self) -> (u64, u64) {
+        (self.timer_fires, self.timer_lag_nanos)
     }
 
     /// Close `instance` and drop its state; its pending timers are
@@ -827,6 +847,28 @@ mod tests {
             Some(1),
             "the 2U handler must see the 1U handler's self-send"
         );
+    }
+
+    #[test]
+    fn timer_stats_meter_real_fires_with_lag() {
+        let clock = UnitClock::new(Duration::from_millis(1));
+        let mut node: NodeLoop<TimedDecider> = NodeLoop::new(0, 1, clock);
+        let mut sink = |_: NodeEvent<()>| {};
+        let t0 = Instant::now();
+        node.open(1, TimedDecider { value: 1 }, t0, &mut sink);
+        assert_eq!(node.timer_stats(), (0, 0));
+        let due = node.next_due().unwrap();
+        // Fire 3ms past the deadline: one fire with >= 3ms of lag.
+        assert!(node.fire_next(due + Duration::from_millis(3), &mut sink));
+        let (fires, lag) = node.timer_stats();
+        assert_eq!(fires, 1);
+        assert!(lag >= 3_000_000, "lag {lag}ns must include the 3ms delay");
+        // A stale timer of a closed instance is a no-op, not a fire.
+        node.open(2, TimedDecider { value: 2 }, t0, &mut sink);
+        let due = node.next_due().unwrap();
+        node.close(2);
+        assert!(!node.fire_next(due + Duration::from_millis(1), &mut sink));
+        assert_eq!(node.timer_stats().0, 1, "stale timers do not count");
     }
 
     #[test]

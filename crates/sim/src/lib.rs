@@ -27,7 +27,7 @@ pub mod wire;
 pub use automaton::{Action, Automaton, Ctx};
 pub use event::{Event, EventClass, EventKey, EventQueue, ScheduledEvent};
 pub use time::{Time, U};
-pub use trace::{TraceEntry, TraceKind};
+pub use trace::{render_timeline, TimelineRow, TraceEntry, TraceKind};
 pub use wire::{Wire, WireError};
 
 /// Identifier of a process. Internally processes are `0..n`; the paper's

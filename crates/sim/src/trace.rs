@@ -66,23 +66,74 @@ pub struct TraceEntry {
     pub kind: TraceKind,
 }
 
+/// One row of a rendered timeline: a pre-formatted timestamp, the
+/// acting entity, and what happened. This is the shared shape both the
+/// simulator's [`TraceEntry`]s and the live service's flight-recorder
+/// timelines print through (see [`render_timeline`]), so sim-vs-live
+/// debugging of agreement failures reads one format.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TimelineRow {
+    /// Pre-formatted timestamp (virtual units for sim, wall-clock for
+    /// live), right-aligned into 8 columns.
+    pub at: String,
+    /// Acting entity, e.g. `P1`, `P1 -> P3`, `client`.
+    pub actor: String,
+    /// What happened.
+    pub label: String,
+}
+
+impl TimelineRow {
+    /// A row from its three parts.
+    pub fn new(at: impl Into<String>, actor: impl Into<String>, label: impl Into<String>) -> Self {
+        TimelineRow {
+            at: at.into(),
+            actor: actor.into(),
+            label: label.into(),
+        }
+    }
+}
+
+impl fmt::Display for TimelineRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>8}] {:<9} {}", self.at, self.actor, self.label)
+    }
+}
+
+/// Render rows one per line (the one timeline renderer for sim traces
+/// and live flight-recorder timelines).
+pub fn render_timeline(rows: &[TimelineRow]) -> String {
+    let mut out = String::new();
+    for r in rows {
+        out.push_str(&r.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+impl TraceEntry {
+    /// This entry as a [`TimelineRow`].
+    pub fn row(&self) -> TimelineRow {
+        let (actor, label) = match &self.kind {
+            TraceKind::Send { from, to, desc } => (
+                format!("P{} -> P{}", from + 1, to + 1),
+                format!("send {desc}"),
+            ),
+            TraceKind::Deliver { from, to, desc } => (
+                format!("P{} <- P{}", to + 1, from + 1),
+                format!("recv {desc}"),
+            ),
+            TraceKind::Timer { at, tag } => (format!("P{}", at + 1), format!("timer #{tag}")),
+            TraceKind::Decide { at, value } => (format!("P{}", at + 1), format!("DECIDE {value}")),
+            TraceKind::Crash { at } => (format!("P{}", at + 1), "CRASH".into()),
+            TraceKind::Note { at, text } => (format!("P{}", at + 1), text.clone()),
+        };
+        TimelineRow::new(format!("{}", self.time), actor, label)
+    }
+}
+
 impl fmt::Display for TraceEntry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{:>8}] ", format!("{}", self.time))?;
-        match &self.kind {
-            TraceKind::Send { from, to, desc } => {
-                write!(f, "P{} -> P{}  send {desc}", from + 1, to + 1)
-            }
-            TraceKind::Deliver { from, to, desc } => {
-                write!(f, "P{} <- P{}  recv {desc}", to + 1, from + 1)
-            }
-            TraceKind::Timer { at, tag } => write!(f, "P{}        timer #{tag}", at + 1),
-            TraceKind::Decide { at, value } => {
-                write!(f, "P{}        DECIDE {value}", at + 1)
-            }
-            TraceKind::Crash { at } => write!(f, "P{}        CRASH", at + 1),
-            TraceKind::Note { at, text } => write!(f, "P{}        {text}", at + 1),
-        }
+        write!(f, "{}", self.row())
     }
 }
 
@@ -118,5 +169,31 @@ mod tests {
             kind: TraceKind::Crash { at: 0 },
         };
         assert!(c.to_string().contains("CRASH"));
+    }
+
+    #[test]
+    fn render_timeline_is_display_per_line() {
+        let entries = [
+            TraceEntry {
+                time: Time::units(1),
+                kind: TraceKind::Timer { at: 0, tag: 7 },
+            },
+            TraceEntry {
+                time: Time::units(2),
+                kind: TraceKind::Decide { at: 1, value: 0 },
+            },
+        ];
+        let rows: Vec<TimelineRow> = entries.iter().map(|e| e.row()).collect();
+        let text = render_timeline(&rows);
+        assert_eq!(
+            text,
+            entries.iter().map(|e| format!("{e}\n")).collect::<String>()
+        );
+        // Rows built by hand (the live path) render through the same
+        // format.
+        let live = TimelineRow::new("132µs", "client", "submit txn 0x1");
+        assert!(live
+            .to_string()
+            .contains("[   132µs] client    submit txn 0x1"));
     }
 }

@@ -8,6 +8,7 @@
 //! protocol decides), exactly the structure 2PC/INBAC assume.
 
 use std::collections::BTreeMap;
+use std::time::Instant;
 
 use crate::txn::{Key, Transaction, TxnId, WriteOp};
 
@@ -28,6 +29,12 @@ pub struct Shard {
     cells: BTreeMap<u64, Version>,
     /// Write locks held by prepared transactions: key -> owner txn.
     locks: BTreeMap<u64, TxnId>,
+    /// Lock-residency self-metering: when each live owner first took a
+    /// lock here, plus the completed-hold accumulators (observability —
+    /// "lock hold time" is a first-class latency stage).
+    lock_since: BTreeMap<TxnId, Instant>,
+    lock_holds: u64,
+    lock_hold_nanos: u64,
 }
 
 impl Shard {
@@ -35,8 +42,7 @@ impl Shard {
     pub fn new(id: usize) -> Shard {
         Shard {
             id,
-            cells: BTreeMap::new(),
-            locks: BTreeMap::new(),
+            ..Shard::default()
         }
     }
 
@@ -64,8 +70,13 @@ impl Shard {
                 }
             }
         }
+        let mut took = false;
         for key in txn.writes.keys().filter(|k| my(k)) {
             self.locks.insert(key.k, txn.id);
+            took = true;
+        }
+        if took {
+            self.lock_since.entry(txn.id).or_insert_with(Instant::now);
         }
         true
     }
@@ -85,6 +96,12 @@ impl Shard {
                     cell.version += 1;
                 }
             }
+        }
+        if let Some(t0) = self.lock_since.remove(&txn.id) {
+            self.lock_holds += 1;
+            self.lock_hold_nanos = self
+                .lock_hold_nanos
+                .saturating_add(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
         }
     }
 
@@ -107,8 +124,13 @@ impl Shard {
     /// and its writes dropped at [`Shard::finish`].
     pub fn relock(&mut self, txn: &Transaction) {
         let my = |key: &Key| key.shard == self.id;
+        let mut took = false;
         for key in txn.writes.keys().filter(|k| my(k)) {
             self.locks.insert(key.k, txn.id);
+            took = true;
+        }
+        if took {
+            self.lock_since.entry(txn.id).or_insert_with(Instant::now);
         }
     }
 
@@ -126,6 +148,13 @@ impl Shard {
     /// Number of currently held locks (diagnostics).
     pub fn locked(&self) -> usize {
         self.locks.len()
+    }
+
+    /// `(completed holds, total held nanoseconds)` of released write
+    /// locks: prepare (or relock) until [`Shard::finish`], first lock per
+    /// transaction. Still-held locks are not counted until released.
+    pub fn lock_hold_stats(&self) -> (u64, u64) {
+        (self.lock_holds, self.lock_hold_nanos)
     }
 
     /// Sum of all values in this shard (used by the bank example to check
@@ -215,6 +244,28 @@ mod tests {
         let elsewhere = txn_writing(3, 5, 9, 7);
         assert!(s.prepare(&b));
         assert_eq!(s.foreign_lock_owner(&elsewhere), None);
+    }
+
+    #[test]
+    fn lock_hold_stats_count_released_holds_only() {
+        let mut s = Shard::new(0);
+        let a = txn_writing(1, 0, 9, 1);
+        assert!(s.prepare(&a));
+        assert_eq!(s.lock_hold_stats(), (0, 0), "live holds are not counted");
+        s.finish(&a, true);
+        let (holds, nanos) = s.lock_hold_stats();
+        assert_eq!(holds, 1);
+        assert!(nanos > 0, "a real hold takes nonzero time");
+        // A read-only (no locks here) transaction contributes nothing.
+        let ro = Transaction::new(2).with_read(Key::new(0, 9), 1);
+        assert!(s.prepare(&ro));
+        s.finish(&ro, true);
+        assert_eq!(s.lock_hold_stats().0, 1);
+        // Recovery relocks count as holds once released.
+        let b = txn_writing(3, 0, 4, 2);
+        s.relock(&b);
+        s.finish(&b, false);
+        assert_eq!(s.lock_hold_stats().0, 2);
     }
 
     #[test]

@@ -105,6 +105,12 @@ pub struct Recovery {
 #[derive(Clone, Debug, Default)]
 pub struct Wal {
     records: Vec<WalRecord>,
+    /// Append self-metering: forced appends and the time they took
+    /// (observability — the WAL force is a first-class latency stage;
+    /// with the in-process log this is pure copy/allocation cost, i.e.
+    /// the floor a durable backend would add its fsync to).
+    appends: u64,
+    append_nanos: u64,
 }
 
 impl Wal {
@@ -131,12 +137,28 @@ impl Wal {
 
     /// Log a prepare: `txn` validated locally with verdict `vote`.
     pub fn log_prepare(&mut self, txn: Arc<Transaction>, client: usize, vote: bool) {
+        let t0 = std::time::Instant::now();
         self.records.push(WalRecord::Prepare { txn, client, vote });
+        self.meter(t0);
     }
 
     /// Log an applied decision.
     pub fn log_decide(&mut self, txn: TxnId, value: u64) {
+        let t0 = std::time::Instant::now();
         self.records.push(WalRecord::Decide { txn, value });
+        self.meter(t0);
+    }
+
+    fn meter(&mut self, t0: std::time::Instant) {
+        self.appends += 1;
+        self.append_nanos = self
+            .append_nanos
+            .saturating_add(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// `(appends, total append nanoseconds)` of the typed appenders.
+    pub fn io_stats(&self) -> (u64, u64) {
+        (self.appends, self.append_nanos)
     }
 
     /// The raw record sequence.
@@ -290,6 +312,20 @@ mod tests {
         assert_eq!(rec.shard.read(1).value, 10);
         assert_eq!(rec.shard.read(1).version, 1);
         assert_eq!(rec.decided.len(), 1);
+    }
+
+    #[test]
+    fn io_stats_meter_typed_appends() {
+        let mut wal = Wal::new();
+        assert_eq!(wal.io_stats(), (0, 0));
+        wal.log_prepare(write_txn(1, 0, 2, 9), 0, true);
+        wal.log_decide(1, COMMIT);
+        let (appends, nanos) = wal.io_stats();
+        assert_eq!(appends, 2);
+        assert!(nanos < u64::MAX);
+        // Raw `append` (tests/conversions) is unmetered.
+        wal.append(WalRecord::Decide { txn: 2, value: 0 });
+        assert_eq!(wal.io_stats().0, 2);
     }
 
     #[test]
