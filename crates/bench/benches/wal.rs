@@ -1,0 +1,106 @@
+//! Microbench for the ISSUE-9 group-commit WAL, so the saturation win is
+//! attributable at the log layer itself:
+//!
+//! * **per_record** — the pre-upgrade appenders (`log_prepare` /
+//!   `log_decide`), one durability point per record;
+//! * **group_commit/{1,8,64}** — the same record stream staged in a
+//!   reusable buffer and flushed with `Wal::force_batch`, one durability
+//!   point per batch. Batch size 1 measures the staging overhead alone
+//!   (same force count as per_record); 8 and 64 are the amortization the
+//!   node loop's drain-then-dispatch batching and `wal_flush_interval`
+//!   hold achieve under load.
+//!
+//! The in-process log makes a force pure copy/allocation cost — the floor
+//! a durable backend would add its fsync to — so the *force count* ratio
+//! (read back from `force_stats`) is the transferable result, and the
+//! wall-clock gap is its in-memory lower bound.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ac_commit::problem::COMMIT;
+use ac_txn::{Key, Transaction, Wal, WalRecord};
+use criterion::{black_box, Criterion};
+
+/// Transactions logged per measured iteration (two records each: one
+/// prepare with the full body, one decision).
+const TXNS: u64 = 2_048;
+
+/// A write transaction shaped like the service's uniform workload.
+fn txn(id: u64) -> Arc<Transaction> {
+    Arc::new(Transaction::new(id).with_write(Key::new((id % 4) as usize, id % 64), id as i64))
+}
+
+/// One force per record: the legacy appenders.
+fn wal_per_record() -> Wal {
+    let mut wal = Wal::new();
+    for id in 1..=TXNS {
+        wal.log_prepare(txn(id), (id % 16) as usize, true);
+        wal.log_decide(id, COMMIT);
+    }
+    let (forces, _) = wal.force_stats();
+    assert_eq!(forces, 2 * TXNS, "per-record: forces == appends");
+    wal
+}
+
+/// One force per `batch`-record group: stage into a reusable buffer,
+/// flush with `force_batch` whenever it fills (and once at the end for
+/// the tail, as the node loop does on shutdown).
+fn wal_group_commit(batch: usize) -> Wal {
+    let mut wal = Wal::new();
+    let mut staged: Vec<WalRecord> = Vec::with_capacity(batch);
+    for id in 1..=TXNS {
+        staged.push(WalRecord::Prepare {
+            txn: txn(id),
+            client: (id % 16) as usize,
+            vote: true,
+        });
+        if staged.len() >= batch {
+            wal.force_batch(&mut staged);
+        }
+        staged.push(WalRecord::Decide {
+            txn: id,
+            value: COMMIT,
+        });
+        if staged.len() >= batch {
+            wal.force_batch(&mut staged);
+        }
+    }
+    wal.force_batch(&mut staged);
+    let (forces, _) = wal.force_stats();
+    assert_eq!(
+        forces,
+        (2 * TXNS).div_ceil(batch as u64),
+        "group commit: one force per full batch"
+    );
+    wal
+}
+
+fn benches(c: &mut Criterion) {
+    // Sanity outside the timed loops: both append paths replay to the
+    // same shard state, so the comparison is between equivalent logs.
+    let (a, b) = (wal_per_record().replay(0), wal_group_commit(64).replay(0));
+    assert_eq!(a.decided.len(), b.decided.len());
+    assert_eq!(a.shard.locked(), b.shard.locked());
+
+    let mut g = c.benchmark_group("wal_2048_txns");
+    g.bench_function("per_record", |b| {
+        b.iter(|| black_box(wal_per_record().len()))
+    });
+    for batch in [1usize, 8, 64] {
+        g.bench_function(format!("group_commit/{batch}"), |b| {
+            b.iter(|| black_box(wal_group_commit(black_box(batch)).len()))
+        });
+    }
+    g.finish();
+}
+
+fn main() {
+    let mut c = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1500))
+        .configure_from_args();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -138,6 +138,7 @@ where
         policy: None,
         window: None,
         wal: None,
+        wal_flush_interval: None,
         logless: spec.kind.logless(),
         obs: match meters {
             Some(m) => NodeObs::with_meters(m),

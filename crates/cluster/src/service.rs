@@ -82,8 +82,8 @@ use ac_commit::protocols::ProtocolKind;
 use ac_commit::CommitProtocol;
 use ac_runtime::{NodeEvent, NodeLoop, Slab, UnitClock};
 use ac_sim::ProcessId;
-use ac_txn::workload::{Workload, WorkloadConfig};
-use ac_txn::{Shard, Transaction, TxnId, Wal};
+use ac_txn::workload::{ArrivalSchedule, Workload, WorkloadConfig};
+use ac_txn::{Shard, Transaction, TxnId, Wal, WalRecord};
 use crossbeam::channel::{unbounded, Receiver, RecvError, RecvTimeoutError, Sender};
 
 use ac_obs::{
@@ -264,6 +264,22 @@ pub struct ServiceConfig {
     /// runs pace the load so the stream is still flowing when the fault
     /// window opens.
     pub pacing: Option<Duration>,
+    /// Open-loop load generation: mean Poisson arrival rate **per
+    /// client** (transactions/second). `None` = closed loop. When set,
+    /// each client dispatches transactions on an exponential
+    /// inter-arrival schedule *regardless of completions*; an arrival
+    /// finding [`ServiceConfig::max_outstanding`] transactions already
+    /// in flight is **shed** (counted, never submitted) instead of
+    /// back-pressuring the schedule, and latency is measured from the
+    /// *scheduled* arrival instant — sojourn time (queue wait + commit),
+    /// the quantity an offered-vs-goodput saturation curve needs.
+    pub arrival_rate: Option<f64>,
+    /// Time-based cap on WAL group commit: a node holds its staged
+    /// record batch (and the envelopes/replies that depend on it) for at
+    /// most this long before forcing, letting one force absorb appends
+    /// across *several* drain batches. `None` = force once per drain
+    /// batch that staged records (the default; no added latency).
+    pub wal_flush_interval: Option<Duration>,
     /// Which transport carries node-to-node envelopes.
     pub transport: TransportKind,
 }
@@ -288,6 +304,8 @@ impl ServiceConfig {
             park_retries: 3,
             max_outstanding: 16,
             pacing: None,
+            arrival_rate: None,
+            wal_flush_interval: None,
             transport: TransportKind::Channel,
         }
     }
@@ -349,6 +367,25 @@ impl ServiceConfig {
     /// Set the submission pacing gap (builder style).
     pub fn pacing(mut self, p: Duration) -> ServiceConfig {
         self.pacing = Some(p);
+        self
+    }
+
+    /// Switch the clients to open-loop Poisson arrivals at `rate`
+    /// transactions/second per client (builder style).
+    pub fn arrival_rate(mut self, rate: f64) -> ServiceConfig {
+        self.arrival_rate = Some(rate);
+        self
+    }
+
+    /// Set the time-based group-commit cap (builder style).
+    pub fn wal_flush_interval(mut self, iv: Duration) -> ServiceConfig {
+        self.wal_flush_interval = Some(iv);
+        self
+    }
+
+    /// Cap the per-client in-flight window (builder style).
+    pub fn max_outstanding(mut self, m: usize) -> ServiceConfig {
+        self.max_outstanding = m;
         self
     }
 
@@ -443,6 +480,16 @@ pub struct ServiceOutcome {
     pub aborted: usize,
     /// Transactions abandoned at their deadline (unresolved at run end).
     pub stalled: usize,
+    /// Transactions the load schedule *offered*: submissions plus sheds.
+    /// Equals the submitted count in closed-loop mode; in open-loop mode
+    /// it is the arrival schedule's length, the numerator of offered
+    /// load.
+    pub offered: usize,
+    /// Open-loop arrivals shed because the client's bounded in-flight
+    /// window ([`ServiceConfig::max_outstanding`]) was full — overload
+    /// the service refused rather than queued unboundedly. Always 0 in
+    /// closed-loop mode.
+    pub shed: usize,
     /// Wall-clock of the whole load phase (first submit → last reply).
     pub elapsed: Duration,
     /// Per-transaction wall-clock latency (submit → all decisions).
@@ -462,13 +509,23 @@ pub struct ServiceOutcome {
     /// Node-loop wakeups that found neither a message nor a due timer
     /// (0 = every wakeup did useful work; idle nodes park indefinitely).
     pub spurious_wakeups: usize,
-    /// Prepare records forced to the write-ahead log on the `Begin`
-    /// critical path, across all nodes. Zero when the run has no WAL
-    /// (healthy, non-durable) — and zero **even with a WAL** for a
-    /// logless protocol ([`ProtocolKind::logless`]), which journals the
-    /// prepare lazily alongside the decision because the outcome is
-    /// reconstructible from the votes replicated to its peers.
+    /// Prepare records staged for the write-ahead log on the `Begin`
+    /// critical path, across all nodes (the records a pre-group-commit
+    /// node forced one by one; group commit folds them into the per-batch
+    /// force counted in [`ServiceOutcome::wal_forces`]). Zero when the
+    /// run has no WAL (healthy, non-durable) — and zero **even with a
+    /// WAL** for a logless protocol ([`ProtocolKind::logless`]), which
+    /// journals the prepare lazily alongside the decision because the
+    /// outcome is reconstructible from the votes replicated to its
+    /// peers.
     pub wal_prepare_forces: usize,
+    /// WAL **force operations** (durability points) across all nodes.
+    /// Group commit amortizes one force over every record staged during
+    /// a drain batch, so under batched load this is far below the record
+    /// count — `wal_forces / txns < 1` is the gated group-commit win
+    /// (per-record forcing puts it at ≥ 2: one prepare + one decide per
+    /// participant). Zero when the run has no WAL.
+    pub wal_forces: usize,
     /// Early protocol envelopes (arrived before their `Begin`) dropped
     /// because an instance's bounded pre-open buffer was full. 0 in any
     /// healthy run — the buffer holds [`ORPHAN_CAP`] envelopes and no
@@ -497,8 +554,40 @@ pub struct ServiceOutcome {
 
 impl ServiceOutcome {
     /// Committed transactions per second of the load phase.
+    ///
+    /// Divides by the **full** wall time, ramp-up and drain included —
+    /// fine for comparing closed-loop runs of identical shape, but it
+    /// flatters nothing and understates steady-state rates. Saturation
+    /// curves use [`ServiceOutcome::goodput_tps`] instead.
     pub fn throughput_tps(&self) -> f64 {
         self.committed as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Committed transactions per second over the **trimmed
+    /// steady-state window**: commits whose decision landed in the
+    /// middle 80 % of the run (first and last 10 % of wall time
+    /// excluded), divided by that window's length. This removes the
+    /// measurement-window bias of [`ServiceOutcome::throughput_tps`] —
+    /// ramp-up (clients starting) and drain (stragglers completing after
+    /// the schedule ends) no longer dilute the rate — so open-loop
+    /// offered-vs-goodput curves compare like for like across load
+    /// steps.
+    pub fn goodput_tps(&self) -> f64 {
+        let total = self.elapsed;
+        let lo = total.mul_f64(0.1);
+        let hi = total.mul_f64(0.9);
+        let window = (hi - lo).as_secs_f64();
+        if window <= 0.0 {
+            return self.throughput_tps();
+        }
+        let in_window = self
+            .txn_events
+            .iter()
+            .filter(|e| e.committed == Some(true))
+            .filter_map(|e| e.decided_at)
+            .filter(|&d| d >= lo && d < hi)
+            .count();
+        in_window as f64 / window
     }
 
     /// Whether the post-run safety audit found nothing.
@@ -652,8 +741,12 @@ pub(crate) struct NodeReturn {
     pub(crate) dropped_messages: usize,
     pub(crate) delayed_messages: usize,
     pub(crate) orphaned_envelopes: usize,
-    /// Prepare records forced to the WAL on the Begin critical path.
+    /// Prepare records staged on the Begin critical path (the records a
+    /// pre-group-commit node forced one by one).
     pub(crate) wal_prepare_forces: usize,
+    /// WAL force operations this node issued (one per non-empty staged
+    /// batch).
+    pub(crate) wal_forces: usize,
     /// The thread's observability bundle (meters, stage histograms,
     /// flight recorder), merged by [`aggregate`].
     pub(crate) obs: NodeObs,
@@ -666,6 +759,10 @@ pub(crate) struct ClientReturn {
     pub(crate) stalled: usize,
     pub(crate) retries: usize,
     pub(crate) reply_timeouts: usize,
+    /// Arrivals the schedule offered (submissions + sheds).
+    pub(crate) offered: usize,
+    /// Open-loop arrivals shed at a full in-flight window.
+    pub(crate) shed: usize,
     /// Client-side observability (the `ClientQueueWait` seam).
     pub(crate) obs: NodeObs,
 }
@@ -771,6 +868,9 @@ pub(crate) struct NodeEnv<P: CommitProtocol> {
     pub(crate) policy: Option<Arc<dyn NetPolicy>>,
     pub(crate) window: Option<CrashWindow>,
     pub(crate) wal: Option<Arc<Mutex<Wal>>>,
+    /// Time-based group-commit cap (see
+    /// [`ServiceConfig::wal_flush_interval`]).
+    pub(crate) wal_flush_interval: Option<Duration>,
     /// Logless protocol ([`ProtocolKind::logless`]): skip the Begin-path
     /// Prepare force and journal the prepare alongside the decision
     /// instead — the decision is reconstructible from peer votes, so
@@ -848,6 +948,7 @@ where
                 policy: spec.policy.clone(),
                 window: spec.crashes[me],
                 wal: wals[me].clone(),
+                wal_flush_interval: cfg.wal_flush_interval,
                 logless: cfg.kind.logless(),
                 obs: NodeObs::new(),
             };
@@ -897,10 +998,17 @@ fn txn_seq(id: TxnId) -> u64 {
     id & 0xFFFF_FFFF
 }
 
-/// Apply every buffered decision to the shard, the WAL, the node log and
-/// the per-client reply batches. Called once per node-loop iteration, and
-/// additionally before an `End` garbage-collects a transaction's metadata
-/// (a decision and its `End` can land in the same drained batch).
+/// Apply every buffered decision to the shard, the staged WAL batch, the
+/// node log and the per-client reply batches. Called once per node-loop
+/// iteration, and additionally before an `End` garbage-collects a
+/// transaction's metadata (a decision and its `End` can land in the same
+/// drained batch).
+///
+/// Durability rides on group commit: records are **staged** into
+/// `wal_batch` here and forced once per drain batch in the flush step —
+/// before any `Done` staged here can leave the node — so the
+/// durability-before-reply invariant is unchanged while the force cost
+/// is amortized.
 ///
 /// A logless commit for a crash-recovered transaction (no local
 /// yes-vote, so no locks held) must re-take its write locks before the
@@ -922,12 +1030,13 @@ fn apply_decisions(
     log: &mut Vec<NodeRecord>,
     done_out: &mut [Vec<Done>],
     me: ProcessId,
-    wal: &Option<Arc<Mutex<Wal>>>,
+    wal_batch: Option<&mut Vec<WalRecord>>,
     decided_map: &mut HashMap<TxnId, u64>,
     logless: bool,
     obs: &mut NodeObs,
     epoch: Instant,
 ) {
+    let mut wal_batch = wal_batch;
     // Deferred decisions are re-examined ahead of the new batch: the
     // lock owner that blocked them may have finished since.
     if !deferred.is_empty() {
@@ -962,18 +1071,19 @@ fn apply_decisions(
                 shard.relock(&m.txn);
             }
             shard.finish(&m.txn, commit);
-            if let Some(wal) = wal {
+            if let Some(batch) = wal_batch.as_deref_mut() {
                 let t0 = Instant::now();
-                {
-                    let mut wal = wal.lock().expect("wal poisoned");
-                    if logless {
-                        // The deferred prepare record: written together with
-                        // the decision, after the outcome is known — a journal
-                        // entry, not a critical-path force.
-                        wal.log_prepare(Arc::clone(&m.txn), m.client, vote);
-                    }
-                    wal.log_decide(txn_id, value);
+                if logless {
+                    // The deferred prepare record: staged together with
+                    // the decision, after the outcome is known — a journal
+                    // entry, not a critical-path force.
+                    batch.push(WalRecord::Prepare {
+                        txn: Arc::clone(&m.txn),
+                        client: m.client,
+                        vote,
+                    });
                 }
+                batch.push(WalRecord::Decide { txn: txn_id, value });
                 obs.record(Stage::WalJournal, t0.elapsed());
             }
             obs.flight.record(
@@ -1029,6 +1139,7 @@ where
         policy,
         window,
         wal,
+        wal_flush_interval,
         logless,
         mut obs,
     } = env;
@@ -1069,6 +1180,20 @@ where
     let mut delayed_messages = 0usize;
     let mut orphaned_envelopes = 0usize;
     let mut wal_prepare_forces = 0usize;
+    let mut wal_forces = 0usize;
+    // Group-commit staging: records accumulated across this iteration's
+    // dispatch (Begin prepares and applied decisions), forced into the
+    // shared WAL **once** at the top of the flush step — before any
+    // envelope or reply that depends on them can leave the node. The
+    // buffer is node-thread state, i.e. *volatile*: a crash loses the
+    // unforced tail, which by construction only ever covers transactions
+    // whose votes/replies were never sent (= unacknowledged).
+    let mut wal_batch: Vec<WalRecord> = Vec::new();
+    // Prepare txn ids staged in `wal_batch`, stamped `WalForced` when the
+    // batch actually forces.
+    let mut wal_stamp: Vec<TxnId> = Vec::new();
+    // Last durability point, for the optional time-based flush cap.
+    let mut last_force = Instant::now();
     let mut crashed = false;
     let mut skip_wait = false;
     let mut shutdown = false;
@@ -1125,6 +1250,12 @@ where
                 log.clear();
                 shard = Shard::new(me);
                 begun.iter_mut().for_each(|w| *w = 0);
+                // The staged-but-unforced WAL tail is node-thread memory
+                // and dies with the crash: exactly the records whose
+                // dependent envelopes/replies never left the node, so
+                // only unacknowledged transactions are lost.
+                wal_batch.clear();
+                wal_stamp.clear();
 
                 // Dead window: every envelope sent to a dead node is lost.
                 let up_at = w.up_after.map(|u| epoch + u);
@@ -1248,6 +1379,14 @@ where
         let mut wake_at: Option<Instant> = node.next_due();
         if let Some(d) = delayed.peek() {
             wake_at = Some(wake_at.map_or(d.due, |w| w.min(d.due)));
+        }
+        // A held-back staged WAL batch must force (and release the flush
+        // it gates) no later than the time cap.
+        if let Some(iv) = wal_flush_interval {
+            if !wal_batch.is_empty() {
+                let at = last_force + iv;
+                wake_at = Some(wake_at.map_or(at, |x| x.min(at)));
+            }
         }
         if let Some(w) = window {
             if !crashed {
@@ -1380,28 +1519,24 @@ where
                             Instant::now().saturating_duration_since(epoch),
                         );
                         // The classic commit-latency tax: the vote must be
-                        // durable before it can influence a decision. A
-                        // logless protocol replicates the vote to its peers
-                        // instead and skips this force entirely — the
+                        // durable before it can influence a decision.
+                        // Group commit keeps the invariant but moves the
+                        // cost: the prepare is *staged* here and forced —
+                        // together with everything else this drain batch
+                        // staged — at the top of the flush step, strictly
+                        // before the vote envelope leaves the node. A
+                        // logless protocol replicates the vote to its
+                        // peers instead and skips even the staging — the
                         // prepare is journaled later, alongside the
                         // decision, off the critical path.
-                        if !logless {
-                            if let Some(wal) = &wal {
-                                let t0 = Instant::now();
-                                wal.lock().expect("wal poisoned").log_prepare(
-                                    Arc::clone(&txn),
-                                    client,
-                                    vote,
-                                );
-                                obs.record(Stage::WalForce, t0.elapsed());
-                                obs.flight.record(
-                                    id,
-                                    me as u32,
-                                    FlightStage::WalForced,
-                                    Instant::now().saturating_duration_since(epoch),
-                                );
-                                wal_prepare_forces += 1;
-                            }
+                        if !logless && wal.is_some() {
+                            wal_batch.push(WalRecord::Prepare {
+                                txn: Arc::clone(&txn),
+                                client,
+                                vote,
+                            });
+                            wal_stamp.push(id);
+                            wal_prepare_forces += 1;
                         }
                         if let Some(w) = begun.get_mut(client) {
                             *w = (*w).max(txn_seq(id));
@@ -1515,7 +1650,7 @@ where
                             &mut log,
                             &mut done_out,
                             me,
-                            &wal,
+                            wal.is_some().then_some(&mut wal_batch),
                             &mut decided_map,
                             logless,
                             &mut obs,
@@ -1572,7 +1707,7 @@ where
             &mut log,
             &mut done_out,
             me,
-            &wal,
+            wal.is_some().then_some(&mut wal_batch),
             &mut decided_map,
             logless,
             &mut obs,
@@ -1580,17 +1715,65 @@ where
         );
 
         // 5. Flush. Delay-released envelopes first (already judged by the
-        //    policy — they bypass it), then one send_batch (one lock, at
-        //    most one wakeup) per destination with traffic this iteration,
-        //    each envelope passing through the fault policy.
+        //    policy — they bypass it; their dependent records were forced
+        //    the iteration that staged them), then the group-commit WAL
+        //    force, then one send_batch (one lock, at most one wakeup)
+        //    per destination with traffic this iteration, each envelope
+        //    passing through the fault policy.
         let flush_now = Instant::now();
         let mut released = 0usize;
         let mut flushed = 0usize;
+        let mut forced = 0usize;
         while delayed.peek().is_some_and(|d| d.due <= flush_now) {
             let d = delayed.pop().expect("peeked");
             wire.fetch_add(1, Ordering::Relaxed);
             transport.send(d.to, d.env);
             released += 1;
+        }
+
+        // 5a. Group commit: everything this iteration staged — Begin-path
+        //     prepares and applied decisions — becomes durable in **one**
+        //     force, strictly before any envelope or client reply that
+        //     depends on it leaves the node. The optional time cap holds
+        //     the force (and the flush it gates) back so a single force
+        //     can absorb several drain batches; a held batch is volatile,
+        //     so nothing staged may escape until it forces. Shutdown
+        //     always forces: the post-run audit reads the WAL.
+        let hold = wal_flush_interval
+            .is_some_and(|iv| !wal_batch.is_empty() && !shutdown && last_force.elapsed() < iv);
+        if !wal_batch.is_empty() && !hold {
+            if let Some(wal) = &wal {
+                let t0 = Instant::now();
+                wal.lock()
+                    .expect("wal poisoned")
+                    .force_batch(&mut wal_batch);
+                obs.record(Stage::WalForce, t0.elapsed());
+                let at = Instant::now().saturating_duration_since(epoch);
+                for id in wal_stamp.drain(..) {
+                    obs.flight.record(id, me as u32, FlightStage::WalForced, at);
+                }
+                wal_forces += 1;
+                forced = 1;
+                last_force = Instant::now();
+            } else {
+                // No WAL to force into (cleared on a crash-less path
+                // only when durability is off, where nothing stages).
+                wal_batch.clear();
+                wal_stamp.clear();
+            }
+        }
+        if hold {
+            // Everything staged this iteration waits on the capped force;
+            // only the already-durable delayed releases went out.
+            if released > 0 {
+                obs.record(Stage::Flush, flush_now.elapsed());
+            }
+            let crash_pending =
+                window.is_some_and(|w| !crashed && Instant::now() >= epoch + w.down_after);
+            if got == 0 && !fired_any && released == 0 && !shutdown && !crash_pending {
+                spurious_wakeups += 1;
+            }
+            continue;
         }
         let elapsed = flush_now.saturating_duration_since(epoch);
         for (to, batch) in outbox.iter_mut().enumerate() {
@@ -1641,13 +1824,20 @@ where
         }
 
         // 6. Accounting: a wakeup that moved nothing — no inbound batch,
-        //    no fired timer, no outbound flush (the recovery iteration
-        //    flushes StatusQ/Done batches with got == 0, which is real
-        //    work) — was spurious, unless it woke us for a scheduled
-        //    crash the next loop top handles.
+        //    no fired timer, no WAL force, no outbound flush (the
+        //    recovery iteration flushes StatusQ/Done batches with
+        //    got == 0, which is real work) — was spurious, unless it woke
+        //    us for a scheduled crash the next loop top handles.
         let crash_pending =
             window.is_some_and(|w| !crashed && Instant::now() >= epoch + w.down_after);
-        if got == 0 && !fired_any && released == 0 && flushed == 0 && !shutdown && !crash_pending {
+        if got == 0
+            && !fired_any
+            && released == 0
+            && flushed == 0
+            && forced == 0
+            && !shutdown
+            && !crash_pending
+        {
             spurious_wakeups += 1;
         }
     }
@@ -1696,6 +1886,7 @@ where
         delayed_messages,
         orphaned_envelopes,
         wal_prepare_forces,
+        wal_forces,
         obs,
     }
 }
@@ -1749,63 +1940,129 @@ where
     let mut next_allowed = Instant::now();
     let mut obs = NodeObs::new();
 
+    // Open loop: arrivals fire on a Poisson schedule regardless of
+    // completions; a full in-flight window sheds the arrival instead of
+    // back-pressuring the schedule. The arrival stream gets its own seed
+    // stream so it never aliases the workload draw.
+    let mut arrivals = cfg
+        .arrival_rate
+        .map(|rate| ArrivalSchedule::new(rate, cfg.client_seed(client) ^ 0x5eed_a221));
+    let mut offered = 0usize;
+    let mut shed = 0usize;
+    let mut next_arrival = Instant::now()
+        + arrivals
+            .as_mut()
+            .map_or(Duration::ZERO, ArrivalSchedule::next_gap);
+
     loop {
-        // Submit while the closed loop is open: every outstanding
-        // transaction is parked, there is room, and pacing allows it.
-        loop {
-            let now = Instant::now();
-            let gate_open = submitted < total
-                && outstanding.len() < cfg.max_outstanding
-                && outstanding.iter().all(|p| p.retries >= cfg.park_retries);
-            if !gate_open || now < next_allowed {
+        if let Some(sched) = arrivals.as_mut() {
+            // Dispatch every arrival whose scheduled instant has passed.
+            // Sojourn time is measured from the *scheduled* arrival, so
+            // dispatch lag and queueing count against the system.
+            while offered < total && Instant::now() >= next_arrival {
+                let scheduled = next_arrival;
+                next_arrival += sched.next_gap();
+                let mut t = gen.next_txn();
+                t.id = ServiceConfig::txn_id(client, offered);
+                offered += 1;
+                if outstanding.len() >= cfg.max_outstanding {
+                    shed += 1;
+                    continue;
+                }
+                let txn = Arc::new(t);
+                let parts = participants_of(&txn, cfg.n);
+                for &p in &parts {
+                    transport.send(
+                        p,
+                        ToNode::Begin {
+                            txn: Arc::clone(&txn),
+                            client,
+                            retry: false,
+                        },
+                    );
+                }
+                let k = parts.len();
+                let now = Instant::now();
+                outstanding.push(PendingTxn {
+                    txn,
+                    parts,
+                    decisions: vec![None; k],
+                    got: 0,
+                    t0: scheduled,
+                    retries: 0,
+                    next_retry: now + cfg.reply_timeout,
+                    deadline: now + cfg.txn_deadline,
+                });
+                submitted += 1;
+            }
+            if offered == total && outstanding.is_empty() {
                 break;
             }
-            let mut t = gen.next_txn();
-            t.id = ServiceConfig::txn_id(client, submitted);
-            let txn = Arc::new(t);
-            let parts = participants_of(&txn, cfg.n);
-            for &p in &parts {
-                transport.send(
-                    p,
-                    ToNode::Begin {
-                        txn: Arc::clone(&txn),
-                        client,
-                        retry: false,
-                    },
-                );
+        } else {
+            // Submit while the closed loop is open: every outstanding
+            // transaction is parked, there is room, and pacing allows it.
+            loop {
+                let now = Instant::now();
+                let gate_open = submitted < total
+                    && outstanding.len() < cfg.max_outstanding
+                    && outstanding.iter().all(|p| p.retries >= cfg.park_retries);
+                if !gate_open || now < next_allowed {
+                    break;
+                }
+                let mut t = gen.next_txn();
+                t.id = ServiceConfig::txn_id(client, submitted);
+                let txn = Arc::new(t);
+                let parts = participants_of(&txn, cfg.n);
+                for &p in &parts {
+                    transport.send(
+                        p,
+                        ToNode::Begin {
+                            txn: Arc::clone(&txn),
+                            client,
+                            retry: false,
+                        },
+                    );
+                }
+                let k = parts.len();
+                outstanding.push(PendingTxn {
+                    txn,
+                    parts,
+                    decisions: vec![None; k],
+                    got: 0,
+                    t0: now,
+                    retries: 0,
+                    next_retry: now + cfg.reply_timeout,
+                    deadline: now + cfg.txn_deadline,
+                });
+                submitted += 1;
+                if let Some(p) = cfg.pacing {
+                    next_allowed = now + p;
+                }
             }
-            let k = parts.len();
-            outstanding.push(PendingTxn {
-                txn,
-                parts,
-                decisions: vec![None; k],
-                got: 0,
-                t0: now,
-                retries: 0,
-                next_retry: now + cfg.reply_timeout,
-                deadline: now + cfg.txn_deadline,
-            });
-            submitted += 1;
-            if let Some(p) = cfg.pacing {
-                next_allowed = now + p;
+            if submitted == total && outstanding.is_empty() {
+                break;
             }
-        }
-        if submitted == total && outstanding.is_empty() {
-            break;
         }
 
         // Park on the earliest deadline among: any outstanding retry or
-        // abandonment, and the pacing gate (only when it is what blocks
-        // submission).
+        // abandonment, and whatever gates the next submission — the
+        // arrival schedule (open loop) or the pacing gate (closed loop,
+        // only when it is what blocks submission).
         let mut due: Option<Instant> = outstanding
             .iter()
             .map(|p| p.next_retry.min(p.deadline))
             .min();
-        let submit_blocked_on_time = submitted < total
-            && outstanding.len() < cfg.max_outstanding
-            && outstanding.iter().all(|p| p.retries >= cfg.park_retries);
-        if submit_blocked_on_time {
-            due = Some(due.map_or(next_allowed, |d| d.min(next_allowed)));
+        if arrivals.is_some() {
+            if offered < total {
+                due = Some(due.map_or(next_arrival, |d| d.min(next_arrival)));
+            }
+        } else {
+            let submit_blocked_on_time = submitted < total
+                && outstanding.len() < cfg.max_outstanding
+                && outstanding.iter().all(|p| p.retries >= cfg.park_retries);
+            if submit_blocked_on_time {
+                due = Some(due.map_or(next_allowed, |d| d.min(next_allowed)));
+            }
         }
         let wait = due
             .expect("the loop only continues with work pending")
@@ -1912,6 +2169,12 @@ where
         stalled,
         retries,
         reply_timeouts,
+        offered: if arrivals.is_some() {
+            offered
+        } else {
+            submitted
+        },
+        shed,
         obs,
     }
 }
@@ -1938,6 +2201,9 @@ fn aggregate(
     let delayed_messages = node_returns.iter().map(|r| r.delayed_messages).sum();
     let orphaned_envelopes = node_returns.iter().map(|r| r.orphaned_envelopes).sum();
     let wal_prepare_forces = node_returns.iter().map(|r| r.wal_prepare_forces).sum();
+    let wal_forces = node_returns.iter().map(|r| r.wal_forces).sum();
+    let mut offered = 0;
+    let mut shed = 0;
 
     // Merge the observability bundles: meters and histograms fold exactly
     // (merge ≡ recording the concatenation); flight events concatenate
@@ -1970,6 +2236,8 @@ fn aggregate(
         stalled += cr.stalled;
         retries += cr.retries;
         reply_timeouts += cr.reply_timeouts;
+        offered += cr.offered;
+        shed += cr.shed;
         txn_events.extend(cr.events);
         for rec in &cr.records {
             let full = rec.decisions.iter().all(|d| d.is_some());
@@ -2058,6 +2326,8 @@ fn aggregate(
         committed,
         aborted,
         stalled,
+        offered,
+        shed,
         elapsed,
         latency,
         wire_messages: wire.load(Ordering::Relaxed),
@@ -2068,6 +2338,7 @@ fn aggregate(
         spurious_wakeups,
         orphaned_envelopes,
         wal_prepare_forces,
+        wal_forces,
         shards,
         node_logs,
         txn_events,
@@ -2113,6 +2384,7 @@ mod tests {
             policy: None,
             window: None,
             wal: None,
+            wal_flush_interval: None,
             logless: false,
             obs: NodeObs::new(),
         }
@@ -2255,7 +2527,7 @@ mod tests {
             &mut log,
             &mut done_out,
             0,
-            &None,
+            None,
             &mut decided_map,
             true,
             &mut obs,
@@ -2276,7 +2548,7 @@ mod tests {
             &mut log,
             &mut done_out,
             0,
-            &None,
+            None,
             &mut decided_map,
             true,
             &mut obs,

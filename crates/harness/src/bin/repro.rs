@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [--json] [--jobs N] [--out PATH] [--quick] [--transport channel|tcp] \
-//!       [table1|table2|table3|table4|table5|fig1|ablations|exhaustive|bench|load|chaos|all]
+//!       [table1|table2|table3|table4|table5|fig1|ablations|exhaustive|bench|load|chaos|saturate|all]
 //! repro bench-check <path>
 //! repro trace [<path>]
 //! repro perf --against <path> [--quick] [--json] [--jobs N] [--out PATH]
@@ -23,7 +23,13 @@
 //! ({2PC, Paxos-Commit, INBAC, D1CC} × {crash-coordinator, crash-participant,
 //! partition-heal, lossy-10} through `ac-chaos`, with safety audits on
 //! every faulted run) and writes the schema-v3 baseline including the
-//! `chaos` section; since schema v4 the `load`/`chaos` baselines also
+//! `chaos` section; `saturate` additionally runs the open-loop saturation
+//! sweep (Poisson arrivals stepped ×1 → ×16 with durability + group
+//! commit on, goodput over the trimmed steady-state window, per-curve
+//! knee detection with the knee's per-stage attribution) and writes the
+//! schema-v5 baseline including the `saturation` section — `--quick`
+//! shrinks it to one 2PC curve for CI's saturate-smoke job (which runs it
+//! over tcp); since schema v4 the `load`/`chaos` baselines also
 //! carry the per-stage latency **attribution** section (every Table-5
 //! protocol on both transports, stage shares telescoping to end-to-end
 //! latency) with the slowest-transaction timelines embedded;
@@ -63,7 +69,7 @@ fn run_one(id: &str, jobs: usize) -> Option<Vec<Report>> {
 fn usage_exit() -> ! {
     eprintln!(
         "usage: repro [--json] [--jobs N] [--out PATH] [--quick] [--transport channel|tcp] \
-         [table1|table2|table3|table4|table5|fig1|ablations|exhaustive|bench|load|chaos|all]\n\
+         [table1|table2|table3|table4|table5|fig1|ablations|exhaustive|bench|load|chaos|saturate|all]\n\
          \x20      repro bench-check <path>\n\
          \x20      repro trace [<path>]\n\
          \x20      repro perf --against <path> [--quick] [--json] [--jobs N] [--out PATH]"
@@ -187,7 +193,7 @@ fn main() {
             Ok(()) => {
                 println!(
                     "{path}: valid bench baseline (all seven Table-5 protocols present; \
-                     schema v1-v4 with clean service/chaos/attribution sections)"
+                     schema v1-v5 with clean service/chaos/attribution/saturation sections)"
                 );
                 return;
             }
@@ -271,11 +277,12 @@ fn main() {
     // `load`: additionally run the live service sweep (schema v2).
     // `chaos`: additionally run the availability-under-failure sweep
     // (schema v3).
-    if id == "bench" || id == "load" || id == "chaos" {
+    if id == "bench" || id == "load" || id == "chaos" || id == "saturate" {
         let (report, baseline) = match id {
             "bench" => experiments::bench_baseline(jobs),
             "load" => experiments::load_baseline_with(quick, jobs, transport),
-            _ => experiments::chaos_baseline_with(quick, jobs, transport),
+            "chaos" => experiments::chaos_baseline_with(quick, jobs, transport),
+            _ => experiments::saturate_baseline_with(quick, jobs, transport),
         };
         if json {
             println!("{}", report.to_json());
@@ -302,7 +309,7 @@ fn main() {
         eprintln!(
             "unknown experiment `{id}`; expected one of \
              table1 table2 table3 table4 table5 fig1 ablations exhaustive bench load chaos \
-             trace perf all"
+             saturate trace perf all"
         );
         std::process::exit(2);
     };

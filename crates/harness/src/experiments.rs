@@ -751,6 +751,7 @@ pub fn bench_baseline(jobs: usize) -> (Report, BenchBaseline) {
         service: None,
         chaos: None,
         attribution: None,
+        saturation: None,
         explorer: ExplorerBaseline {
             protocol: ProtocolKind::Inbac.name().into(),
             n: cfg.n,
@@ -1155,7 +1156,30 @@ pub fn chaos_baseline_with(
             // recover). The no-blocking exemption is scoped to logless
             // protocols only: a blocking protocol that unexpectedly
             // parked nothing must still demonstrate post-heal commits.
-            let clean = svc.is_safe() && svc.stalled == 0 && s.unresolved == 0;
+            //
+            // The audit itself follows the protocol's Table-1 cell, like
+            // the simulator's checker does: partition-heal and lossy-10
+            // are *network-failure* executions, and a cell without
+            // NF-agreement (D1CC's (AVT, VT)) documents that deciders may
+            // split when the fault lands mid-vote-broadcast — one side
+            // assembles all n votes and commits while the cut-off side
+            // times out to Abort (see `ac_commit::protocols::d1cc`; the
+            // explorer produces the same counterexamples). Exempting the
+            // split-decision finding for exactly those cells keeps every
+            // other audit (no lost locks, log/client agreement, no commit
+            // against a missing yes-vote) and keeps full agreement gating
+            // for every crash-failure scenario and every NF-agreement
+            // protocol. The window is microseconds wide, so most runs
+            // still show zero splits — the exemption only stops a
+            // documented protocol property from failing the sweep.
+            let network_failure = matches!(scenario, "partition-heal" | "lossy-10");
+            let split_exempt = network_failure && !kind.cell().nf.has_agreement();
+            let audited_violations = svc
+                .violations
+                .iter()
+                .filter(|v| !(split_exempt && v.contains("split decision")))
+                .count();
+            let clean = audited_violations == 0 && svc.stalled == 0 && s.unresolved == 0;
             let recovered = scenario == "lossy-10"
                 || (kind.logless() && s.blocked == 0)
                 || s.committed_after_heal > 0;
@@ -1198,7 +1222,7 @@ pub fn chaos_baseline_with(
                 committed: svc.committed,
                 aborted: svc.aborted,
                 stalled: svc.stalled,
-                safety_violations: svc.violations.len(),
+                safety_violations: audited_violations,
                 submitted_during_fault: s.submitted_during_fault,
                 decided_during_fault: s.decided_during_fault,
                 committed_during_fault: s.committed_during_fault,
@@ -1224,7 +1248,10 @@ pub fn chaos_baseline_with(
          under a crashed coordinator), all of which must resolve after \
          restart + WAL recovery — recovery ms is the worst heal-to-decision \
          gap. Safety audits (agreement, no lost locks, sequential replay) \
-         run on every faulted execution.",
+         run on every faulted execution; the agreement audit follows the \
+         protocol's Table-1 cell, so a cell without network-failure \
+         agreement (D1CC) tolerates split deciders under partition-heal \
+         and lossy-10 — the documented price of logless one-delay commit.",
     );
 
     baseline.schema_version = 4;
@@ -1236,6 +1263,291 @@ pub fn chaos_baseline_with(
         fault_from_units: CHAOS_WINDOW_UNITS.0,
         fault_until_units: CHAOS_WINDOW_UNITS.1,
         entries,
+    });
+    (r, baseline)
+}
+
+/// Per-client in-flight window of the saturation sweep: beyond it an
+/// open-loop arrival is shed, not queued — the overload valve that keeps
+/// sojourn times finite past the knee.
+pub const SATURATION_MAX_OUTSTANDING: usize = 32;
+
+/// Per-client Poisson arrival rate of the saturation sweep's ×1 step,
+/// transactions/second. Chosen so the ×1 step idles well below capacity
+/// (λ × p50 ≪ 1 in-flight per client) and the ×16 step is far past it.
+pub const SATURATION_BASE_RATE: f64 = 25.0;
+
+/// Group-commit flush interval of the saturation sweep and the perf
+/// gate's WAL-force cells. The node loop forces per drained batch, but a
+/// fast loop drains ~1 record per iteration; the time cap holds the
+/// force (and everything that depends on it) until records from several
+/// iterations share one force — 2 ms is ≪ the 5 ms delay unit, so the
+/// added latency hides under the protocols' timer floors.
+pub const SATURATION_FLUSH_INTERVAL: std::time::Duration = std::time::Duration::from_millis(2);
+
+/// One open-loop durable run of the saturation sweep: Poisson arrivals at
+/// `rate`/client for roughly `duration`, WAL + group commit on (the
+/// no-fault chaos path), shedding at [`SATURATION_MAX_OUTSTANDING`].
+pub(crate) fn saturate_cell(
+    kind: ac_commit::protocols::ProtocolKind,
+    transport: ac_cluster::TransportKind,
+    n: usize,
+    clients: usize,
+    rate: f64,
+    duration: std::time::Duration,
+) -> ac_cluster::ServiceOutcome {
+    use ac_chaos::{run_chaos, ChaosConfig, ChaosPlan};
+    let txns = ((rate * duration.as_secs_f64()).ceil() as usize).max(4);
+    let service = ac_cluster::ServiceConfig::new(n, 1, kind)
+        .clients(clients)
+        .txns_per_client(txns)
+        .workload(ac_txn::Workload::Uniform { span: 2 })
+        .unit(SERVICE_UNIT)
+        .keys_per_shard(64)
+        .seed(31)
+        .arrival_rate(rate)
+        .max_outstanding(SATURATION_MAX_OUTSTANDING)
+        .wal_flush_interval(SATURATION_FLUSH_INTERVAL)
+        .transport(transport);
+    run_chaos(&ChaosConfig {
+        service,
+        plan: ChaosPlan::none(n),
+    })
+    .service
+}
+
+/// The knee criterion: first step whose goodput gain over the previous
+/// step is < 10 % while p99 sojourn at least doubles. Falls back to the
+/// last step (`detected = false`) when no step qualifies.
+fn detect_knee(steps: &[(f64, f64)]) -> (usize, bool) {
+    for i in 1..steps.len() {
+        let (g0, p0) = steps[i - 1];
+        let (g1, p1) = steps[i];
+        if g1 < g0 * 1.10 && p1 >= 2.0 * p0 && p0 > 0.0 {
+            return (i, true);
+        }
+    }
+    (steps.len().saturating_sub(1), false)
+}
+
+/// **Saturation baseline** — the open-loop offered-vs-goodput sweep
+/// (`repro saturate`): Poisson arrivals stepped ×1 → ×16 over each
+/// (protocol, n, clients) cell with durability on, goodput measured over
+/// the trimmed steady-state window, per-curve knee detection and the
+/// per-stage attribution of the knee step, emitted as the `saturation`
+/// section of a schema-v5 baseline on top of everything the chaos
+/// baseline carries. This is where group commit shows up as a counter:
+/// forces-per-txn falls below 1 once drained batches amortize the force.
+pub fn saturate_baseline(quick: bool, jobs: usize) -> (Report, BenchBaseline) {
+    saturate_baseline_with(quick, jobs, ac_cluster::TransportKind::Channel)
+}
+
+/// [`saturate_baseline`] with an explicit transport. The full sweep runs
+/// every Table-5 protocol at (n=4, c=16) plus 2PC scale cells at
+/// (n=8, c=32) and (n=16, c=128); `--quick` shrinks it to one 2PC curve
+/// (the CI smoke runs that over tcp).
+pub fn saturate_baseline_with(
+    quick: bool,
+    jobs: usize,
+    transport: ac_cluster::TransportKind,
+) -> (Report, BenchBaseline) {
+    use crate::report::{
+        attribution_stage_names, AttributionStageEntry, SaturationBaseline, SaturationCurve,
+        SaturationKnee, SaturationStep,
+    };
+    use ac_commit::protocols::ProtocolKind;
+    use std::time::Duration;
+
+    let (mut r, mut baseline) = chaos_baseline_with(quick, jobs, transport);
+    r.id = "saturate".into();
+
+    // (protocol, n, clients) cells; every cell sweeps the same rate
+    // multipliers so curves are comparable.
+    let cells: Vec<(ProtocolKind, usize, usize)> = if quick {
+        vec![(ProtocolKind::TwoPc, 4, 8)]
+    } else {
+        let mut c: Vec<_> = ProtocolKind::table5()
+            .into_iter()
+            .map(|k| (k, 4, 16))
+            .collect();
+        c.push((ProtocolKind::TwoPc, 8, 32));
+        c.push((ProtocolKind::TwoPc, 16, 128));
+        c
+    };
+    let mults: &[usize] = if quick {
+        &[1, 4, 16]
+    } else {
+        &[1, 2, 4, 8, 16]
+    };
+    let duration = Duration::from_millis(if quick { 400 } else { 1000 });
+
+    let mut t = Table::new(
+        format!(
+            "Open-loop saturation sweep, f=1, unit={}ms, window={} \
+             (Poisson arrivals, durable, {} transport)",
+            SERVICE_UNIT.as_millis(),
+            SATURATION_MAX_OUTSTANDING,
+            transport.name()
+        ),
+        &[
+            "protocol",
+            "n",
+            "clients",
+            "x",
+            "offered t/s",
+            "goodput t/s",
+            "commit%",
+            "shed",
+            "p50 ms",
+            "p99 ms",
+            "p99.9 ms",
+            "forces/txn",
+            "ok",
+        ],
+    );
+    let mut kt = Table::new(
+        "Detected knees (first step with <10% goodput gain while p99 doubles)",
+        &[
+            "protocol",
+            "n",
+            "clients",
+            "knee x",
+            "detected",
+            "offered t/s",
+            "goodput t/s",
+            "p99 ms",
+            "dominant stage",
+        ],
+    );
+    let mut curves = Vec::new();
+    for (kind, n, clients) in cells {
+        let mut steps = Vec::new();
+        let mut knee_inputs: Vec<(f64, f64)> = Vec::new();
+        let mut attributions = Vec::new();
+        for (i, &mult) in mults.iter().enumerate() {
+            let rate = SATURATION_BASE_RATE * mult as f64;
+            let out = saturate_cell(kind, transport, n, clients, rate, duration);
+            let goodput = out.goodput_tps();
+            let us = |v: u64| v as f64 / 1e3;
+            let ms = |v: u64| v as f64 / 1e6;
+            let forces_per_txn = out.wal_forces as f64 / out.txns.max(1) as f64;
+            // Gates: a clean audit always; at the top multiplier the
+            // group-commit win itself — strictly fewer force operations
+            // than transactions (was ≥ 2 per txn with per-record forcing).
+            let mut ok = out.is_safe() && out.orphaned_envelopes == 0;
+            if mult == 16 {
+                ok &= forces_per_txn < 1.0;
+            }
+            let verdict = r.compare(ok).to_string();
+            t.row(vec![
+                kind.name().into(),
+                n.to_string(),
+                clients.to_string(),
+                format!("x{mult}"),
+                format!("{:.0}", rate * clients as f64),
+                format!("{goodput:.0}"),
+                format!(
+                    "{:.0}%",
+                    100.0 * out.committed as f64 / out.txns.max(1) as f64
+                ),
+                out.shed.to_string(),
+                format!("{:.2}", ms(out.latency.p50())),
+                format!("{:.2}", ms(out.latency.p99())),
+                format!("{:.2}", ms(out.latency.p999())),
+                format!("{forces_per_txn:.2}"),
+                verdict,
+            ]);
+            steps.push(SaturationStep {
+                step: i,
+                arrival_rate_per_client: rate,
+                offered_tps: rate * clients as f64,
+                offered: out.offered,
+                shed: out.shed,
+                committed: out.committed,
+                aborted: out.aborted,
+                stalled: out.stalled,
+                goodput_tps: goodput,
+                p50_sojourn_micros: us(out.latency.p50()),
+                p99_sojourn_micros: us(out.latency.p99()),
+                p999_sojourn_micros: us(out.latency.p999()),
+                wal_forces: out.wal_forces,
+                forces_per_txn,
+                wire_per_txn: out.wire_messages as f64 / out.txns.max(1) as f64,
+                safety_violations: out.violations.len(),
+            });
+            knee_inputs.push((goodput, us(out.latency.p99())));
+            attributions.push(out.attribution);
+        }
+        let (ki, detected) = detect_knee(&knee_inputs);
+        let a = &attributions[ki];
+        let stage_shares: Vec<AttributionStageEntry> = attribution_stage_names()
+            .iter()
+            .enumerate()
+            .map(|(i, s)| AttributionStageEntry {
+                stage: s.to_string(),
+                p50_micros: a.stages[i].p50() as f64 / 1e3,
+                p99_micros: a.stages[i].p99() as f64 / 1e3,
+                share_pct: a.share_pct(i),
+            })
+            .collect();
+        let dominant = stage_shares
+            .iter()
+            .max_by(|x, y| x.share_pct.total_cmp(&y.share_pct))
+            .map(|s| s.stage.clone())
+            .unwrap_or_default();
+        // The knee itself is gated: attribution at the knee must still
+        // telescope (its run was audited clean above).
+        let knee_ok = a.covered > 0 && (a.share_sum_pct() - 100.0).abs() <= 5.0;
+        let verdict = r.compare(knee_ok).to_string();
+        kt.row(vec![
+            kind.name().into(),
+            n.to_string(),
+            clients.to_string(),
+            format!("x{}", mults[ki]),
+            if detected { "yes" } else { "no (last step)" }.into(),
+            format!("{:.0}", steps[ki].offered_tps),
+            format!("{:.0}", steps[ki].goodput_tps),
+            format!("{:.2}", steps[ki].p99_sojourn_micros / 1e3),
+            format!("{dominant} [{verdict}]"),
+        ]);
+        let knee = SaturationKnee {
+            step: ki,
+            detected,
+            offered_tps: steps[ki].offered_tps,
+            goodput_tps: knee_inputs[ki].0,
+            p99_sojourn_micros: knee_inputs[ki].1,
+            stage_shares,
+            share_sum_pct: a.share_sum_pct(),
+        };
+        curves.push(SaturationCurve {
+            protocol: kind.name().into(),
+            transport: transport.name().into(),
+            n,
+            clients,
+            max_outstanding: SATURATION_MAX_OUTSTANDING,
+            steps,
+            knee,
+        });
+    }
+    r.table(t);
+    r.table(kt);
+    r.note(
+        "open loop: each client dispatches txns on a Poisson schedule \
+         regardless of completions (closed loops cannot saturate — their \
+         offered load collapses to clients/latency). Sojourn = scheduled \
+         arrival -> all decisions, so queueing counts. goodput = committed \
+         txns/s over the trimmed steady-state window (first/last 10% \
+         excluded); shed arrivals (in-flight window full) are offered load \
+         the system refused. Durability is on: forces/txn < 1 at x16 is \
+         the group-commit win — one WAL force covers a whole drained \
+         batch instead of >= 2 per txn.",
+    );
+
+    baseline.schema_version = 5;
+    baseline.saturation = Some(SaturationBaseline {
+        f: 1,
+        unit_micros: SERVICE_UNIT.as_micros() as u64,
+        curves,
     });
     (r, baseline)
 }
@@ -1253,6 +1565,17 @@ pub fn all(jobs: usize) -> Vec<Report> {
         ablations(),
         exhaustive(jobs),
     ]
+}
+
+/// The live-service sweep tests each spawn `n + clients` real threads and
+/// measure wall-clock behavior (availability windows, knee shapes);
+/// running them concurrently starves each other's timers on small boxes.
+/// Every such test takes this lock so the test harness's default
+/// parallelism never overlaps two sweeps.
+#[cfg(test)]
+pub(crate) fn live_sweep_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LIVE_SWEEP: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LIVE_SWEEP.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 #[cfg(test)]
@@ -1319,6 +1642,7 @@ mod tests {
 
     #[test]
     fn chaos_baseline_quick_shows_the_blocking_contrast_and_validates_as_v4() {
+        let _serial = live_sweep_lock();
         let (r, baseline) = chaos_baseline(true, 2);
         assert!(r.all_matched(), "{}", r.render());
         assert_eq!(baseline.schema_version, 4);
@@ -1346,7 +1670,45 @@ mod tests {
     }
 
     #[test]
+    fn saturate_baseline_quick_shows_the_group_commit_win_and_validates_as_v5() {
+        let _serial = live_sweep_lock();
+        let (r, baseline) = saturate_baseline(true, 2);
+        assert!(r.all_matched(), "{}", r.render());
+        assert_eq!(baseline.schema_version, 5);
+        let sat = baseline.saturation.as_ref().expect("saturation section");
+        assert_eq!(sat.curves.len(), 1, "quick sweeps one 2PC curve");
+        let c = &sat.curves[0];
+        assert_eq!(c.protocol, "2PC");
+        assert_eq!(c.steps.len(), 3);
+        assert!(c.knee.step < c.steps.len());
+        assert!(
+            (c.knee.share_sum_pct - 100.0).abs() <= 5.0,
+            "knee shares must telescope, got {}",
+            c.knee.share_sum_pct
+        );
+        // The tentpole's acceptance counter: at ×16 offered load one WAL
+        // force covers a whole drained batch, so forces/txn drops below 1
+        // (per-record forcing paid ≥ 2 — prepare + decide — per txn).
+        let top = c.steps.last().unwrap();
+        assert!(
+            top.forces_per_txn < 1.0,
+            "group commit must amortize forces at ×16, got {}",
+            top.forces_per_txn
+        );
+        assert!(top.wal_forces > 0, "durable runs force the WAL");
+        for s in &c.steps {
+            assert_eq!(s.safety_violations, 0);
+            assert!(s.goodput_tps <= s.offered_tps * 1.10, "{s:?}");
+        }
+        assert_eq!(
+            crate::report::BenchBaseline::validate_json(&baseline.to_json()),
+            Ok(())
+        );
+    }
+
+    #[test]
     fn load_baseline_quick_is_safe_and_validates_as_v4() {
+        let _serial = live_sweep_lock();
         let (r, baseline) = load_baseline(true, 2);
         assert!(r.all_matched(), "{}", r.render());
         assert_eq!(baseline.schema_version, 4);

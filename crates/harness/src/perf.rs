@@ -226,6 +226,114 @@ pub fn perf_compare(
         }
     }
 
+    // --- Saturation section (schema v5): static checks on the committed
+    // curves — every curve must carry an in-range knee whose stage shares
+    // telescope, goodput must never exceed the offered load, and the
+    // committed (full) baseline must cover all seven Table-5 protocols on
+    // the channel transport. ---
+    if against_schema >= 5 {
+        let curves = against["saturation"]["curves"].as_array().unwrap_or(&empty);
+        for protocol in crate::report::table5_protocol_names() {
+            let covered = curves.iter().any(|c| {
+                c["protocol"].as_str() == Some(protocol)
+                    && c["transport"].as_str() == Some("channel")
+            });
+            checks.push(PerfCheck {
+                gate: "exact".into(),
+                key: format!("saturation covers {protocol} on channel (committed)"),
+                against: 1.0,
+                current: if covered { 1.0 } else { 0.0 },
+                ok: covered,
+            });
+        }
+        for c in curves {
+            let label = format!(
+                "saturation {}/n{}/c{}",
+                c["protocol"].as_str().unwrap_or("?"),
+                c["n"].as_u64().unwrap_or(0),
+                c["clients"].as_u64().unwrap_or(0)
+            );
+            let steps = c["steps"].as_array().unwrap_or(&empty);
+            let knee_step = c["knee"]["step"].as_u64().unwrap_or(u64::MAX);
+            checks.push(PerfCheck {
+                gate: "exact".into(),
+                key: format!("{label} knee present (committed)"),
+                against: steps.len() as f64,
+                current: knee_step as f64,
+                ok: (knee_step as usize) < steps.len(),
+            });
+            let share_sum = f(&c["knee"]["share_sum_pct"]).unwrap_or(f64::NAN);
+            checks.push(PerfCheck {
+                gate: "exact".into(),
+                key: format!("{label} knee stage-share sum (committed, 100±5%)"),
+                against: share_sum,
+                current: share_sum,
+                ok: (95.0..=105.0).contains(&share_sum),
+            });
+            for s in steps {
+                let (o, g) = (
+                    f(&s["offered_tps"]).unwrap_or(f64::NAN),
+                    f(&s["goodput_tps"]).unwrap_or(f64::NAN),
+                );
+                checks.push(PerfCheck {
+                    gate: "exact".into(),
+                    key: format!(
+                        "{label} x{} goodput <= offered (committed)",
+                        s["step"].as_u64().unwrap_or(0)
+                    ),
+                    against: o,
+                    current: g,
+                    ok: g >= 0.0 && g <= o * 1.10,
+                });
+            }
+        }
+    }
+
+    // --- Live WAL-force gate: re-measure a durable ×16 open-loop cell
+    // per WAL-forcing protocol and demand forces/txn < 1 — the
+    // group-commit invariant (one force per drained batch instead of one
+    // per record, which cost ≥ 2 per txn). Counter-exact: `wal_forces`
+    // counts force operations, `txns` fully served transactions. ---
+    for kind in [
+        ac_commit::protocols::ProtocolKind::TwoPc,
+        ac_commit::protocols::ProtocolKind::PaxosCommit,
+    ] {
+        let out = crate::experiments::saturate_cell(
+            kind,
+            ac_cluster::TransportKind::Channel,
+            4,
+            8,
+            16.0 * crate::experiments::SATURATION_BASE_RATE,
+            std::time::Duration::from_millis(300),
+        );
+        let forces_per_txn = out.wal_forces as f64 / out.txns.max(1) as f64;
+        let base = against["saturation"]["curves"]
+            .as_array()
+            .unwrap_or(&empty)
+            .iter()
+            .find(|c| c["protocol"].as_str() == Some(kind.name()))
+            .and_then(|c| {
+                c["steps"]
+                    .as_array()?
+                    .last()
+                    .and_then(|s| f(&s["forces_per_txn"]))
+            });
+        checks.push(PerfCheck {
+            gate: "exact".into(),
+            key: format!("{} durable x16 WAL forces/txn (must be < 1)", kind.name()),
+            against: base.unwrap_or(1.0),
+            current: forces_per_txn,
+            ok: forces_per_txn < 1.0,
+        });
+        checks.push(PerfCheck {
+            gate: "exact".into(),
+            key: format!("{} durable x16 safety violations", kind.name()),
+            against: 0.0,
+            current: out.violations.len() as f64,
+            ok: out.violations.is_empty(),
+        });
+    }
+
     // --- Service entries: match on (protocol, workload, clients). ---
     let service = current
         .service
@@ -369,6 +477,7 @@ mod tests {
     /// within the gate's tolerance; everything counter-exact is stable.
     #[test]
     fn quick_self_comparison_passes_the_gate() {
+        let _serial = crate::experiments::live_sweep_lock();
         let (_, baseline) = load_baseline(true, 2);
         let (report, comparison, _) =
             perf_compare(true, 2, &baseline.to_json()).expect("comparison runs");

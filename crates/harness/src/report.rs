@@ -456,6 +456,105 @@ pub struct AttributionBaseline {
     pub entries: Vec<AttributionEntry>,
 }
 
+/// One offered-load level of a saturation curve: the service run
+/// open-loop (Poisson arrivals, bounded in-flight window, shedding) at a
+/// fixed per-client arrival rate, with durability (WAL + group commit)
+/// on.
+#[derive(Clone, Debug, Serialize)]
+pub struct SaturationStep {
+    /// Step index within the curve (0-based, ascending offered load).
+    pub step: usize,
+    /// Poisson arrival rate per client, transactions/second.
+    pub arrival_rate_per_client: f64,
+    /// Nominal offered load, transactions/second (`clients × rate`).
+    pub offered_tps: f64,
+    /// Arrivals actually scheduled (submitted + shed).
+    pub offered: usize,
+    /// Arrivals dropped because the in-flight window was full.
+    pub shed: usize,
+    /// Transactions committed.
+    pub committed: usize,
+    /// Transactions aborted.
+    pub aborted: usize,
+    /// Transactions abandoned at the client deadline.
+    pub stalled: usize,
+    /// Committed transactions/second over the trimmed steady-state
+    /// window (first/last 10 % of the run excluded).
+    pub goodput_tps: f64,
+    /// Median sojourn time (scheduled arrival → all decisions), µs.
+    pub p50_sojourn_micros: f64,
+    /// 99th-percentile sojourn time, µs.
+    pub p99_sojourn_micros: f64,
+    /// 99.9th-percentile sojourn time, µs.
+    pub p999_sojourn_micros: f64,
+    /// WAL force operations across all nodes (counter-exact).
+    pub wal_forces: usize,
+    /// `wal_forces / (committed + aborted)` — below 1 once group commit
+    /// amortizes a force over a drained batch.
+    pub forces_per_txn: f64,
+    /// `wire_messages / txns` at this load level.
+    pub wire_per_txn: f64,
+    /// Safety violations found by the post-run audit (must be 0).
+    pub safety_violations: usize,
+}
+
+/// The detected knee of a saturation curve: the first step whose goodput
+/// gain over the previous step is < 10 % while p99 sojourn at least
+/// doubles. When no step qualifies, the last step is recorded with
+/// `detected = false` (the curve never saturated at the swept loads).
+#[derive(Clone, Debug, Serialize)]
+pub struct SaturationKnee {
+    /// Index into the curve's `steps`.
+    pub step: usize,
+    /// Whether the knee criterion actually fired (`false` = fallback to
+    /// the last step).
+    pub detected: bool,
+    /// Offered load at the knee, transactions/second.
+    pub offered_tps: f64,
+    /// Goodput at the knee, transactions/second.
+    pub goodput_tps: f64,
+    /// p99 sojourn at the knee, µs.
+    pub p99_sojourn_micros: f64,
+    /// Per-stage latency shares at the knee ([`attribution_stage_names`]
+    /// order) — which layer saturates for this protocol.
+    pub stage_shares: Vec<AttributionStageEntry>,
+    /// Sum of the five stage shares at the knee (must be 100 ± 5).
+    pub share_sum_pct: f64,
+}
+
+/// One saturation curve: offered load stepped over a fixed
+/// (protocol, transport, n, clients) cell.
+#[derive(Clone, Debug, Serialize)]
+pub struct SaturationCurve {
+    /// Protocol display name.
+    pub protocol: String,
+    /// Transport name (`"channel"` or `"tcp"`).
+    pub transport: String,
+    /// Number of nodes (= shards).
+    pub n: usize,
+    /// Open-loop client threads.
+    pub clients: usize,
+    /// Per-client in-flight window beyond which arrivals are shed.
+    pub max_outstanding: usize,
+    /// One entry per offered-load level, ascending.
+    pub steps: Vec<SaturationStep>,
+    /// The detected (or fallback) knee.
+    pub knee: SaturationKnee,
+}
+
+/// The schema-v5 `saturation` section: open-loop offered-vs-goodput
+/// curves with per-curve knee detection and per-stage attribution at the
+/// knee.
+#[derive(Clone, Debug, Serialize)]
+pub struct SaturationBaseline {
+    /// Crash-resilience parameter of every curve.
+    pub f: usize,
+    /// Wall-clock length of one virtual delay unit, microseconds.
+    pub unit_micros: u64,
+    /// One curve per swept (protocol, transport, n, clients) cell.
+    pub curves: Vec<SaturationCurve>,
+}
+
 /// The schema-v2 `service` section: the live `ac-cluster` transaction
 /// service measured under closed-loop load.
 #[derive(Clone, Debug, Serialize)]
@@ -480,15 +579,17 @@ pub struct ServiceBaseline {
 /// semantics are documented field-by-field in the README ("The bench
 /// baseline" section).
 ///
-/// Four schema versions exist: **v1** (`repro bench`) carries the
+/// Five schema versions exist: **v1** (`repro bench`) carries the
 /// simulator numbers only; **v2** (legacy `repro load`) additionally
 /// carries the live [`ServiceBaseline`]; **v3** (legacy `repro chaos`)
 /// additionally carries the [`ChaosBaseline`]
 /// availability-under-failure section; **v4** (current `repro load` /
 /// `repro chaos`) additionally carries the [`AttributionBaseline`]
 /// per-stage latency decomposition (the `chaos` section stays optional
-/// in v4 — `repro load` emits without it, `repro chaos` with it). The
-/// validator accepts all four.
+/// in v4 — `repro load` emits without it, `repro chaos` with it);
+/// **v5** (`repro saturate`) additionally carries the
+/// [`SaturationBaseline`] open-loop offered-vs-goodput curves with knee
+/// detection. The validator accepts all five.
 #[derive(Clone, Debug, Serialize)]
 pub struct BenchBaseline {
     /// Format version; bump on breaking layout changes.
@@ -506,6 +607,8 @@ pub struct BenchBaseline {
     pub chaos: Option<ChaosBaseline>,
     /// Per-stage latency attribution (schema v4).
     pub attribution: Option<AttributionBaseline>,
+    /// Open-loop saturation curves with knee detection (schema v5).
+    pub saturation: Option<SaturationBaseline>,
 }
 
 impl BenchBaseline {
@@ -520,7 +623,7 @@ impl BenchBaseline {
     }
 
     /// Validate a serialized baseline: parses as JSON, carries a known
-    /// schema version (1–4), covers **all seven Table-5 protocols**,
+    /// schema version (1–5), covers **all seven Table-5 protocols**,
     /// and reports a non-empty, counterexample-free exploration. A v2+
     /// baseline must additionally carry a `service` section covering every
     /// [`service_protocol_names`] protocol at ≥ 2 concurrency levels with
@@ -532,9 +635,14 @@ impl BenchBaseline {
     /// every ([`table5_protocol_names`] ×
     /// [`attribution_transport_names`]) pair with positive coverage and
     /// stage shares summing to 100 ± 5 % (its `chaos` section is
-    /// optional but validated when present). Returns a list of problems
+    /// optional but validated when present). A v5 baseline must
+    /// additionally carry a `saturation` section: non-empty curves, each
+    /// with ≥ 2 safety-clean steps whose goodput never exceeds the
+    /// offered load, a knee pointing into the steps, and knee stage
+    /// shares summing to 100 ± 5 %. Returns a list of problems
     /// (empty = valid). This is what CI's bench-smoke, load-smoke,
-    /// chaos-smoke and trace-smoke jobs run via `repro bench-check`.
+    /// chaos-smoke, saturate-smoke and trace-smoke jobs run via
+    /// `repro bench-check`.
     pub fn validate_json(text: &str) -> Result<(), Vec<String>> {
         let mut problems = Vec::new();
         let v: serde_json::Value = match serde_json::from_str(text) {
@@ -542,9 +650,9 @@ impl BenchBaseline {
             Err(e) => return Err(vec![format!("not valid JSON: {e:?}")]),
         };
         let schema = v["schema_version"].as_u64();
-        if !matches!(schema, Some(1) | Some(2) | Some(3) | Some(4)) {
+        if !matches!(schema, Some(1..=5)) {
             problems.push(format!(
-                "schema_version must be 1, 2, 3 or 4, got {:?}",
+                "schema_version must be 1, 2, 3, 4 or 5, got {:?}",
                 v["schema_version"]
             ));
         }
@@ -584,16 +692,20 @@ impl BenchBaseline {
                 problems.push(format!("explorer.{key} must be a positive number"));
             }
         }
-        if matches!(schema, Some(2) | Some(3) | Some(4)) {
+        if matches!(schema, Some(2..=5)) {
             Self::validate_service(&v["service"], &mut problems);
         }
         if schema == Some(3)
-            || (schema == Some(4) && !matches!(v["chaos"], serde_json::Value::Null))
+            || (matches!(schema, Some(4) | Some(5))
+                && !matches!(v["chaos"], serde_json::Value::Null))
         {
             Self::validate_chaos(&v["chaos"], &mut problems);
         }
-        if schema == Some(4) {
+        if matches!(schema, Some(4) | Some(5)) {
             Self::validate_attribution(&v["attribution"], &mut problems);
+        }
+        if schema == Some(5) {
+            Self::validate_saturation(&v["saturation"], &mut problems);
         }
         if problems.is_empty() {
             Ok(())
@@ -666,6 +778,98 @@ impl BenchBaseline {
                 });
                 if !found {
                     problems.push(format!("{label}: missing (or malformed) stage {want}"));
+                }
+            }
+        }
+    }
+
+    /// Schema-v5 `saturation` section rules (see
+    /// [`BenchBaseline::validate_json`]): non-empty curves, each with at
+    /// least two safety-clean steps, goodput bounded by the offered load,
+    /// ordered sojourn percentiles, a knee pointing into the steps and
+    /// knee stage shares summing to 100 ± 5 %. Protocol coverage is not
+    /// gated here — the `--quick` smoke legitimately sweeps one protocol;
+    /// the perf gate checks the committed baseline's full coverage.
+    fn validate_saturation(sat: &serde_json::Value, problems: &mut Vec<String>) {
+        let empty = Vec::new();
+        let curves = sat["curves"].as_array().unwrap_or(&empty);
+        if curves.is_empty() {
+            problems.push("schema v5 requires a non-empty saturation.curves".into());
+            return;
+        }
+        for c in curves {
+            let label = format!(
+                "saturation curve {:?}/{:?}/n{:?}/c{:?}",
+                c["protocol"], c["transport"], c["n"], c["clients"]
+            );
+            Self::check_transport("saturation", &c["transport"], problems);
+            let steps = c["steps"].as_array().unwrap_or(&empty);
+            if steps.len() < 2 {
+                problems.push(format!(
+                    "{label}: a curve needs >= 2 offered-load steps to show a shape"
+                ));
+                continue;
+            }
+            for s in steps {
+                let at = format!("{label} step {:?}", s["step"]);
+                if s["safety_violations"].as_u64() != Some(0) {
+                    problems.push(format!("{at}: safety_violations must be 0"));
+                }
+                if s["offered"].as_u64().is_none_or(|x| x == 0) {
+                    problems.push(format!("{at}: offered must be > 0"));
+                }
+                let offered_tps = s["offered_tps"].as_f64();
+                let goodput = s["goodput_tps"].as_f64();
+                match (offered_tps, goodput) {
+                    // Small multiplicative slack: the nominal offered rate
+                    // is clients × λ while goodput is measured over the
+                    // trimmed window, so Poisson draws can nudge it past
+                    // the nominal figure on an unsaturated step.
+                    (Some(o), Some(g)) if o > 0.0 && g >= 0.0 && g <= o * 1.10 => {}
+                    other => problems.push(format!(
+                        "{at}: goodput_tps must be within [0, 1.1 × offered_tps], got {other:?}"
+                    )),
+                }
+                let p50 = s["p50_sojourn_micros"].as_f64();
+                let p99 = s["p99_sojourn_micros"].as_f64();
+                let p999 = s["p999_sojourn_micros"].as_f64();
+                match (p50, p99, p999) {
+                    (Some(a), Some(b), Some(c)) if a <= b && b <= c => {}
+                    other => problems.push(format!(
+                        "{at}: sojourn percentiles must be numbers with p50 <= p99 <= p99.9, \
+                         got {other:?}"
+                    )),
+                }
+                if s["forces_per_txn"].as_f64().is_none_or(|x| x < 0.0) {
+                    problems.push(format!("{at}: forces_per_txn must be >= 0"));
+                }
+            }
+            let knee = &c["knee"];
+            match knee["step"].as_u64() {
+                Some(k) if (k as usize) < steps.len() => {}
+                other => problems.push(format!(
+                    "{label}: knee.step must index into the curve's steps, got {other:?}"
+                )),
+            }
+            if knee["detected"].as_bool().is_none() {
+                problems.push(format!("{label}: knee.detected must be a boolean"));
+            }
+            match knee["share_sum_pct"].as_f64() {
+                Some(s) if (95.0..=105.0).contains(&s) => {}
+                other => problems.push(format!(
+                    "{label}: knee stage shares must sum to 100 ± 5 %, got {other:?}"
+                )),
+            }
+            let shares = knee["stage_shares"].as_array().unwrap_or(&empty);
+            for want in attribution_stage_names() {
+                let found = shares.iter().any(|s| {
+                    s["stage"].as_str() == Some(want)
+                        && s["share_pct"].as_f64().is_some_and(|x| x >= 0.0)
+                });
+                if !found {
+                    problems.push(format!(
+                        "{label}: knee missing (or malformed) stage share {want}"
+                    ));
                 }
             }
         }
@@ -833,6 +1037,7 @@ mod tests {
             service: None,
             chaos: None,
             attribution: None,
+            saturation: None,
         }
     }
 
@@ -972,6 +1177,122 @@ mod tests {
             entries,
         });
         b
+    }
+
+    fn sample_saturation_step(step: usize, rate: f64) -> SaturationStep {
+        SaturationStep {
+            step,
+            arrival_rate_per_client: rate,
+            offered_tps: rate * 16.0,
+            offered: 400,
+            shed: if step > 2 { 40 } else { 0 },
+            committed: 300,
+            aborted: 50,
+            stalled: 0,
+            goodput_tps: rate * 16.0 * 0.8,
+            p50_sojourn_micros: 10_000.0 * (step + 1) as f64,
+            p99_sojourn_micros: 30_000.0 * (step + 1) as f64,
+            p999_sojourn_micros: 45_000.0 * (step + 1) as f64,
+            wal_forces: 120,
+            forces_per_txn: 0.4,
+            wire_per_txn: 10.0,
+            safety_violations: 0,
+        }
+    }
+
+    fn sample_v5_baseline() -> BenchBaseline {
+        let mut b = sample_v4_baseline();
+        b.schema_version = 5;
+        let curves = table5_protocol_names()
+            .iter()
+            .map(|p| SaturationCurve {
+                protocol: p.to_string(),
+                transport: "channel".into(),
+                n: 4,
+                clients: 16,
+                max_outstanding: 32,
+                steps: (0..3)
+                    .map(|i| sample_saturation_step(i, 25.0 * (1 << i) as f64))
+                    .collect(),
+                knee: SaturationKnee {
+                    step: 2,
+                    detected: true,
+                    offered_tps: 1_600.0,
+                    goodput_tps: 1_280.0,
+                    p99_sojourn_micros: 90_000.0,
+                    stage_shares: attribution_stage_names()
+                        .iter()
+                        .map(|s| AttributionStageEntry {
+                            stage: s.to_string(),
+                            p50_micros: 2_000.0,
+                            p99_micros: 5_000.0,
+                            share_pct: 20.0,
+                        })
+                        .collect(),
+                    share_sum_pct: 100.0,
+                },
+            })
+            .collect();
+        b.saturation = Some(SaturationBaseline {
+            f: 1,
+            unit_micros: 5_000,
+            curves,
+        });
+        b
+    }
+
+    #[test]
+    fn v5_baseline_round_trips_and_validates() {
+        let b = sample_v5_baseline();
+        assert_eq!(BenchBaseline::validate_json(&b.to_json()), Ok(()));
+        // The quick-smoke shape — a single tcp curve — is first-class.
+        let mut smoke = sample_v5_baseline();
+        {
+            let sat = smoke.saturation.as_mut().unwrap();
+            sat.curves.truncate(1);
+            sat.curves[0].transport = "tcp".into();
+        }
+        assert_eq!(BenchBaseline::validate_json(&smoke.to_json()), Ok(()));
+    }
+
+    #[test]
+    fn v5_requires_a_saturation_section() {
+        let mut b = sample_v5_baseline();
+        b.saturation = None;
+        let problems = BenchBaseline::validate_json(&b.to_json()).unwrap_err();
+        assert!(
+            problems.iter().any(|p| p.contains("saturation.curves")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn v5_gates_knee_goodput_and_step_shape() {
+        let mut b = sample_v5_baseline();
+        {
+            let sat = b.saturation.as_mut().unwrap();
+            sat.curves[0].knee.step = 99; // out of range
+            sat.curves[1].knee.share_sum_pct = 70.0;
+            sat.curves[2].steps[1].goodput_tps = // goodput above offered
+                sat.curves[2].steps[1].offered_tps * 2.0;
+            sat.curves[3].steps[0].safety_violations = 1;
+            sat.curves[4].steps.truncate(1); // curve with no shape
+            sat.curves[5].knee.stage_shares.remove(2); // drop "wal"
+        }
+        let problems = BenchBaseline::validate_json(&b.to_json()).unwrap_err();
+        for needle in [
+            "knee.step must index",
+            "sum to 100 ± 5",
+            "goodput_tps must be within",
+            "safety_violations must be 0",
+            ">= 2 offered-load steps",
+            "missing (or malformed) stage share wal",
+        ] {
+            assert!(
+                problems.iter().any(|p| p.contains(needle)),
+                "missing {needle:?} in {problems:?}"
+            );
+        }
     }
 
     #[test]

@@ -32,4 +32,4 @@ pub use cluster::{Cluster, CommitStats};
 pub use store::{Shard, Version};
 pub use txn::{Key, Transaction, TxnId, WriteOp};
 pub use wal::{DecidedTxn, PreparedTxn, Recovery, Wal, WalRecord};
-pub use workload::{Workload, WorkloadConfig};
+pub use workload::{ArrivalSchedule, Workload, WorkloadConfig};

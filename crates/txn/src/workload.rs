@@ -144,6 +144,32 @@ impl WorkloadGen {
     }
 }
 
+/// Seeded Poisson arrival schedule: exponential inter-arrival gaps at a
+/// mean rate of `rate` arrivals/second (the open-loop load generator's
+/// clock). Deterministic per seed, like every generator in this module.
+pub struct ArrivalSchedule {
+    rng: StdRng,
+    rate: f64,
+}
+
+impl ArrivalSchedule {
+    /// A schedule at `rate` arrivals/second (must be positive).
+    pub fn new(rate: f64, seed: u64) -> ArrivalSchedule {
+        assert!(rate > 0.0, "arrival rate must be positive");
+        ArrivalSchedule {
+            rng: StdRng::seed_from_u64(seed),
+            rate,
+        }
+    }
+
+    /// The gap to the next arrival: `-ln(U)/rate` with `U` uniform on
+    /// (0, 1] — the exponential inter-arrival time of a Poisson process.
+    pub fn next_gap(&mut self) -> std::time::Duration {
+        let u: f64 = self.rng.gen_range(0.0f64..1.0).max(1e-12);
+        std::time::Duration::from_secs_f64((-u.ln()) / self.rate)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

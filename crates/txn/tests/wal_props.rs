@@ -126,6 +126,80 @@ proptest! {
     }
 
     #[test]
+    fn crash_at_any_batch_boundary_keeps_every_acknowledged_txn(
+        seed in any::<u64>(),
+        script in proptest::collection::vec((0u8..6, 0u8..4), 1..60),
+        batch in 1usize..16,
+        cut in any::<u64>(),
+    ) {
+        // Group commit (ISSUE-9): the node stages records and forces once
+        // per batch, and a crash loses exactly the unforced tail. Model
+        // the crash as a cut at an arbitrary *batch boundary*: the
+        // surviving log is the first k forced batches. The survivor must
+        // (a) replay identically to a per-record log of the same records
+        // — batching is invisible to recovery — and (b) keep every
+        // acknowledged transaction: a decision record in a forced batch
+        // (the precondition for the client reply to have left the node)
+        // recovers as decided, and locks are exactly the in-flight
+        // yes-votes' write sets.
+        let txns = txn_universe(seed, 6);
+        let all: Vec<WalRecord> = wal_from_script(&txns, &script).records().to_vec();
+        let batches: Vec<&[WalRecord]> = all.chunks(batch).collect();
+        let k = (cut as usize) % (batches.len() + 1);
+
+        let mut grouped = Wal::new();
+        for chunk in &batches[..k] {
+            let mut staged = chunk.to_vec();
+            grouped.force_batch(&mut staged);
+        }
+        prop_assert_eq!(grouped.force_stats().0 as usize, k, "one force per batch");
+
+        let mut per_record = Wal::new();
+        for rec in &all[..(k * batch).min(all.len())] {
+            per_record.append(rec.clone());
+        }
+        prop_assert_eq!(per_record.len(), grouped.len());
+
+        let (a, b) = (grouped.replay(SHARD), per_record.replay(SHARD));
+        prop_assert!(
+            shards_equal(&a.shard, &b.shard),
+            "group commit changed the recovered shard at batch cut {k}"
+        );
+        prop_assert_eq!(a.decided.len(), b.decided.len());
+        prop_assert_eq!(a.in_flight.len(), b.in_flight.len());
+
+        // (b) acknowledged = a decision record survived the crash (and its
+        // prepare, which the service always forces no later than the
+        // decision of the same txn, is in the prefix too).
+        let surviving = grouped.records();
+        let acknowledged: std::collections::BTreeSet<u64> = surviving
+            .iter()
+            .filter(|r| matches!(r, WalRecord::Decide { .. }))
+            .map(WalRecord::txn_id)
+            .filter(|id| {
+                surviving
+                    .iter()
+                    .any(|r| matches!(r, WalRecord::Prepare { .. }) && r.txn_id() == *id)
+            })
+            .collect();
+        let decided: std::collections::BTreeSet<u64> =
+            a.decided.iter().map(|d| d.txn.id).collect();
+        prop_assert_eq!(&decided, &acknowledged, "an acknowledged txn was lost");
+
+        // Locks exact: only in-flight yes-votes hold locks.
+        let expected: usize = {
+            let mut keys = std::collections::BTreeSet::new();
+            for p in a.in_flight.iter().filter(|p| p.vote) {
+                for key in p.txn.writes.keys() {
+                    keys.insert(key.k);
+                }
+            }
+            keys.len()
+        };
+        prop_assert_eq!(a.shard.locked(), expected);
+    }
+
+    #[test]
     fn in_flight_yes_votes_hold_exactly_their_locks(
         seed in any::<u64>(),
         script in proptest::collection::vec((0u8..6, 0u8..4), 1..40),

@@ -13,7 +13,7 @@
 
 use std::time::Duration;
 
-use ac_cluster::{run_service, ServiceConfig, TransportKind};
+use ac_cluster::{run_service, run_service_faulted, FaultSpec, ServiceConfig, TransportKind};
 use ac_commit::protocols::ProtocolKind;
 use ac_txn::workload::{Workload, WorkloadConfig};
 use ac_txn::Cluster;
@@ -279,4 +279,99 @@ fn every_protocol_kind_can_serve_live_traffic() {
         );
         assert_eq!(out.txns, 8, "{}", kind.name());
     }
+}
+
+/// The open-loop load generator (ISSUE-9): arrivals follow the Poisson
+/// schedule regardless of completions. At a comfortable rate with a roomy
+/// window nothing sheds and the whole schedule is offered and served; at a
+/// saturating rate with a window of 1 the generator must *keep offering on
+/// schedule* and shed the excess instead of slowing down (the closed-loop
+/// failure mode that hides the knee).
+#[test]
+fn open_loop_offers_the_full_schedule_and_sheds_only_at_a_full_window() {
+    let cfg = base(ProtocolKind::PaxosCommit)
+        .clients(2)
+        .txns_per_client(10)
+        .unit(Duration::from_millis(5))
+        .arrival_rate(200.0)
+        .max_outstanding(16);
+    let out = run_service(&cfg);
+    assert!(out.is_safe(), "safety audit failed: {:?}", out.violations);
+    assert_eq!(out.offered, 20, "the schedule is offered in full");
+    assert_eq!(out.shed, 0, "a roomy window sheds nothing");
+    assert_eq!(out.txns, 20);
+    assert_eq!(out.stalled, 0);
+    assert!(
+        out.goodput_tps() > 0.0,
+        "trimmed steady-state goodput must be measurable"
+    );
+
+    let cfg = base(ProtocolKind::PaxosCommit)
+        .clients(2)
+        .txns_per_client(50)
+        .unit(Duration::from_millis(5))
+        .arrival_rate(5_000.0)
+        .max_outstanding(1);
+    let out = run_service(&cfg);
+    assert!(out.is_safe(), "safety audit failed: {:?}", out.violations);
+    assert_eq!(out.offered, 100, "overload must not slow the schedule down");
+    assert!(out.shed > 0, "a window of 1 under x25 overload must shed");
+    assert_eq!(
+        out.txns + out.shed,
+        out.offered,
+        "every arrival is either submitted or counted shed"
+    );
+    assert_eq!(out.stalled, 0, "submitted txns still all resolve");
+}
+
+/// The group-commit hold (ISSUE-9 tentpole): with `wal_flush_interval`
+/// set, records staged across loop iterations share one durability point,
+/// so a durable 2PC run under batched open-loop load needs *fewer* WAL
+/// forces than the same run forcing every drain batch — and fewer than
+/// one force per transaction, the saturation harness's gated win.
+#[test]
+fn flush_interval_hold_amortizes_wal_forces_below_one_per_txn() {
+    let run = |hold: Option<Duration>| {
+        let mut cfg = base(ProtocolKind::TwoPc)
+            .clients(8)
+            .txns_per_client(40)
+            .workload(Workload::Uniform { span: 2 })
+            .unit(Duration::from_millis(5))
+            .keys_per_shard(64)
+            .seed(7)
+            .arrival_rate(400.0)
+            .max_outstanding(32);
+        if let Some(iv) = hold {
+            cfg = cfg.wal_flush_interval(iv);
+        }
+        let spec = FaultSpec {
+            policy: None,
+            crashes: vec![None; 4],
+            durable: true,
+        };
+        run_service_faulted(&cfg, &spec)
+    };
+    let held = run(Some(Duration::from_millis(2)));
+    let per_drain = run(None);
+    for (label, out) in [("held", &held), ("per-drain", &per_drain)] {
+        assert!(
+            out.is_safe(),
+            "{label}: safety audit failed: {:?}",
+            out.violations
+        );
+        assert!(out.wal_forces > 0, "{label}: durable 2PC must force");
+    }
+    assert!(
+        held.wal_forces < per_drain.wal_forces,
+        "the hold must amortize: {} forces held vs {} per drain batch",
+        held.wal_forces,
+        per_drain.wal_forces
+    );
+    assert!(
+        (held.wal_forces as f64) < held.txns as f64,
+        "group commit under x16 load must force less than once per txn: \
+         {} forces / {} txns",
+        held.wal_forces,
+        held.txns
+    );
 }
