@@ -1,13 +1,19 @@
-//! `ac-client --spec FILE` — the load-driving side of a real loopback
-//! cluster.
+//! `ac-client --spec FILE [--obs-out PATH]` — the load-driving side of a
+//! real loopback cluster.
 //!
-//! Runs the spec's closed-loop client workload against the `ac-node`
-//! processes listed in the spec, shuts the nodes down when the workload
-//! finishes, and prints one audit line:
+//! Runs the spec's client workload against the `ac-node` processes
+//! listed in the spec, collects every node's observability export (echo
+//! round trips for clock alignment, then an `ObsPull`), shuts the nodes
+//! down, and prints one audit line:
 //!
 //! ```text
 //! client audit txns=50 committed=47 aborted=3 stalled=0 retries=0 split=0
 //! ```
+//!
+//! With `--obs-out PATH` the collected cluster dump (per-node flight
+//! recorders, histograms, transport counters, clock alignments, and the
+//! client-side transaction record) is written to PATH in the binary
+//! dump format `repro trace` and `repro proc` consume.
 //!
 //! Exits nonzero if any transaction stalled or observed a split
 //! decision — both violate the service's safety/liveness contract on a
@@ -18,16 +24,18 @@ use std::process::exit;
 use ac_cluster::spec::ClusterSpec;
 
 fn usage() -> ! {
-    eprintln!("usage: ac-client --spec FILE");
+    eprintln!("usage: ac-client --spec FILE [--obs-out PATH]");
     exit(2)
 }
 
 fn main() {
     let mut spec_path = None;
+    let mut obs_out = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--spec" => spec_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--obs-out" => obs_out = Some(args.next().unwrap_or_else(|| usage())),
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -47,7 +55,21 @@ fn main() {
             exit(2);
         }
     };
-    let summary = ac_cluster::proc::run_client(&spec);
+    let (summary, obs) = ac_cluster::proc::run_client(&spec);
+    if let Some(path) = obs_out {
+        let dump = obs.into_dump(&spec);
+        if dump.exports.len() < spec.n() {
+            eprintln!(
+                "ac-client: collected {}/{} node exports (unreachable nodes degrade coverage)",
+                dump.exports.len(),
+                spec.n()
+            );
+        }
+        if let Err(e) = std::fs::write(&path, dump.to_bytes()) {
+            eprintln!("ac-client: cannot write {path}: {e}");
+            exit(2);
+        }
+    }
     println!("{}", summary.render());
     if summary.stalled > 0 || summary.split > 0 {
         exit(1);

@@ -9,33 +9,35 @@
 //! node 2 audit total=0 locked=0 decided=50 orphaned=0
 //! ```
 //!
-//! With `--metrics PORT` the node also binds `127.0.0.1:PORT` and
-//! answers every connection with a Prometheus text exposition of its
-//! live stage meters (`ac_stage_count` / `ac_stage_nanos_total`,
-//! labelled `node="N"`), so `curl` or a scraper can watch where the
-//! node's time goes while the run is in flight.
+//! With `--metrics PORT` the node also listens on PORT — on the same
+//! host/address family the spec binds the node itself to — and answers
+//! every connection with a Prometheus text exposition of its live stage
+//! meters (`ac_stage_count` / `ac_stage_nanos_total`) and transport
+//! counters (`ac_net_*`), all labelled `node="N"`, so `curl` or a
+//! scraper can watch where the node's time and bytes go while the run
+//! is in flight.
 
 use std::io::{Read, Write};
-use std::net::TcpListener;
+use std::net::{SocketAddr, TcpListener};
 use std::process::exit;
 use std::sync::Arc;
 
 use ac_cluster::spec::ClusterSpec;
-use ac_obs::ObsMeters;
+use ac_obs::{NetMeters, ObsMeters};
 
 fn usage() -> ! {
     eprintln!("usage: ac-node --spec FILE --id N [--metrics PORT]");
     exit(2)
 }
 
-/// Serve the meter registry as Prometheus text on `127.0.0.1:port`,
-/// one short-lived connection at a time. Runs until the process exits —
-/// the node's audit line, not this endpoint, is the run's final word.
-fn serve_metrics(port: u16, id: usize, meters: Arc<ObsMeters>) {
-    let listener = match TcpListener::bind(("127.0.0.1", port)) {
+/// Serve the meter registries as Prometheus text on `addr`, one
+/// short-lived connection at a time. Runs until the process exits — the
+/// node's audit line, not this endpoint, is the run's final word.
+fn serve_metrics(addr: SocketAddr, id: usize, meters: Arc<ObsMeters>, net: Arc<NetMeters>) {
+    let listener = match TcpListener::bind(addr) {
         Ok(l) => l,
         Err(e) => {
-            eprintln!("ac-node: cannot bind metrics port {port}: {e}");
+            eprintln!("ac-node: cannot bind metrics address {addr}: {e}");
             exit(2);
         }
     };
@@ -46,7 +48,12 @@ fn serve_metrics(port: u16, id: usize, meters: Arc<ObsMeters>) {
             // same regardless (there is only one resource to GET).
             let mut buf = [0u8; 1024];
             let _ = stream.read(&mut buf);
-            let body = meters.render_prometheus(&format!("node=\"{id}\""));
+            let labels = format!("node=\"{id}\"");
+            let body = format!(
+                "{}{}",
+                meters.render_prometheus(&labels),
+                net.render_prometheus(&labels)
+            );
             let resp = format!(
                 "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\n\r\n{body}",
                 body.len()
@@ -107,11 +114,21 @@ fn main() {
         );
         exit(2);
     }
-    let meters = metrics_port.map(|port| {
-        let m = Arc::new(ObsMeters::new());
-        serve_metrics(port, id, Arc::clone(&m));
-        m
+    let shared = metrics_port.map(|port| {
+        let meters = Arc::new(ObsMeters::new());
+        let net = Arc::new(NetMeters::new(spec.n()));
+        serve_metrics(
+            spec.metrics_addr(id, port),
+            id,
+            Arc::clone(&meters),
+            Arc::clone(&net),
+        );
+        (meters, net)
     });
-    let summary = ac_cluster::proc::run_node(&spec, id, meters);
+    let (meters, net) = match shared {
+        Some((m, n)) => (Some(m), Some(n)),
+        None => (None, None),
+    };
+    let summary = ac_cluster::proc::run_node(&spec, id, meters, net);
     println!("{}", summary.render());
 }

@@ -15,15 +15,24 @@
 //!   5  Shutdown (no fields)
 //!   6  Done     txn: u64, node: u64, decision: u64
 //!   7  Hello    client: u64
+//!   8  ObsPull  client: u64
+//!   9  EchoReq  seq: u32, t0_nanos: u64
+//!  10  EchoResp seq: u32, t0_nanos: u64, node: u32, node_nanos: u64
+//!  11  ObsDump  node: u32, export: ObsExport
 //! ```
 //!
-//! One tag space covers both directions: tags 0–5 are the node inbox
-//! alphabet ([`crate::service::ToNode`], including the WAL-recovery
-//! `StatusQ`/`StatusA` traffic), tag 6 is the node→client decision
-//! report and tag 7 is the client's connection handshake (a client
-//! announces its id so the node can route `Done` frames back down the
-//! same connection). A receiver ignores frames that make no sense for
-//! its role.
+//! One tag space covers both directions: tags 0–5 and 8 are the node
+//! inbox alphabet ([`crate::service::ToNode`], including the
+//! WAL-recovery `StatusQ`/`StatusA` traffic and the observability
+//! collector's `ObsPull`), tag 6 is the node→client decision report and
+//! tag 7 is the client's connection handshake (a client announces its
+//! id so the node can route `Done` frames back down the same
+//! connection). Tags 9–11 are the cross-process tracing frames: a
+//! collector's clock-echo round trip (answered inline by the node's
+//! reader thread, off the node loop, so the echo measures the network
+//! and not the inbox backlog) and the node's observability export
+//! answering an `ObsPull`. A receiver ignores frames that make no sense
+//! for its role.
 //!
 //! ## Decoding partial reads
 //!
@@ -38,6 +47,7 @@
 
 use std::sync::Arc;
 
+use ac_obs::ObsExport;
 use ac_sim::{Wire, WireError};
 use ac_txn::Transaction;
 
@@ -48,10 +58,11 @@ use crate::service::{Done, ToNode};
 pub const MAX_FRAME: usize = 1 << 24;
 
 /// Anything that can arrive on a service socket: a node-inbox envelope,
-/// a decision report, or a client handshake.
+/// a decision report, a client handshake, or the cross-process tracing
+/// traffic (clock echoes and observability dumps).
 #[derive(Debug)]
 pub enum AnyFrame<M> {
-    /// A node-inbox envelope (tags 0–5).
+    /// A node-inbox envelope (tags 0–5, 8).
     Node(ToNode<M>),
     /// A node→client decision report (tag 6).
     Done(Done),
@@ -59,6 +70,34 @@ pub enum AnyFrame<M> {
     Hello {
         /// The client id.
         client: usize,
+    },
+    /// A collector's clock-echo probe (tag 9), answered inline by the
+    /// receiving node's reader thread.
+    EchoReq {
+        /// Collector-chosen sequence number, echoed back verbatim.
+        seq: u32,
+        /// Collector clock at send, nanoseconds past its epoch (echoed
+        /// back verbatim so the collector needs no request table).
+        t0_nanos: u64,
+    },
+    /// The node's echo answer (tag 10).
+    EchoResp {
+        /// The probe's sequence number.
+        seq: u32,
+        /// The probe's send stamp, echoed.
+        t0_nanos: u64,
+        /// The answering node.
+        node: u32,
+        /// Node clock at answer, nanoseconds past *its* epoch — the
+        /// `t_node` of the NTP-style offset estimate.
+        node_nanos: u64,
+    },
+    /// A node's observability export answering an `ObsPull` (tag 11).
+    ObsDump {
+        /// The exporting node.
+        node: u32,
+        /// The export payload.
+        export: ObsExport,
     },
 }
 
@@ -95,6 +134,10 @@ pub fn write_frame<M: Wire>(frame: &AnyFrame<M>, out: &mut Vec<u8>) {
                 txn.encode(out);
             }
             ToNode::Shutdown => out.push(5),
+            ToNode::ObsPull { client } => {
+                out.push(8);
+                client.encode(out);
+            }
         },
         AnyFrame::Done(d) => {
             out.push(6);
@@ -105,6 +148,28 @@ pub fn write_frame<M: Wire>(frame: &AnyFrame<M>, out: &mut Vec<u8>) {
         AnyFrame::Hello { client } => {
             out.push(7);
             client.encode(out);
+        }
+        AnyFrame::EchoReq { seq, t0_nanos } => {
+            out.push(9);
+            seq.encode(out);
+            t0_nanos.encode(out);
+        }
+        AnyFrame::EchoResp {
+            seq,
+            t0_nanos,
+            node,
+            node_nanos,
+        } => {
+            out.push(10);
+            seq.encode(out);
+            t0_nanos.encode(out);
+            node.encode(out);
+            node_nanos.encode(out);
+        }
+        AnyFrame::ObsDump { node, export } => {
+            out.push(11);
+            node.encode(out);
+            export.encode(out);
         }
     }
     let len = (out.len() - start - 4) as u32;
@@ -144,6 +209,23 @@ pub fn decode_body<M: Wire>(mut body: &[u8]) -> Result<AnyFrame<M>, WireError> {
         }),
         7 => AnyFrame::Hello {
             client: usize::decode(buf)?,
+        },
+        8 => AnyFrame::Node(ToNode::ObsPull {
+            client: usize::decode(buf)?,
+        }),
+        9 => AnyFrame::EchoReq {
+            seq: u32::decode(buf)?,
+            t0_nanos: u64::decode(buf)?,
+        },
+        10 => AnyFrame::EchoResp {
+            seq: u32::decode(buf)?,
+            t0_nanos: u64::decode(buf)?,
+            node: u32::decode(buf)?,
+            node_nanos: u64::decode(buf)?,
+        },
+        11 => AnyFrame::ObsDump {
+            node: u32::decode(buf)?,
+            export: ObsExport::decode(buf)?,
         },
         _ => return Err(WireError::Invalid("frame tag")),
     };
@@ -297,5 +379,70 @@ mod tests {
         dec.feed(&u32::MAX.to_le_bytes());
         assert!(dec.next_frame::<u64>().is_err());
         assert!(dec.next_frame::<u64>().is_err(), "stays poisoned");
+    }
+
+    #[test]
+    fn tracing_frames_round_trip() {
+        let mut bytes = frame(ToNode::ObsPull { client: 3 });
+        let mut echo_req = Vec::new();
+        write_frame::<u64>(
+            &AnyFrame::EchoReq {
+                seq: 7,
+                t0_nanos: 1_234,
+            },
+            &mut echo_req,
+        );
+        bytes.extend(echo_req);
+        let mut echo_resp = Vec::new();
+        write_frame::<u64>(
+            &AnyFrame::EchoResp {
+                seq: 7,
+                t0_nanos: 1_234,
+                node: 2,
+                node_nanos: 999,
+            },
+            &mut echo_resp,
+        );
+        bytes.extend(echo_resp);
+        let mut dump = Vec::new();
+        write_frame::<u64>(
+            &AnyFrame::ObsDump {
+                node: 2,
+                export: ac_obs::ObsExport::snapshot(2, &ac_obs::NodeObs::new(), None),
+            },
+            &mut dump,
+        );
+        bytes.extend(dump);
+
+        let mut dec = FrameDecoder::new();
+        dec.feed(&bytes);
+        assert!(matches!(
+            dec.next_frame::<u64>().unwrap(),
+            Some(AnyFrame::Node(ToNode::ObsPull { client: 3 }))
+        ));
+        assert!(matches!(
+            dec.next_frame::<u64>().unwrap(),
+            Some(AnyFrame::EchoReq {
+                seq: 7,
+                t0_nanos: 1_234
+            })
+        ));
+        assert!(matches!(
+            dec.next_frame::<u64>().unwrap(),
+            Some(AnyFrame::EchoResp {
+                seq: 7,
+                t0_nanos: 1_234,
+                node: 2,
+                node_nanos: 999
+            })
+        ));
+        match dec.next_frame::<u64>().unwrap() {
+            Some(AnyFrame::ObsDump { node: 2, export }) => {
+                assert_eq!(export.node, 2);
+                assert_eq!(export.meters.len(), ac_obs::Stage::COUNT);
+            }
+            other => panic!("wrong frame: {other:?}"),
+        }
+        assert_eq!(dec.pending(), 0);
     }
 }

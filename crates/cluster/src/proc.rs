@@ -28,14 +28,31 @@ use std::time::{Duration, Instant};
 
 use ac_commit::problem::COMMIT;
 use ac_commit::CommitProtocol;
-use ac_obs::{NodeObs, ObsMeters};
+use ac_obs::{
+    ClockAlignment, ClockSample, ClusterDump, DumpTxn, NetMeters, NodeObs, ObsExport, ObsMeters,
+    RunStats,
+};
 use ac_sim::Wire;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
 use crate::codec::{write_frame, AnyFrame, FrameDecoder};
 use crate::service::{client_main, node_main, with_protocol, Done, NodeEnv, ToNode};
 use crate::spec::ClusterSpec;
-use crate::transport::{ClientRegistry, OnConnect, TcpNode, TcpTransport, Transport};
+use crate::transport::{
+    ClientRegistry, EchoResponder, NodeHooks, OnConnect, TcpNode, TcpTransport, Transport,
+};
+
+/// Echo round trips per node for the clock-offset estimate (min-RTT
+/// selection wants several candidates; 16 keeps the collection phase
+/// under a millisecond per node on loopback).
+const ECHO_ROUNDS: u32 = 16;
+
+/// The client id the run-end collector `Hello`s with: one past the real
+/// clients, so its connection gets a registry slot (for `ObsDump`
+/// routing) but no `Done` forwarder traffic.
+fn collector_id(spec: &ClusterSpec) -> usize {
+    spec.clients
+}
 
 /// What a node process reports when it exits (printed as the audit line
 /// the multi-process smoke test parses).
@@ -94,24 +111,50 @@ impl ClientSummary {
 
 /// Run node `me` of the spec'd cluster until a `Shutdown` frame arrives.
 /// `meters`, when given, is the shared stage-meter registry the node
-/// thread records into — the `ac-node --metrics` endpoint reads it live.
-pub fn run_node(spec: &ClusterSpec, me: usize, meters: Option<Arc<ObsMeters>>) -> NodeSummary {
+/// thread records into, and `net` the shared transport counters — the
+/// `ac-node --metrics` endpoint reads both live. Pass `None` to let the
+/// node keep private ones (they still ride along in its `ObsDump`
+/// export).
+pub fn run_node(
+    spec: &ClusterSpec,
+    me: usize,
+    meters: Option<Arc<ObsMeters>>,
+    net: Option<Arc<NetMeters>>,
+) -> NodeSummary {
     assert!(
         me < spec.n(),
         "node id {me} out of range (n = {})",
         spec.n()
     );
-    with_protocol!(spec.kind, P => run_node_p::<P>(spec, me, meters))
+    with_protocol!(spec.kind, P => run_node_p::<P>(spec, me, meters, net))
 }
 
-fn run_node_p<P>(spec: &ClusterSpec, me: usize, meters: Option<Arc<ObsMeters>>) -> NodeSummary
+fn run_node_p<P>(
+    spec: &ClusterSpec,
+    me: usize,
+    meters: Option<Arc<ObsMeters>>,
+    net: Option<Arc<NetMeters>>,
+) -> NodeSummary
 where
     P: CommitProtocol + Send + 'static,
     P::Msg: Wire + Send + 'static,
 {
+    // The process epoch: every flight-event and echo stamp this process
+    // produces counts from here — established *before* the listener so
+    // an echo can never observe a pre-epoch instant.
+    let epoch = Instant::now();
+    let net = net.unwrap_or_else(|| Arc::new(NetMeters::new(spec.n())));
     let (inbox_tx, inbox_rx) = unbounded::<ToNode<P::Msg>>();
     let registry: ClientRegistry = Arc::new(Mutex::new(HashMap::new()));
-    let tcp = TcpNode::bind(spec.nodes[me], inbox_tx, Some(Arc::clone(&registry)))
+    let hooks = NodeHooks {
+        clients: Some(Arc::clone(&registry)),
+        net: Some(Arc::clone(&net)),
+        echo: Some(EchoResponder {
+            node: me as u32,
+            epoch,
+        }),
+    };
+    let tcp = TcpNode::bind_with(spec.nodes[me], inbox_tx, hooks)
         .unwrap_or_else(|e| panic!("node {me}: cannot bind {}: {e}", spec.nodes[me]));
 
     // One Done-forwarder per client: drains the node loop's reply channel
@@ -124,15 +167,24 @@ where
         let reg = Arc::clone(&registry);
         forwarders.push(std::thread::spawn(move || done_forwarder(c, drx, reg)));
     }
+    // The ObsPull answer path: node loop snapshots → this forwarder
+    // stamps in the live transport counters and frames the `ObsDump`
+    // down the requesting collector's registered connection.
+    let (obs_tx, obs_rx) = unbounded::<(usize, ObsExport)>();
+    let obs_fwd = {
+        let reg = Arc::clone(&registry);
+        let net = Arc::clone(&net);
+        std::thread::spawn(move || obs_forwarder(obs_rx, reg, net))
+    };
 
     let env = NodeEnv::<P> {
         me,
         n: spec.n(),
         f: spec.f,
         unit: spec.unit,
-        epoch: Instant::now(),
+        epoch,
         rx: inbox_rx,
-        transport: Box::new(TcpTransport::new(spec.nodes.clone())),
+        transport: Box::new(TcpTransport::new(spec.nodes.clone()).with_net(Arc::clone(&net))),
         done_txs,
         wire: Arc::new(AtomicUsize::new(0)),
         policy: None,
@@ -144,13 +196,15 @@ where
             Some(m) => NodeObs::with_meters(m),
             None => NodeObs::new(),
         },
+        obs_pull: Some(obs_tx),
     };
     let ret = node_main::<P>(env);
-    // node_main dropped its Done senders on return; the forwarders drain
-    // what is left and exit.
+    // node_main dropped its Done and ObsPull senders on return; the
+    // forwarders drain what is left and exit.
     for h in forwarders {
         let _ = h.join();
     }
+    let _ = obs_fwd.join();
     tcp.shutdown();
     NodeSummary {
         me,
@@ -158,6 +212,42 @@ where
         locked: ret.shard.locked(),
         decided: ret.log.len(),
         orphaned: ret.orphaned_envelopes,
+    }
+}
+
+/// Frame `ObsDump` answers down the requesting collector's registered
+/// connection, stamping the live transport counters into each export on
+/// the way (the node loop snapshots only its own thread-local state).
+fn obs_forwarder(rx: Receiver<(usize, ObsExport)>, reg: ClientRegistry, net: Arc<NetMeters>) {
+    let mut buf = Vec::new();
+    while let Ok((client, mut export)) = rx.recv() {
+        export.net = net.snapshot();
+        // The collector Hello'd on the same connection the pull arrived
+        // on, so the registry entry normally exists already; wait
+        // briefly in case the frames raced.
+        let mut stream = None;
+        for _attempt in 0..250 {
+            stream = reg
+                .lock()
+                .expect("registry poisoned")
+                .get(&client)
+                .and_then(|s| s.try_clone().ok());
+            if stream.is_some() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        if let Some(mut s) = stream {
+            buf.clear();
+            write_frame::<()>(
+                &AnyFrame::ObsDump {
+                    node: export.node,
+                    export,
+                },
+                &mut buf,
+            );
+            let _ = s.write_all(&buf);
+        }
     }
 }
 
@@ -225,12 +315,49 @@ fn done_reader<M: Wire>(mut stream: TcpStream, out: Sender<Done>) {
     }
 }
 
-/// Run the spec'd client workload end-to-end, then shut the nodes down.
-pub fn run_client(spec: &ClusterSpec) -> ClientSummary {
+/// Everything the run-end collector gathered from the live cluster:
+/// per-process exports, the clock alignment estimated for each node, and
+/// the client-side transaction record the attribution anchors on.
+#[derive(Clone, Debug)]
+pub struct ClusterObs {
+    /// Every transaction the clients saw fully decided.
+    pub txns: Vec<DumpTxn>,
+    /// One clock alignment per node the collector could reach.
+    pub alignments: Vec<ClockAlignment>,
+    /// One export per node the collector could reach.
+    pub exports: Vec<ObsExport>,
+    /// Run-wide throughput counters.
+    pub stats: RunStats,
+}
+
+impl ClusterObs {
+    /// Package the collection as a portable dump file body.
+    pub fn into_dump(self, spec: &ClusterSpec) -> ClusterDump {
+        ClusterDump {
+            protocol: spec.kind.name().to_string(),
+            n: spec.n() as u32,
+            f: spec.f as u32,
+            unit_micros: u64::try_from(spec.unit.as_micros()).unwrap_or(u64::MAX),
+            txns: self.txns,
+            alignments: self.alignments,
+            exports: self.exports,
+            stats: self.stats,
+        }
+    }
+}
+
+fn nanos(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Run the spec'd client workload end-to-end, collect every node's
+/// observability export (with clock alignment), then shut the nodes
+/// down.
+pub fn run_client(spec: &ClusterSpec) -> (ClientSummary, ClusterObs) {
     with_protocol!(spec.kind, P => run_client_p::<P>(spec))
 }
 
-fn run_client_p<P>(spec: &ClusterSpec) -> ClientSummary
+fn run_client_p<P>(spec: &ClusterSpec) -> (ClientSummary, ClusterObs)
 where
     P: CommitProtocol + Send + 'static,
     P::Msg: Wire + Send + 'static,
@@ -267,10 +394,25 @@ where
         retries: 0,
         split: 0,
     };
+    let mut txns: Vec<DumpTxn> = Vec::new();
+    let mut offered = 0u64;
+    let mut shed = 0u64;
     for h in handles {
         let ret = h.join().expect("client thread panicked");
         summary.stalled += ret.stalled;
         summary.retries += ret.retries;
+        offered += ret.offered as u64;
+        shed += ret.shed as u64;
+        for e in &ret.events {
+            if let (Some(decided), Some(committed)) = (e.decided_at, e.committed) {
+                txns.push(DumpTxn {
+                    id: e.id,
+                    submitted_nanos: nanos(e.submitted_at),
+                    decided_nanos: nanos(decided),
+                    committed,
+                });
+            }
+        }
         for rec in &ret.records {
             if rec.decisions.iter().any(|d| d.is_none()) {
                 continue; // counted in `stalled`
@@ -291,10 +433,123 @@ where
         }
     }
 
+    // Collect before teardown: align each node's clock with echo round
+    // trips, then pull its export. A node that cannot be reached (or
+    // wedged past the read timeout) degrades coverage rather than
+    // hanging the run.
+    let cid = collector_id(spec);
+    let mut alignments = Vec::new();
+    let mut exports = Vec::new();
+    for p in 0..spec.n() {
+        if let Some((align, export)) = collect_node(spec.nodes[p], p as u32, cid, epoch) {
+            alignments.push(align);
+            exports.push(export);
+        }
+    }
+    let stats = RunStats {
+        offered,
+        shed,
+        committed: summary.committed as u64,
+        aborted: summary.aborted as u64,
+        stalled: summary.stalled as u64,
+        elapsed_nanos: nanos(epoch.elapsed()),
+    };
+
     // The run is over: tear the nodes down over the wire.
     let mut shut = TcpTransport::new(spec.nodes.clone());
     for p in 0..spec.n() {
         Transport::<P::Msg>::send(&mut shut, p, ToNode::Shutdown);
     }
-    summary
+    (
+        summary,
+        ClusterObs {
+            txns,
+            alignments,
+            exports,
+            stats,
+        },
+    )
+}
+
+/// One node's collection pass: connect, `Hello` as the collector,
+/// [`ECHO_ROUNDS`] echo round trips for the clock-offset estimate, then
+/// an `ObsPull` answered by an `ObsDump` on the same stream. All frames
+/// here are `M = ()` — the control-plane tags carry no protocol payload.
+fn collect_node(
+    addr: std::net::SocketAddr,
+    node: u32,
+    cid: usize,
+    epoch: Instant,
+) -> Option<(ClockAlignment, ObsExport)> {
+    use std::io::Read as _;
+    let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5)).ok()?;
+    let _ = stream.set_nodelay(true);
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .ok()?;
+    let mut w = stream.try_clone().ok()?;
+    let mut r = stream;
+    let mut buf = Vec::new();
+    write_frame::<()>(&AnyFrame::Hello { client: cid }, &mut buf);
+    w.write_all(&buf).ok()?;
+
+    let mut dec = FrameDecoder::new();
+    let mut chunk = vec![0u8; 64 * 1024];
+    // Pull the next frame off the stream, skipping anything unexpected
+    // (e.g. a straggling echo answer after a lost round).
+    let mut next = |want_dump: bool, want_seq: u32| -> Option<AnyFrame<()>> {
+        loop {
+            match dec.next_frame::<()>() {
+                Ok(Some(f)) => match &f {
+                    AnyFrame::EchoResp { seq, .. } if !want_dump && *seq == want_seq => {
+                        return Some(f)
+                    }
+                    AnyFrame::ObsDump { .. } if want_dump => return Some(f),
+                    _ => {}
+                },
+                Ok(None) => {
+                    let n = r.read(&mut chunk).ok()?;
+                    if n == 0 {
+                        return None;
+                    }
+                    dec.feed(&chunk[..n]);
+                }
+                Err(_) => {
+                    if dec.is_poisoned() {
+                        return None;
+                    }
+                }
+            }
+        }
+    };
+
+    let mut samples = Vec::new();
+    for seq in 0..ECHO_ROUNDS {
+        let t0_nanos = nanos(epoch.elapsed());
+        buf.clear();
+        write_frame::<()>(&AnyFrame::EchoReq { seq, t0_nanos }, &mut buf);
+        w.write_all(&buf).ok()?;
+        let Some(AnyFrame::EchoResp {
+            t0_nanos,
+            node_nanos,
+            ..
+        }) = next(false, seq)
+        else {
+            return None;
+        };
+        samples.push(ClockSample {
+            t0_nanos,
+            node_nanos,
+            t1_nanos: nanos(epoch.elapsed()),
+        });
+    }
+    let align = ClockAlignment::estimate(node, &samples)?;
+
+    buf.clear();
+    write_frame::<()>(&AnyFrame::Node(ToNode::ObsPull { client: cid }), &mut buf);
+    w.write_all(&buf).ok()?;
+    let Some(AnyFrame::ObsDump { export, .. }) = next(true, 0) else {
+        return None;
+    };
+    Some((align, export))
 }

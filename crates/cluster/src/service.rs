@@ -87,8 +87,8 @@ use ac_txn::{Shard, Transaction, TxnId, Wal, WalRecord};
 use crossbeam::channel::{unbounded, Receiver, RecvError, RecvTimeoutError, Sender};
 
 use ac_obs::{
-    lifecycles, Attribution, FlightEvent, FlightStage, LatencyHistogram, NodeObs, ObsMeters, Stage,
-    StageHistograms,
+    lifecycles, Attribution, FlightEvent, FlightStage, LatencyHistogram, NodeObs, ObsExport,
+    ObsMeters, Stage, StageHistograms,
 };
 
 use crate::inline::InlineVec;
@@ -681,6 +681,16 @@ pub enum ToNode<M> {
         /// The finished transaction.
         txn: TxnId,
     },
+    /// A collector asks for this node's observability export (flight
+    /// recorder, stage histograms, meters, transport counters). The
+    /// node answers through the `NodeEnv::obs_pull` channel; hosts
+    /// without that channel (the in-process service, whose recorders
+    /// are already local) ignore the request.
+    ObsPull {
+        /// The requesting collector's client id (routes the `ObsDump`
+        /// back down that client's registered connection).
+        client: usize,
+    },
     /// Tear the node down (end of run).
     Shutdown,
 }
@@ -880,6 +890,11 @@ pub(crate) struct NodeEnv<P: CommitProtocol> {
     /// [`NodeObs::with_meters`] so a live `--metrics` endpoint can read
     /// the shared registry; the in-process service uses a private one.
     pub(crate) obs: NodeObs,
+    /// Where an [`ToNode::ObsPull`] answer goes: `(client, export)` —
+    /// the multi-process host forwards it as an `ObsDump` frame down the
+    /// requesting client's connection. `None` (the in-process service)
+    /// makes `ObsPull` a no-op.
+    pub(crate) obs_pull: Option<Sender<(usize, ObsExport)>>,
 }
 
 fn serve<P>(cfg: &ServiceConfig, spec: &FaultSpec) -> ServiceOutcome
@@ -951,6 +966,7 @@ where
                 wal_flush_interval: cfg.wal_flush_interval,
                 logless: cfg.kind.logless(),
                 obs: NodeObs::new(),
+                obs_pull: None,
             };
             std::thread::spawn(move || node_main::<P>(env))
         })
@@ -1142,6 +1158,7 @@ where
         wal_flush_interval,
         logless,
         mut obs,
+        obs_pull,
     } = env;
     let mut node: NodeLoop<P> = NodeLoop::new(me, n, UnitClock::new(unit));
     let mut shard = Shard::new(me);
@@ -1661,6 +1678,17 @@ where
                     meta.remove(txn);
                     pending.remove(txn);
                     decided_map.remove(&txn);
+                }
+                ToNode::ObsPull { client } => {
+                    // Snapshot what the thread has recorded so far. The
+                    // bulk fold-ins below (lock residency, timer lag,
+                    // socket-write time) land at node exit, so a mid-run
+                    // pull sees the flight recorder and histograms — all
+                    // attribution needs — with meters still accruing.
+                    if let Some(tx) = &obs_pull {
+                        let export = ObsExport::snapshot(me as u32, &obs, None);
+                        let _ = tx.send((client, export));
+                    }
                 }
                 ToNode::Shutdown => shutdown = true,
             }
@@ -2387,6 +2415,7 @@ mod tests {
             wal_flush_interval: None,
             logless: false,
             obs: NodeObs::new(),
+            obs_pull: None,
         }
     }
 

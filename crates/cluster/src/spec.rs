@@ -51,6 +51,12 @@ pub struct ClusterSpec {
     pub workload: Workload,
     /// Base seed.
     pub seed: u64,
+    /// Open-loop arrival rate in txns/s per client (`None` = closed
+    /// loop). Spelled `arrival_rate = 25.0` in the file.
+    pub arrival_rate: Option<f64>,
+    /// In-flight cap per client when open-loop (`None` = the service
+    /// default). Spelled `max_outstanding = 64` in the file.
+    pub max_outstanding: Option<usize>,
     /// One listen address per node, indexed by node id.
     pub nodes: Vec<SocketAddr>,
 }
@@ -67,6 +73,8 @@ impl ClusterSpec {
         let mut txns_per_client = 25usize;
         let mut workload = Workload::Uniform { span: 2 };
         let mut seed = 1u64;
+        let mut arrival_rate = None;
+        let mut max_outstanding = None;
         let mut nodes: Vec<(usize, SocketAddr)> = Vec::new();
 
         for (lineno, raw) in text.lines().enumerate() {
@@ -103,6 +111,12 @@ impl ClusterSpec {
                     workload = parse_workload(value).ok_or_else(|| err("bad workload"))?
                 }
                 "seed" => seed = value.parse().map_err(|_| err("bad seed"))?,
+                "arrival_rate" => {
+                    arrival_rate = Some(value.parse().map_err(|_| err("bad arrival_rate"))?)
+                }
+                "max_outstanding" => {
+                    max_outstanding = Some(value.parse().map_err(|_| err("bad max_outstanding"))?)
+                }
                 _ if key.starts_with("node") => {
                     let id: usize = key
                         .strip_prefix("node")
@@ -143,6 +157,8 @@ impl ClusterSpec {
             txns_per_client,
             workload,
             seed,
+            arrival_rate,
+            max_outstanding,
             nodes,
         })
     }
@@ -152,17 +168,32 @@ impl ClusterSpec {
         self.nodes.len()
     }
 
+    /// Where node `id`'s `--metrics` endpoint should listen: the same
+    /// address family (and host) the spec binds the node itself to, not
+    /// a hard-coded `127.0.0.1` — an `[::1]` or non-loopback spec gets a
+    /// matching metrics listener.
+    pub fn metrics_addr(&self, id: usize, port: u16) -> SocketAddr {
+        SocketAddr::new(self.nodes[id].ip(), port)
+    }
+
     /// The equivalent [`ServiceConfig`] (transport = TCP), used by the
     /// client process's closed loop.
     pub fn service_config(&self) -> ServiceConfig {
-        ServiceConfig::new(self.n(), self.f, self.kind)
+        let mut cfg = ServiceConfig::new(self.n(), self.f, self.kind)
             .unit(self.unit)
             .clients(self.clients)
             .txns_per_client(self.txns_per_client)
             .workload(self.workload.clone())
             .keys_per_shard(self.keys_per_shard)
             .seed(self.seed)
-            .transport(TransportKind::Tcp)
+            .transport(TransportKind::Tcp);
+        if let Some(rate) = self.arrival_rate {
+            cfg = cfg.arrival_rate(rate);
+        }
+        if let Some(m) = self.max_outstanding {
+            cfg = cfg.max_outstanding(m);
+        }
+        cfg
     }
 
     /// Render back to the file format (used by tests and by `repro` when
@@ -178,6 +209,12 @@ impl ClusterSpec {
         let _ = writeln!(out, "txns_per_client = {}", self.txns_per_client);
         let _ = writeln!(out, "workload = {}", render_workload(&self.workload));
         let _ = writeln!(out, "seed = {}", self.seed);
+        if let Some(rate) = self.arrival_rate {
+            let _ = writeln!(out, "arrival_rate = {rate}");
+        }
+        if let Some(m) = self.max_outstanding {
+            let _ = writeln!(out, "max_outstanding = {m}");
+        }
         for (i, a) in self.nodes.iter().enumerate() {
             let _ = writeln!(out, "node {i} = {a}");
         }
@@ -237,6 +274,27 @@ node 0 = 127.0.0.1:7100
         assert_eq!(spec.nodes[1].port(), 7101);
         let again = ClusterSpec::parse(&spec.render()).expect("reparse");
         assert_eq!(again.render(), spec.render());
+    }
+
+    #[test]
+    fn open_loop_keys_and_metrics_addr_follow_the_spec() {
+        let text = "\
+protocol = 2PC
+arrival_rate = 12.5
+max_outstanding = 8
+node 0 = [::1]:7100
+node 1 = [::1]:7101
+";
+        let spec = ClusterSpec::parse(text).expect("parse");
+        assert_eq!(spec.arrival_rate, Some(12.5));
+        assert_eq!(spec.max_outstanding, Some(8));
+        // The metrics endpoint inherits the node's address family.
+        let m = spec.metrics_addr(1, 9100);
+        assert!(m.is_ipv6());
+        assert_eq!(m.port(), 9100);
+        let again = ClusterSpec::parse(&spec.render()).expect("reparse");
+        assert_eq!(again.render(), spec.render());
+        assert_eq!(again.arrival_rate, Some(12.5));
     }
 
     #[test]

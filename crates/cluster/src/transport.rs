@@ -41,6 +41,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use ac_obs::NetMeters;
 use ac_sim::{ProcessId, Wire};
 use crossbeam::channel::Sender;
 
@@ -127,7 +128,13 @@ pub struct TcpTransport {
     peers: Vec<SocketAddr>,
     state: Vec<PeerState>,
     scratch: Vec<u8>,
+    /// Frames currently encoded into `scratch` (egress frame metering).
+    scratch_frames: u64,
     on_connect: Option<OnConnect>,
+    /// Per-peer socket counters (bytes/frames out, reconnects, dial
+    /// failures, outbox high-water), shared with the process's metrics
+    /// endpoint and its observability export. `None` meters nothing.
+    net: Option<Arc<NetMeters>>,
     /// Socket-write self-metering: `write_all` calls and their summed
     /// duration (connection establishment is deliberately excluded — a
     /// first-contact dial retries for seconds and is not write time).
@@ -143,7 +150,9 @@ impl TcpTransport {
             peers,
             state,
             scratch: Vec::new(),
+            scratch_frames: 0,
             on_connect: None,
+            net: None,
             io_writes: 0,
             io_nanos: 0,
         }
@@ -152,6 +161,13 @@ impl TcpTransport {
     /// Install a post-connect hook (builder style).
     pub fn on_connect(mut self, hook: OnConnect) -> TcpTransport {
         self.on_connect = Some(hook);
+        self
+    }
+
+    /// Record egress into `meters` (builder style). The meters' peer
+    /// table should match this transport's peer count.
+    pub fn with_net(mut self, meters: Arc<NetMeters>) -> TcpTransport {
+        self.net = Some(meters);
         self
     }
 
@@ -174,7 +190,7 @@ impl TcpTransport {
     /// The connected stream for `to`, establishing it if the state
     /// machine allows an attempt now.
     fn conn(&mut self, to: ProcessId) -> Option<&mut TcpStream> {
-        let attempts = match &self.state[to] {
+        let (attempts, was_reached) = match &self.state[to] {
             PeerState::Connected(_) => {
                 // Reborrow dance: checked above, return below.
                 match &mut self.state[to] {
@@ -182,17 +198,25 @@ impl TcpTransport {
                     _ => unreachable!(),
                 }
             }
-            PeerState::Fresh => INITIAL_ATTEMPTS,
-            PeerState::Lost => 1,
+            PeerState::Fresh => (INITIAL_ATTEMPTS, false),
+            // Lost/Backoff both mean the peer was reached before: a
+            // successful dial from here is a *reconnect* (first contact
+            // from Fresh is not).
+            PeerState::Lost => (1, true),
             PeerState::Backoff(until) => {
                 if Instant::now() < *until {
                     return None;
                 }
-                1
+                (1, true)
             }
         };
         match self.dial(to, attempts) {
             Some(s) => {
+                if was_reached {
+                    if let Some(net) = &self.net {
+                        net.reconnected(to);
+                    }
+                }
                 self.state[to] = PeerState::Connected(s);
                 match &mut self.state[to] {
                     PeerState::Connected(s) => Some(s),
@@ -200,6 +224,9 @@ impl TcpTransport {
                 }
             }
             None => {
+                if let Some(net) = &self.net {
+                    net.dial_failed(to);
+                }
                 self.state[to] = PeerState::Backoff(Instant::now() + RECONNECT_BACKOFF);
                 None
             }
@@ -210,6 +237,7 @@ impl TcpTransport {
     /// a write error. Returns whether the bytes were handed to the OS.
     fn flush_scratch(&mut self, to: ProcessId) -> bool {
         let scratch = std::mem::take(&mut self.scratch);
+        let frames = std::mem::take(&mut self.scratch_frames);
         let mut sent = false;
         for _ in 0..2 {
             let Some(s) = self.conn(to) else { break };
@@ -226,6 +254,11 @@ impl TcpTransport {
             // Broken pipe: drop the stream, allow one immediate retry.
             self.state[to] = PeerState::Lost;
         }
+        if sent {
+            if let Some(net) = &self.net {
+                net.sent(to, frames, scratch.len() as u64);
+            }
+        }
         self.scratch = scratch;
         sent
     }
@@ -235,11 +268,19 @@ impl<M: Wire + Send> Transport<M> for TcpTransport {
     fn send(&mut self, to: ProcessId, env: ToNode<M>) {
         self.scratch.clear();
         write_frame(&AnyFrame::Node(env), &mut self.scratch);
+        self.scratch_frames = 1;
+        if let Some(net) = &self.net {
+            net.outbox_depth(to, 1);
+        }
         self.flush_scratch(to);
     }
 
     fn send_batch(&mut self, to: ProcessId, batch: &mut Vec<ToNode<M>>) {
         self.scratch.clear();
+        self.scratch_frames = batch.len() as u64;
+        if let Some(net) = &self.net {
+            net.outbox_depth(to, self.scratch_frames);
+        }
         for env in batch.drain(..) {
             write_frame(&AnyFrame::Node(env), &mut self.scratch);
         }
@@ -255,6 +296,31 @@ impl<M: Wire + Send> Transport<M> for TcpTransport {
 /// [`TcpNode`] when a `Hello` frame arrives, read by the `Done`
 /// forwarders of a multi-process node.
 pub type ClientRegistry = Arc<Mutex<HashMap<usize, TcpStream>>>;
+
+/// Identity and epoch a node's reader threads use to answer clock-echo
+/// probes inline: the response is written straight back from the reader
+/// thread, off the node loop, so an echo round trip measures the
+/// network path and not the inbox backlog.
+#[derive(Clone)]
+pub struct EchoResponder {
+    /// The answering node's id.
+    pub node: u32,
+    /// The process's run epoch: echo stamps are `epoch.elapsed()`.
+    pub epoch: Instant,
+}
+
+/// Optional per-connection behaviors of a [`TcpNode`]'s reader threads:
+/// the client registry (multi-process `Done` routing), ingress meters,
+/// and the clock-echo responder.
+#[derive(Clone, Default)]
+pub struct NodeHooks {
+    /// Populated with the write half of every connection that `Hello`s.
+    pub clients: Option<ClientRegistry>,
+    /// Ingress counters (bytes/frames in, decode errors, resyncs).
+    pub net: Option<Arc<NetMeters>>,
+    /// When set, `EchoReq` frames are answered inline.
+    pub echo: Option<EchoResponder>,
+}
 
 /// The receiving side of the TCP transport: a listener plus per-connection
 /// reader threads that decode frames and forward node-inbox envelopes
@@ -275,6 +341,27 @@ impl TcpNode {
         addr: A,
         inbox: Sender<ToNode<M>>,
         clients: Option<ClientRegistry>,
+    ) -> std::io::Result<TcpNode>
+    where
+        M: Wire + Send + 'static,
+        A: ToSocketAddrs,
+    {
+        TcpNode::bind_with(
+            addr,
+            inbox,
+            NodeHooks {
+                clients,
+                ..NodeHooks::default()
+            },
+        )
+    }
+
+    /// [`TcpNode::bind`] with the full hook set: client registry,
+    /// ingress meters, and the clock-echo responder.
+    pub fn bind_with<M, A>(
+        addr: A,
+        inbox: Sender<ToNode<M>>,
+        hooks: NodeHooks,
     ) -> std::io::Result<TcpNode>
     where
         M: Wire + Send + 'static,
@@ -303,9 +390,9 @@ impl TcpNode {
                         .expect("conn list poisoned")
                         .push(stream.try_clone().expect("stream clone"));
                     let inbox = inbox.clone();
-                    let clients = clients.clone();
+                    let hooks = hooks.clone();
                     let reader = std::thread::spawn(move || {
-                        read_loop::<M>(stream, inbox, clients);
+                        read_loop::<M>(stream, inbox, hooks);
                     });
                     readers.lock().expect("reader list poisoned").push(reader);
                 }
@@ -369,36 +456,77 @@ impl Drop for TcpNode {
 fn read_loop<M: Wire + Send + 'static>(
     mut stream: TcpStream,
     inbox: Sender<ToNode<M>>,
-    clients: Option<ClientRegistry>,
+    hooks: NodeHooks,
 ) {
     let mut dec = FrameDecoder::new();
     let mut chunk = vec![0u8; READ_CHUNK];
+    let mut echo_buf = Vec::new();
     loop {
         let n = match stream.read(&mut chunk) {
             Ok(0) | Err(_) => return,
             Ok(n) => n,
         };
+        if let Some(net) = &hooks.net {
+            net.received(n as u64);
+        }
         dec.feed(&chunk[..n]);
         loop {
-            match dec.next_frame::<M>() {
+            let frame = dec.next_frame::<M>();
+            if let Ok(Some(_)) = &frame {
+                if let Some(net) = &hooks.net {
+                    net.frame_in();
+                }
+            }
+            match frame {
                 Ok(Some(AnyFrame::Node(env))) => {
                     if inbox.send(env).is_err() {
                         return; // node gone: drop the connection
                     }
                 }
                 Ok(Some(AnyFrame::Hello { client })) => {
-                    if let (Some(reg), Ok(half)) = (&clients, stream.try_clone()) {
+                    if let (Some(reg), Ok(half)) = (&hooks.clients, stream.try_clone()) {
                         reg.lock().expect("registry poisoned").insert(client, half);
                     }
                 }
-                Ok(Some(AnyFrame::Done(_))) => {} // not a node-bound frame
+                Ok(Some(AnyFrame::EchoReq { seq, t0_nanos })) => {
+                    // Answer inline from the reader thread: the round
+                    // trip then measures the network path, not the node
+                    // loop's inbox backlog.
+                    if let Some(echo) = &hooks.echo {
+                        let node_nanos =
+                            u64::try_from(echo.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                        echo_buf.clear();
+                        write_frame::<M>(
+                            &AnyFrame::EchoResp {
+                                seq,
+                                t0_nanos,
+                                node: echo.node,
+                                node_nanos,
+                            },
+                            &mut echo_buf,
+                        );
+                        if stream.write_all(&echo_buf).is_err() {
+                            return;
+                        }
+                    }
+                }
+                // Not node-bound frames: a node never receives these.
+                Ok(Some(
+                    AnyFrame::Done(_) | AnyFrame::EchoResp { .. } | AnyFrame::ObsDump { .. },
+                )) => {}
                 Ok(None) => break,
                 // Malformed body: that frame is skipped, keep decoding.
                 // Poisoned stream: frame boundary lost — drop the
                 // connection (the peer will reconnect with a fresh one).
                 Err(_) => {
                     if dec.is_poisoned() {
+                        if let Some(net) = &hooks.net {
+                            net.resync();
+                        }
                         return;
+                    }
+                    if let Some(net) = &hooks.net {
+                        net.decode_error();
                     }
                 }
             }

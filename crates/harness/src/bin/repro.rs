@@ -3,6 +3,7 @@
 //! ```text
 //! repro [--json] [--jobs N] [--out PATH] [--quick] [--transport channel|tcp] \
 //!       [table1|table2|table3|table4|table5|fig1|ablations|exhaustive|bench|load|chaos|saturate|all]
+//! repro proc [--quick] [--json] [--jobs N] [--out PATH] [--dump-dir DIR] [--metrics PORT]
 //! repro bench-check <path>
 //! repro trace [<path>]
 //! repro perf --against <path> [--quick] [--json] [--jobs N] [--out PATH]
@@ -33,9 +34,20 @@
 //! carry the per-stage latency **attribution** section (every Table-5
 //! protocol on both transports, stage shares telescoping to end-to-end
 //! latency) with the slowest-transaction timelines embedded;
+//! `proc` runs the **multi-process** sweep: real `ac-node`/`ac-client`
+//! processes over loopback TCP, every node's observability export
+//! collected through the cross-process tracing path (clock alignment via
+//! echo round trips, `ObsPull`/`ObsDump` control frames, one binary
+//! cluster dump per run under `--dump-dir`, default `.`), attribution
+//! emitted as extra `"proc"` entries on the schema-v5 baseline plus an
+//! open-loop 2PC saturation curve; `--metrics PORT` additionally serves
+//! and scrapes node 0's Prometheus endpoint mid-run (a gated check);
 //! `trace [<path>]` renders those embedded straggler timelines (default
 //! path `BENCH_baseline.json`) through the same renderer the simulator's
-//! traces use; `bench-check <path>` validates a previously written
+//! traces use — when `<path>` is a binary cluster dump written by
+//! `ac-client --obs-out` / `repro proc`, the attribution is recomputed
+//! from the per-process exports on the spot and rendered the same way;
+//! `bench-check <path>` validates a previously written
 //! baseline of any schema version — CI's bench-smoke, load-smoke,
 //! chaos-smoke and trace-smoke jobs run these. `perf --against <path>` re-measures the
 //! live sweep and diffs it against a committed baseline: counter-exact
@@ -66,10 +78,58 @@ fn run_one(id: &str, jobs: usize) -> Option<Vec<Report>> {
     })
 }
 
+/// Render a binary cluster dump: the per-node clock-alignment summary,
+/// then the slowest-transaction timelines of the attribution recomputed
+/// from the dump's per-process exports.
+fn trace_dump(path: &str, dump: &ac_obs::ClusterDump) {
+    let a = dump.attribution(5);
+    println!(
+        "## {} over proc — {}: slowest {} of {} txns \
+         (n={}, f={}, coverage {:.0}%, e2e p50 {:.2} ms)",
+        dump.protocol,
+        path,
+        a.slowest.len(),
+        a.total,
+        dump.n,
+        dump.f,
+        a.coverage_pct(),
+        a.e2e.p50() as f64 / 1e6,
+    );
+    for al in &dump.alignments {
+        println!(
+            "node {}: clock offset {:+.3} ms \u{b1} {:.0} \u{b5}s \
+             (min RTT {:.0} \u{b5}s over {} echoes)",
+            al.node,
+            al.offset_nanos as f64 / 1e6,
+            al.uncertainty_nanos as f64 / 1e3,
+            al.rtt_nanos as f64 / 1e3,
+            al.samples,
+        );
+    }
+    for tl in &a.slowest {
+        println!(
+            "\ntxn {:#x}: {:.2} ms end-to-end (anchor node {})",
+            tl.txn,
+            tl.e2e_nanos() as f64 / 1e6,
+            tl.anchor,
+        );
+        let rows: Vec<ac_sim::TimelineRow> = tl
+            .steps()
+            .into_iter()
+            .map(|(at_nanos, actor, label)| {
+                ac_sim::TimelineRow::new(format!("{:.2}ms", at_nanos as f64 / 1e6), actor, label)
+            })
+            .collect();
+        print!("{}", ac_sim::render_timeline(&rows));
+    }
+    println!();
+}
+
 fn usage_exit() -> ! {
     eprintln!(
         "usage: repro [--json] [--jobs N] [--out PATH] [--quick] [--transport channel|tcp] \
          [table1|table2|table3|table4|table5|fig1|ablations|exhaustive|bench|load|chaos|saturate|all]\n\
+         \x20      repro proc [--quick] [--json] [--jobs N] [--out PATH] [--dump-dir DIR] [--metrics PORT]\n\
          \x20      repro bench-check <path>\n\
          \x20      repro trace [<path>]\n\
          \x20      repro perf --against <path> [--quick] [--json] [--jobs N] [--out PATH]"
@@ -85,12 +145,28 @@ fn main() {
     let mut transport = ac_cluster::TransportKind::Channel;
     let mut out: Option<PathBuf> = None;
     let mut against: Option<PathBuf> = None;
+    let mut dump_dir = PathBuf::from(".");
+    let mut metrics_port: Option<u16> = None;
     let mut targets: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--json" => {}
             "--quick" => quick = true,
+            "--dump-dir" => {
+                let Some(p) = it.next() else {
+                    eprintln!("--dump-dir requires a path");
+                    usage_exit();
+                };
+                dump_dir = PathBuf::from(p);
+            }
+            "--metrics" => {
+                let Some(p) = it.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("--metrics requires a port number");
+                    usage_exit();
+                };
+                metrics_port = Some(p);
+            }
             "--jobs" => {
                 let Some(n) = it.next().and_then(|v| v.parse().ok()).filter(|&n| n > 0) else {
                     eprintln!("--jobs requires a positive integer");
@@ -176,6 +252,43 @@ fn main() {
     }
     let out = out.unwrap_or_else(|| PathBuf::from("BENCH_baseline.json"));
 
+    // `proc`: the multi-process sweep — spawn real node/client processes,
+    // collect their exports, emit the schema-v5 baseline with "proc"
+    // attribution entries and the open-loop proc saturation curve.
+    if id == "proc" {
+        let opts = ac_harness::procrun::ProcOptions {
+            quick,
+            dump_dir,
+            metrics_port,
+        };
+        let (report, baseline) = match ac_harness::procrun::proc_baseline(quick, jobs, &opts) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("proc sweep failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        if json {
+            println!("{}", report.to_json());
+        } else {
+            println!("{}", report.render());
+        }
+        if let Err(e) = baseline.write(&out) {
+            eprintln!("cannot write {}: {e}", out.display());
+            std::process::exit(1);
+        }
+        eprintln!(
+            "wrote {} (schema v{})",
+            out.display(),
+            baseline.schema_version
+        );
+        if !report.all_matched() {
+            eprintln!("some comparisons or safety audits did not pass");
+            std::process::exit(1);
+        }
+        return;
+    }
+
     // `bench-check <path>`: validate a written baseline and exit.
     if id == "bench-check" {
         let Some(path) = targets.get(1) else {
@@ -213,10 +326,31 @@ fn main() {
     if id == "trace" {
         let default_path = "BENCH_baseline.json".to_string();
         let path = targets.get(1).unwrap_or(&default_path);
-        let text = match std::fs::read_to_string(path) {
-            Ok(t) => t,
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
             Err(e) => {
                 eprintln!("cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        // A raw cluster dump (written by `ac-client --obs-out` / `repro
+        // proc`) renders directly: recompute the clock-aligned
+        // attribution from the per-process exports it carries.
+        if bytes.starts_with(&ac_obs::DUMP_MAGIC) {
+            let dump = match ac_obs::ClusterDump::from_bytes(&bytes) {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("{path}: not a valid cluster dump: {e:?}");
+                    std::process::exit(1);
+                }
+            };
+            trace_dump(path, &dump);
+            return;
+        }
+        let text = match String::from_utf8(bytes) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{path}: neither a cluster dump nor UTF-8 JSON: {e}");
                 std::process::exit(1);
             }
         };

@@ -985,6 +985,7 @@ pub fn load_baseline_with(
                 e2e_p50_micros: us(a.e2e.p50()),
                 e2e_p999_micros: us(a.e2e.p999()),
                 dropped_events: a.dropped_events,
+                alignment_max_uncertainty_micros: None,
                 stages: attribution_stage_names()
                     .iter()
                     .enumerate()
@@ -1319,7 +1320,7 @@ pub(crate) fn saturate_cell(
 /// The knee criterion: first step whose goodput gain over the previous
 /// step is < 10 % while p99 sojourn at least doubles. Falls back to the
 /// last step (`detected = false`) when no step qualifies.
-fn detect_knee(steps: &[(f64, f64)]) -> (usize, bool) {
+pub(crate) fn detect_knee(steps: &[(f64, f64)]) -> (usize, bool) {
     for i in 1..steps.len() {
         let (g0, p0) = steps[i - 1];
         let (g1, p1) = steps[i];

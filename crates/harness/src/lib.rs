@@ -25,6 +25,7 @@
 
 pub mod experiments;
 pub mod perf;
+pub mod procrun;
 pub mod report;
 
 pub use report::{Report, Table};

@@ -435,6 +435,10 @@ pub struct AttributionEntry {
     pub e2e_p999_micros: f64,
     /// Flight events lost to ring wrap-around (0 at sweep scale).
     pub dropped_events: u64,
+    /// Worst clock-alignment uncertainty across the nodes whose exports
+    /// fed this entry, microseconds (`None` for in-process entries — one
+    /// clock, nothing to align; `Some` only for `"proc"` transport).
+    pub alignment_max_uncertainty_micros: Option<f64>,
     /// One row per [`attribution_stage_names`] stage, same order.
     pub stages: Vec<AttributionStageEntry>,
     /// Slowest covered timelines, descending end-to-end latency.
@@ -715,14 +719,17 @@ impl BenchBaseline {
     }
 
     /// The optional `transport` marker: absent/null (legacy baselines,
-    /// meaning channel) or one of the two known transport names.
+    /// meaning channel) or one of the known transport names —
+    /// `"channel"` (in-process channels), `"tcp"` (in-process sockets)
+    /// or `"proc"` (real multi-process cluster over sockets).
     fn check_transport(section: &str, t: &serde_json::Value, problems: &mut Vec<String>) {
         if matches!(t, serde_json::Value::Null) {
             return;
         }
-        if !matches!(t.as_str(), Some("channel") | Some("tcp")) {
+        if !matches!(t.as_str(), Some("channel") | Some("tcp") | Some("proc")) {
             problems.push(format!(
-                "{section}.transport must be \"channel\" or \"tcp\" when present, got {t:?}"
+                "{section}.transport must be \"channel\", \"tcp\" or \"proc\" when present, \
+                 got {t:?}"
             ));
         }
     }
@@ -753,6 +760,14 @@ impl BenchBaseline {
         }
         for e in entries {
             let label = format!("attribution entry {:?}/{:?}", e["protocol"], e["transport"]);
+            Self::check_transport("attribution", &e["transport"], problems);
+            if let Some(u) = e["alignment_max_uncertainty_micros"].as_f64() {
+                if u < 0.0 {
+                    problems.push(format!(
+                        "{label}: alignment_max_uncertainty_micros must be >= 0"
+                    ));
+                }
+            }
             match e["share_sum_pct"].as_f64() {
                 Some(s) if (95.0..=105.0).contains(&s) => {}
                 other => problems.push(format!(
@@ -1133,6 +1148,7 @@ mod tests {
             e2e_p50_micros: 10_500.0,
             e2e_p999_micros: 22_000.0,
             dropped_events: 0,
+            alignment_max_uncertainty_micros: (transport == "proc").then_some(35.0),
             stages: attribution_stage_names()
                 .iter()
                 .map(|s| AttributionStageEntry {
@@ -1304,6 +1320,38 @@ mod tests {
         let mut load_shaped = sample_v4_baseline();
         load_shaped.chaos = None;
         assert_eq!(BenchBaseline::validate_json(&load_shaped.to_json()), Ok(()));
+    }
+
+    #[test]
+    fn proc_attribution_entries_ride_along_legally() {
+        // Entries for the multi-process transport are extra coverage on
+        // top of the required channel × tcp grid: they validate like any
+        // other entry, carry the alignment-uncertainty marker, and an
+        // unknown transport name is rejected.
+        let mut b = sample_v4_baseline();
+        let attr = b.attribution.as_mut().unwrap();
+        attr.entries.push(sample_attribution_entry("2PC", "proc"));
+        assert_eq!(BenchBaseline::validate_json(&b.to_json()), Ok(()));
+
+        let attr = b.attribution.as_mut().unwrap();
+        attr.entries.last_mut().unwrap().transport = "carrier-pigeon".into();
+        let problems = BenchBaseline::validate_json(&b.to_json()).unwrap_err();
+        assert!(
+            problems.iter().any(|p| p.contains("carrier-pigeon")),
+            "{problems:?}"
+        );
+
+        let attr = b.attribution.as_mut().unwrap();
+        let last = attr.entries.last_mut().unwrap();
+        last.transport = "proc".into();
+        last.alignment_max_uncertainty_micros = Some(-1.0);
+        let problems = BenchBaseline::validate_json(&b.to_json()).unwrap_err();
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("alignment_max_uncertainty_micros")),
+            "{problems:?}"
+        );
     }
 
     #[test]

@@ -182,6 +182,48 @@ impl LatencyHistogram {
         self.percentile(0.999)
     }
 
+    /// The non-empty buckets as `(index, count)` pairs, ascending index —
+    /// the sparse form the cross-process [`crate::export`] encoding ships
+    /// (latency distributions are far sparser than the 976-slot table).
+    pub fn nonzero_buckets(&self) -> Vec<(u32, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i as u32, c))
+            .collect()
+    }
+
+    /// Rebuild a histogram from its sparse-bucket form plus the exact
+    /// side-cars, the inverse of [`LatencyHistogram::nonzero_buckets`].
+    /// Returns `None` when the parts are inconsistent (bucket index out
+    /// of range, or side-cars that no sample stream could produce) — the
+    /// decode-side guard for untrusted export bytes.
+    pub fn from_parts(
+        buckets: &[(u32, u64)],
+        sum: u128,
+        min: u64,
+        max: u64,
+    ) -> Option<LatencyHistogram> {
+        let mut h = LatencyHistogram::new();
+        for &(i, c) in buckets {
+            let slot = h.counts.get_mut(i as usize)?;
+            *slot = slot.checked_add(c)?;
+            h.count = h.count.checked_add(c)?;
+        }
+        if h.count == 0 {
+            // Empty histogram: side-cars must be the canonical empties.
+            return (sum == 0 && max == 0).then_some(h);
+        }
+        if min > max {
+            return None;
+        }
+        h.sum = sum;
+        h.min = min;
+        h.max = max;
+        Some(h)
+    }
+
     /// Fold `other` into `self`. Exactly equivalent to having recorded the
     /// concatenation of both sample streams into one histogram.
     pub fn merge(&mut self, other: &LatencyHistogram) {

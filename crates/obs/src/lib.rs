@@ -15,7 +15,16 @@
 //! * [`attribution`] — the per-transaction telescoping decomposition of
 //!   end-to-end latency into channel / lock / WAL / protocol / transport
 //!   stages, exact by construction (stages sum to the measured latency
-//!   per transaction, so shares sum to 100 %).
+//!   per transaction, so shares sum to 100 %);
+//! * [`export`] — the cross-process story: a compact `Wire`-encoded
+//!   [`ObsExport`] of one process's recorder state, the collector-side
+//!   [`ClusterDump`] file format, and [`Attribution::from_exports`];
+//! * [`clock`] — NTP-style clock alignment ([`ClockAlignment`]) mapping
+//!   each process's monotonic timestamps into the collector's timeline,
+//!   with explicit per-node uncertainty bounds;
+//! * [`net`] — transport-layer meters ([`NetMeters`]): per-peer
+//!   bytes/frames/reconnect/dial-failure counters plus inbound decode
+//!   accounting, Prometheus-renderable and embedded in every export.
 //!
 //! Everything here is passive: recording never blocks, never allocates
 //! on the hot path after setup, and never wakes a thread — the service's
@@ -25,11 +34,17 @@
 #![deny(missing_docs)]
 
 pub mod attribution;
+pub mod clock;
+pub mod export;
 pub mod histogram;
+pub mod net;
 pub mod stage;
 
 pub use attribution::{lifecycles, Attribution, Lifecycle, TxnTimeline, ATTRIBUTION_STAGES};
+pub use clock::{ClockAlignment, ClockSample};
+pub use export::{max_uncertainty_nanos, ClusterDump, DumpTxn, ObsExport, RunStats, DUMP_MAGIC};
 pub use histogram::LatencyHistogram;
+pub use net::{NetMeters, NetSnapshot, PeerNet};
 pub use stage::{
     FlightEvent, FlightRecorder, FlightStage, NodeObs, ObsMeters, Stage, StageHistograms,
     FLIGHT_CAP,
